@@ -1,0 +1,137 @@
+//! Benchmarks for the related-work baselines and extensions: cluster
+//! vs core vs max-min election cost, Wu/Lou 2.5-hops coverage vs
+//! A-NCR, weighted vs hop-based LMSTGA, and the simulated broadcast
+//! strategies.
+
+use adhoc_cluster::adjacency::NeighborRule;
+use adhoc_cluster::clustering::{cluster, MemberPolicy};
+use adhoc_cluster::core_algorithm::core_cluster;
+use adhoc_cluster::gateway::{lmstga, lmstga_weighted};
+use adhoc_cluster::maxmin::maxmin_cluster;
+use adhoc_cluster::pipeline::{run_on, Algorithm};
+use adhoc_cluster::priority::LowestId;
+use adhoc_cluster::virtual_graph::VirtualGraph;
+use adhoc_cluster::wulou;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::graph::NodeId;
+use adhoc_sim::broadcast::{simulate, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_election_families(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(61);
+    let net = gen::geometric(&GeometricConfig::new(150, 100.0, 6.0), &mut rng);
+    let mut group = c.benchmark_group("election_families_N150_D6");
+    for k in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("cluster", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased).head_count())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("core", k), &k, |b, &k| {
+            b.iter(|| black_box(core_cluster(&net.graph, k, &LowestId).head_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("maxmin", k), &k, |b, &k| {
+            b.iter(|| black_box(maxmin_cluster(&net.graph, k).head_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_coverage_rules(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(62);
+    let net = gen::geometric(&GeometricConfig::new(150, 100.0, 6.0), &mut rng);
+    let clustering = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+    let mut group = c.benchmark_group("coverage_rules_k1_N150");
+    group.bench_function("ancr_adjacent", |b| {
+        b.iter(|| {
+            black_box(
+                adhoc_cluster::adjacency::neighbor_clusterheads(
+                    &net.graph,
+                    &clustering,
+                    NeighborRule::Adjacent,
+                )
+                .pair_count(),
+            )
+        });
+    });
+    group.bench_function("wulou_25hops", |b| {
+        b.iter(|| {
+            black_box(
+                wulou::coverage25(&net.graph, &clustering)
+                    .undirected_pairs()
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_weighted_gateways(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(63);
+    let net = gen::geometric(&GeometricConfig::new(120, 100.0, 8.0), &mut rng);
+    let clustering = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+    let costs: Vec<u64> = (0..net.graph.len()).map(|_| rng.gen_range(0..50)).collect();
+    let mut group = c.benchmark_group("gateway_weighting_N120_k2");
+    group.bench_function("hop_based", |b| {
+        let vg = VirtualGraph::build(&net.graph, &clustering, NeighborRule::Adjacent);
+        b.iter(|| black_box(lmstga(&vg, &clustering).gateway_count()));
+    });
+    group.bench_function("energy_weighted", |b| {
+        b.iter(|| {
+            black_box(
+                lmstga_weighted(&net.graph, &clustering, NeighborRule::Adjacent, &costs)
+                    .gateway_count(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(64);
+    let net = gen::geometric(&GeometricConfig::new(150, 100.0, 8.0), &mut rng);
+    let clustering = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+    let out = run_on(&net.graph, Algorithm::AcLmst, &clustering);
+    let mut group = c.benchmark_group("broadcast_N150_k1");
+    group.bench_function("blind_flood", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(
+                    &net.graph,
+                    &clustering,
+                    &out.cds,
+                    NodeId(0),
+                    Strategy::BlindFlood,
+                )
+                .transmissions,
+            )
+        });
+    });
+    group.bench_function("backbone", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(
+                    &net.graph,
+                    &clustering,
+                    &out.cds,
+                    NodeId(0),
+                    Strategy::Backbone,
+                )
+                .transmissions,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_election_families,
+    bench_coverage_rules,
+    bench_weighted_gateways,
+    bench_broadcast
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Runtime of the exact branch-and-bound solvers vs the heuristics.
+//!
+//! Quantifies *why* the paper needs heuristics at all: the exact
+//! minimum k-hop CDS search grows super-polynomially with N while the
+//! localized pipeline stays near-linear. Also benches the set-cover DS
+//! solver (the cheaper lower bound) for contrast.
+
+use adhoc_cluster::exact::{min_khop_cds, min_khop_ds, ExactConfig};
+use adhoc_cluster::pipeline::{self, Algorithm, PipelineConfig};
+use adhoc_graph::gen::{self, GeometricConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_exact_vs_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_vs_heuristic_k1_D5");
+    group.sample_size(10);
+    for n in [12usize, 16, 20, 24] {
+        let mut rng = StdRng::seed_from_u64(0xBE7 + n as u64);
+        let net = gen::geometric(&GeometricConfig::new(n, 100.0, 5.0), &mut rng);
+        group.bench_with_input(BenchmarkId::new("exact_cds", n), &n, |b, _| {
+            b.iter(|| black_box(min_khop_cds(&net.graph, 1, &ExactConfig::default()).size()));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_ds", n), &n, |b, _| {
+            b.iter(|| black_box(min_khop_ds(&net.graph, 1, &ExactConfig::default()).size()));
+        });
+        group.bench_with_input(BenchmarkId::new("ac_lmst", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    pipeline::run(&net.graph, Algorithm::AcLmst, &PipelineConfig::new(1))
+                        .cds
+                        .size(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_k_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_cds_N20_by_k");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xBEE);
+    let net = gen::geometric(&GeometricConfig::new(20, 100.0, 5.0), &mut rng);
+    for k in 1..=3u32 {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(min_khop_cds(&net.graph, k, &ExactConfig::default()).size()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_heuristic, bench_exact_k_scaling);
+criterion_main!(benches);

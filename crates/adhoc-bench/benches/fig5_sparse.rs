@@ -1,0 +1,47 @@
+//! Figure 5 benchmark: time to compute each algorithm's CDS on the
+//! sparse workload (D = 6), at the paper's smallest, middle, and
+//! largest N for k = 2. The figure's *data* comes from `--bin fig5`;
+//! this bench tracks the cost of regenerating one replicate of each
+//! curve point.
+
+use adhoc_cluster::clustering::{cluster, MemberPolicy};
+use adhoc_cluster::pipeline::{run_on, Algorithm};
+use adhoc_cluster::priority::LowestId;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::Csr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sparse_D6_k2");
+    for n in [50usize, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(5_000 + n as u64);
+        let net = gen::geometric(&GeometricConfig::new(n, 100.0, 6.0), &mut rng);
+        let csr = Csr::from_graph(&net.graph);
+        let clustering = cluster(&csr, 2, &LowestId, MemberPolicy::IdBased);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), n),
+                &(&csr, &clustering),
+                |b, (g, cl)| {
+                    b.iter(|| black_box(run_on(*g, alg, cl).cds.size()));
+                },
+            );
+        }
+        // End-to-end replicate (generation + clustering + all five).
+        group.bench_with_input(BenchmarkId::new("full-replicate", n), &n, |b, &n| {
+            let cfg = adhoc_bench::harness::CellConfig::paper(n, 6.0, 2);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                black_box(adhoc_bench::harness::run_replicate(&cfg, i));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

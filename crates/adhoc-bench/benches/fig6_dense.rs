@@ -1,0 +1,37 @@
+//! Figure 6 benchmark: same shape as `fig5_sparse`, on the dense
+//! workload (D = 10). Dense graphs have fewer clusters and shorter
+//! virtual links, so gateway selection should be cheaper — this bench
+//! tracks that.
+
+use adhoc_cluster::clustering::{cluster, MemberPolicy};
+use adhoc_cluster::pipeline::{run_on, Algorithm};
+use adhoc_cluster::priority::LowestId;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::Csr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dense_D10_k2");
+    for n in [50usize, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(6_000 + n as u64);
+        let net = gen::geometric(&GeometricConfig::new(n, 100.0, 10.0), &mut rng);
+        let csr = Csr::from_graph(&net.graph);
+        let clustering = cluster(&csr, 2, &LowestId, MemberPolicy::IdBased);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), n),
+                &(&csr, &clustering),
+                |b, (g, cl)| {
+                    b.iter(|| black_box(run_on(*g, alg, cl).cds.size()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

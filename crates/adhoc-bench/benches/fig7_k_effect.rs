@@ -1,0 +1,35 @@
+//! Figure 7 benchmark: cost of the AC-LMST pipeline as k grows
+//! (N = 150, D = 6). Larger k means fewer clusters but bigger
+//! (2k+1)-hop neighborhoods per phase — this bench shows which effect
+//! wins.
+
+use adhoc_cluster::clustering::{cluster, MemberPolicy};
+use adhoc_cluster::pipeline::{run_on, Algorithm};
+use adhoc_cluster::priority::LowestId;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::Csr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7_150);
+    let net = gen::geometric(&GeometricConfig::new(150, 100.0, 6.0), &mut rng);
+    let csr = Csr::from_graph(&net.graph);
+
+    let mut group = c.benchmark_group("fig7_k_effect_N150_D6");
+    for k in 1..=4u32 {
+        group.bench_with_input(BenchmarkId::new("clustering", k), &k, |b, &k| {
+            b.iter(|| black_box(cluster(&csr, k, &LowestId, MemberPolicy::IdBased)));
+        });
+        let clustering = cluster(&csr, k, &LowestId, MemberPolicy::IdBased);
+        group.bench_with_input(BenchmarkId::new("AC-LMST-gateways", k), &k, |b, _| {
+            b.iter(|| black_box(run_on(&csr, Algorithm::AcLmst, &clustering).cds.size()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

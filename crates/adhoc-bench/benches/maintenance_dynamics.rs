@@ -1,0 +1,94 @@
+//! Dynamics benchmarks: §3.3 repair cost by role, node arrival cost,
+//! hierarchy construction, and mobility stepping. These quantify the
+//! paper's locality argument — a bystander repair should be orders of
+//! magnitude cheaper than re-running the pipeline.
+
+use adhoc_cluster::clustering::{cluster, MemberPolicy};
+use adhoc_cluster::hierarchy::Hierarchy;
+use adhoc_cluster::pipeline::{run, run_on, Algorithm, PipelineConfig};
+use adhoc_cluster::priority::LowestId;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::graph::NodeId;
+use adhoc_sim::maintenance::{self, Role};
+use adhoc_sim::mobility::{MobileNetwork, WaypointConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_repairs(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(404);
+    let net = gen::geometric(&GeometricConfig::new(100, 100.0, 8.0), &mut rng);
+    let k = 2;
+    let clustering = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+    let out = run_on(&net.graph, Algorithm::AcLmst, &clustering);
+
+    // Find one representative node of each role.
+    let mut by_role = std::collections::BTreeMap::new();
+    for uid in 0..net.graph.len() as u32 {
+        let u = NodeId(uid);
+        let role = maintenance::classify(&clustering, &out.selection, u);
+        by_role.entry(format!("{role:?}")).or_insert(u);
+    }
+
+    let mut group = c.benchmark_group("maintenance_N100_k2");
+    for (role, u) in by_role {
+        group.bench_function(format!("departure_{role}"), |b| {
+            b.iter(|| {
+                black_box(maintenance::handle_departure(
+                    &net.graph,
+                    &clustering,
+                    &out.selection,
+                    Algorithm::AcLmst,
+                    u,
+                ))
+            });
+        });
+    }
+    group.bench_function("full_pipeline_rerun_for_scale", |b| {
+        b.iter(|| black_box(run(&net.graph, Algorithm::AcLmst, &PipelineConfig::new(k))));
+    });
+    // Classification helper appears in every repair; keep a floor
+    // measurement so regressions show.
+    let bystander = (0..net.graph.len() as u32)
+        .map(NodeId)
+        .find(|&u| maintenance::classify(&clustering, &out.selection, u) == Role::Bystander)
+        .expect("a bystander exists");
+    group.bench_function("classify", |b| {
+        b.iter(|| {
+            black_box(maintenance::classify(
+                &clustering,
+                &out.selection,
+                bystander,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(640);
+    let net = gen::geometric(&GeometricConfig::new(200, 100.0, 6.0), &mut rng);
+    c.bench_function("hierarchy_3level_N200", |b| {
+        b.iter(|| {
+            black_box(Hierarchy::build(&net.graph, &[1, 1, 1], MemberPolicy::IdBased).head_counts())
+        });
+    });
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(888);
+    let net = gen::geometric(&GeometricConfig::new(150, 100.0, 8.0), &mut rng);
+    c.bench_function("mobility_step_N150", |b| {
+        let mut mobile = MobileNetwork::new(
+            net.positions.clone(),
+            net.range,
+            WaypointConfig::default_for_side(100.0),
+            &mut rng,
+        );
+        b.iter(|| black_box(mobile.step(1.0, &mut rng).churn()));
+    });
+}
+
+criterion_group!(benches, bench_repairs, bench_hierarchy, bench_mobility);
+criterion_main!(benches);

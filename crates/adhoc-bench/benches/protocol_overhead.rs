@@ -1,0 +1,37 @@
+//! §5 overhead benchmark: wall time of the full distributed protocol
+//! run (discrete-event simulation, all phases) by k and by algorithm,
+//! N = 100, D = 6. Complements `--bin overhead`, which reports the
+//! *message* counts of the same runs.
+
+use adhoc_cluster::pipeline::Algorithm;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_sim::protocol::{run_protocol, ProtocolConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(100);
+    let net = gen::geometric(&GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+
+    let mut group = c.benchmark_group("protocol_overhead_N100_D6");
+    for k in 1..=4u32 {
+        group.bench_with_input(BenchmarkId::new("AC-LMST", k), &k, |b, &k| {
+            let cfg = ProtocolConfig::new(k, Algorithm::AcLmst);
+            b.iter(|| black_box(run_protocol(&net.graph, &cfg).stats.total()));
+        });
+    }
+    // AC-LMST at k = 2 is already covered by the k-sweep above;
+    // repeating it here would duplicate the Criterion benchmark ID.
+    for alg in [Algorithm::NcMesh, Algorithm::AcMesh, Algorithm::NcLmst] {
+        group.bench_with_input(BenchmarkId::new(alg.name(), 2u32), &alg, |b, &alg| {
+            let cfg = ProtocolConfig::new(2, alg);
+            b.iter(|| black_box(run_protocol(&net.graph, &cfg).stats.total()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 2 quantified: at k = 1, how much does each neighbor rule
+//! keep? The paper's §3.1 argument is a strict containment chain —
+//! `G'' (A-NCR)  ⊆  2.5-hops coverage (Wu/Lou)  ⊆  3 hops (NC)` —
+//! with A-NCR keeping the least. This experiment measures the pair
+//! counts and the resulting mesh gateway counts for all three rules.
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin coverage [--quick]`
+
+use adhoc_bench::quick_mode;
+use adhoc_bench::stats::summarize;
+use adhoc_cluster::adjacency::NeighborRule;
+use adhoc_cluster::clustering::{cluster, MemberPolicy};
+use adhoc_cluster::gateway;
+use adhoc_cluster::priority::LowestId;
+use adhoc_cluster::virtual_graph::VirtualGraph;
+use adhoc_cluster::wulou;
+use adhoc_graph::gen::{self, GeometricConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let reps = if quick_mode() { 5 } else { 50 };
+    println!(
+        "{:>4} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "N", "AC-pairs", "2.5-prs", "NC-pairs", "AC-gw", "2.5-gw", "NC-gw"
+    );
+    for n in [50usize, 100, 150, 200] {
+        let mut pair_counts = [vec![], vec![], vec![]];
+        let mut gw_counts = [vec![], vec![], vec![]];
+        for rep in 0..reps {
+            let mut rng = StdRng::seed_from_u64(0xC0F + rep as u64 * 11 + n as u64);
+            let net = gen::geometric(&GeometricConfig::new(n, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+            let (ac, wl, nc) =
+                wulou::containment_chain(&net.graph, &c).expect("containment chain must hold");
+            pair_counts[0].push(ac as f64);
+            pair_counts[1].push(wl as f64);
+            pair_counts[2].push(nc as f64);
+
+            let ac_vg = VirtualGraph::build(&net.graph, &c, NeighborRule::Adjacent);
+            let nc_vg = VirtualGraph::build(&net.graph, &c, NeighborRule::All2kPlus1);
+            gw_counts[0].push(gateway::mesh(&ac_vg, &c).gateway_count() as f64);
+            gw_counts[1].push(wulou::mesh25(&net.graph, &c).gateway_count() as f64);
+            gw_counts[2].push(gateway::mesh(&nc_vg, &c).gateway_count() as f64);
+        }
+        println!(
+            "{n:>4} | {:>8.1} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} {:>8.1}",
+            summarize(&pair_counts[0]).mean,
+            summarize(&pair_counts[1]).mean,
+            summarize(&pair_counts[2]).mean,
+            summarize(&gw_counts[0]).mean,
+            summarize(&gw_counts[1]).mean,
+            summarize(&gw_counts[2]).mean,
+        );
+    }
+    println!("\ncontainment AC ⊆ 2.5-hops ⊆ NC verified on every replicate");
+}

@@ -1,0 +1,90 @@
+//! Approximation-ratio study against the true optimum.
+//!
+//! §4 uses G-MST as a *lower bound* and notes that the minimum k-hop
+//! CDS is NP-complete. On small instances we can afford the real
+//! optimum (branch-and-bound, `adhoc_cluster::exact`), which lets us
+//! report the approximation ratio of every algorithm in the paper's
+//! comparison — including how loose the G-MST "lower bound" itself is.
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin exact [--quick]`
+
+use adhoc_bench::figures::{Figure, FigureSet};
+use adhoc_bench::stats::summarize;
+use adhoc_bench::{quick_mode, results_dir};
+use adhoc_cluster::exact::{min_khop_cds, min_khop_ds, ExactConfig};
+use adhoc_cluster::pipeline::{self, Algorithm, PipelineConfig};
+use adhoc_graph::gen::{self, GeometricConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let reps = if quick_mode() { 3 } else { 30 };
+    let sizes: &[usize] = if quick_mode() {
+        &[16, 24]
+    } else {
+        &[16, 20, 24, 28, 32]
+    };
+    println!("approximation ratios vs exact minimum k-hop CDS (D = 5)");
+    println!(
+        "{:>4} {:>2} | {:>6} {:>6} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "N", "k", "OPT", "DS-LB", "NC-Mesh", "AC-Mesh", "NC-LMST", "AC-LMST", "G-MST"
+    );
+    let mut unproven = 0usize;
+    let mut fig = Figure::new(
+        "exact-ratios-k1",
+        "Approximation ratio vs exact minimum 1-hop CDS (D=5)",
+        "N",
+        "CDS size / OPT",
+    );
+    for &n in sizes {
+        for k in 1..=2u32 {
+            let mut opt_sizes = Vec::new();
+            let mut ds_sizes = Vec::new();
+            let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); Algorithm::ALL.len()];
+            for rep in 0..reps {
+                let mut rng = StdRng::seed_from_u64(0xE8A + rep as u64 * 131 + n as u64);
+                let net = gen::geometric(&GeometricConfig::new(n, 100.0, 5.0), &mut rng);
+                let opt = min_khop_cds(&net.graph, k, &ExactConfig::default());
+                if !opt.optimal {
+                    unproven += 1;
+                }
+                let ds = min_khop_ds(&net.graph, k, &ExactConfig::default());
+                opt_sizes.push(opt.size() as f64);
+                ds_sizes.push(ds.size() as f64);
+                for (i, alg) in Algorithm::ALL.iter().enumerate() {
+                    let out = pipeline::run(&net.graph, *alg, &PipelineConfig::new(k));
+                    ratios[i].push(out.cds.size() as f64 / opt.size() as f64);
+                }
+            }
+            if k == 1 {
+                for (i, alg) in Algorithm::ALL.iter().enumerate() {
+                    fig.push(alg.name(), n as f64, summarize(&ratios[i]));
+                }
+            }
+            let by_name = |alg: Algorithm| {
+                let i = Algorithm::ALL.iter().position(|a| *a == alg).unwrap();
+                summarize(&ratios[i]).mean
+            };
+            println!(
+                "{n:>4} {k:>2} | {:>6.2} {:>6.2} | {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                summarize(&opt_sizes).mean,
+                summarize(&ds_sizes).mean,
+                by_name(Algorithm::NcMesh),
+                by_name(Algorithm::AcMesh),
+                by_name(Algorithm::NcLmst),
+                by_name(Algorithm::AcLmst),
+                by_name(Algorithm::GMst),
+            );
+        }
+    }
+    let mut set = FigureSet::default();
+    set.push(fig);
+    let out = results_dir().join("exact_ratios.json");
+    set.save_json(&out).expect("write exact_ratios.json");
+    eprintln!("wrote {}", out.display());
+    if unproven == 0 {
+        println!("\nall optima proven within the step budget");
+    } else {
+        println!("\nWARNING: {unproven} instances hit the step budget (incumbent reported)");
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Figure 6**: size of the k-hop CDS vs number of nodes
+//! in dense networks (average degree D = 10), one subfigure per
+//! k ∈ {1, 2, 3, 4}.
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin fig6 [--quick]`
+
+use adhoc_bench::figures::{Figure, FigureSet};
+use adhoc_bench::harness::{run_cell, CellConfig, NODE_COUNTS};
+use adhoc_bench::{apply_quick, results_dir};
+use adhoc_cluster::pipeline::Algorithm;
+
+fn main() {
+    let mut set = FigureSet::default();
+    for (sub, k) in [(0, 1u32), (1, 2), (2, 3), (3, 4)] {
+        let id = format!("fig6{}", (b'a' + sub) as char);
+        let title = format!("Size of CDS vs N, dense (D=10, k={k})");
+        let mut fig = Figure::new(&id, &title, "N", "Size of CDS");
+        for n in NODE_COUNTS {
+            let cfg = apply_quick(CellConfig::paper(n, 10.0, k));
+            let res = run_cell(&cfg, None);
+            for alg in Algorithm::ALL {
+                fig.push(alg.name(), n as f64, res.cds_of(alg));
+            }
+            eprintln!(
+                "fig6 k={k} N={n}: {} reps, AC-LMST={:.1}, NC-LMST={:.1}",
+                res.reps,
+                res.cds_of(Algorithm::AcLmst).mean,
+                res.cds_of(Algorithm::NcLmst).mean
+            );
+        }
+        println!("{}", fig.to_table());
+        set.push(fig);
+    }
+    let out = results_dir().join("fig6.json");
+    set.save_json(&out).expect("write fig6.json");
+    eprintln!("wrote {}", out.display());
+}

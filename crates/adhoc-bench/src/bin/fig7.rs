@@ -1,0 +1,49 @@
+//! Regenerates **Figure 7**: the effect of the clustering parameter k
+//! with AC-LMST gateways in sparse networks (D = 6):
+//! (a) number of clusterheads vs N, (b) CDS size vs N, one curve per
+//! k ∈ {1, 2, 3, 4}.
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin fig7 [--quick]`
+
+use adhoc_bench::figures::{Figure, FigureSet};
+use adhoc_bench::harness::{run_cell, CellConfig, NODE_COUNTS};
+use adhoc_bench::{apply_quick, results_dir};
+use adhoc_cluster::pipeline::Algorithm;
+
+fn main() {
+    let mut heads_fig = Figure::new(
+        "fig7a",
+        "Number of clusterheads vs N (D=6)",
+        "N",
+        "Clusterheads",
+    );
+    let mut cds_fig = Figure::new(
+        "fig7b",
+        "Number of nodes in CDS vs N (AC-LMST, D=6)",
+        "N",
+        "Size of CDS",
+    );
+    for k in 1..=4u32 {
+        let series = format!("k={k}");
+        for n in NODE_COUNTS {
+            let cfg = apply_quick(CellConfig::paper(n, 6.0, k));
+            let res = run_cell(&cfg, None);
+            heads_fig.push(&series, n as f64, res.heads);
+            cds_fig.push(&series, n as f64, res.cds_of(Algorithm::AcLmst));
+            eprintln!(
+                "fig7 k={k} N={n}: heads={:.1}, CDS={:.1} ({} reps)",
+                res.heads.mean,
+                res.cds_of(Algorithm::AcLmst).mean,
+                res.reps
+            );
+        }
+    }
+    println!("{}", heads_fig.to_table());
+    println!("{}", cds_fig.to_table());
+    let mut set = FigureSet::default();
+    set.push(heads_fig);
+    set.push(cds_fig);
+    let out = results_dir().join("fig7.json");
+    set.save_json(&out).expect("write fig7.json");
+    eprintln!("wrote {}", out.display());
+}

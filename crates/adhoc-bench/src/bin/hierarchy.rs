@@ -1,0 +1,46 @@
+//! High-level clustering experiment (§2): recursive clustering over
+//! clusterheads. Reports the head count per level and the reduction
+//! factor — the mechanism that lets clustering "support even larger
+//! networks".
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin hierarchy [--quick]`
+
+use adhoc_bench::quick_mode;
+use adhoc_bench::stats::summarize;
+use adhoc_cluster::clustering::MemberPolicy;
+use adhoc_cluster::hierarchy::Hierarchy;
+use adhoc_graph::gen::{self, GeometricConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let reps = if quick_mode() { 3 } else { 25 };
+    println!(
+        "{:>5} {:>3} {:>10} {:>10} {:>10} {:>10}",
+        "N", "k", "level0", "level1", "level2", "depth"
+    );
+    for n in [100usize, 200, 400] {
+        for k in [1u32, 2] {
+            let mut lvl = [Vec::new(), Vec::new(), Vec::new()];
+            let mut depth = Vec::new();
+            for rep in 0..reps {
+                let mut rng = StdRng::seed_from_u64(0x41E + rep as u64 * 7 + n as u64);
+                let net = gen::geometric(&GeometricConfig::new(n, 100.0, 6.0), &mut rng);
+                let h = Hierarchy::build(&net.graph, &[k, k, k], MemberPolicy::IdBased);
+                let counts = h.head_counts();
+                for (i, s) in lvl.iter_mut().enumerate() {
+                    s.push(counts.get(i).copied().unwrap_or(1) as f64);
+                }
+                depth.push(h.depth() as f64);
+            }
+            println!(
+                "{n:>5} {k:>3} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                summarize(&lvl[0]).mean,
+                summarize(&lvl[1]).mean,
+                summarize(&lvl[2]).mean,
+                summarize(&depth).mean
+            );
+        }
+    }
+    println!("\nlevelX = clusterheads surviving at that level (1.0 = collapsed)");
+}

@@ -1,0 +1,83 @@
+//! §5 future-work experiment: communication overhead vs k.
+//!
+//! "Communication overhead increases with the growth of the value of
+//! k. We will perform some in-depth simulation which should help in
+//! analyzing the tradeoff between communication overhead and
+//! efficiency of k-hop." This binary runs that simulation: total
+//! transmissions of the distributed protocol per phase and per k,
+//! against the CDS size the same k buys.
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin overhead [--quick]`
+
+use adhoc_bench::figures::{Figure, FigureSet};
+use adhoc_bench::stats::summarize;
+use adhoc_bench::{quick_mode, results_dir};
+use adhoc_cluster::pipeline::Algorithm;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_sim::protocol::{run_protocol, ProtocolConfig};
+use adhoc_sim::Phase;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let reps = if quick_mode() { 3 } else { 20 };
+    let n = 100;
+    let mut msg_fig = Figure::new(
+        "overhead-msgs",
+        "Distributed AC-LMST transmissions vs k (N=100, D=6)",
+        "k",
+        "Transmissions",
+    );
+    let mut cds_fig = Figure::new(
+        "overhead-cds",
+        "CDS size bought by each k (same runs)",
+        "k",
+        "Size of CDS",
+    );
+    println!(
+        "{:>3} {:>12} {:>12} {:>10} {:>10}",
+        "k", "msgs(mean)", "per-node", "CDS", "makespan"
+    );
+    for k in 1..=4u32 {
+        let mut totals = Vec::new();
+        let mut cds_sizes = Vec::new();
+        let mut makespans = Vec::new();
+        let mut phase_totals: Vec<(Phase, Vec<f64>)> =
+            Phase::ALL.iter().map(|&p| (p, Vec::new())).collect();
+        for rep in 0..reps {
+            let mut rng = StdRng::seed_from_u64(0xBEEF + rep as u64);
+            let net = gen::geometric(&GeometricConfig::new(n, 100.0, 6.0), &mut rng);
+            let run = run_protocol(&net.graph, &ProtocolConfig::new(k, Algorithm::AcLmst));
+            totals.push(run.stats.total() as f64);
+            cds_sizes.push((run.heads.len() + run.gateways.len()) as f64);
+            makespans.push(run.stats.makespan as f64);
+            for (p, v) in phase_totals.iter_mut() {
+                v.push(run.stats.phase_total(*p) as f64);
+            }
+        }
+        let t = summarize(&totals);
+        let c = summarize(&cds_sizes);
+        let m = summarize(&makespans);
+        println!(
+            "{k:>3} {:>12.0} {:>12.1} {:>10.1} {:>10.0}",
+            t.mean,
+            t.mean / n as f64,
+            c.mean,
+            m.mean
+        );
+        for (p, v) in &phase_totals {
+            let s = summarize(v);
+            if s.mean > 0.0 {
+                println!("      {:<20} {:>10.0}", p.name(), s.mean);
+            }
+        }
+        msg_fig.push("AC-LMST", f64::from(k), t);
+        cds_fig.push("AC-LMST", f64::from(k), c);
+    }
+    let mut set = FigureSet::default();
+    set.push(msg_fig);
+    set.push(cds_fig);
+    let out = results_dir().join("overhead.json");
+    set.save_json(&out).expect("write overhead.json");
+    eprintln!("wrote {}", out.display());
+}

@@ -1,0 +1,57 @@
+//! Renders saved figure JSON (`results/*.json`) as SVG line charts —
+//! the visual counterpart of the text tables the figure binaries
+//! print.
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin plot [file.json ...]`
+//! With no arguments, renders every `.json` in the results directory.
+
+use adhoc_bench::figures::FigureSet;
+use adhoc_bench::plot::render_line_chart;
+use adhoc_bench::results_dir;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let inputs: Vec<PathBuf> = if args.is_empty() {
+        let dir = results_dir();
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| {
+                eprintln!("plot: cannot read {}: {e}", dir.display());
+                std::process::exit(2);
+            })
+            .filter_map(|entry| {
+                let p = entry.ok()?.path();
+                (p.extension().is_some_and(|x| x == "json")).then_some(p)
+            })
+            .collect();
+        found.sort();
+        found
+    } else {
+        args
+    };
+    if inputs.is_empty() {
+        eprintln!("plot: no figure JSON files found");
+        std::process::exit(1);
+    }
+    let mut rendered = 0usize;
+    for input in inputs {
+        let set = match FigureSet::load_json(&input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("plot: skipping {} ({e})", input.display());
+                continue;
+            }
+        };
+        for fig in &set.figures {
+            let svg = render_line_chart(fig);
+            let out = input.with_file_name(format!("{}.svg", fig.id));
+            std::fs::write(&out, svg).unwrap_or_else(|e| {
+                eprintln!("plot: cannot write {}: {e}", out.display());
+                std::process::exit(2);
+            });
+            println!("wrote {}", out.display());
+            rendered += 1;
+        }
+    }
+    println!("{rendered} chart(s) rendered");
+}

@@ -1,0 +1,59 @@
+//! Member-policy ablation (§3's three affiliation rules).
+//!
+//! The paper lists ID-, distance-, and size-based member affiliation
+//! but evaluates only ID-based. This experiment fills that gap:
+//! identical topologies and identical clusterheads (the head election
+//! is policy-independent), differing only in which cluster each member
+//! joins — measuring cluster balance (Jain index), member depth, and
+//! the downstream AC-LMST CDS size.
+//!
+//! Usage: `cargo run --release -p adhoc-bench --bin policies [--quick]`
+
+use adhoc_bench::quick_mode;
+use adhoc_bench::stats::summarize;
+use adhoc_cluster::analysis;
+use adhoc_cluster::clustering::{cluster, MemberPolicy};
+use adhoc_cluster::pipeline::{run_on, Algorithm};
+use adhoc_cluster::priority::LowestId;
+use adhoc_graph::gen::{self, GeometricConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let reps = if quick_mode() { 5 } else { 50 };
+    println!(
+        "{:<10} {:>3} {:>8} {:>10} {:>10} {:>10}",
+        "policy", "k", "jain", "meandepth", "CDS", "maxsize"
+    );
+    for k in [1u32, 2, 3] {
+        for (name, policy) in [
+            ("id", MemberPolicy::IdBased),
+            ("distance", MemberPolicy::DistanceBased),
+            ("size", MemberPolicy::SizeBased),
+        ] {
+            let mut jain = Vec::new();
+            let mut depth = Vec::new();
+            let mut cds = Vec::new();
+            let mut maxsize = Vec::new();
+            for rep in 0..reps {
+                let mut rng = StdRng::seed_from_u64(0xF01 + rep as u64);
+                let net = gen::geometric(&GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+                let c = cluster(&net.graph, k, &LowestId, policy);
+                let b = analysis::balance(&c);
+                jain.push(b.jain);
+                depth.push(b.mean_depth);
+                maxsize.push(b.max as f64);
+                let out = run_on(&net.graph, Algorithm::AcLmst, &c);
+                debug_assert!(out.cds.verify(&net.graph, k).is_ok());
+                cds.push(out.cds.size() as f64);
+            }
+            println!(
+                "{name:<10} {k:>3} {:>8.4} {:>10.2} {:>10.2} {:>10.1}",
+                summarize(&jain).mean,
+                summarize(&depth).mean,
+                summarize(&cds).mean,
+                summarize(&maxsize).mean,
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Figure data containers, text rendering, and JSON persistence.
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One curve of a figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. "AC-LMST").
+    pub name: String,
+    /// `(x, mean, ci half-width)` points.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// One (sub)figure: a set of curves over a common x axis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier, e.g. "fig5a".
+    pub id: String,
+    /// Human title, e.g. "Size of CDS vs N (D=6, k=1)".
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a point to the named series, creating it on first use.
+    pub fn push(&mut self, series: &str, x: f64, s: Summary) {
+        let entry = match self.series.iter_mut().find(|c| c.name == series) {
+            Some(c) => c,
+            None => {
+                self.series.push(Series {
+                    name: series.to_string(),
+                    points: Vec::new(),
+                });
+                self.series.last_mut().expect("just pushed")
+            }
+        };
+        entry.points.push((x, s.mean, s.half_width));
+    }
+
+    /// Renders an aligned text table (x rows × series columns) in the
+    /// style the paper's plots tabulate.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>8}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>12}", s.name);
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:>8.0}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, mean, _)) => {
+                        let _ = write!(out, "{mean:>12.2}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A document of figures, persisted as JSON for EXPERIMENTS.md.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FigureSet {
+    /// All figures in generation order.
+    pub figures: Vec<Figure>,
+}
+
+impl FigureSet {
+    /// Adds a figure.
+    pub fn push(&mut self, f: Figure) {
+        self.figures.push(f);
+    }
+
+    /// Writes the set as pretty JSON, creating parent directories.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        let json = serde_json::to_string_pretty(self).expect("figures serialize");
+        f.write_all(json.as_bytes())
+    }
+
+    /// Loads a previously saved set.
+    pub fn load_json(path: &Path) -> std::io::Result<Self> {
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(mean: f64) -> Summary {
+        Summary {
+            count: 10,
+            mean,
+            std: 1.0,
+            half_width: 0.5,
+        }
+    }
+
+    #[test]
+    fn push_groups_by_series() {
+        let mut f = Figure::new("t", "test", "N", "CDS");
+        f.push("A", 50.0, s(10.0));
+        f.push("B", 50.0, s(12.0));
+        f.push("A", 100.0, s(20.0));
+        assert_eq!(f.series.len(), 2);
+        assert_eq!(f.series[0].points.len(), 2);
+        assert_eq!(f.series[0].points[1], (100.0, 20.0, 0.5));
+    }
+
+    #[test]
+    fn table_renders_all_series() {
+        let mut f = Figure::new("fig5a", "Size of CDS (D=6, k=1)", "N", "CDS");
+        f.push("NC-Mesh", 50.0, s(40.0));
+        f.push("AC-LMST", 50.0, s(30.0));
+        let t = f.to_table();
+        assert!(t.contains("fig5a"));
+        assert!(t.contains("NC-Mesh"));
+        assert!(t.contains("40.00"));
+        assert!(t.contains("30.00"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut set = FigureSet::default();
+        let mut f = Figure::new("x", "x", "N", "y");
+        f.push("A", 1.0, s(2.0));
+        set.push(f);
+        let dir = std::env::temp_dir().join("adhoc-bench-test");
+        let path = dir.join("figs.json");
+        set.save_json(&path).unwrap();
+        let loaded = FigureSet::load_json(&path).unwrap();
+        assert_eq!(loaded.figures.len(), 1);
+        assert_eq!(loaded.figures[0].series[0].points[0].1, 2.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Summary statistics for Monte-Carlo estimates.
+//!
+//! The paper repeats each simulation point "100 times or until the
+//! confidence interval is sufficiently small (±1%, for the confidence
+//! level of 90%)". [`Summary`] carries exactly that interval.
+
+use serde::{Deserialize, Serialize};
+
+/// Normal-approximation z value for a two-sided 90% confidence level.
+pub const Z_90: f64 = 1.6448536269514722;
+
+/// Aggregate of a sample set.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub std: f64,
+    /// Half-width of the 90% confidence interval of the mean.
+    pub half_width: f64,
+}
+
+impl Summary {
+    /// Whether the interval is within `rel_tol` of the mean (the
+    /// paper's ±1% criterion uses `rel_tol = 0.01`). A zero mean with
+    /// zero spread also counts as converged.
+    pub fn converged(&self, rel_tol: f64) -> bool {
+        if self.count < 2 {
+            return false;
+        }
+        if self.mean == 0.0 {
+            return self.std == 0.0;
+        }
+        self.half_width / self.mean.abs() <= rel_tol
+    }
+}
+
+/// Summarizes `samples` with a 90% normal-approximation interval.
+pub fn summarize(samples: &[f64]) -> Summary {
+    let count = samples.len();
+    if count == 0 {
+        return Summary::default();
+    }
+    let mean = samples.iter().sum::<f64>() / count as f64;
+    if count == 1 {
+        return Summary {
+            count,
+            mean,
+            std: 0.0,
+            half_width: f64::INFINITY,
+        };
+    }
+    let var = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0);
+    let std = var.sqrt();
+    Summary {
+        count,
+        mean,
+        std,
+        half_width: Z_90 * std / (count as f64).sqrt(),
+    }
+}
+
+/// An online accumulator that merges across worker threads.
+#[derive(Clone, Debug, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+}
+
+impl SampleSet {
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Absorbs another set (order-insensitive statistics).
+    pub fn merge(&mut self, other: SampleSet) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Current number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summarizes what has been collected so far.
+    pub fn summary(&self) -> Summary {
+        summarize(&self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(summarize(&[]).count, 0);
+        let s = summarize(&[5.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 5.0);
+        assert!(s.half_width.is_infinite());
+        assert!(!s.converged(0.01));
+    }
+
+    #[test]
+    fn known_values() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with n-1: sqrt(32/7).
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(s.half_width > 0.0);
+    }
+
+    #[test]
+    fn convergence_criterion() {
+        // Identical samples: zero spread, converged immediately.
+        let s = summarize(&[3.0, 3.0, 3.0]);
+        assert!(s.converged(0.01));
+        // Wide spread with two samples: not converged at 1%.
+        let s = summarize(&[1.0, 100.0]);
+        assert!(!s.converged(0.01));
+        // All-zero metric counts as converged.
+        let s = summarize(&[0.0, 0.0]);
+        assert!(s.converged(0.01));
+    }
+
+    #[test]
+    fn half_width_shrinks_with_samples() {
+        let few = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many = summarize(&many);
+        assert!(many.half_width < few.half_width);
+    }
+
+    #[test]
+    fn sample_set_merge() {
+        let mut a = SampleSet::default();
+        a.push(1.0);
+        a.push(2.0);
+        let mut b = SampleSet::default();
+        b.push(3.0);
+        assert!(!b.is_empty());
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert!((a.summary().mean - 2.0).abs() < 1e-12);
+    }
+}

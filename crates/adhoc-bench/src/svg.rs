@@ -1,0 +1,160 @@
+//! Tiny SVG renderer for Figure-4-style cluster graph snapshots.
+//!
+//! Draws the deployment: light gray radio edges, diamonds for
+//! clusterheads (as in the paper's plots), bold circles for gateways,
+//! small circles for plain members, and heavy lines along realized
+//! virtual links.
+
+use adhoc_cluster::clustering::Clustering;
+use adhoc_cluster::gateway::GatewaySelection;
+use adhoc_cluster::virtual_graph::VirtualLink;
+use adhoc_graph::geom::Point;
+use adhoc_graph::graph::{Graph, NodeId};
+use std::fmt::Write;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct SvgStyle {
+    /// Canvas size in pixels (the square deployment area is scaled to
+    /// fit).
+    pub canvas: f64,
+    /// Side of the deployment area in model units.
+    pub side: f64,
+    /// Whether to draw node ID labels.
+    pub labels: bool,
+}
+
+impl Default for SvgStyle {
+    fn default() -> Self {
+        SvgStyle {
+            canvas: 800.0,
+            side: 100.0,
+            labels: true,
+        }
+    }
+}
+
+/// Renders a snapshot to an SVG string.
+pub fn render(
+    g: &Graph,
+    positions: &[Point],
+    clustering: &Clustering,
+    selection: &GatewaySelection,
+    realized_paths: &[VirtualLink],
+    style: &SvgStyle,
+) -> String {
+    assert_eq!(positions.len(), g.len());
+    let scale = style.canvas / style.side;
+    let px = |p: &Point| (p.x * scale, style.canvas - p.y * scale);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{0}" height="{0}" viewBox="0 0 {0} {0}">"##,
+        style.canvas
+    );
+    let _ = writeln!(out, r##"<rect width="100%" height="100%" fill="white"/>"##);
+
+    // Radio edges.
+    for (u, v) in g.edges() {
+        let (x1, y1) = px(&positions[u.index()]);
+        let (x2, y2) = px(&positions[v.index()]);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#dddddd" stroke-width="1"/>"##
+        );
+    }
+    // Realized virtual links (bold, on top of the mesh).
+    for link in realized_paths {
+        for w in link.path.windows(2) {
+            let (x1, y1) = px(&positions[w[0].index()]);
+            let (x2, y2) = px(&positions[w[1].index()]);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#1f77b4" stroke-width="3"/>"##
+            );
+        }
+    }
+    // Nodes.
+    let is_gateway = |v: NodeId| selection.gateways.binary_search(&v).is_ok();
+    for v in g.nodes() {
+        let (x, y) = px(&positions[v.index()]);
+        if clustering.is_head(v) {
+            // Diamond.
+            let r = 9.0;
+            let _ = writeln!(
+                out,
+                r##"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="#d62728" stroke="black"/>"##,
+                x,
+                y - r,
+                x + r,
+                y,
+                x,
+                y + r,
+                x - r,
+                y
+            );
+        } else if is_gateway(v) {
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="7" fill="none" stroke="#1f77b4" stroke-width="3"/>"##
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="#999999"/>"##
+            );
+        }
+        if style.labels {
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.1}" y="{:.1}" font-size="10" fill="#333333">{}</text>"##,
+                x + 6.0,
+                y - 6.0,
+                v.0
+            );
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_cluster::adjacency::NeighborRule;
+    use adhoc_cluster::clustering::{cluster, MemberPolicy};
+    use adhoc_cluster::gateway;
+    use adhoc_cluster::priority::LowestId;
+    use adhoc_cluster::virtual_graph::VirtualGraph;
+
+    #[test]
+    fn renders_all_node_classes() {
+        let g = adhoc_graph::gen::path(5);
+        let positions: Vec<Point> = (0..5)
+            .map(|i| Point::new(10.0 + 20.0 * i as f64, 50.0))
+            .collect();
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        let sel = gateway::mesh(&vg, &c);
+        let links: Vec<_> = vg.links().cloned().collect();
+        let svg = render(&g, &positions, &c, &sel, &links, &SvgStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("polygon")); // heads
+        assert!(svg.contains("stroke-width=\"3\"")); // gateways / links
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let g = adhoc_graph::gen::path(2);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let sel = GatewaySelection::default();
+        let style = SvgStyle {
+            labels: false,
+            ..SvgStyle::default()
+        };
+        let svg = render(&g, &positions, &c, &sel, &[], &style);
+        assert!(!svg.contains("<text"));
+    }
+}

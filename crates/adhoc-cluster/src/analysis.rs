@@ -1,0 +1,130 @@
+//! Cluster-structure analysis: size balance and shape statistics.
+//!
+//! §3's size-based member policy exists to "balance the size of
+//! clusters"; this module quantifies that balance (and general cluster
+//! shape) so the policy ablation experiments have a measurable target.
+
+use crate::clustering::Clustering;
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of the cluster-size distribution.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BalanceReport {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Smallest cluster (members + head).
+    pub min: usize,
+    /// Largest cluster.
+    pub max: usize,
+    /// Mean size.
+    pub mean: f64,
+    /// Sample standard deviation of sizes.
+    pub std: f64,
+    /// Jain's fairness index in `(0, 1]`: `(Σx)² / (n·Σx²)`; 1.0 means
+    /// perfectly equal sizes.
+    pub jain: f64,
+    /// Mean member-to-head distance over all non-head nodes.
+    pub mean_depth: f64,
+}
+
+/// Computes the balance report of a clustering.
+pub fn balance(clustering: &Clustering) -> BalanceReport {
+    let sizes = clustering.cluster_sizes();
+    let n = sizes.len();
+    if n == 0 {
+        return BalanceReport::default();
+    }
+    let sum: usize = sizes.iter().sum();
+    let mean = sum as f64 / n as f64;
+    let var = if n > 1 {
+        sizes
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (n as f64 - 1.0)
+    } else {
+        0.0
+    };
+    let sq_sum: f64 = sizes.iter().map(|&s| (s as f64).powi(2)).sum();
+    let jain = (sum as f64).powi(2) / (n as f64 * sq_sum);
+    let members = clustering.head_of.len() - clustering.heads.len();
+    let depth_sum: u32 = clustering.dist_to_head.iter().sum();
+    let mean_depth = if members == 0 {
+        0.0
+    } else {
+        f64::from(depth_sum) / members as f64
+    };
+    BalanceReport {
+        clusters: n,
+        min: sizes.iter().copied().min().unwrap_or(0),
+        max: sizes.iter().copied().max().unwrap_or(0),
+        mean,
+        std: var.sqrt(),
+        jain,
+        mean_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+
+    #[test]
+    fn perfectly_balanced_path() {
+        // Path 0..5, k=1: clusters {0,1}, {2,3}, {4,5}.
+        let g = gen::path(6);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let r = balance(&c);
+        assert_eq!(r.clusters, 3);
+        assert_eq!(r.min, 2);
+        assert_eq!(r.max, 2);
+        assert!((r.jain - 1.0).abs() < 1e-12);
+        assert_eq!(r.std, 0.0);
+        assert!((r.mean_depth - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_star() {
+        let g = gen::star(7);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let r = balance(&c);
+        assert_eq!(r.clusters, 1);
+        assert_eq!(r.max, 7);
+        assert!((r.jain - 1.0).abs() < 1e-12); // single cluster is trivially "fair"
+    }
+
+    #[test]
+    fn size_policy_is_at_least_as_fair_on_average() {
+        // Over a batch of random networks, the size-based policy's
+        // mean Jain index must not be worse than the ID-based one
+        // (that is its entire purpose).
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let (mut fair_id, mut fair_size) = (0.0f64, 0.0f64);
+        let reps = 10;
+        for _ in 0..reps {
+            let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 8.0), &mut rng);
+            let a = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+            let b = cluster(&net.graph, 2, &LowestId, MemberPolicy::SizeBased);
+            fair_id += balance(&a).jain;
+            fair_size += balance(&b).jain;
+        }
+        assert!(
+            fair_size >= fair_id - 1e-9,
+            "size-based mean Jain {:.4} worse than id-based {:.4}",
+            fair_size / reps as f64,
+            fair_id / reps as f64
+        );
+    }
+
+    #[test]
+    fn mean_depth_grows_with_k() {
+        let g = gen::path(30);
+        let d1 = balance(&cluster(&g, 1, &LowestId, MemberPolicy::IdBased)).mean_depth;
+        let d3 = balance(&cluster(&g, 3, &LowestId, MemberPolicy::IdBased)).mean_depth;
+        assert!(d3 > d1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Border-node gateway selection — the classical 1-hop baseline.
+//!
+//! §2: "One way is to select border nodes as gateways to connect the
+//! clusterheads. A border node is a member with neighbors in other
+//! clusters." This works for `k = 1` (adjacent clusterheads are at
+//! most 3 hops apart, and the border pair plus the two heads form a
+//! connected chain) but, as the paper notes, "when k is larger than 1,
+//! using border nodes as gateways is not enough to make clusterheads
+//! connected" — the border pair can be stranded up to `k` hops from
+//! either head. This module implements the baseline, with the k = 1
+//! restriction enforced, so the paper's motivating comparison is
+//! runnable.
+
+use crate::clustering::Clustering;
+use crate::gateway::GatewaySelection;
+use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::graph::NodeId;
+use std::collections::BTreeSet;
+
+/// Marks every border node (member with a neighbor in a different
+/// cluster) as a gateway.
+///
+/// Returns the realized head pairs as `links_used` (one entry per
+/// adjacent cluster pair, like the other selectors).
+///
+/// # Panics
+/// Panics if `clustering.k != 1`: beyond one hop the construction
+/// does not guarantee connectivity (the reason the paper develops
+/// A-NCR + LMSTGA instead).
+pub fn border_gateways<G: Adjacency>(g: &G, clustering: &Clustering) -> GatewaySelection {
+    assert_eq!(
+        clustering.k, 1,
+        "border-node gateways only guarantee connectivity for k = 1"
+    );
+    let n = g.node_count();
+    let mut gateways = BTreeSet::new();
+    let mut links = BTreeSet::new();
+    for u in (0..n as u32).map(NodeId) {
+        let hu = clustering.head_of(u);
+        for &v in g.adj(u) {
+            let hv = clustering.head_of(v);
+            if hu == hv {
+                continue;
+            }
+            let pair = if hu < hv { (hu, hv) } else { (hv, hu) };
+            links.insert(pair);
+            if !clustering.is_head(u) {
+                gateways.insert(u);
+            }
+            if !clustering.is_head(v) {
+                gateways.insert(v);
+            }
+        }
+    }
+    GatewaySelection {
+        gateways: gateways.into_iter().collect(),
+        links_used: links.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::NeighborRule;
+    use crate::cds::Cds;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::gateway;
+    use crate::priority::LowestId;
+    use crate::virtual_graph::VirtualGraph;
+    use adhoc_graph::gen;
+
+    #[test]
+    fn border_nodes_on_path() {
+        // Path 0..8, k=1, heads 0,2,4,6,8: every odd node borders two
+        // clusters.
+        let g = gen::path(9);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let sel = border_gateways(&g, &c);
+        assert_eq!(
+            sel.gateways,
+            vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7)]
+        );
+        assert_eq!(sel.links_used.len(), 4);
+        let cds = Cds::assemble(&c, &sel);
+        cds.verify(&g, 1).unwrap();
+    }
+
+    #[test]
+    fn border_cds_is_connected_on_random_k1() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..3 {
+            let net = gen::geometric(&gen::GeometricConfig::new(90, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+            let sel = border_gateways(&net.graph, &c);
+            let cds = Cds::assemble(&c, &sel);
+            cds.verify(&net.graph, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn border_marks_more_gateways_than_lmst() {
+        // The baseline's weakness the paper improves on: it marks
+        // *every* border node, LMSTGA marks one path per kept link.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 8.0), &mut rng);
+        let c = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+        let border = border_gateways(&net.graph, &c);
+        let vg = VirtualGraph::build(&net.graph, &c, NeighborRule::Adjacent);
+        let lmst = gateway::lmstga(&vg, &c);
+        assert!(
+            border.gateway_count() >= lmst.gateway_count(),
+            "border {} < lmst {}",
+            border.gateway_count(),
+            lmst.gateway_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 1")]
+    fn k2_is_rejected() {
+        let g = gen::path(9);
+        let c = cluster(&g, 2, &LowestId, MemberPolicy::IdBased);
+        border_gateways(&g, &c);
+    }
+
+    #[test]
+    fn single_cluster_has_no_borders() {
+        let g = gen::star(5);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let sel = border_gateways(&g, &c);
+        assert!(sel.gateways.is_empty());
+        assert!(sel.links_used.is_empty());
+    }
+}

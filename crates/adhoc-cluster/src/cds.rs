@@ -1,0 +1,188 @@
+//! The k-hop connected dominating set (CDS) and its verifiers.
+//!
+//! The paper's end product: clusterheads plus selected gateways form a
+//! **k-hop CDS** — every node of `G` is within `k` hops of the set, and
+//! the set induces a connected subgraph of `G` (Theorem 2). The size of
+//! this set is the headline metric of Figures 5–7.
+
+use crate::clustering::Clustering;
+use crate::gateway::GatewaySelection;
+use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::connectivity;
+use adhoc_graph::graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A k-hop connected dominating set: clusterheads plus gateways.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cds {
+    /// Clusterheads, ascending.
+    pub heads: Vec<NodeId>,
+    /// Gateways, ascending; disjoint from `heads`.
+    pub gateways: Vec<NodeId>,
+}
+
+impl Cds {
+    /// Assembles the CDS from a clustering and a gateway selection.
+    pub fn assemble(clustering: &Clustering, selection: &GatewaySelection) -> Self {
+        Cds {
+            heads: clustering.heads.clone(),
+            gateways: selection.gateways.clone(),
+        }
+    }
+
+    /// Total CDS size (the paper's "Size of CDS" axis).
+    pub fn size(&self) -> usize {
+        self.heads.len() + self.gateways.len()
+    }
+
+    /// All CDS nodes, ascending.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self
+            .heads
+            .iter()
+            .chain(self.gateways.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Verifies the CDS against the network:
+    ///
+    /// 1. heads and gateways are disjoint, in range, duplicate-free;
+    /// 2. the CDS induces a connected subgraph of `g` (Theorem 2);
+    /// 3. the heads alone k-hop dominate `g` (clustering property, so
+    ///    the full CDS does too).
+    pub fn verify<G: Adjacency>(&self, g: &G, k: u32) -> Result<(), CdsViolation> {
+        let n = g.node_count();
+        let mut seen = vec![false; n];
+        for &v in self.heads.iter().chain(self.gateways.iter()) {
+            if v.index() >= n {
+                return Err(CdsViolation::OutOfRange(v));
+            }
+            if seen[v.index()] {
+                return Err(CdsViolation::Duplicate(v));
+            }
+            seen[v.index()] = true;
+        }
+        let nodes = self.nodes();
+        if !connectivity::is_subset_connected(g, &nodes) {
+            return Err(CdsViolation::Disconnected);
+        }
+        let dist = connectivity::distance_to_set(g, &self.heads);
+        for (i, &d) in dist.iter().enumerate() {
+            if d > k {
+                return Err(CdsViolation::NotDominated {
+                    node: NodeId(i as u32),
+                    dist: d,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ways a CDS can fail verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CdsViolation {
+    /// A CDS node ID is outside the graph.
+    OutOfRange(NodeId),
+    /// A node appears twice (within or across heads/gateways).
+    Duplicate(NodeId),
+    /// The induced subgraph is not connected (Theorem 2 violated).
+    Disconnected,
+    /// Some node is farther than `k` hops from every head.
+    NotDominated {
+        /// The undominated node.
+        node: NodeId,
+        /// Its distance to the nearest head.
+        dist: u32,
+    },
+}
+
+impl std::fmt::Display for CdsViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdsViolation::OutOfRange(v) => write!(f, "CDS node {v:?} out of range"),
+            CdsViolation::Duplicate(v) => write!(f, "CDS node {v:?} duplicated"),
+            CdsViolation::Disconnected => write!(f, "CDS induces a disconnected subgraph"),
+            CdsViolation::NotDominated { node, dist } => {
+                write!(f, "{node:?} is {dist} hops from the nearest head")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdsViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::NeighborRule;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::gateway;
+    use crate::priority::LowestId;
+    use crate::virtual_graph::VirtualGraph;
+    use adhoc_graph::gen;
+
+    #[test]
+    fn assemble_and_size() {
+        let g = gen::path(9);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        let sel = gateway::mesh(&vg, &c);
+        let cds = Cds::assemble(&c, &sel);
+        assert_eq!(cds.size(), 9); // all nodes on a path
+        cds.verify(&g, 1).unwrap();
+    }
+
+    #[test]
+    fn detects_disconnected() {
+        let g = gen::path(5);
+        let cds = Cds {
+            heads: vec![NodeId(0), NodeId(4)],
+            gateways: vec![],
+        };
+        // Heads dominate only within k=2... 0 covers 0..2, 4 covers
+        // 2..4: dominated, but {0,4} not connected in the induced
+        // subgraph.
+        assert_eq!(cds.verify(&g, 2), Err(CdsViolation::Disconnected));
+    }
+
+    #[test]
+    fn detects_undominated() {
+        let g = gen::path(7);
+        let cds = Cds {
+            heads: vec![NodeId(0)],
+            gateways: vec![],
+        };
+        let err = cds.verify(&g, 2).unwrap_err();
+        assert!(matches!(err, CdsViolation::NotDominated { .. }));
+        assert!(err.to_string().contains("hops"));
+    }
+
+    #[test]
+    fn detects_duplicates_and_range() {
+        let g = gen::path(3);
+        let cds = Cds {
+            heads: vec![NodeId(0)],
+            gateways: vec![NodeId(0)],
+        };
+        assert_eq!(cds.verify(&g, 1), Err(CdsViolation::Duplicate(NodeId(0))));
+        let cds = Cds {
+            heads: vec![NodeId(9)],
+            gateways: vec![],
+        };
+        assert_eq!(cds.verify(&g, 1), Err(CdsViolation::OutOfRange(NodeId(9))));
+    }
+
+    #[test]
+    fn empty_cds_on_single_node_graph() {
+        let g = adhoc_graph::graph::Graph::new(1);
+        let cds = Cds {
+            heads: vec![NodeId(0)],
+            gateways: vec![],
+        };
+        cds.verify(&g, 1).unwrap();
+    }
+}

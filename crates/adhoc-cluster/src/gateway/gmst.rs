@@ -1,0 +1,84 @@
+//! G-MST — the centralized global minimum spanning tree baseline.
+
+use super::GatewaySelection;
+use crate::clustering::Clustering;
+use crate::virtual_graph::{self, VirtualLink};
+use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::lmst::TieWeight;
+use adhoc_graph::mst::{self, WeightedEdge};
+use std::collections::BTreeMap;
+
+/// Global-MST gateway selection: build the complete virtual graph over
+/// all clusterheads (pairwise hop distances, no locality bound), take
+/// its minimum spanning tree, and mark the interiors of the chosen
+/// shortest paths as gateways.
+///
+/// The paper uses this centralized construction as the lower-bound
+/// comparator ("G-MST has a constant approximation ratio to the optimal
+/// k-hop CDS for a constant k"). It is *not* localized: it needs global
+/// topology knowledge.
+pub fn gmst<G: Adjacency>(g: &G, clustering: &Clustering) -> GatewaySelection {
+    let links = virtual_graph::complete_virtual_links(g, clustering);
+    let by_pair: BTreeMap<(adhoc_graph::NodeId, adhoc_graph::NodeId), &VirtualLink> =
+        links.iter().map(|l| ((l.a, l.b), l)).collect();
+    let edges: Vec<WeightedEdge<TieWeight<u32>>> = links
+        .iter()
+        .map(|l| WeightedEdge::new(l.a, l.b, l.weight()))
+        .collect();
+    // Kruskal over node-ID space: only head IDs appear as endpoints,
+    // the remaining singletons are inert.
+    let tree = mst::kruskal(g.node_count(), &edges);
+    let chosen = tree.iter().map(|e| {
+        let key = if e.a < e.b { (e.a, e.b) } else { (e.b, e.a) };
+        by_pair[&key]
+    });
+    GatewaySelection::from_links(chosen, clustering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+    use adhoc_graph::graph::NodeId;
+
+    #[test]
+    fn gmst_on_path_uses_chain_links() {
+        let g = gen::path(9);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let sel = gmst(&g, &c);
+        // MST over heads 0,2,4,6,8 with hop metric picks the four
+        // 2-hop consecutive links.
+        assert_eq!(sel.links_used.len(), 4);
+        assert_eq!(
+            sel.gateways,
+            vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7)]
+        );
+    }
+
+    #[test]
+    fn gmst_spans_all_heads() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let sel = gmst(&net.graph, &c);
+            assert_eq!(
+                sel.links_used.len(),
+                c.head_count().saturating_sub(1),
+                "an MST over h heads has h-1 links"
+            );
+        }
+    }
+
+    #[test]
+    fn gmst_single_cluster() {
+        let g = gen::star(4);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let sel = gmst(&g, &c);
+        assert!(sel.gateways.is_empty());
+        assert!(sel.links_used.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Mesh-based gateway selection.
+
+use super::GatewaySelection;
+use crate::clustering::Clustering;
+use crate::virtual_graph::VirtualGraph;
+
+/// Mesh-based gateway selection: realize **every** virtual link of the
+/// relation, so each clusterhead has exactly one gateway path to each
+/// of its selected neighbor clusterheads.
+///
+/// With the NC rule this is the paper's `NC-Mesh` baseline; with A-NCR
+/// it is `AC-Mesh`. Connectivity follows from Theorem 1 (for AC) or
+/// from NC being a supergraph of AC.
+pub fn mesh(vg: &VirtualGraph, clustering: &Clustering) -> GatewaySelection {
+    GatewaySelection::from_links(vg.links(), clustering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::NeighborRule;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+    use adhoc_graph::graph::NodeId;
+
+    #[test]
+    fn mesh_realizes_every_link() {
+        let g = gen::path(9);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        let sel = mesh(&vg, &c);
+        assert_eq!(sel.links_used.len(), vg.link_count());
+        assert_eq!(
+            sel.gateways,
+            vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7)]
+        );
+    }
+
+    #[test]
+    fn nc_mesh_marks_at_least_as_many_as_ac_mesh() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let nc = VirtualGraph::build(&net.graph, &c, NeighborRule::All2kPlus1);
+            let ac = VirtualGraph::build(&net.graph, &c, NeighborRule::Adjacent);
+            let snc = mesh(&nc, &c);
+            let sac = mesh(&ac, &c);
+            assert!(snc.gateway_count() >= sac.gateway_count());
+            // AC links are a subset of NC links.
+            for l in &sac.links_used {
+                assert!(snc.links_used.contains(l));
+            }
+        }
+    }
+}

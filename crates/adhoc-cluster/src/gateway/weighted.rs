@@ -1,0 +1,242 @@
+//! Energy-aware LMSTGA — a §3.3-motivated extension.
+//!
+//! The paper's discussion section argues for power-aware designs
+//! (rotating clusterheads by residual energy). Gateways relay traffic
+//! too, so this variant extends LMSTGA to *weighted* virtual links:
+//! the cost of a path is `hops + Σ relay_cost(interior node)`, so
+//! virtual links route around energy-poor relays and the local MST
+//! prefers cheap links. With all relay costs zero this degenerates to
+//! exactly the hop-based [`super::lmstga`] (tested).
+//!
+//! Trade-off (documented, not hidden): weighted shortest paths may be
+//! longer than `2k+1` hops, so the strict locality bound of the
+//! original algorithm is relaxed — information collection follows the
+//! chosen paths instead of the fixed-radius ball.
+
+use super::GatewaySelection;
+use crate::adjacency::{self, NeighborRule};
+use crate::clustering::Clustering;
+use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::dijkstra::{self, UNREACHED_COST};
+use adhoc_graph::graph::NodeId;
+use adhoc_graph::lmst::{self, TieWeight};
+use adhoc_graph::paths;
+use std::collections::BTreeMap;
+
+/// A weighted virtual link.
+#[derive(Clone, Debug)]
+struct WLink {
+    path: Vec<NodeId>,
+    cost: u64,
+}
+
+/// LMSTGA over energy-weighted virtual links.
+///
+/// `relay_cost[v]` is the penalty for routing through `v` (0 = free,
+/// larger = avoid). Edge weights are `1 + relay_cost(target)`, so with
+/// all-zero costs the weights are hop counts and the canonical paths
+/// coincide with the unweighted pipeline's.
+///
+/// # Panics
+/// Panics if `relay_cost.len()` differs from the node count.
+pub fn lmstga_weighted<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    rule: NeighborRule,
+    relay_cost: &[u64],
+) -> GatewaySelection {
+    assert_eq!(relay_cost.len(), g.node_count(), "one cost per node");
+    let sets = adjacency::neighbor_clusterheads(g, clustering, rule);
+    let weight = |_: NodeId, to: NodeId| 1 + relay_cost[to.index()];
+
+    // Weighted canonical paths per selected pair: Dijkstra labels from
+    // the larger endpoint, then a greedy smallest-ID walk from the
+    // smaller endpoint (mirrors the unweighted lexicographic rule).
+    let mut links: BTreeMap<(NodeId, NodeId), WLink> = BTreeMap::new();
+    for (b, partners) in sets.iter() {
+        let smaller: Vec<NodeId> = partners.iter().copied().filter(|&a| a < b).collect();
+        if smaller.is_empty() {
+            continue;
+        }
+        let (cost, _) = dijkstra::dijkstra(g, b, weight);
+        for a in smaller {
+            assert_ne!(cost[a.index()], UNREACHED_COST, "relation pairs connect");
+            let path = greedy_walk(g, a, b, &cost, &weight);
+            links.insert(
+                (a, b),
+                WLink {
+                    cost: cost[a.index()],
+                    path,
+                },
+            );
+        }
+    }
+
+    // Per-head local MST over the weighted links; realized links from
+    // either endpoint, exactly like the unweighted LMSTGA.
+    let mut kept: std::collections::BTreeSet<(NodeId, NodeId)> = Default::default();
+    let link_weight = |a: NodeId, b: NodeId| -> Option<TieWeight<u64>> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        links.get(&key).map(|l| TieWeight::new(l.cost, a, b))
+    };
+    for (u, partners) in sets.iter() {
+        if partners.is_empty() {
+            continue;
+        }
+        for v in lmst::on_tree_neighbors(u, partners, link_weight) {
+            kept.insert(if u < v { (u, v) } else { (v, u) });
+        }
+    }
+
+    let mut gateways = Vec::new();
+    let mut links_used = Vec::new();
+    for (a, b) in kept {
+        let l = &links[&(a, b)];
+        links_used.push((a, b));
+        for &w in paths::interior(&l.path) {
+            if !clustering.is_head(w) {
+                gateways.push(w);
+            }
+        }
+    }
+    gateways.sort_unstable();
+    gateways.dedup();
+    GatewaySelection {
+        gateways,
+        links_used,
+    }
+}
+
+/// Walks from `from` toward the label source along strictly decreasing
+/// costs, taking the smallest-ID qualifying neighbor at each step.
+fn greedy_walk<G: Adjacency, W: Fn(NodeId, NodeId) -> u64>(
+    g: &G,
+    from: NodeId,
+    to: NodeId,
+    cost_from_to: &[u64],
+    weight: &W,
+) -> Vec<NodeId> {
+    let mut path = vec![from];
+    let mut cur = from;
+    while cur != to {
+        let c = cost_from_to[cur.index()];
+        let next = g
+            .adj(cur)
+            .iter()
+            .copied()
+            .find(|&y| {
+                cost_from_to[y.index()] != UNREACHED_COST
+                    && cost_from_to[y.index()] + weight(y, cur) == c
+            })
+            .expect("cost labels decrease along some neighbor");
+        path.push(next);
+        cur = next;
+    }
+    path
+}
+
+/// Total relay cost of a selection under `relay_cost` (for
+/// experiments: lower = the selection burdens cheaper nodes).
+pub fn selection_relay_cost(selection: &GatewaySelection, relay_cost: &[u64]) -> u64 {
+    selection
+        .gateways
+        .iter()
+        .map(|g| relay_cost[g.index()])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cds::Cds;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::gateway;
+    use crate::priority::LowestId;
+    use crate::virtual_graph::VirtualGraph;
+    use adhoc_graph::gen;
+    use adhoc_graph::graph::Graph;
+
+    #[test]
+    fn zero_costs_match_hop_based_lmstga() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let zeros = vec![0u64; net.graph.len()];
+            let weighted = lmstga_weighted(&net.graph, &c, NeighborRule::Adjacent, &zeros);
+            let vg = VirtualGraph::build(&net.graph, &c, NeighborRule::Adjacent);
+            let hop = gateway::lmstga(&vg, &c);
+            assert_eq!(weighted.links_used, hop.links_used, "k={k}");
+            assert_eq!(weighted.gateways, hop.gateways, "k={k}");
+        }
+    }
+
+    #[test]
+    fn expensive_relay_is_routed_around() {
+        // Two parallel 2-hop bridges between heads 0 and 1: interior
+        // nodes 2 (cheap) and 3 (expensive). The unweighted canonical
+        // path takes 2 (smaller ID); with node 2 made expensive the
+        // weighted variant must switch to 3.
+        let g = Graph::from_edges(4, &[(0, 2), (2, 1), (0, 3), (3, 1)]);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let mut costs = vec![0u64; 4];
+        costs[2] = 100;
+        let sel = lmstga_weighted(&g, &c, NeighborRule::Adjacent, &costs);
+        assert_eq!(sel.gateways, vec![NodeId(3)]);
+        assert_eq!(selection_relay_cost(&sel, &costs), 0);
+        // And the flipped case.
+        let mut costs2 = vec![0u64; 4];
+        costs2[3] = 100;
+        let sel2 = lmstga_weighted(&g, &c, NeighborRule::Adjacent, &costs2);
+        assert_eq!(sel2.gateways, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn weighted_cds_stays_connected() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(44);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(90, 100.0, 8.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let costs: Vec<u64> = (0..net.graph.len()).map(|_| rng.gen_range(0..20)).collect();
+            for rule in [NeighborRule::Adjacent, NeighborRule::All2kPlus1] {
+                let sel = lmstga_weighted(&net.graph, &c, rule, &costs);
+                let cds = Cds::assemble(&c, &sel);
+                cds.verify(&net.graph, k)
+                    .unwrap_or_else(|e| panic!("k={k} {rule:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_selection_is_not_more_expensive() {
+        // On average the weighted variant must reduce total relay
+        // cost vs the hop-based one under heterogeneous costs.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(55);
+        let (mut wsum, mut hsum) = (0u64, 0u64);
+        for _ in 0..8 {
+            let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 8.0), &mut rng);
+            let c = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+            let costs: Vec<u64> = (0..net.graph.len()).map(|_| rng.gen_range(0..50)).collect();
+            let weighted = lmstga_weighted(&net.graph, &c, NeighborRule::Adjacent, &costs);
+            let vg = VirtualGraph::build(&net.graph, &c, NeighborRule::Adjacent);
+            let hop = gateway::lmstga(&vg, &c);
+            wsum += selection_relay_cost(&weighted, &costs);
+            hsum += selection_relay_cost(&hop, &costs);
+        }
+        assert!(
+            wsum <= hsum,
+            "weighted total relay cost {wsum} exceeds hop-based {hsum}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per node")]
+    fn wrong_cost_len_panics() {
+        let g = gen::path(4);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        lmstga_weighted(&g, &c, NeighborRule::Adjacent, &[0, 0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! High-level (recursive) clustering.
+//!
+//! §2: "High level clustering, clustering applied recursively over
+//! clusterheads, is also feasible and effective in even larger
+//! networks." This module builds that hierarchy: level 0 clusters the
+//! physical network; level `i+1` clusters the *adjacent cluster graph*
+//! `G''` of level `i` (whose connectivity Theorem 1 guarantees, so
+//! each level's input is again a connected graph and the recursion is
+//! well founded).
+
+use crate::adjacency::{self, NeighborRule};
+use crate::clustering::{self, Clustering, MemberPolicy};
+use crate::priority::LowestId;
+use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::graph::{Graph, NodeId};
+use std::collections::BTreeMap;
+
+/// One level of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// The graph this level clustered: level 0 is the physical
+    /// network's size; deeper levels are adjacent-cluster graphs over
+    /// the previous level's heads (re-indexed densely).
+    pub graph: Graph,
+    /// The clustering of that graph.
+    pub clustering: Clustering,
+    /// Maps this level's dense node IDs back to the previous level's
+    /// head IDs (for level 0, identity).
+    pub to_parent_id: Vec<NodeId>,
+}
+
+/// A multi-level clustering hierarchy.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Levels bottom-up; `levels[0]` clusters the physical network.
+    pub levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy over `g` with one entry of `ks` per level
+    /// (stops early if a level collapses to a single head).
+    ///
+    /// # Panics
+    /// Panics if `ks` is empty or `g` is empty.
+    pub fn build(g: &Graph, ks: &[u32], policy: MemberPolicy) -> Self {
+        assert!(!ks.is_empty(), "need at least one level");
+        assert!(!g.is_empty(), "graph must be non-empty");
+        let mut levels = Vec::new();
+        let mut current = g.clone();
+        let mut to_parent: Vec<NodeId> = g.nodes().collect();
+        for (i, &k) in ks.iter().enumerate() {
+            let clustering = clustering::cluster(&current, k, &LowestId, policy);
+            let heads = clustering.heads.clone();
+            let next = adjacent_head_graph(&current, &clustering);
+            levels.push(Level {
+                graph: current,
+                clustering,
+                to_parent_id: to_parent,
+            });
+            if heads.len() <= 1 || i + 1 == ks.len() {
+                break;
+            }
+            to_parent = heads;
+            current = next;
+        }
+        Hierarchy { levels }
+    }
+
+    /// Number of levels actually built.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Head counts per level, bottom-up.
+    pub fn head_counts(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .map(|l| l.clustering.head_count())
+            .collect()
+    }
+
+    /// Resolves a level-`level` head (dense ID) to its physical node
+    /// ID by walking the mapping chain down to level 0.
+    pub fn physical_id(&self, level: usize, id: NodeId) -> NodeId {
+        let mut cur = id;
+        let mut lvl = level;
+        loop {
+            cur = self.levels[lvl].to_parent_id[cur.index()];
+            if lvl == 0 {
+                return cur;
+            }
+            lvl -= 1;
+        }
+    }
+
+    /// The top level's clusterheads as physical node IDs.
+    pub fn top_heads(&self) -> Vec<NodeId> {
+        let top = self.levels.len() - 1;
+        self.levels[top]
+            .clustering
+            .heads
+            .iter()
+            .map(|&h| self.physical_id(top, h))
+            .collect()
+    }
+}
+
+/// The adjacent-cluster graph `G''` of a clustering, re-indexed so
+/// head `clustering.heads[i]` becomes node `i` (dense IDs keep the
+/// relative ID order, preserving lowest-ID semantics at upper levels).
+pub fn adjacent_head_graph<G: Adjacency>(g: &G, clustering: &Clustering) -> Graph {
+    let sets = adjacency::neighbor_clusterheads(g, clustering, NeighborRule::Adjacent);
+    let index: BTreeMap<NodeId, u32> = clustering
+        .heads
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (h, i as u32))
+        .collect();
+    let mut out = Graph::new(clustering.heads.len());
+    for (u, v) in sets.pairs() {
+        out.add_edge(NodeId(index[&u]), NodeId(index[&v]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::{connectivity, gen};
+
+    #[test]
+    fn two_level_hierarchy_on_path() {
+        let g = gen::path(27);
+        let h = Hierarchy::build(&g, &[1, 1], MemberPolicy::IdBased);
+        assert_eq!(h.depth(), 2);
+        let counts = h.head_counts();
+        assert!(counts[1] < counts[0], "levels must shrink: {counts:?}");
+        // Level-1 heads resolve to physical nodes that are level-0
+        // heads.
+        for &top in &h.top_heads() {
+            assert!(h.levels[0].clustering.is_head(top));
+        }
+    }
+
+    #[test]
+    fn hierarchy_levels_stay_connected() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = gen::geometric(&gen::GeometricConfig::new(150, 100.0, 6.0), &mut rng);
+        let h = Hierarchy::build(&net.graph, &[1, 1, 1], MemberPolicy::IdBased);
+        for level in &h.levels {
+            // Theorem 1, applied at every level.
+            assert!(connectivity::is_connected(&level.graph));
+            level.clustering.verify(&level.graph).unwrap();
+        }
+        let counts = h.head_counts();
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn collapse_stops_early() {
+        let g = gen::star(10);
+        let h = Hierarchy::build(&g, &[1, 1, 1, 1], MemberPolicy::IdBased);
+        assert_eq!(h.depth(), 1, "one cluster at level 0 ends the recursion");
+        assert_eq!(h.head_counts(), vec![1]);
+    }
+
+    #[test]
+    fn physical_id_identity_at_level_zero() {
+        let g = gen::path(9);
+        let h = Hierarchy::build(&g, &[1], MemberPolicy::IdBased);
+        assert_eq!(h.physical_id(0, NodeId(4)), NodeId(4));
+    }
+
+    #[test]
+    fn adjacent_head_graph_matches_relation() {
+        let g = gen::path(9);
+        let c = clustering::cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let gpp = adjacent_head_graph(&g, &c);
+        // Heads 0,2,4,6,8 -> chain of 5 dense nodes.
+        assert_eq!(gpp.len(), 5);
+        assert_eq!(gpp.edge_count(), 4);
+        assert!(gpp.has_edge(NodeId(0), NodeId(1)));
+        assert!(!gpp.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn mixed_k_per_level() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = gen::geometric(&gen::GeometricConfig::new(200, 100.0, 8.0), &mut rng);
+        let h = Hierarchy::build(&net.graph, &[2, 1], MemberPolicy::DistanceBased);
+        assert!(h.depth() >= 1);
+        if h.depth() == 2 {
+            assert!(h.head_counts()[1] <= h.head_counts()[0]);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! End-to-end pipeline: clustering → neighbor selection → gateways →
+//! CDS, packaged as the five algorithms of the paper's evaluation.
+
+use crate::adjacency::NeighborRule;
+use crate::cds::Cds;
+use crate::clustering::{self, Clustering, MemberPolicy};
+use crate::gateway::{self, GatewaySelection};
+use crate::priority::LowestId;
+use crate::virtual_graph::VirtualGraph;
+use adhoc_graph::bfs::Adjacency;
+use serde::{Deserialize, Serialize};
+
+/// The five gateway-construction algorithms compared in §4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Mesh over all clusterheads within `2k+1` hops.
+    NcMesh,
+    /// Mesh over adjacent clusterheads (A-NCR).
+    AcMesh,
+    /// LMSTGA over all clusterheads within `2k+1` hops.
+    NcLmst,
+    /// LMSTGA over adjacent clusterheads — the paper's AC-LMST.
+    AcLmst,
+    /// Centralized global-MST lower bound.
+    GMst,
+}
+
+impl Algorithm {
+    /// All five algorithms, in the paper's legend order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::NcMesh,
+        Algorithm::AcMesh,
+        Algorithm::AcLmst,
+        Algorithm::NcLmst,
+        Algorithm::GMst,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::NcMesh => "NC-Mesh",
+            Algorithm::AcMesh => "AC-Mesh",
+            Algorithm::NcLmst => "NC-LMST",
+            Algorithm::AcLmst => "AC-LMST",
+            Algorithm::GMst => "G-MST",
+        }
+    }
+
+    /// The neighbor clusterhead rule the algorithm uses (`None` for
+    /// G-MST, which is global).
+    pub fn neighbor_rule(self) -> Option<NeighborRule> {
+        match self {
+            Algorithm::NcMesh | Algorithm::NcLmst => Some(NeighborRule::All2kPlus1),
+            Algorithm::AcMesh | Algorithm::AcLmst => Some(NeighborRule::Adjacent),
+            Algorithm::GMst => None,
+        }
+    }
+
+    /// Whether the algorithm is localized (`2k+1`-hop information
+    /// only).
+    pub fn is_localized(self) -> bool {
+        self != Algorithm::GMst
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Pipeline parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// The clustering radius `k` (paper: 1–4).
+    pub k: u32,
+    /// Member affiliation policy (paper figures use ID-based).
+    pub policy: MemberPolicy,
+}
+
+impl PipelineConfig {
+    /// Config with the paper's defaults (ID-based members).
+    pub fn new(k: u32) -> Self {
+        PipelineConfig {
+            k,
+            policy: MemberPolicy::IdBased,
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Clone, Debug)]
+pub struct PipelineOutput {
+    /// The k-hop clustering.
+    pub clustering: Clustering,
+    /// The virtual graph (absent for G-MST, which skips the localized
+    /// relation).
+    pub virtual_graph: Option<VirtualGraph>,
+    /// The realized links and marked gateways.
+    pub selection: GatewaySelection,
+    /// The final k-hop CDS.
+    pub cds: Cds,
+}
+
+/// Runs lowest-ID clustering followed by `algorithm`'s neighbor and
+/// gateway phases.
+pub fn run<G: Adjacency>(g: &G, algorithm: Algorithm, cfg: &PipelineConfig) -> PipelineOutput {
+    let clustering = clustering::cluster(g, cfg.k, &LowestId, cfg.policy);
+    run_on(g, algorithm, &clustering)
+}
+
+/// Runs only the neighbor and gateway phases on an existing clustering
+/// (so one clustering can be shared across all five algorithms, as the
+/// paper's comparisons require).
+pub fn run_on<G: Adjacency>(
+    g: &G,
+    algorithm: Algorithm,
+    clustering: &Clustering,
+) -> PipelineOutput {
+    let (virtual_graph, selection) = match algorithm {
+        Algorithm::GMst => (None, gateway::gmst(g, clustering)),
+        _ => {
+            let rule = algorithm.neighbor_rule().expect("localized algorithm");
+            let vg = VirtualGraph::build(g, clustering, rule);
+            let sel = match algorithm {
+                Algorithm::NcMesh | Algorithm::AcMesh => gateway::mesh(&vg, clustering),
+                Algorithm::NcLmst | Algorithm::AcLmst => gateway::lmstga(&vg, clustering),
+                Algorithm::GMst => unreachable!(),
+            };
+            (Some(vg), sel)
+        }
+    };
+    let cds = Cds::assemble(clustering, &selection);
+    PipelineOutput {
+        clustering: clustering.clone(),
+        virtual_graph,
+        selection,
+        cds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::gen;
+
+    #[test]
+    fn all_algorithms_produce_valid_cds() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(100);
+        for k in 1..=4u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+            let cfg = PipelineConfig::new(k);
+            for alg in Algorithm::ALL {
+                let out = run(&net.graph, alg, &cfg);
+                out.clustering.verify(&net.graph).unwrap();
+                out.cds
+                    .verify(&net.graph, k)
+                    .unwrap_or_else(|e| panic!("{alg} k={k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_orderings_hold_in_expectation() {
+        // Deterministic orderings that hold instance-by-instance:
+        //   AC-Mesh <= NC-Mesh, AC-LMST <= mesh counterparts' links.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(200);
+        for k in 2..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(120, 100.0, 6.0), &mut rng);
+            let cfg = PipelineConfig::new(k);
+            let clustering = crate::clustering::cluster(&net.graph, cfg.k, &LowestId, cfg.policy);
+            let nc_mesh = run_on(&net.graph, Algorithm::NcMesh, &clustering);
+            let ac_mesh = run_on(&net.graph, Algorithm::AcMesh, &clustering);
+            let nc_lmst = run_on(&net.graph, Algorithm::NcLmst, &clustering);
+            let ac_lmst = run_on(&net.graph, Algorithm::AcLmst, &clustering);
+            let gmst = run_on(&net.graph, Algorithm::GMst, &clustering);
+            assert!(ac_mesh.cds.size() <= nc_mesh.cds.size());
+            assert!(nc_lmst.cds.size() <= nc_mesh.cds.size());
+            assert!(ac_lmst.cds.size() <= ac_mesh.cds.size());
+            // G-MST uses h-1 links, the global minimum number.
+            assert!(gmst.selection.links_used.len() <= ac_lmst.selection.links_used.len());
+        }
+    }
+
+    #[test]
+    fn shared_clustering_across_algorithms() {
+        let g = gen::path(9);
+        let cfg = PipelineConfig::new(1);
+        let a = run(&g, Algorithm::AcLmst, &cfg);
+        let b = run(&g, Algorithm::NcMesh, &cfg);
+        assert_eq!(a.clustering.heads, b.clustering.heads);
+    }
+
+    #[test]
+    fn algorithm_metadata() {
+        assert_eq!(Algorithm::AcLmst.name(), "AC-LMST");
+        assert_eq!(format!("{}", Algorithm::GMst), "G-MST");
+        assert!(Algorithm::AcLmst.is_localized());
+        assert!(!Algorithm::GMst.is_localized());
+        assert_eq!(Algorithm::GMst.neighbor_rule(), None);
+        assert_eq!(
+            Algorithm::NcMesh.neighbor_rule(),
+            Some(NeighborRule::All2kPlus1)
+        );
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+
+    #[test]
+    fn gmst_output_has_no_virtual_graph() {
+        let g = gen::path(9);
+        let out = run(&g, Algorithm::GMst, &PipelineConfig::new(1));
+        assert!(out.virtual_graph.is_none());
+        assert!(out.cds.verify(&g, 1).is_ok());
+    }
+}

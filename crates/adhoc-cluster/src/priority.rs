@@ -1,0 +1,393 @@
+//! Node priorities for clusterhead election.
+//!
+//! The paper's §2 lists several usable priorities: the classical lowest
+//! node ID (Lin/Gerla), node degree (Gerla/Tsai), node speed, the sum
+//! of distances to all neighbors, residual energy (§3.3's power-aware
+//! rotation), and a random timer — all implemented here, plus the
+//! k-hop-degree rule of the CONID family. All are expressed as a total
+//! order on nodes via [`Priority::key`]: the node with the **smallest
+//! key wins** the election contest, and every key embeds the node ID so
+//! that the order is strict (no ties).
+
+use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::graph::NodeId;
+use rand::Rng;
+
+/// A strict-total-order election key: lower wins. The `id` component
+/// breaks ties between equal primary values, so two distinct nodes
+/// never compare equal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PriorityKey {
+    /// Primary criterion (smaller is better).
+    pub primary: u64,
+    /// Node ID tie-break.
+    pub id: NodeId,
+}
+
+impl PriorityKey {
+    /// Creates a key.
+    pub fn new(primary: u64, id: NodeId) -> Self {
+        PriorityKey { primary, id }
+    }
+}
+
+/// A clusterhead election priority: a total order on nodes.
+pub trait Priority {
+    /// The election key of `u`; the smallest key in a contest wins.
+    fn key(&self, u: NodeId) -> PriorityKey;
+}
+
+/// The classical lowest-ID rule (Lin and Gerla): the node ID itself is
+/// the priority. This is what the paper's simulations use.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LowestId;
+
+impl Priority for LowestId {
+    fn key(&self, u: NodeId) -> PriorityKey {
+        PriorityKey::new(0, u)
+    }
+}
+
+/// Highest-degree rule: nodes with more neighbors win; ties broken by
+/// lower ID.
+#[derive(Clone, Debug)]
+pub struct HighestDegree {
+    degrees: Vec<u32>,
+}
+
+impl HighestDegree {
+    /// Captures the degrees of `g` at construction time.
+    pub fn from_graph<G: Adjacency>(g: &G) -> Self {
+        let degrees = (0..g.node_count() as u32)
+            .map(|u| g.adj(NodeId(u)).len() as u32)
+            .collect();
+        HighestDegree { degrees }
+    }
+}
+
+impl Priority for HighestDegree {
+    fn key(&self, u: NodeId) -> PriorityKey {
+        // Invert so that a higher degree gives a smaller key.
+        PriorityKey::new(u64::from(u32::MAX - self.degrees[u.index()]), u)
+    }
+}
+
+/// Residual-energy rule (§3.3): nodes with more remaining energy win,
+/// prolonging average node lifetime when the clusterhead role rotates.
+#[derive(Clone, Debug)]
+pub struct ResidualEnergy {
+    /// Energy levels scaled to integers (e.g. millijoules).
+    levels: Vec<u64>,
+}
+
+impl ResidualEnergy {
+    /// Creates the priority from per-node energy levels.
+    pub fn new(levels: Vec<u64>) -> Self {
+        ResidualEnergy { levels }
+    }
+
+    /// Current level of `u`.
+    pub fn level(&self, u: NodeId) -> u64 {
+        self.levels[u.index()]
+    }
+
+    /// Mutable access for energy accounting between rotation rounds.
+    pub fn level_mut(&mut self, u: NodeId) -> &mut u64 {
+        &mut self.levels[u.index()]
+    }
+}
+
+impl Priority for ResidualEnergy {
+    fn key(&self, u: NodeId) -> PriorityKey {
+        PriorityKey::new(u64::MAX - self.levels[u.index()], u)
+    }
+}
+
+/// Random-timer rule: each node draws a random value; the smallest
+/// draw wins. Seeded at construction so elections are reproducible.
+#[derive(Clone, Debug)]
+pub struct RandomTimer {
+    draws: Vec<u64>,
+}
+
+impl RandomTimer {
+    /// Draws one value per node from `rng`.
+    pub fn sample<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        RandomTimer {
+            draws: (0..n).map(|_| rng.gen()).collect(),
+        }
+    }
+}
+
+impl Priority for RandomTimer {
+    fn key(&self, u: NodeId) -> PriorityKey {
+        PriorityKey::new(self.draws[u.index()], u)
+    }
+}
+
+/// Lowest-speed rule (§2 "node speed"): slower nodes win, because a
+/// slow clusterhead keeps its k-hop neighborhood valid for longer —
+/// mobility-aware elections improve combinatorial stability.
+///
+/// Speeds are fixed-point scaled at construction (`1e-3` resolution) so
+/// keys are integral and strictly ordered.
+#[derive(Clone, Debug)]
+pub struct LowestSpeed {
+    scaled: Vec<u64>,
+}
+
+impl LowestSpeed {
+    /// Captures per-node speeds (distance units per time unit).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite speeds.
+    pub fn new(speeds: &[f64]) -> Self {
+        let scaled = speeds
+            .iter()
+            .map(|&s| {
+                assert!(s.is_finite() && s >= 0.0, "speed must be finite and >= 0");
+                (s * 1000.0).round() as u64
+            })
+            .collect();
+        LowestSpeed { scaled }
+    }
+}
+
+impl Priority for LowestSpeed {
+    fn key(&self, u: NodeId) -> PriorityKey {
+        PriorityKey::new(self.scaled[u.index()], u)
+    }
+}
+
+/// Sum-of-distances rule (§2): the node whose summed distance to its
+/// neighbors is smallest wins — a centrality heuristic that favors
+/// nodes sitting in the middle of their neighborhood.
+#[derive(Clone, Debug)]
+pub struct SumOfDistances {
+    scaled: Vec<u64>,
+}
+
+impl SumOfDistances {
+    /// Computes each node's summed Euclidean distance to its graph
+    /// neighbors from the deployment positions (fixed-point scaled,
+    /// `1e-3` resolution).
+    ///
+    /// # Panics
+    /// Panics if `positions.len()` differs from the node count.
+    pub fn from_positions<G: Adjacency>(g: &G, positions: &[adhoc_graph::Point]) -> Self {
+        assert_eq!(positions.len(), g.node_count(), "positions/nodes mismatch");
+        let scaled = (0..g.node_count() as u32)
+            .map(|u| {
+                let sum: f64 = g
+                    .adj(NodeId(u))
+                    .iter()
+                    .map(|v| positions[u as usize].distance(&positions[v.index()]))
+                    .sum();
+                (sum * 1000.0).round() as u64
+            })
+            .collect();
+        SumOfDistances { scaled }
+    }
+}
+
+impl Priority for SumOfDistances {
+    fn key(&self, u: NodeId) -> PriorityKey {
+        PriorityKey::new(self.scaled[u.index()], u)
+    }
+}
+
+/// k-hop-connectivity rule (the CONID family, Nocetti et al. \[13\]):
+/// the node with the most nodes inside its k-hop ball wins — a
+/// k-hop generalization of the highest-degree rule, matched to the
+/// election radius of k-hop clustering.
+#[derive(Clone, Debug)]
+pub struct KhopDegree {
+    ball_sizes: Vec<u32>,
+}
+
+impl KhopDegree {
+    /// Computes each node's k-hop ball size (excluding itself).
+    pub fn from_graph<G: Adjacency>(g: &G, k: u32) -> Self {
+        let mut scratch = adhoc_graph::bfs::BfsScratch::new(g.node_count());
+        let ball_sizes = (0..g.node_count() as u32)
+            .map(|u| {
+                scratch.run(g, NodeId(u), k);
+                scratch.visited().len() as u32 - 1
+            })
+            .collect();
+        KhopDegree { ball_sizes }
+    }
+
+    /// The k-hop ball size of `u` (neighbors within k hops).
+    pub fn ball_size(&self, u: NodeId) -> u32 {
+        self.ball_sizes[u.index()]
+    }
+}
+
+impl Priority for KhopDegree {
+    fn key(&self, u: NodeId) -> PriorityKey {
+        PriorityKey::new(u64::from(u32::MAX - self.ball_sizes[u.index()]), u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::gen;
+
+    #[test]
+    fn keys_order_lower_first() {
+        let a = PriorityKey::new(1, NodeId(9));
+        let b = PriorityKey::new(2, NodeId(0));
+        assert!(a < b);
+        let c = PriorityKey::new(1, NodeId(3));
+        assert!(c < a); // same primary, lower ID wins
+    }
+
+    #[test]
+    fn lowest_id_orders_by_id() {
+        let p = LowestId;
+        assert!(p.key(NodeId(2)) < p.key(NodeId(5)));
+    }
+
+    #[test]
+    fn highest_degree_prefers_hubs() {
+        let g = gen::star(5); // node 0 has degree 4, leaves degree 1
+        let p = HighestDegree::from_graph(&g);
+        assert!(p.key(NodeId(0)) < p.key(NodeId(1)));
+        // Equal-degree leaves tie-break by ID.
+        assert!(p.key(NodeId(1)) < p.key(NodeId(2)));
+    }
+
+    #[test]
+    fn residual_energy_prefers_full_batteries() {
+        let mut p = ResidualEnergy::new(vec![100, 50, 100]);
+        assert!(p.key(NodeId(0)) < p.key(NodeId(1)));
+        assert!(p.key(NodeId(0)) < p.key(NodeId(2))); // tie -> lower ID
+        *p.level_mut(NodeId(1)) = 200;
+        assert!(p.key(NodeId(1)) < p.key(NodeId(0)));
+        assert_eq!(p.level(NodeId(1)), 200);
+    }
+
+    #[test]
+    fn random_timer_is_reproducible() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let a = RandomTimer::sample(10, &mut StdRng::seed_from_u64(5));
+        let b = RandomTimer::sample(10, &mut StdRng::seed_from_u64(5));
+        for i in 0..10u32 {
+            assert_eq!(a.key(NodeId(i)), b.key(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn lowest_speed_prefers_slow_nodes() {
+        let p = LowestSpeed::new(&[3.5, 0.5, 3.5]);
+        assert!(p.key(NodeId(1)) < p.key(NodeId(0)));
+        assert!(p.key(NodeId(0)) < p.key(NodeId(2))); // tie -> lower ID
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn lowest_speed_rejects_nan() {
+        LowestSpeed::new(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn sum_of_distances_prefers_central_nodes() {
+        use adhoc_graph::Point;
+        // Three nodes on a line: 1 sits between 0 and 2, all mutually
+        // connected; its distance sum (1+1) beats the ends' (1+2).
+        let g = gen::complete(3);
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        let p = SumOfDistances::from_positions(&g, &positions);
+        assert!(p.key(NodeId(1)) < p.key(NodeId(0)));
+        assert!(p.key(NodeId(1)) < p.key(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn sum_of_distances_length_mismatch() {
+        let g = gen::complete(3);
+        SumOfDistances::from_positions(&g, &[adhoc_graph::Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn alternative_priorities_yield_valid_clusterings() {
+        use crate::clustering::{cluster, MemberPolicy};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(55);
+        let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+        let speeds: Vec<f64> = (0..80).map(|_| rng.gen_range(0.0..5.0)).collect();
+        let c = cluster(
+            &net.graph,
+            2,
+            &LowestSpeed::new(&speeds),
+            MemberPolicy::IdBased,
+        );
+        c.verify(&net.graph).unwrap();
+        let p = SumOfDistances::from_positions(&net.graph, &net.positions);
+        let c = cluster(&net.graph, 2, &p, MemberPolicy::IdBased);
+        c.verify(&net.graph).unwrap();
+    }
+
+    #[test]
+    fn khop_degree_reduces_to_degree_at_k1() {
+        let g = gen::star(6);
+        let p1 = KhopDegree::from_graph(&g, 1);
+        let pd = HighestDegree::from_graph(&g);
+        for i in 0..6u32 {
+            assert_eq!(p1.key(NodeId(i)), pd.key(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn khop_degree_sees_past_immediate_neighbors() {
+        // Path 0-1-2-3-4: at k=2, node 2 covers everyone (ball 4),
+        // node 0 covers {1,2} (ball 2); node 2 must win.
+        let g = gen::path(5);
+        let p = KhopDegree::from_graph(&g, 2);
+        assert_eq!(p.ball_size(NodeId(2)), 4);
+        assert_eq!(p.ball_size(NodeId(0)), 2);
+        assert!(p.key(NodeId(2)) < p.key(NodeId(0)));
+        // k=1 ranks 0 and 2 equally by ball (both degree... 0 has 1
+        // neighbor, 2 has 2), so the orders genuinely differ by k.
+        let p1 = KhopDegree::from_graph(&g, 1);
+        assert_eq!(p1.ball_size(NodeId(0)), 1);
+        assert_eq!(p1.ball_size(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn khop_degree_clustering_elects_fewer_or_equal_heads_than_lowest_id() {
+        // Not a theorem — but on geometric graphs, electing k-hop hubs
+        // typically covers the area with fewer clusters. Assert only
+        // validity plus the recorded comparison on a fixed seed so a
+        // regression is visible.
+        use crate::clustering::{cluster, MemberPolicy};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+        let p = KhopDegree::from_graph(&net.graph, 2);
+        let c_hub = cluster(&net.graph, 2, &p, MemberPolicy::IdBased);
+        let c_id = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+        c_hub.verify(&net.graph).unwrap();
+        assert!(c_hub.head_count() <= c_id.head_count() + 1);
+    }
+
+    #[test]
+    fn keys_are_strictly_ordered_across_nodes() {
+        // No two distinct nodes may compare equal under any priority.
+        let g = gen::complete(6);
+        let p = HighestDegree::from_graph(&g); // all degrees equal
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                if i != j {
+                    assert_ne!(p.key(NodeId(i)), p.key(NodeId(j)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Cluster-based hierarchical routing — the paper's §1 routing
+//! motivation, made concrete.
+//!
+//! "Clustering has also been applied to routing protocols, helping to
+//! achieve smaller routing tables and fewer route updates." This
+//! module implements the standard two-level scheme on top of the
+//! connected k-hop clustering:
+//!
+//! * **Intra-cluster**: members forward toward their clusterhead along
+//!   canonical shortest paths (each node needs only its neighbors'
+//!   distance labels — k-bounded state).
+//! * **Inter-cluster**: clusterheads route over the adjacent cluster
+//!   graph `G''` (virtual links realized by gateways); each head's
+//!   table has one entry per clusterhead — `O(#heads)`, not `O(N)`.
+//!
+//! A route from `u` to `v` is the concatenation
+//! `u ⇝ head(u) ⇝ … virtual links … ⇝ head(v) ⇝ v`, with the standard
+//! shortcut that the walk stops early if it passes through `v`'s
+//! cluster near `v`. The price is *stretch* (walk length over true
+//! shortest distance); the payoff is table size — both measured by
+//! the `routing` experiment binary.
+
+use crate::adjacency::NeighborRule;
+use crate::clustering::Clustering;
+use crate::virtual_graph::VirtualGraph;
+use adhoc_graph::bfs::{self, Adjacency, BfsScratch};
+use adhoc_graph::graph::NodeId;
+use std::collections::BTreeMap;
+
+/// A hierarchical router over a clustering.
+#[derive(Clone, Debug)]
+pub struct ClusterRouter {
+    clustering: Clustering,
+    vg: VirtualGraph,
+    /// Dense index of each head.
+    head_index: BTreeMap<NodeId, usize>,
+    /// `next[h][t]` = next head on the inter-cluster route from head
+    /// index `h` toward head index `t` (self for `h == t`).
+    next_head: Vec<Vec<usize>>,
+}
+
+/// Routing-table size statistics (the paper's "smaller routing
+/// tables" claim, quantified).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TableStats {
+    /// Entries a member keeps: one (its clusterhead) plus its 1-hop
+    /// neighbor labels.
+    pub member_entries: usize,
+    /// Entries a clusterhead keeps: one per other clusterhead.
+    pub head_entries: usize,
+    /// Entries per node under flat shortest-path routing: `N - 1`.
+    pub flat_entries: usize,
+}
+
+impl ClusterRouter {
+    /// Builds the router: virtual graph under A-NCR plus all-pairs
+    /// inter-head next-hop tables (Floyd–Warshall-free: one Dijkstra
+    /// per head over `G''`, which has at most a few dozen vertices at
+    /// the paper's scales).
+    pub fn build<G: Adjacency>(g: &G, clustering: &Clustering) -> Self {
+        let vg = VirtualGraph::build(g, clustering, NeighborRule::Adjacent);
+        let heads = clustering.heads.clone();
+        let head_index: BTreeMap<NodeId, usize> =
+            heads.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let m = heads.len();
+        // Adjacency of G'' with virtual-hop weights.
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); m];
+        for l in vg.links() {
+            let (a, b) = (head_index[&l.a] as u32, head_index[&l.b] as u32);
+            let w = u64::from(l.hops());
+            adj[a as usize].push((b, w));
+            adj[b as usize].push((a, w));
+        }
+        // Per-head shortest-path tree over G'' -> next-hop tables.
+        // G'' is tiny (a few dozen heads), so an O(m^2) Dijkstra scan
+        // per source is fine and keeps determinism trivial.
+        let mut next_head = Vec::with_capacity(m);
+        for s in 0..m {
+            let parents = dijkstra_parents(&adj, s);
+            let mut row = vec![usize::MAX; m];
+            for (t, slot) in row.iter_mut().enumerate() {
+                if t == s {
+                    *slot = s;
+                    continue;
+                }
+                // Walk t's parent chain back toward s; the node whose
+                // parent is s is s's first hop toward t.
+                let mut cur = t;
+                while parents[cur] != s {
+                    assert_ne!(parents[cur], usize::MAX, "G'' is connected (Theorem 1)");
+                    cur = parents[cur];
+                }
+                *slot = cur;
+            }
+            next_head.push(row);
+        }
+        ClusterRouter {
+            clustering: clustering.clone(),
+            vg,
+            head_index,
+            next_head,
+        }
+    }
+
+    /// Routes `u ⇝ v`, returning the full node walk (inclusive).
+    /// Consecutive duplicates are collapsed; the walk always follows
+    /// existing edges of `g`.
+    pub fn route<G: Adjacency>(&self, g: &G, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        if u == v {
+            return vec![u];
+        }
+        let hu = self.clustering.head_of(u);
+        let hv = self.clustering.head_of(v);
+        let mut walk: Vec<NodeId> = Vec::new();
+
+        // Ascend: u -> head(u).
+        let up = canonical_path(g, u, hu, self.clustering.k);
+        walk.extend(up);
+
+        // Across: head(u) -> head(v) over virtual links.
+        let mut cur = self.head_index[&hu];
+        let target = self.head_index[&hv];
+        while cur != target {
+            let nxt = self.next_head[cur][target];
+            let (a, b) = (self.clustering.heads[cur], self.clustering.heads[nxt]);
+            let link = self.vg.link(a, b).expect("next-hop uses existing links");
+            if link.path[0] == walk[walk.len() - 1] {
+                walk.extend(link.path.iter().skip(1));
+            } else {
+                walk.extend(link.path.iter().rev().skip(1));
+            }
+            cur = nxt;
+        }
+
+        // Descend: head(v) -> v (reverse of v's ascent).
+        let mut down = canonical_path(g, v, hv, self.clustering.k);
+        down.reverse();
+        walk.extend(down.into_iter().skip(1));
+
+        // Shortcut trivially repeated nodes created by the joins.
+        dedup_consecutive(&mut walk);
+        walk
+    }
+
+    /// Table-size statistics for a network of `n` nodes and the mean
+    /// node degree `avg_degree`.
+    pub fn table_stats(&self, n: usize, avg_degree: f64) -> TableStats {
+        TableStats {
+            member_entries: 1 + avg_degree.round() as usize,
+            head_entries: self.clustering.head_count().saturating_sub(1),
+            flat_entries: n.saturating_sub(1),
+        }
+    }
+
+    /// The underlying virtual graph (for inspection).
+    pub fn virtual_graph(&self) -> &VirtualGraph {
+        &self.vg
+    }
+}
+
+/// Canonical shortest path from `x` to its head (bounded by `k`).
+fn canonical_path<G: Adjacency>(g: &G, x: NodeId, head: NodeId, k: u32) -> Vec<NodeId> {
+    let mut scratch = BfsScratch::new(g.node_count());
+    scratch.run(g, head, k);
+    bfs::lexico_path_from_labels(g, x, head, &scratch).expect("member within k hops of head")
+}
+
+fn dedup_consecutive(walk: &mut Vec<NodeId>) {
+    walk.dedup();
+}
+
+/// Deterministic Dijkstra over a tiny weighted adjacency list,
+/// returning parent pointers (`usize::MAX` = unreached, `s`'s parent
+/// is itself).
+fn dijkstra_parents(adj: &[Vec<(u32, u64)>], s: usize) -> Vec<usize> {
+    let m = adj.len();
+    let mut dist = vec![u64::MAX; m];
+    let mut parent = vec![usize::MAX; m];
+    let mut done = vec![false; m];
+    dist[s] = 0;
+    parent[s] = s;
+    for _ in 0..m {
+        let mut best = usize::MAX;
+        for i in 0..m {
+            if !done[i] && dist[i] != u64::MAX && (best == usize::MAX || dist[i] < dist[best]) {
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        done[best] = true;
+        for &(to, w) in &adj[best] {
+            let to = to as usize;
+            let nd = dist[best] + w;
+            if nd < dist[to] || (nd == dist[to] && best < parent[to]) {
+                dist[to] = nd;
+                parent[to] = best;
+            }
+        }
+    }
+    parent
+}
+
+/// Walk validity + length helpers for experiments.
+pub fn walk_hops(walk: &[NodeId]) -> u32 {
+    walk.len().saturating_sub(1) as u32
+}
+
+/// Whether `walk` follows existing edges (repeated nodes allowed —
+/// hierarchical routes are walks, not simple paths).
+pub fn is_valid_walk<G: Adjacency>(g: &G, walk: &[NodeId]) -> bool {
+    !walk.is_empty()
+        && walk
+            .windows(2)
+            .all(|w| g.adj(w[0]).binary_search(&w[1]).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+
+    fn routed_ok<G: Adjacency>(g: &G, router: &ClusterRouter, u: NodeId, v: NodeId) -> u32 {
+        let walk = router.route(g, u, v);
+        assert!(
+            is_valid_walk(g, &walk),
+            "{u:?}->{v:?}: invalid walk {walk:?}"
+        );
+        assert_eq!(walk[0], u);
+        assert_eq!(*walk.last().unwrap(), v);
+        walk_hops(&walk)
+    }
+
+    #[test]
+    fn routes_on_path_graph() {
+        let g = gen::path(9);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let router = ClusterRouter::build(&g, &c);
+        let hops = routed_ok(&g, &router, NodeId(0), NodeId(8));
+        assert_eq!(hops, 8, "path routing must be stretch-free");
+        let hops = routed_ok(&g, &router, NodeId(3), NodeId(5));
+        // 3 -> head 2 -> head 4 -> 5: walk 3-2-3-4-5 collapses to
+        // 3-2-3-4-5 (4 hops) or better; allow small stretch.
+        assert!((2..=4).contains(&hops));
+    }
+
+    #[test]
+    fn same_cluster_routing() {
+        let g = gen::star(6);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let router = ClusterRouter::build(&g, &c);
+        let hops = routed_ok(&g, &router, NodeId(2), NodeId(4));
+        assert_eq!(hops, 2); // via the hub head
+        assert_eq!(routed_ok(&g, &router, NodeId(3), NodeId(3)), 0);
+    }
+
+    #[test]
+    fn all_pairs_reachable_random() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(60, 100.0, 8.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let router = ClusterRouter::build(&net.graph, &c);
+            // Sample pairs.
+            for (u, v) in [(0u32, 59u32), (5, 40), (17, 23), (59, 0), (30, 31)] {
+                routed_ok(&net.graph, &router, NodeId(u), NodeId(v));
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_is_bounded_empirically() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 8.0), &mut rng);
+        let c = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+        let router = ClusterRouter::build(&net.graph, &c);
+        let d0 = bfs::distances(&net.graph, NodeId(0));
+        let mut worst = 0.0f64;
+        for v in 1..net.graph.len() as u32 {
+            let hops = routed_ok(&net.graph, &router, NodeId(0), NodeId(v));
+            let true_d = d0[v as usize];
+            worst = worst.max(f64::from(hops) / f64::from(true_d));
+        }
+        assert!(worst >= 1.0);
+        assert!(
+            worst <= 6.0,
+            "hierarchical stretch {worst} implausibly large"
+        );
+    }
+
+    #[test]
+    fn table_sizes_favor_hierarchy() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = gen::geometric(&gen::GeometricConfig::new(150, 100.0, 6.0), &mut rng);
+        let c = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+        let router = ClusterRouter::build(&net.graph, &c);
+        let stats = router.table_stats(net.graph.len(), net.graph.average_degree());
+        assert!(stats.head_entries < stats.flat_entries / 2);
+        assert!(stats.member_entries < stats.flat_entries / 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! Virtual links and the virtual graph of §3.2.
+//!
+//! A *virtual link* between two clusterheads is a canonical shortest
+//! path between them in the original network `G`; its *virtual
+//! distance* is the path's hop count. The virtual graph has the
+//! clusterheads as vertices and one virtual link per selected neighbor
+//! clusterhead pair — with the A-NCR rule it equals the adjacent
+//! cluster graph `G''`.
+//!
+//! Canonical paths are the lexicographically smallest shortest paths
+//! (`adhoc_graph::bfs::lexico_shortest_path`) oriented from the smaller
+//! endpoint ID, so the two endpoints of a link — and the centralized
+//! and distributed implementations — always agree on which nodes would
+//! become gateways.
+
+use crate::adjacency::{self, NeighborRule, NeighborSets};
+use crate::clustering::Clustering;
+use adhoc_graph::bfs::{self, Adjacency, BfsScratch};
+use adhoc_graph::graph::NodeId;
+use adhoc_graph::lmst::TieWeight;
+use adhoc_graph::paths;
+use std::collections::BTreeMap;
+
+/// A realized virtual link between clusterheads `a < b`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtualLink {
+    /// Smaller endpoint.
+    pub a: NodeId,
+    /// Larger endpoint.
+    pub b: NodeId,
+    /// Canonical shortest path from `a` to `b`, inclusive.
+    pub path: Vec<NodeId>,
+}
+
+impl VirtualLink {
+    /// Hop count (the paper's "virtual distance").
+    pub fn hops(&self) -> u32 {
+        paths::hop_count(&self.path)
+    }
+
+    /// The LMST weight triple `(hops, max id, min id)`.
+    pub fn weight(&self) -> TieWeight<u32> {
+        TieWeight::new(self.hops(), self.a, self.b)
+    }
+
+    /// Interior nodes — the nodes marked as gateways when this link is
+    /// selected.
+    pub fn interior(&self) -> &[NodeId] {
+        paths::interior(&self.path)
+    }
+}
+
+/// The virtual graph over clusterheads under a neighbor rule.
+#[derive(Clone, Debug)]
+pub struct VirtualGraph {
+    /// Clusterheads, ascending.
+    pub heads: Vec<NodeId>,
+    /// The neighbor clusterhead relation the graph was built from.
+    pub neighbor_sets: NeighborSets,
+    links: BTreeMap<(NodeId, NodeId), VirtualLink>,
+}
+
+impl VirtualGraph {
+    /// Builds the virtual graph of `clustering` under `rule`: one
+    /// canonical shortest path per selected pair, each at most `2k+1`
+    /// hops (guaranteed by both rules).
+    pub fn build<G: Adjacency>(g: &G, clustering: &Clustering, rule: NeighborRule) -> Self {
+        let neighbor_sets = adjacency::neighbor_clusterheads(g, clustering, rule);
+        let bound = 2 * clustering.k + 1;
+        let mut links = BTreeMap::new();
+        let mut scratch = BfsScratch::new(g.node_count());
+        // One bounded BFS per head b; extract paths to all selected
+        // partners a < b from b's distance labels.
+        for (b, partners) in neighbor_sets.iter() {
+            let smaller: Vec<NodeId> = partners.iter().copied().filter(|&a| a < b).collect();
+            if smaller.is_empty() {
+                continue;
+            }
+            scratch.run(g, b, bound);
+            for a in smaller {
+                let path = bfs::lexico_path_from_labels(g, a, b, &scratch)
+                    .expect("selected neighbor heads are within 2k+1 hops");
+                links.insert((a, b), VirtualLink { a, b, path });
+            }
+        }
+        VirtualGraph {
+            heads: clustering.heads.clone(),
+            neighbor_sets,
+            links,
+        }
+    }
+
+    /// The virtual link between `u` and `v` (order-insensitive).
+    pub fn link(&self, u: NodeId, v: NodeId) -> Option<&VirtualLink> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.links.get(&key)
+    }
+
+    /// Whether a virtual link between `u` and `v` exists.
+    pub fn has_link(&self, u: NodeId, v: NodeId) -> bool {
+        self.link(u, v).is_some()
+    }
+
+    /// LMST weight of the `u`–`v` link, if present.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> Option<TieWeight<u32>> {
+        self.link(u, v).map(VirtualLink::weight)
+    }
+
+    /// All links, ascending by `(a, b)`.
+    pub fn links(&self) -> impl Iterator<Item = &VirtualLink> {
+        self.links.values()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Virtual links between **all** pairs of clusterheads with no hop
+/// bound, for the centralized G-MST baseline. Disconnected pairs are
+/// omitted (cannot happen on a connected `G`).
+pub fn complete_virtual_links<G: Adjacency>(g: &G, clustering: &Clustering) -> Vec<VirtualLink> {
+    let mut out = Vec::new();
+    let mut scratch = BfsScratch::new(g.node_count());
+    for (i, &b) in clustering.heads.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        scratch.run(g, b, u32::MAX);
+        for &a in &clustering.heads[..i] {
+            if let Some(path) = bfs::lexico_path_from_labels(g, a, b, &scratch) {
+                out.push(VirtualLink { a, b, path });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+    use adhoc_graph::graph::Graph;
+
+    fn path9() -> (Graph, Clustering) {
+        let g = gen::path(9);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        (g, c)
+    }
+
+    #[test]
+    fn virtual_links_on_path() {
+        let (g, c) = path9();
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        // Heads 0,2,4,6,8; consecutive heads adjacent through shared
+        // edges, each link 2 hops through the odd member.
+        assert_eq!(vg.link_count(), 4);
+        let l = vg.link(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(l.path, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(l.hops(), 2);
+        assert_eq!(l.interior(), &[NodeId(1)]);
+        assert!(vg.has_link(NodeId(4), NodeId(6)));
+        assert!(!vg.has_link(NodeId(0), NodeId(8)));
+    }
+
+    #[test]
+    fn link_weight_embeds_ids() {
+        let (g, c) = path9();
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        let w = vg.weight(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(w.w, 2);
+        assert_eq!(w.lo, NodeId(0));
+        assert_eq!(w.hi, NodeId(2));
+        assert!(vg.weight(NodeId(0), NodeId(8)).is_none());
+    }
+
+    #[test]
+    fn paths_are_valid_and_within_bound() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(90, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            for rule in [NeighborRule::Adjacent, NeighborRule::All2kPlus1] {
+                let vg = VirtualGraph::build(&net.graph, &c, rule);
+                for l in vg.links() {
+                    assert!(paths::is_valid_path(&net.graph, &l.path));
+                    assert!(l.hops() <= 2 * k + 1);
+                    assert!(l.a < l.b);
+                    assert_eq!(l.path[0], l.a);
+                    assert_eq!(*l.path.last().unwrap(), l.b);
+                    // Interior nodes are never clusterheads when the
+                    // path is within 2k+1 hops (each interior node is
+                    // within k hops of one endpoint head).
+                    for w in l.interior() {
+                        assert!(!c.is_head(*w), "head {w:?} interior to a link");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_canonical_shortest() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = gen::geometric(&gen::GeometricConfig::new(70, 100.0, 8.0), &mut rng);
+        let c = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+        let vg = VirtualGraph::build(&net.graph, &c, NeighborRule::Adjacent);
+        for l in vg.links() {
+            let d = bfs::distances(&net.graph, l.a);
+            assert_eq!(l.hops(), d[l.b.index()], "virtual link not shortest");
+            let independent = bfs::lexico_shortest_path(&net.graph, l.a, l.b, u32::MAX).unwrap();
+            assert_eq!(l.path, independent, "virtual link not canonical");
+        }
+    }
+
+    #[test]
+    fn complete_links_cover_all_pairs() {
+        let (g, c) = path9();
+        let all = complete_virtual_links(&g, &c);
+        let h = c.heads.len();
+        assert_eq!(all.len(), h * (h - 1) / 2);
+        // Longest pair: 0 to 8, 8 hops.
+        let longest = all.iter().map(VirtualLink::hops).max().unwrap();
+        assert_eq!(longest, 8);
+    }
+
+    #[test]
+    fn empty_relation_for_single_cluster() {
+        let g = gen::star(4);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        assert_eq!(vg.link_count(), 0);
+        assert!(complete_virtual_links(&g, &c).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Wu and Lou's "2.5 hops coverage" rule — the k = 1 predecessor that
+//! A-NCR extends and generalizes (§2, §3.1, Figure 2, reference \[17\]).
+//!
+//! For 1-hop clustering, each clusterhead covers (and connects to):
+//!
+//! * every clusterhead within **2 hops**, and
+//! * every clusterhead exactly **3 hops** away that has a *member*
+//!   within the clusterhead's 2-hop neighborhood.
+//!
+//! The relation is directional (Figure 2(c) shows unidirectional
+//! connections like "2 → 4" without "4 → 2" being needed), and it is a
+//! *supergraph* of the adjacent cluster graph `G''`: if clusters
+//! `C1`/`C2` share an edge `w1–w2`, then `d(u, w2) ≤ 2` for head `u`
+//! of `C1`, so `v` (head of `C2`, at distance 2 or 3) is covered by
+//! `u`. Hence 2.5-hops coverage also guarantees connectivity — but
+//! keeps redundant links (the paper's Figure 2(d) shows A-NCR removing
+//! them), which is exactly the gap A-NCR closes.
+
+use crate::adjacency::{self, NeighborRule};
+use crate::clustering::Clustering;
+use crate::gateway::GatewaySelection;
+use adhoc_graph::bfs::{self, Adjacency, BfsScratch, UNREACHED};
+use adhoc_graph::graph::NodeId;
+use std::collections::BTreeMap;
+
+/// The directed 2.5-hops coverage relation.
+#[derive(Clone, Debug, Default)]
+pub struct Coverage {
+    out: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl Coverage {
+    /// Heads covered by `head` (sorted).
+    ///
+    /// # Panics
+    /// Panics if `head` is not a clusterhead.
+    pub fn covered_by(&self, head: NodeId) -> &[NodeId] {
+        self.out
+            .get(&head)
+            .unwrap_or_else(|| panic!("{head:?} is not a clusterhead"))
+    }
+
+    /// All directed pairs `(u, v)` with `v` covered by `u`.
+    pub fn directed_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.out
+            .iter()
+            .flat_map(|(&u, vs)| vs.iter().map(move |&v| (u, v)))
+            .collect()
+    }
+
+    /// The undirected support of the relation: pairs `(a, b)`, `a < b`,
+    /// where at least one direction covers the other.
+    pub fn undirected_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs: Vec<(NodeId, NodeId)> = self
+            .directed_pairs()
+            .into_iter()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+/// Computes the 2.5-hops coverage of every clusterhead.
+///
+/// # Panics
+/// Panics unless `clustering.k == 1` — the rule is defined for 1-hop
+/// clustering only; A-NCR is its k-hop generalization.
+pub fn coverage25<G: Adjacency>(g: &G, clustering: &Clustering) -> Coverage {
+    assert_eq!(
+        clustering.k, 1,
+        "2.5-hops coverage is a k = 1 rule; use A-NCR for general k"
+    );
+    let n = g.node_count();
+    let mut scratch = BfsScratch::new(n);
+    let mut out = BTreeMap::new();
+    for &u in &clustering.heads {
+        // u's 2-hop neighborhood, with distances; 3-hop shell too.
+        scratch.run(g, u, 3);
+        let mut covered = Vec::new();
+        for &v in &clustering.heads {
+            if v == u {
+                continue;
+            }
+            match scratch.dist(v) {
+                UNREACHED => {}
+                d if d <= 2 => covered.push(v),
+                3 => {
+                    // Covered iff some member of v's cluster is within
+                    // u's 2-hop neighborhood.
+                    let has_near_member = scratch
+                        .visited()
+                        .iter()
+                        .any(|&w| scratch.dist(w) <= 2 && clustering.head_of(w) == v && w != v);
+                    if has_near_member {
+                        covered.push(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        covered.sort_unstable();
+        out.insert(u, covered);
+    }
+    Coverage { out }
+}
+
+/// Mesh gateway selection over the 2.5-hops coverage relation: one
+/// canonical shortest path per undirected covered pair (the
+/// construction the paper's Figure 2(c) illustrates, modulo their
+/// greedy path sharing).
+pub fn mesh25<G: Adjacency>(g: &G, clustering: &Clustering) -> GatewaySelection {
+    let cov = coverage25(g, clustering);
+    let mut gateways = Vec::new();
+    let mut links_used = Vec::new();
+    let mut scratch = BfsScratch::new(g.node_count());
+    for (a, b) in cov.undirected_pairs() {
+        scratch.run(g, b, 3);
+        let path = bfs::lexico_path_from_labels(g, a, b, &scratch)
+            .expect("covered heads are within 3 hops");
+        links_used.push((a, b));
+        for &w in adhoc_graph::paths::interior(&path) {
+            if !clustering.is_head(w) {
+                gateways.push(w);
+            }
+        }
+    }
+    gateways.sort_unstable();
+    gateways.dedup();
+    GatewaySelection {
+        gateways,
+        links_used,
+    }
+}
+
+/// Checks the containment chain of §3.1 on a concrete instance:
+/// `G'' (A-NCR) ⊆ 2.5-hops coverage ⊆ NC (3 hops)`, as undirected
+/// pair sets. Returns the three pair counts `(ac, wu_lou, nc)`.
+pub fn containment_chain<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+) -> Result<(usize, usize, usize), String> {
+    let ac = adjacency::neighbor_clusterheads(g, clustering, NeighborRule::Adjacent);
+    let nc = adjacency::neighbor_clusterheads(g, clustering, NeighborRule::All2kPlus1);
+    let cov = coverage25(g, clustering);
+    let wl = cov.undirected_pairs();
+    for pair in ac.pairs() {
+        if !wl.contains(&pair) {
+            return Err(format!("adjacent pair {pair:?} missing from 2.5-hops"));
+        }
+    }
+    let nc_pairs = nc.pairs();
+    for pair in &wl {
+        if !nc_pairs.contains(pair) {
+            return Err(format!("2.5-hops pair {pair:?} outside 3 hops"));
+        }
+    }
+    Ok((ac.pair_count(), wl.len(), nc_pairs.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cds::Cds;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+    use adhoc_graph::graph::Graph;
+
+    #[test]
+    fn two_hop_heads_always_covered() {
+        let g = gen::path(9); // heads 0,2,4,6,8 at k=1, consecutive 2 apart
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let cov = coverage25(&g, &c);
+        assert_eq!(cov.covered_by(NodeId(4)), &[NodeId(2), NodeId(6)]);
+        assert_eq!(cov.undirected_pairs().len(), 4);
+    }
+
+    #[test]
+    fn three_hop_head_needs_member_in_two_hops() {
+        // Heads u=0 and v=1 at distance 3 via 0-2-3-1 where 2 ∈ C0,
+        // 3 ∈ C1: v's member 3 is 2 hops from u -> covered.
+        let g = Graph::from_edges(4, &[(0, 2), (2, 3), (3, 1)]);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        assert_eq!(c.heads, vec![NodeId(0), NodeId(1)]);
+        let cov = coverage25(&g, &c);
+        assert_eq!(cov.covered_by(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(cov.covered_by(NodeId(1)), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn three_hop_head_without_near_member_uncovered_one_direction() {
+        // Figure 2's point: coverage can be asymmetric. Build heads u,v
+        // at distance 3 where the connecting interior belongs to a
+        // *third* cluster on u's side:
+        //   u=0 with member 4; w=2 head of {2,5}; v=1 with member 6.
+        //   path 0-4, 4-5, 5-6, 6-1 and 5 ∈ C2 (2-5 edge).
+        // d(0,1) = 4 -> beyond 3, not covered at all. Shrink: 0-4,4-6,6-1
+        // with 4 ∈ C0? 4 adjacent 0: member of 0. 6: neighbor of 4 and 1;
+        // 6 joins 1 (IdBased hears 0? d(6,0)=2 no). So 6 ∈ C1.
+        // d(0,1)=3; does 1 have a member within 2 of 0? 6 at d(0,6)=2 ✓
+        // covered. Does 0 have a member within 2 of 1? 4 at d(1,4)=2 ✓.
+        // Symmetric again. True asymmetry needs the separating cluster
+        // of Figure 2; replicate its shape:
+        //   heads: 1, 2, 3, 4 in paper. We test machine-checked
+        //   asymmetry existence over random graphs instead.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut saw_asymmetry = false;
+        for _ in 0..10 {
+            let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+            let cov = coverage25(&net.graph, &c);
+            let directed = cov.directed_pairs();
+            for &(u, v) in &directed {
+                if !directed.contains(&(v, u)) {
+                    saw_asymmetry = true;
+                }
+            }
+        }
+        assert!(
+            saw_asymmetry,
+            "2.5-hops coverage should show unidirectional links somewhere"
+        );
+    }
+
+    #[test]
+    fn containment_chain_holds_randomized() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+            let (ac, wl, nc) = containment_chain(&net.graph, &c).unwrap();
+            assert!(ac <= wl, "A-NCR ({ac}) must be within 2.5-hops ({wl})");
+            assert!(wl <= nc, "2.5-hops ({wl}) must be within NC ({nc})");
+        }
+    }
+
+    #[test]
+    fn mesh25_produces_valid_cds() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = gen::geometric(&gen::GeometricConfig::new(90, 100.0, 6.0), &mut rng);
+        let c = cluster(&net.graph, 1, &LowestId, MemberPolicy::IdBased);
+        let sel = mesh25(&net.graph, &c);
+        let cds = Cds::assemble(&c, &sel);
+        cds.verify(&net.graph, 1).unwrap();
+        // And it realizes at least the adjacent pairs.
+        let ac = adjacency::neighbor_clusterheads(&net.graph, &c, NeighborRule::Adjacent);
+        assert!(sel.links_used.len() >= ac.pair_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 1")]
+    fn k2_is_rejected() {
+        let g = gen::path(9);
+        let c = cluster(&g, 2, &LowestId, MemberPolicy::IdBased);
+        coverage25(&g, &c);
+    }
+}

@@ -1,0 +1,274 @@
+//! Property-based tests for the clustering pipeline.
+
+use adhoc_cluster::adjacency::{self, NeighborRule};
+use adhoc_cluster::clustering::{self, MemberPolicy};
+use adhoc_cluster::pipeline::{self, Algorithm, PipelineConfig};
+use adhoc_cluster::priority::{HighestDegree, KhopDegree, LowestId, LowestSpeed, RandomTimer};
+use adhoc_cluster::virtual_graph::VirtualGraph;
+use adhoc_graph::graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// Random connected graph: random tree plus extra edges.
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n)
+        .prop_flat_map(|n| {
+            let parents: Vec<_> = (1..n).map(|i| 0..i as u32).collect();
+            let extra = (0..n as u32, 0..n as u32);
+            (Just(n), parents, proptest::collection::vec(extra, 0..n))
+        })
+        .prop_map(|(n, parents, extra)| {
+            let mut g = Graph::new(n);
+            for (i, p) in parents.into_iter().enumerate() {
+                g.add_edge(NodeId((i + 1) as u32), NodeId(p));
+            }
+            for (a, b) in extra {
+                if a != b && !g.has_edge(NodeId(a), NodeId(b)) {
+                    g.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clustering_invariants(g in arb_connected_graph(40), k in 1u32..4) {
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        prop_assert!(c.verify(&g).is_ok());
+        // Partition: sizes sum to n.
+        prop_assert_eq!(c.cluster_sizes().iter().sum::<usize>(), g.len());
+    }
+
+    #[test]
+    fn heads_do_not_depend_on_member_policy(g in arb_connected_graph(30), k in 1u32..4) {
+        // Which nodes get covered each round depends only on the new
+        // heads' k-balls, not on which cluster a member picks, so the
+        // elected heads are identical across policies.
+        let a = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        let b = clustering::cluster(&g, k, &LowestId, MemberPolicy::DistanceBased);
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::SizeBased);
+        prop_assert_eq!(&a.heads, &b.heads);
+        prop_assert_eq!(&a.heads, &c.heads);
+    }
+
+    #[test]
+    fn all_priorities_produce_valid_clusterings(g in arb_connected_graph(25), k in 1u32..3) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let c1 = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        prop_assert!(c1.verify(&g).is_ok());
+        let hd = HighestDegree::from_graph(&g);
+        let c2 = clustering::cluster(&g, k, &hd, MemberPolicy::IdBased);
+        prop_assert!(c2.verify(&g).is_ok());
+        let rt = RandomTimer::sample(g.len(), &mut StdRng::seed_from_u64(1));
+        let c3 = clustering::cluster(&g, k, &rt, MemberPolicy::IdBased);
+        prop_assert!(c3.verify(&g).is_ok());
+        let kd = KhopDegree::from_graph(&g, k);
+        let c4 = clustering::cluster(&g, k, &kd, MemberPolicy::IdBased);
+        prop_assert!(c4.verify(&g).is_ok());
+        let speeds: Vec<f64> = (0..g.len()).map(|i| (i % 7) as f64).collect();
+        let c5 = clustering::cluster(&g, k, &LowestSpeed::new(&speeds), MemberPolicy::IdBased);
+        prop_assert!(c5.verify(&g).is_ok());
+    }
+
+    #[test]
+    fn every_algorithm_yields_valid_cds(g in arb_connected_graph(35), k in 1u32..4) {
+        let cfg = PipelineConfig::new(k);
+        let clustering = clustering::cluster(&g, k, &LowestId, cfg.policy);
+        for alg in Algorithm::ALL {
+            let out = pipeline::run_on(&g, alg, &clustering);
+            prop_assert!(
+                out.cds.verify(&g, k).is_ok(),
+                "{} produced an invalid CDS", alg
+            );
+            // Gateways are never clusterheads.
+            for v in &out.cds.gateways {
+                prop_assert!(!out.clustering.is_head(*v));
+            }
+        }
+    }
+
+    #[test]
+    fn ac_relation_is_subset_of_nc(g in arb_connected_graph(30), k in 1u32..4) {
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        let ac = adjacency::neighbor_clusterheads(&g, &c, NeighborRule::Adjacent);
+        let nc = adjacency::neighbor_clusterheads(&g, &c, NeighborRule::All2kPlus1);
+        prop_assert!(ac.check_symmetric().is_ok());
+        prop_assert!(nc.check_symmetric().is_ok());
+        for (h, adj) in ac.iter() {
+            for v in adj {
+                prop_assert!(nc.of(h).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn lmst_dominated_by_mesh(g in arb_connected_graph(30), k in 1u32..4) {
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        for rule in [NeighborRule::Adjacent, NeighborRule::All2kPlus1] {
+            let vg = VirtualGraph::build(&g, &c, rule);
+            let mesh = adhoc_cluster::gateway::mesh(&vg, &c);
+            let lmst = adhoc_cluster::gateway::lmstga(&vg, &c);
+            prop_assert!(lmst.gateway_count() <= mesh.gateway_count());
+            prop_assert!(lmst.links_used.len() <= mesh.links_used.len());
+        }
+    }
+
+    #[test]
+    fn gmst_link_count_is_exactly_spanning(g in arb_connected_graph(30), k in 1u32..4) {
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        let sel = adhoc_cluster::gateway::gmst(&g, &c);
+        prop_assert_eq!(sel.links_used.len(), c.head_count() - 1);
+    }
+
+    #[test]
+    fn virtual_links_are_shortest_paths(g in arb_connected_graph(25), k in 1u32..3) {
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        for l in vg.links() {
+            let d = adhoc_graph::bfs::distances(&g, l.a);
+            prop_assert_eq!(l.hops(), d[l.b.index()]);
+            prop_assert!(adhoc_graph::paths::is_valid_path(&g, &l.path));
+        }
+    }
+
+    #[test]
+    fn dist_to_head_bounded_by_k(g in arb_connected_graph(35), k in 1u32..5) {
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::DistanceBased);
+        for v in 0..g.len() {
+            prop_assert!(c.dist_to_head[v] <= k);
+        }
+    }
+
+    #[test]
+    fn core_algorithm_contract(g in arb_connected_graph(30), k in 1u32..4) {
+        use adhoc_cluster::core_algorithm::{core_cluster, verify_core};
+        let core = core_cluster(&g, k, &LowestId);
+        prop_assert!(verify_core(&g, &core).is_ok());
+        // Core heads dominate in one round; note that NO inequality
+        // holds universally between core and cluster head counts (the
+        // iterative algorithm can fragment leftover nodes into extra
+        // clusters on stars, while core merges them), so only the
+        // contract is asserted here; the typical-case comparison lives
+        // in the baselines experiment.
+        prop_assert_eq!(core.rounds, 1);
+        // The gateway pipeline still yields a valid CDS on top of it.
+        let out = pipeline::run_on(&g, Algorithm::AcLmst, &core);
+        prop_assert!(out.cds.verify(&g, k).is_ok());
+    }
+
+    #[test]
+    fn hierarchy_levels_shrink_and_stay_connected(g in arb_connected_graph(35)) {
+        use adhoc_cluster::hierarchy::Hierarchy;
+        use adhoc_graph::connectivity;
+        let h = Hierarchy::build(&g, &[1, 1, 1], MemberPolicy::IdBased);
+        let counts = h.head_counts();
+        for w in counts.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        for level in &h.levels {
+            prop_assert!(connectivity::is_connected(&level.graph));
+            prop_assert!(level.clustering.verify(&level.graph).is_ok());
+        }
+        // Top heads resolve to physical level-0 heads.
+        for &t in &h.top_heads() {
+            prop_assert!(h.levels[0].clustering.is_head(t));
+        }
+    }
+
+    #[test]
+    fn border_gateways_valid_at_k1(g in arb_connected_graph(30)) {
+        use adhoc_cluster::border::border_gateways;
+        use adhoc_cluster::cds::Cds;
+        let c = clustering::cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let sel = border_gateways(&g, &c);
+        let cds = Cds::assemble(&c, &sel);
+        prop_assert!(cds.verify(&g, 1).is_ok());
+        // Border marks a superset of what any one path per pair needs:
+        // it can never realize fewer adjacent pairs than exist.
+        let ac = adjacency::neighbor_clusterheads(&g, &c, NeighborRule::Adjacent);
+        prop_assert_eq!(sel.links_used.len(), ac.pair_count());
+    }
+
+    #[test]
+    fn weighted_lmstga_valid_and_zero_cost_canonical(
+        g in arb_connected_graph(25),
+        k in 1u32..3,
+        salt in 0u64..1000,
+    ) {
+        use adhoc_cluster::gateway::{lmstga, lmstga_weighted};
+        use adhoc_cluster::cds::Cds;
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        // Pseudo-random relay costs from the salt.
+        let costs: Vec<u64> = (0..g.len() as u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9).wrapping_add(salt)) % 17)
+            .collect();
+        let sel = lmstga_weighted(&g, &c, NeighborRule::Adjacent, &costs);
+        let cds = Cds::assemble(&c, &sel);
+        prop_assert!(cds.verify(&g, k).is_ok());
+        // Zero costs reproduce the hop-based algorithm exactly.
+        let zeros = vec![0u64; g.len()];
+        let z = lmstga_weighted(&g, &c, NeighborRule::Adjacent, &zeros);
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        let hop = lmstga(&vg, &c);
+        prop_assert_eq!(z.gateways, hop.gateways);
+        prop_assert_eq!(z.links_used, hop.links_used);
+    }
+}
+
+// ---- exact-solver properties (small instances, fewer cases) ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_cds_lower_bounds_every_algorithm(g in arb_connected_graph(14), k in 1u32..3) {
+        use adhoc_cluster::exact::{self, ExactConfig};
+        let opt = exact::min_khop_cds(&g, k, &ExactConfig::default());
+        prop_assert!(opt.optimal);
+        prop_assert!(exact::verify_khop_cds(&g, &opt.set, k).is_ok());
+        for alg in Algorithm::ALL {
+            let out = pipeline::run(&g, alg, &PipelineConfig::new(k));
+            prop_assert!(
+                out.cds.size() >= opt.size(),
+                "{alg} beat the proven optimum: {} < {}",
+                out.cds.size(),
+                opt.size()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_ds_lower_bounds_exact_cds(g in arb_connected_graph(14), k in 1u32..3) {
+        use adhoc_cluster::exact::{self, ExactConfig};
+        let ds = exact::min_khop_ds(&g, k, &ExactConfig::default());
+        let cds = exact::min_khop_cds(&g, k, &ExactConfig::default());
+        prop_assert!(ds.optimal && cds.optimal);
+        prop_assert!(ds.size() <= cds.size());
+    }
+
+    #[test]
+    fn exact_cds_monotone_in_k(g in arb_connected_graph(12)) {
+        use adhoc_cluster::exact::{self, ExactConfig};
+        let mut prev = usize::MAX;
+        for k in 1..=3u32 {
+            let r = exact::min_khop_cds(&g, k, &ExactConfig::default());
+            prop_assert!(r.optimal);
+            prop_assert!(r.size() <= prev);
+            prev = r.size();
+        }
+    }
+
+    #[test]
+    fn coverage_verifier_accepts_what_full_verifier_accepts(
+        g in arb_connected_graph(25),
+        k in 1u32..4,
+    ) {
+        // verify() implies verify_coverage(): the latter is a strict
+        // relaxation.
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        prop_assert!(c.verify(&g).is_ok());
+        prop_assert!(c.verify_coverage(&g).is_ok());
+    }
+}

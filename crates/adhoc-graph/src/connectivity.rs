@@ -1,0 +1,167 @@
+//! Connected components and connectivity predicates.
+
+use crate::bfs::{Adjacency, BfsScratch, UNREACHED};
+use crate::graph::NodeId;
+
+/// Whether the whole graph is connected (the empty graph and the
+/// single-node graph count as connected).
+pub fn is_connected<G: Adjacency>(g: &G) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let mut scratch = BfsScratch::new(n);
+    scratch.run(g, NodeId(0), u32::MAX);
+    scratch.visited().len() == n
+}
+
+/// Component label of every node (labels are dense, in order of the
+/// smallest node ID of each component).
+pub fn components<G: Adjacency>(g: &G) -> Vec<u32> {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut scratch = BfsScratch::new(n);
+    let mut next = 0;
+    for u in 0..n as u32 {
+        if label[u as usize] != u32::MAX {
+            continue;
+        }
+        scratch.run(g, NodeId(u), u32::MAX);
+        for &v in scratch.visited() {
+            label[v.index()] = next;
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn component_count<G: Adjacency>(g: &G) -> usize {
+    components(g).iter().map(|&l| l + 1).max().unwrap_or(0) as usize
+}
+
+/// Whether a *subset* of nodes induces a connected subgraph of `g`.
+///
+/// This is the check behind the paper's Theorems 1 and 2: the
+/// clusterheads plus the selected gateways, with the links among them
+/// in the original network `G`, must form a connected graph. The empty
+/// set and singletons are connected.
+pub fn is_subset_connected<G: Adjacency>(g: &G, subset: &[NodeId]) -> bool {
+    if subset.len() <= 1 {
+        return true;
+    }
+    let n = g.node_count();
+    let mut in_set = vec![false; n];
+    for &v in subset {
+        in_set[v.index()] = true;
+    }
+    // BFS restricted to subset members.
+    let mut seen = vec![false; n];
+    let mut stack = vec![subset[0]];
+    seen[subset[0].index()] = true;
+    let mut reached = 0usize;
+    while let Some(u) = stack.pop() {
+        reached += 1;
+        for &v in g.adj(u) {
+            if in_set[v.index()] && !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    reached == subset.len()
+}
+
+/// Hop distance from every node to the nearest member of `set`
+/// (multi-source BFS). `UNREACHED` where no member is reachable.
+///
+/// Used to verify k-hop domination: `set` k-hop-dominates the graph iff
+/// every entry is `<= k`.
+pub fn distance_to_set<G: Adjacency>(g: &G, set: &[NodeId]) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in set {
+        if dist[s.index()] != 0 {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.adj(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+
+    #[test]
+    fn path_is_connected_until_cut() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_connected(&g));
+        g.remove_edge(NodeId(1), NodeId(2));
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn components_labeling() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let labels = components(&g);
+        assert_eq!(labels, vec![0, 0, 1, 1, 1, 2]);
+        assert_eq!(component_count(&g), 3);
+    }
+
+    #[test]
+    fn component_count_empty() {
+        assert_eq!(component_count(&Graph::new(0)), 0);
+    }
+
+    #[test]
+    fn subset_connectivity() {
+        // 0-1-2-3-4 path.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(is_subset_connected(&g, &[NodeId(1), NodeId(2), NodeId(3)]));
+        // 1 and 3 are not adjacent: the induced subgraph {1,3} is
+        // disconnected even though a path exists through 2.
+        assert!(!is_subset_connected(&g, &[NodeId(1), NodeId(3)]));
+        assert!(is_subset_connected(&g, &[]));
+        assert!(is_subset_connected(&g, &[NodeId(4)]));
+    }
+
+    #[test]
+    fn distance_to_set_multi_source() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let d = distance_to_set(&g, &[NodeId(0), NodeId(5)]);
+        assert_eq!(d, vec![0, 1, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn distance_to_set_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = distance_to_set(&g, &[NodeId(0)]);
+        assert_eq!(d[2], UNREACHED);
+    }
+
+    #[test]
+    fn distance_to_empty_set() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let d = distance_to_set(&g, &[]);
+        assert!(d.iter().all(|&x| x == UNREACHED));
+    }
+}

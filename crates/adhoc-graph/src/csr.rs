@@ -1,0 +1,129 @@
+//! Compressed sparse row snapshot of a graph.
+
+use crate::bfs::Adjacency;
+use crate::graph::{Graph, NodeId};
+
+/// A read-only compressed-sparse-row copy of a [`Graph`].
+///
+/// The Monte-Carlo harness traverses each generated network many times
+/// (one BFS per clusterhead per algorithm). `Csr` packs the adjacency
+/// into two flat arrays so those traversals walk contiguous memory
+/// instead of chasing one heap allocation per node.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Snapshots `g`. Neighbor order (sorted ascending) is preserved, so
+    /// every deterministic traversal gives identical results on either
+    /// representation.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut offsets = Vec::with_capacity(g.len() + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for u in g.nodes() {
+            targets.extend_from_slice(g.neighbors(u));
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbor list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u.index() + 1] - self.offsets[u.index()]) as usize
+    }
+
+    /// Iterator over all node IDs.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u32).map(NodeId)
+    }
+}
+
+impl Adjacency for Csr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn adj(&self, u: NodeId) -> &[NodeId] {
+        self.neighbors(u)
+    }
+}
+
+impl From<&Graph> for Csr {
+    fn from(g: &Graph) -> Self {
+        Csr::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    #[test]
+    fn snapshot_preserves_adjacency() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]);
+        let c = Csr::from_graph(&g);
+        assert_eq!(c.len(), g.len());
+        assert_eq!(c.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            assert_eq!(c.neighbors(u), g.neighbors(u));
+            assert_eq!(c.degree(u), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let c = Csr::from_graph(&Graph::new(0));
+        assert!(c.is_empty());
+        let c = Csr::from_graph(&Graph::new(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.neighbors(NodeId(1)), &[]);
+    }
+
+    #[test]
+    fn bfs_identical_on_both_representations() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 4)]);
+        let c = Csr::from_graph(&g);
+        for src in g.nodes() {
+            assert_eq!(bfs::distances(&g, src), bfs::distances(&c, src));
+        }
+    }
+
+    #[test]
+    fn from_ref_conversion() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let c: Csr = (&g).into();
+        assert_eq!(c.neighbors(NodeId(0)), &[NodeId(1)]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Weighted shortest paths (Dijkstra) with deterministic tie-breaking.
+//!
+//! The paper measures virtual distance in hops, but §3.3's power-aware
+//! discussion motivates weighted variants (e.g. energy-cost links).
+//! This module provides the weighted counterpart of [`crate::bfs`]:
+//! same canonical tie-breaking (smaller node ID wins among equal-cost
+//! alternatives), so weighted pipelines keep the determinism the rest
+//! of the stack relies on.
+
+use crate::bfs::Adjacency;
+use crate::graph::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cost label of an unreached node.
+pub const UNREACHED_COST: u64 = u64::MAX;
+
+/// Dijkstra from `src` with per-edge weights from `weight`.
+///
+/// Returns `(cost, parent)` arrays; `parent[src] == src`, unreached
+/// nodes have `UNREACHED_COST` and an undefined parent. Among multiple
+/// optimal predecessors the smallest `(cost, id)` settles first, so
+/// the parent tree is deterministic.
+///
+/// # Panics
+/// Panics if `weight` returns 0 for some edge when `strict_positive`
+/// would be violated — weights must be `>= 1` to keep the canonical
+/// tie-break meaningful.
+pub fn dijkstra<G, W>(g: &G, src: NodeId, weight: W) -> (Vec<u64>, Vec<NodeId>)
+where
+    G: Adjacency,
+    W: Fn(NodeId, NodeId) -> u64,
+{
+    let n = g.node_count();
+    let mut cost = vec![UNREACHED_COST; n];
+    let mut parent = vec![NodeId(u32::MAX); n];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    cost[src.index()] = 0;
+    parent[src.index()] = src;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((c, u))) = heap.pop() {
+        if c > cost[u.index()] {
+            continue; // stale entry
+        }
+        for &v in g.adj(u) {
+            let w = weight(u, v);
+            assert!(w >= 1, "edge weights must be >= 1");
+            let nc = c + w;
+            let better = nc < cost[v.index()] || (nc == cost[v.index()] && u < parent[v.index()]);
+            if better {
+                cost[v.index()] = nc;
+                parent[v.index()] = u;
+                heap.push(Reverse((nc, v)));
+            }
+        }
+    }
+    (cost, parent)
+}
+
+/// Extracts the path from `src` (implicit in the arrays) to `dst`, or
+/// `None` if unreached.
+pub fn extract_path(parent: &[NodeId], cost: &[u64], dst: NodeId) -> Option<Vec<NodeId>> {
+    if cost[dst.index()] == UNREACHED_COST {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while parent[cur.index()] != cur {
+        cur = parent[cur.index()];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::graph::Graph;
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 3), (5, 6)]);
+        let (cost, _) = dijkstra(&g, NodeId(0), |_, _| 1);
+        let dist = bfs::distances(&g, NodeId(0));
+        for v in 0..7 {
+            if dist[v] == bfs::UNREACHED {
+                assert_eq!(cost[v], UNREACHED_COST);
+            } else {
+                assert_eq!(cost[v], u64::from(dist[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn weights_reroute_paths() {
+        // 0-1-3 (weights 1+10), 0-2-3 (weights 2+2): weighted prefers
+        // the 0-2-3 route even though both are 2 hops.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let w = |a: NodeId, b: NodeId| -> u64 {
+            match (a.0.min(b.0), a.0.max(b.0)) {
+                (0, 1) => 1,
+                (1, 3) => 10,
+                (0, 2) => 2,
+                (2, 3) => 2,
+                _ => unreachable!(),
+            }
+        };
+        let (cost, parent) = dijkstra(&g, NodeId(0), w);
+        assert_eq!(cost[3], 4);
+        assert_eq!(
+            extract_path(&parent, &cost, NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn equal_cost_prefers_smaller_parent() {
+        // Two equal-cost routes 0-1-3 and 0-2-3: parent of 3 must be 1.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let (cost, parent) = dijkstra(&g, NodeId(0), |_, _| 1);
+        assert_eq!(cost[3], 2);
+        assert_eq!(parent[3], NodeId(1));
+    }
+
+    #[test]
+    fn unreached_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let (cost, parent) = dijkstra(&g, NodeId(0), |_, _| 1);
+        assert_eq!(cost[2], UNREACHED_COST);
+        assert!(extract_path(&parent, &cost, NodeId(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_weight_panics() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        dijkstra(&g, NodeId(0), |_, _| 0);
+    }
+
+    #[test]
+    fn path_to_source_is_singleton() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let (cost, parent) = dijkstra(&g, NodeId(1), |_, _| 3);
+        assert_eq!(
+            extract_path(&parent, &cost, NodeId(1)).unwrap(),
+            vec![NodeId(1)]
+        );
+        assert_eq!(cost[0], 3);
+    }
+}

@@ -1,0 +1,603 @@
+//! Network generators.
+//!
+//! The paper's workload (§4): `N` nodes placed uniformly at random in a
+//! 100×100 area, identical transmission ranges, the range tuned so the
+//! **average node degree** hits a target `D` (6 for the sparse series,
+//! 10 for the dense one), and instances resampled until connected.
+//! [`geometric`] reproduces exactly that. Deterministic topologies for
+//! tests live in [`path`], [`cycle`], [`grid`], [`star`], [`complete`].
+
+use crate::connectivity;
+use crate::geom::{self, Point};
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Configuration of the random geometric network workload.
+#[derive(Clone, Debug)]
+pub struct GeometricConfig {
+    /// Number of nodes `N`.
+    pub n: usize,
+    /// Side length of the square deployment area (paper: 100).
+    pub side: f64,
+    /// Target average node degree `D` (paper: 6 or 10).
+    pub target_degree: f64,
+    /// Require the sampled network to be connected, resampling node
+    /// positions until it is (the paper's theorems assume a connected
+    /// `G`). Default `true`.
+    pub require_connected: bool,
+    /// Iterations of degree calibration (correcting the border effect
+    /// of the analytic range formula). Default 3.
+    pub calibration_rounds: usize,
+    /// Cap on resampling attempts before panicking; guards against
+    /// configurations that are almost never connected. Default 10 000.
+    pub max_attempts: usize,
+}
+
+impl GeometricConfig {
+    /// Convenience constructor for the paper's parameters.
+    pub fn new(n: usize, side: f64, target_degree: f64) -> Self {
+        GeometricConfig {
+            n,
+            side,
+            target_degree,
+            require_connected: true,
+            calibration_rounds: 3,
+            max_attempts: 10_000,
+        }
+    }
+}
+
+/// A generated geometric network: positions, the calibrated range, and
+/// the unit-disk connectivity graph.
+#[derive(Clone, Debug)]
+pub struct GeometricNetwork {
+    /// Node positions, indexed by `NodeId`.
+    pub positions: Vec<Point>,
+    /// Common transmission range after calibration.
+    pub range: f64,
+    /// Connectivity graph: edge iff Euclidean distance ≤ `range`.
+    pub graph: Graph,
+    /// How many position sets were rejected (disconnected) before this
+    /// one was accepted.
+    pub rejected: usize,
+}
+
+/// Builds the unit-disk graph of `positions` with range `r`.
+///
+/// Uses a uniform cell grid with cell side `r`: each node is bucketed,
+/// and only the 3×3 block of neighboring cells is scanned per node, so
+/// the expected cost is `O(n · expected degree)` instead of the naive
+/// all-pairs `O(n²)`. Falls back to the quadratic scan for tiny inputs
+/// or degenerate ranges where the grid bookkeeping costs more than it
+/// saves. Output is identical to the all-pairs scan (tested).
+pub fn unit_disk_graph(positions: &[Point], r: f64) -> Graph {
+    if positions.len() < 64 || !r.is_finite() || r <= 0.0 {
+        return unit_disk_graph_naive(positions, r);
+    }
+    let (min_x, max_x) = positions
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.x), hi.max(p.x))
+        });
+    let (min_y, max_y) = positions
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.y), hi.max(p.y))
+        });
+    let cols = (((max_x - min_x) / r).floor() as usize + 1).max(1);
+    let rows = (((max_y - min_y) / r).floor() as usize + 1).max(1);
+    if cols.saturating_mul(rows) > 4 * positions.len() + 1024 {
+        // Very sparse deployments relative to r: the grid would be
+        // mostly empty cells; the naive scan is cheaper to set up.
+        return unit_disk_graph_naive(positions, r);
+    }
+    let cell_of = |p: &Point| -> (usize, usize) {
+        let c = (((p.x - min_x) / r).floor() as usize).min(cols - 1);
+        let rw = (((p.y - min_y) / r).floor() as usize).min(rows - 1);
+        (rw, c)
+    };
+    // Counting sort of nodes into cells (flat CSR-style buckets).
+    let mut counts = vec![0u32; rows * cols + 1];
+    for p in positions {
+        let (rw, c) = cell_of(p);
+        counts[rw * cols + c + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let mut bucket: Vec<u32> = vec![0; positions.len()];
+    let mut cursor = counts.clone();
+    for (i, p) in positions.iter().enumerate() {
+        let (rw, c) = cell_of(p);
+        let slot = &mut cursor[rw * cols + c];
+        bucket[*slot as usize] = i as u32;
+        *slot += 1;
+    }
+    let mut g = Graph::new(positions.len());
+    for rw in 0..rows {
+        for c in 0..cols {
+            let here = &bucket[counts[rw * cols + c] as usize..cursor[rw * cols + c] as usize];
+            // Within-cell pairs.
+            for (a_idx, &a) in here.iter().enumerate() {
+                for &b in &here[a_idx + 1..] {
+                    if positions[a as usize].in_range(&positions[b as usize], r) {
+                        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                        g.add_edge(NodeId(lo), NodeId(hi));
+                    }
+                }
+            }
+            // Forward half of the 8-neighborhood (E, SW, S, SE): each
+            // unordered cell pair is visited exactly once.
+            for (dr, dc) in [(0i64, 1i64), (1, -1), (1, 0), (1, 1)] {
+                let (nr, nc) = (rw as i64 + dr, c as i64 + dc);
+                if nr < 0 || nc < 0 || nr as usize >= rows || nc as usize >= cols {
+                    continue;
+                }
+                let idx = nr as usize * cols + nc as usize;
+                let there = &bucket[counts[idx] as usize..cursor[idx] as usize];
+                for &a in here {
+                    for &b in there {
+                        if positions[a as usize].in_range(&positions[b as usize], r) {
+                            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                            g.add_edge(NodeId(lo), NodeId(hi));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The reference all-pairs unit-disk construction (`O(n²)`), kept for
+/// tiny inputs and as the oracle the grid version is tested against.
+pub fn unit_disk_graph_naive(positions: &[Point], r: f64) -> Graph {
+    let mut g = Graph::new(positions.len());
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            if positions[i].in_range(&positions[j], r) {
+                g.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+        }
+    }
+    g
+}
+
+/// Samples a random geometric network per `cfg`.
+///
+/// The transmission range starts at the analytic estimate
+/// [`geom::range_for_target_degree`] and is then calibrated: the border
+/// effect of a finite square makes the measured mean degree fall short
+/// of the analytic one by 10–25%, so each calibration round rescales
+/// `r` by `sqrt(target / measured)` and rebuilds the edge set from the
+/// *same* positions. After calibration, if connectivity is required and
+/// the instance is disconnected, fresh positions are drawn.
+///
+/// # Panics
+/// Panics if `cfg.max_attempts` consecutive instances are disconnected,
+/// or on degenerate configurations (`n < 2`, nonpositive degree).
+pub fn geometric<R: Rng + ?Sized>(cfg: &GeometricConfig, rng: &mut R) -> GeometricNetwork {
+    assert!(cfg.n >= 2, "need at least two nodes");
+    let mut rejected = 0usize;
+    loop {
+        let positions: Vec<Point> = (0..cfg.n)
+            .map(|_| Point::new(rng.gen::<f64>() * cfg.side, rng.gen::<f64>() * cfg.side))
+            .collect();
+        let mut r = geom::range_for_target_degree(cfg.n, cfg.side, cfg.target_degree);
+        let mut graph = unit_disk_graph(&positions, r);
+        for _ in 0..cfg.calibration_rounds {
+            let measured = graph.average_degree();
+            if measured <= 0.0 {
+                r *= 1.5;
+            } else {
+                let ratio = (cfg.target_degree / measured).sqrt();
+                // Damp extreme corrections so calibration cannot
+                // oscillate on small instances.
+                r *= ratio.clamp(0.5, 2.0);
+            }
+            graph = unit_disk_graph(&positions, r);
+        }
+        if cfg.require_connected && !connectivity::is_connected(&graph) {
+            rejected += 1;
+            assert!(
+                rejected < cfg.max_attempts,
+                "exceeded {} attempts without a connected instance \
+                 (n={}, D={}): the configuration is too sparse",
+                cfg.max_attempts,
+                cfg.n,
+                cfg.target_degree
+            );
+            continue;
+        }
+        return GeometricNetwork {
+            positions,
+            range: r,
+            graph,
+            rejected,
+        };
+    }
+}
+
+/// Quasi-unit-disk parameters: links are certain up to `inner`,
+/// impossible beyond `outer`, and exist with probability `p_gray` in
+/// the gray zone between — the standard model for radios whose
+/// coverage is not a perfect disk (fading, obstacles, antenna
+/// anisotropy).
+#[derive(Clone, Copy, Debug)]
+pub struct QuasiUdgConfig {
+    /// Certain-link radius.
+    pub inner: f64,
+    /// Maximum-link radius (`>= inner`).
+    pub outer: f64,
+    /// Link probability in the gray zone `[inner, outer]`.
+    pub p_gray: f64,
+}
+
+impl QuasiUdgConfig {
+    /// Validates and builds the config.
+    ///
+    /// # Panics
+    /// Panics on `outer < inner`, non-finite radii, or `p_gray`
+    /// outside `[0, 1]`.
+    pub fn new(inner: f64, outer: f64, p_gray: f64) -> Self {
+        assert!(
+            inner.is_finite() && outer.is_finite() && inner >= 0.0 && outer >= inner,
+            "need 0 <= inner <= outer"
+        );
+        assert!((0.0..=1.0).contains(&p_gray), "p_gray must be in [0, 1]");
+        QuasiUdgConfig {
+            inner,
+            outer,
+            p_gray,
+        }
+    }
+}
+
+/// Builds a quasi-unit-disk graph over `positions`.
+///
+/// With `inner == outer` (or `p_gray ∈ {0, 1}` degenerating the gray
+/// zone) this reduces exactly to [`unit_disk_graph`]. The result is
+/// still an *undirected* graph: a gray-zone link is either present in
+/// both directions or absent (one Bernoulli draw per pair, drawn in
+/// `(i, j)` order so runs are reproducible).
+pub fn quasi_unit_disk_graph<R: Rng + ?Sized>(
+    positions: &[Point],
+    cfg: &QuasiUdgConfig,
+    rng: &mut R,
+) -> Graph {
+    let mut g = Graph::new(positions.len());
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            let d = positions[i].distance(&positions[j]);
+            let connect = if d <= cfg.inner {
+                true
+            } else if d <= cfg.outer {
+                rng.gen::<f64>() < cfg.p_gray
+            } else {
+                false
+            };
+            if connect {
+                g.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+        }
+    }
+    g
+}
+
+/// Samples a connected quasi-UDG network: positions drawn like
+/// [`geometric`], the *inner* radius calibrated to the target degree
+/// with the gray zone scaled by `outer_ratio` (`outer = inner *
+/// outer_ratio`). Resamples positions until connected.
+///
+/// # Panics
+/// As [`geometric`], plus degenerate `outer_ratio < 1`.
+pub fn quasi_geometric<R: Rng + ?Sized>(
+    cfg: &GeometricConfig,
+    outer_ratio: f64,
+    p_gray: f64,
+    rng: &mut R,
+) -> GeometricNetwork {
+    assert!(outer_ratio >= 1.0, "outer_ratio must be >= 1");
+    assert!(cfg.n >= 2, "need at least two nodes");
+    let mut rejected = 0usize;
+    loop {
+        let positions: Vec<Point> = (0..cfg.n)
+            .map(|_| Point::new(rng.gen::<f64>() * cfg.side, rng.gen::<f64>() * cfg.side))
+            .collect();
+        let mut r = geom::range_for_target_degree(cfg.n, cfg.side, cfg.target_degree);
+        let mut graph =
+            quasi_unit_disk_graph(&positions, &QuasiUdgConfig::new(r, r * outer_ratio, p_gray), rng);
+        for _ in 0..cfg.calibration_rounds {
+            let measured = graph.average_degree();
+            if measured <= 0.0 {
+                r *= 1.5;
+            } else {
+                let ratio = (cfg.target_degree / measured).sqrt();
+                r *= ratio.clamp(0.5, 2.0);
+            }
+            graph = quasi_unit_disk_graph(
+                &positions,
+                &QuasiUdgConfig::new(r, r * outer_ratio, p_gray),
+                rng,
+            );
+        }
+        if cfg.require_connected && !connectivity::is_connected(&graph) {
+            rejected += 1;
+            assert!(
+                rejected < cfg.max_attempts,
+                "exceeded {} attempts without a connected quasi-UDG instance",
+                cfg.max_attempts
+            );
+            continue;
+        }
+        return GeometricNetwork {
+            positions,
+            range: r,
+            graph,
+            rejected,
+        };
+    }
+}
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32));
+    }
+    g
+}
+
+/// Cycle graph on `n >= 3` nodes.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(NodeId(0), NodeId(n as u32 - 1));
+    g
+}
+
+/// `rows x cols` grid graph; node `(r, c)` has ID `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as u32;
+            if c + 1 < cols {
+                g.add_edge(NodeId(id), NodeId(id + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(NodeId(id), NodeId(id + cols as u32));
+            }
+        }
+    }
+    g
+}
+
+/// Star: node 0 is the hub of `n - 1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i as u32));
+    }
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i as u32), NodeId(j as u32));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_disk_edges_respect_range() {
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let g = unit_disk_graph(&pos, 1.5);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn geometric_hits_target_degree_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = GeometricConfig::new(150, 100.0, 6.0);
+        let net = geometric(&cfg, &mut rng);
+        let d = net.graph.average_degree();
+        assert!(
+            (d - 6.0).abs() < 1.0,
+            "calibrated degree {d} too far from target 6"
+        );
+        assert!(connectivity::is_connected(&net.graph));
+        net.graph.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn geometric_dense_variant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GeometricConfig::new(100, 100.0, 10.0);
+        let net = geometric(&cfg, &mut rng);
+        let d = net.graph.average_degree();
+        assert!((d - 10.0).abs() < 1.5, "calibrated degree {d}");
+    }
+
+    #[test]
+    fn geometric_without_connectivity_requirement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = GeometricConfig::new(30, 100.0, 3.0);
+        cfg.require_connected = false;
+        let net = geometric(&cfg, &mut rng);
+        assert_eq!(net.rejected, 0);
+        assert_eq!(net.graph.len(), 30);
+    }
+
+    #[test]
+    fn geometric_is_reproducible_from_seed() {
+        let cfg = GeometricConfig::new(50, 100.0, 6.0);
+        let a = geometric(&cfg, &mut StdRng::seed_from_u64(9));
+        let b = geometric(&cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.range, b.range);
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn geometric_rejects_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(0);
+        geometric(&GeometricConfig::new(1, 100.0, 6.0), &mut rng);
+    }
+
+    #[test]
+    fn deterministic_topologies() {
+        let p = path(4);
+        assert_eq!(p.edge_count(), 3);
+        let c = cycle(4);
+        assert_eq!(c.edge_count(), 4);
+        assert!(c.has_edge(NodeId(0), NodeId(3)));
+        let g = grid(2, 3);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.has_edge(NodeId(0), NodeId(3)));
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+        let s = star(5);
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.degree(NodeId(0)), 4);
+        let k = complete(4);
+        assert_eq!(k.edge_count(), 6);
+        for t in [&p, &c, &g, &s, &k] {
+            t.check_invariants().unwrap();
+            assert!(connectivity::is_connected(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_too_small_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn grid_udg_matches_naive_oracle() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [64usize, 150, 400] {
+            for r in [3.0f64, 9.0, 25.0, 80.0, 200.0] {
+                let pos: Vec<Point> = (0..n)
+                    .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+                    .collect();
+                let fast = unit_disk_graph(&pos, r);
+                let slow = unit_disk_graph_naive(&pos, r);
+                assert_eq!(
+                    fast.edges().collect::<Vec<_>>(),
+                    slow.edges().collect::<Vec<_>>(),
+                    "n={n} r={r}"
+                );
+                fast.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn grid_udg_handles_collinear_and_identical_points() {
+        // All nodes on one horizontal line (degenerate y-extent) plus
+        // exact duplicates.
+        let mut pos: Vec<Point> = (0..70).map(|i| Point::new(i as f64, 5.0)).collect();
+        pos.push(Point::new(3.0, 5.0)); // duplicate position of node 3
+        let fast = unit_disk_graph(&pos, 1.5);
+        let slow = unit_disk_graph_naive(&pos, 1.5);
+        assert_eq!(
+            fast.edges().collect::<Vec<_>>(),
+            slow.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grid_udg_zero_and_infinite_range() {
+        let pos: Vec<Point> = (0..80).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert_eq!(unit_disk_graph(&pos, 0.0).edge_count(), 0);
+        let all = unit_disk_graph(&pos, 1e9);
+        assert_eq!(all.edge_count(), 80 * 79 / 2);
+    }
+
+    #[test]
+    fn quasi_udg_reduces_to_udg_when_zone_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pos: Vec<Point> = (0..30)
+            .map(|_| Point::new(rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0))
+            .collect();
+        let udg = unit_disk_graph(&pos, 12.0);
+        let q = quasi_unit_disk_graph(&pos, &QuasiUdgConfig::new(12.0, 12.0, 0.5), &mut rng);
+        let eu: Vec<_> = udg.edges().collect();
+        let eq: Vec<_> = q.edges().collect();
+        assert_eq!(eu, eq);
+    }
+
+    #[test]
+    fn quasi_udg_bracketed_by_inner_and_outer_disks() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pos: Vec<Point> = (0..40)
+            .map(|_| Point::new(rng.gen::<f64>() * 60.0, rng.gen::<f64>() * 60.0))
+            .collect();
+        let cfg = QuasiUdgConfig::new(8.0, 16.0, 0.5);
+        let q = quasi_unit_disk_graph(&pos, &cfg, &mut rng);
+        let lower = unit_disk_graph(&pos, 8.0);
+        let upper = unit_disk_graph(&pos, 16.0);
+        for (u, v) in lower.edges() {
+            assert!(q.has_edge(u, v), "certain link ({u:?},{v:?}) missing");
+        }
+        for (u, v) in q.edges() {
+            assert!(upper.has_edge(u, v), "link ({u:?},{v:?}) beyond outer");
+        }
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn quasi_udg_gray_probabilities_are_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pos: Vec<Point> = (0..30)
+            .map(|_| Point::new(rng.gen::<f64>() * 60.0, rng.gen::<f64>() * 60.0))
+            .collect();
+        let all = quasi_unit_disk_graph(&pos, &QuasiUdgConfig::new(8.0, 16.0, 1.0), &mut rng);
+        let none = quasi_unit_disk_graph(&pos, &QuasiUdgConfig::new(8.0, 16.0, 0.0), &mut rng);
+        let outer: Vec<_> = unit_disk_graph(&pos, 16.0).edges().collect();
+        let inner: Vec<_> = unit_disk_graph(&pos, 8.0).edges().collect();
+        assert_eq!(all.edges().collect::<Vec<_>>(), outer);
+        assert_eq!(none.edges().collect::<Vec<_>>(), inner);
+    }
+
+    #[test]
+    fn quasi_geometric_is_connected_and_calibrated() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = GeometricConfig::new(100, 100.0, 6.0);
+        let net = quasi_geometric(&cfg, 1.5, 0.5, &mut rng);
+        assert!(connectivity::is_connected(&net.graph));
+        let d = net.graph.average_degree();
+        assert!((d - 6.0).abs() < 1.5, "calibrated quasi-UDG degree {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_gray")]
+    fn quasi_udg_rejects_bad_probability() {
+        QuasiUdgConfig::new(1.0, 2.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner <= outer")]
+    fn quasi_udg_rejects_inverted_radii() {
+        QuasiUdgConfig::new(3.0, 2.0, 0.5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Plane geometry for node deployments.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the deployment plane (the paper uses a 100x100 area).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance; preferred in hot loops (range tests
+    /// compare against `r*r` and avoid the square root).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Whether `other` is within transmission range `r` (inclusive).
+    #[inline]
+    pub fn in_range(&self, other: &Point, r: f64) -> bool {
+        self.distance_sq(other) <= r * r
+    }
+}
+
+/// Expected transmission range giving mean degree `d` for `n` uniform
+/// points in a `side x side` square, from the area-ratio estimate
+/// `E[deg] = (n-1) * pi r^2 / side^2` (border effects ignored; the
+/// generator calibrates the residual numerically).
+pub fn range_for_target_degree(n: usize, side: f64, d: f64) -> f64 {
+    assert!(n > 1, "need at least two nodes");
+    assert!(d > 0.0, "target degree must be positive");
+    side * (d / ((n - 1) as f64 * std::f64::consts::PI)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-0.5, 7.25);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn in_range_boundary_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        assert!(a.in_range(&b, 2.0));
+        assert!(!a.in_range(&b, 1.999));
+    }
+
+    #[test]
+    fn range_formula_recovers_degree() {
+        // Invert the formula: with r from the helper, the implied
+        // expected degree must round-trip.
+        let n = 100;
+        let side = 100.0;
+        let d = 6.0;
+        let r = range_for_target_degree(n, side, d);
+        let implied = (n - 1) as f64 * std::f64::consts::PI * r * r / (side * side);
+        assert!((implied - d).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn range_rejects_single_node() {
+        range_for_target_degree(1, 100.0, 6.0);
+    }
+}

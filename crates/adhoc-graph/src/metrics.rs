@@ -1,0 +1,168 @@
+//! Topology metrics for workload characterization.
+//!
+//! The evaluation's sparse/dense split (D = 6 vs 10) is defined by
+//! average degree; these metrics characterize the sampled instances
+//! beyond that — diameter (bounds the number of clustering rounds),
+//! degree distribution (border effects of the square area), and local
+//! clustering coefficient (unit-disk graphs are highly clustered,
+//! which is exactly why A-NCR finds many adjacent clusters).
+
+use crate::bfs::{Adjacency, BfsScratch};
+use crate::graph::NodeId;
+
+/// Longest shortest path over all reachable pairs; `None` for an empty
+/// graph. Disconnected pairs are ignored (per-component diameter max).
+pub fn diameter<G: Adjacency>(g: &G) -> Option<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut scratch = BfsScratch::new(n);
+    let mut best = 0;
+    for u in (0..n as u32).map(NodeId) {
+        scratch.run(g, u, u32::MAX);
+        for &v in scratch.visited() {
+            best = best.max(scratch.dist(v));
+        }
+    }
+    Some(best)
+}
+
+/// Smallest eccentricity over all nodes (the center's eccentricity);
+/// `None` for an empty graph. For disconnected graphs this is the
+/// radius of the most compact component view (unreached nodes are
+/// ignored per source).
+pub fn radius<G: Adjacency>(g: &G) -> Option<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut scratch = BfsScratch::new(n);
+    let mut best = u32::MAX;
+    for u in (0..n as u32).map(NodeId) {
+        scratch.run(g, u, u32::MAX);
+        let ecc = scratch
+            .visited()
+            .iter()
+            .map(|&v| scratch.dist(v))
+            .max()
+            .unwrap_or(0);
+        best = best.min(ecc);
+    }
+    Some(best)
+}
+
+/// Histogram of node degrees: `hist[d]` = number of nodes with degree
+/// `d`.
+pub fn degree_histogram<G: Adjacency>(g: &G) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in (0..g.node_count() as u32).map(NodeId) {
+        let d = g.adj(u).len();
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of `u`: closed neighbor pairs over all
+/// neighbor pairs (0 for degree < 2).
+pub fn local_clustering<G: Adjacency>(g: &G, u: NodeId) -> f64 {
+    let ns = g.adj(u);
+    if ns.len() < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if g.adj(a).binary_search(&b).is_ok() {
+                closed += 1;
+            }
+        }
+    }
+    let pairs = ns.len() * (ns.len() - 1) / 2;
+    closed as f64 / pairs as f64
+}
+
+/// Mean local clustering coefficient over all nodes.
+pub fn average_clustering<G: Adjacency>(g: &G) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n as u32)
+        .map(|u| local_clustering(g, NodeId(u)))
+        .sum::<f64>()
+        / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::Graph;
+
+    #[test]
+    fn diameter_and_radius_of_path() {
+        let g = gen::path(5);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(radius(&g), Some(2)); // center node 2
+    }
+
+    #[test]
+    fn diameter_of_complete_graph_is_one() {
+        let g = gen::complete(5);
+        assert_eq!(diameter(&g), Some(1));
+        assert_eq!(radius(&g), Some(1));
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = Graph::new(0);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+        assert!(degree_histogram(&g).is_empty());
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = gen::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4); // leaves
+        assert_eq!(h[4], 1); // hub
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        // Triangle: fully clustered.
+        let tri = gen::complete(3);
+        assert_eq!(local_clustering(&tri, NodeId(0)), 1.0);
+        assert_eq!(average_clustering(&tri), 1.0);
+        // Star: hub neighbors never adjacent.
+        let star = gen::star(5);
+        assert_eq!(local_clustering(&star, NodeId(0)), 0.0);
+        assert_eq!(average_clustering(&star), 0.0);
+        // Leaf (degree 1): defined as 0.
+        assert_eq!(local_clustering(&star, NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn unit_disk_graphs_are_highly_clustered() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 8.0), &mut rng);
+        let cc = average_clustering(&net.graph);
+        // Unit-disk expectation ~0.58; anything above Erdős–Rényi
+        // levels (~ D/N = 0.08) confirms geometric structure.
+        assert!(cc > 0.4, "clustering coefficient {cc} suspiciously low");
+    }
+
+    #[test]
+    fn diameter_ignores_disconnection() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(diameter(&g), Some(2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimum spanning trees (Kruskal and Prim) over abstract weights.
+//!
+//! The clustering pipeline runs MSTs over *virtual graphs* whose
+//! vertices are clusterheads and whose weights are
+//! `(hop count, max id, min id)` triples (distinct by construction, as
+//! in Li/Hou/Sha's LMST), so the algorithms here are generic over any
+//! `Ord` weight.
+
+use crate::graph::NodeId;
+use crate::unionfind::UnionFind;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An undirected weighted edge between graph nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightedEdge<W> {
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// Edge weight.
+    pub weight: W,
+}
+
+impl<W> WeightedEdge<W> {
+    /// Creates an edge.
+    pub fn new(a: NodeId, b: NodeId, weight: W) -> Self {
+        WeightedEdge { a, b, weight }
+    }
+}
+
+/// Kruskal's algorithm over `n` vertices.
+///
+/// Returns the chosen edges of a minimum spanning *forest* (a tree per
+/// connected component). Edges are considered in `(weight, a, b)` order
+/// so the result is deterministic even with equal weights.
+pub fn kruskal<W: Ord + Copy>(n: usize, edges: &[WeightedEdge<W>]) -> Vec<WeightedEdge<W>> {
+    let mut order: Vec<&WeightedEdge<W>> = edges.iter().collect();
+    order.sort_by_key(|e| (e.weight, e.a, e.b));
+    let mut uf = UnionFind::new(n);
+    let mut out = Vec::new();
+    for e in order {
+        if uf.union(e.a.index(), e.b.index()) {
+            out.push(*e);
+            if out.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Prim's algorithm on an adjacency-list weighted graph of `n` local
+/// vertices (indices `0..n`), rooted at `root`.
+///
+/// Returns tree edges as `(parent, child)` index pairs covering the
+/// component of `root`. Deterministic: ties in the heap fall back to
+/// vertex indices.
+pub fn prim<W: Ord + Copy>(n: usize, adj: &[Vec<(u32, W)>], root: u32) -> Vec<(u32, u32)> {
+    assert_eq!(adj.len(), n);
+    assert!((root as usize) < n);
+    let mut in_tree = vec![false; n];
+    let mut out = Vec::with_capacity(n.saturating_sub(1));
+    // Heap entries: Reverse((weight, child, parent)).
+    let mut heap: BinaryHeap<Reverse<(W, u32, u32)>> = BinaryHeap::new();
+    in_tree[root as usize] = true;
+    for &(v, w) in &adj[root as usize] {
+        heap.push(Reverse((w, v, root)));
+    }
+    while let Some(Reverse((_, v, p))) = heap.pop() {
+        if in_tree[v as usize] {
+            continue;
+        }
+        in_tree[v as usize] = true;
+        out.push((p, v));
+        for &(u, w) in &adj[v as usize] {
+            if !in_tree[u as usize] {
+                heap.push(Reverse((w, u, v)));
+            }
+        }
+    }
+    out
+}
+
+/// Total weight helper for tests and benches.
+pub fn total_weight<W: Copy + std::iter::Sum>(edges: &[WeightedEdge<W>]) -> W {
+    edges.iter().map(|e| e.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn we(a: u32, b: u32, w: u32) -> WeightedEdge<u32> {
+        WeightedEdge::new(NodeId(a), NodeId(b), w)
+    }
+
+    #[test]
+    fn kruskal_triangle_drops_heaviest() {
+        let edges = [we(0, 1, 1), we(1, 2, 2), we(0, 2, 3)];
+        let mst = kruskal(3, &edges);
+        assert_eq!(mst.len(), 2);
+        assert_eq!(total_weight(&mst), 3);
+        assert!(!mst.iter().any(|e| e.weight == 3));
+    }
+
+    #[test]
+    fn kruskal_disconnected_gives_forest() {
+        let edges = [we(0, 1, 5), we(2, 3, 7)];
+        let mst = kruskal(4, &edges);
+        assert_eq!(mst.len(), 2);
+    }
+
+    #[test]
+    fn kruskal_equal_weights_deterministic() {
+        let edges = [we(2, 3, 1), we(0, 1, 1), we(1, 2, 1), we(0, 3, 1)];
+        let a = kruskal(4, &edges);
+        let b = kruskal(4, &edges);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Sorted tie-break: (1,0,1) then (1,1,2) then (1,2,3).
+        assert_eq!(a[0], we(0, 1, 1));
+    }
+
+    #[test]
+    fn kruskal_classic_example() {
+        // Known MST weight 4+8+7+9+2+4+1+2 = 37 (CLRS figure).
+        let raw = [
+            (0u32, 1u32, 4u32),
+            (0, 7, 8),
+            (1, 7, 11),
+            (1, 2, 8),
+            (7, 8, 7),
+            (7, 6, 1),
+            (8, 6, 6),
+            (8, 2, 2),
+            (2, 3, 7),
+            (2, 5, 4),
+            (6, 5, 2),
+            (3, 5, 14),
+            (3, 4, 9),
+            (5, 4, 10),
+        ];
+        let edges: Vec<_> = raw.iter().map(|&(a, b, w)| we(a, b, w)).collect();
+        let mst = kruskal(9, &edges);
+        assert_eq!(mst.len(), 8);
+        assert_eq!(total_weight(&mst), 37);
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        let raw = [
+            (0u32, 1u32, 4u32),
+            (0, 2, 3),
+            (1, 2, 1),
+            (1, 3, 2),
+            (2, 3, 4),
+            (3, 4, 2),
+        ];
+        let edges: Vec<_> = raw.iter().map(|&(a, b, w)| we(a, b, w)).collect();
+        let kw = total_weight(&kruskal(5, &edges));
+
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 5];
+        for &(a, b, w) in &raw {
+            adj[a as usize].push((b, w));
+            adj[b as usize].push((a, w));
+        }
+        let tree = prim(5, &adj, 0);
+        assert_eq!(tree.len(), 4);
+        let pw: u32 = tree
+            .iter()
+            .map(|&(p, c)| {
+                adj[p as usize]
+                    .iter()
+                    .find(|&&(v, _)| v == c)
+                    .map(|&(_, w)| w)
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(pw, kw);
+    }
+
+    #[test]
+    fn prim_covers_only_roots_component() {
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 4];
+        adj[0].push((1, 1));
+        adj[1].push((0, 1));
+        adj[2].push((3, 1));
+        adj[3].push((2, 1));
+        let tree = prim(4, &adj, 0);
+        assert_eq!(tree, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn prim_single_vertex() {
+        let adj: Vec<Vec<(u32, u32)>> = vec![Vec::new()];
+        assert!(prim(1, &adj, 0).is_empty());
+    }
+
+    #[test]
+    fn kruskal_empty() {
+        let mst = kruskal::<u32>(0, &[]);
+        assert!(mst.is_empty());
+    }
+}

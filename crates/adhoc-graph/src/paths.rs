@@ -1,0 +1,67 @@
+//! Helpers for node-sequence paths.
+//!
+//! A path is represented as a `Vec<NodeId>` / `&[NodeId]` including both
+//! endpoints; a single node is a zero-hop path.
+
+use crate::bfs::Adjacency;
+use crate::graph::NodeId;
+
+/// Number of hops of a path (`len - 1`; zero for empty or singleton).
+pub fn hop_count(path: &[NodeId]) -> u32 {
+    path.len().saturating_sub(1) as u32
+}
+
+/// Interior nodes of the path (everything except the two endpoints).
+/// These are the nodes the gateway algorithms mark.
+pub fn interior(path: &[NodeId]) -> &[NodeId] {
+    if path.len() <= 2 {
+        &[]
+    } else {
+        &path[1..path.len() - 1]
+    }
+}
+
+/// Whether `path` is a simple walk along existing edges of `g`.
+pub fn is_valid_path<G: Adjacency>(g: &G, path: &[NodeId]) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    let distinct: std::collections::HashSet<_> = path.iter().collect();
+    if distinct.len() != path.len() {
+        return false;
+    }
+    path.windows(2)
+        .all(|w| g.adj(w[0]).binary_search(&w[1]).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn hop_count_basics() {
+        assert_eq!(hop_count(&[]), 0);
+        assert_eq!(hop_count(&[NodeId(0)]), 0);
+        assert_eq!(hop_count(&[NodeId(0), NodeId(1), NodeId(2)]), 2);
+    }
+
+    #[test]
+    fn interior_excludes_endpoints() {
+        let p = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(interior(&p), &[NodeId(1), NodeId(2)]);
+        assert!(interior(&p[..2]).is_empty());
+        assert!(interior(&p[..1]).is_empty());
+    }
+
+    #[test]
+    fn validity() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_valid_path(&g, &[NodeId(0), NodeId(1), NodeId(2)]));
+        assert!(!is_valid_path(&g, &[NodeId(0), NodeId(2)]));
+        assert!(!is_valid_path(&g, &[])); // empty
+        assert!(is_valid_path(&g, &[NodeId(3)])); // singleton
+                                                  // Repeated node => not simple.
+        assert!(!is_valid_path(&g, &[NodeId(0), NodeId(1), NodeId(0)]));
+    }
+}

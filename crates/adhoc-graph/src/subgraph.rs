@@ -1,0 +1,147 @@
+//! Masked and induced subgraph views.
+//!
+//! The maintenance rules of §3.3 and the energy experiments operate on
+//! a network minus its dead nodes while keeping node IDs stable
+//! (IDs are election priorities, so re-indexing would change the
+//! algorithm's behavior). [`Masked`] presents exactly that view
+//! without copying the graph: a node set is switched off, and all
+//! traversals see empty adjacency for masked nodes.
+
+use crate::bfs::Adjacency;
+use crate::graph::NodeId;
+
+/// A read-only view of `G` with some nodes masked out.
+///
+/// Masked nodes keep their IDs but expose no edges, and no edge
+/// *toward* a masked node is visible. Implements [`Adjacency`], so
+/// BFS, connectivity, clustering and the whole pipeline run on the
+/// view directly.
+pub struct Masked<'g, G> {
+    inner: &'g G,
+    alive: Vec<bool>,
+    filtered: Vec<Vec<NodeId>>,
+}
+
+impl<'g, G: Adjacency> Masked<'g, G> {
+    /// Creates a view with `dead` masked out.
+    pub fn without(inner: &'g G, dead: &[NodeId]) -> Self {
+        let n = inner.node_count();
+        let mut alive = vec![true; n];
+        for &d in dead {
+            alive[d.index()] = false;
+        }
+        // Pre-filter adjacency once; views are built rarely and
+        // traversed many times.
+        let filtered = (0..n as u32)
+            .map(|u| {
+                let u = NodeId(u);
+                if !alive[u.index()] {
+                    return Vec::new();
+                }
+                inner
+                    .adj(u)
+                    .iter()
+                    .copied()
+                    .filter(|v| alive[v.index()])
+                    .collect()
+            })
+            .collect();
+        Masked {
+            inner,
+            alive,
+            filtered,
+        }
+    }
+
+    /// Whether `u` is visible in this view.
+    pub fn is_alive(&self, u: NodeId) -> bool {
+        self.alive[u.index()]
+    }
+
+    /// IDs of all visible nodes, ascending.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.inner.node_count() as u32)
+            .map(NodeId)
+            .filter(|&u| self.alive[u.index()])
+            .collect()
+    }
+
+    /// Number of visible nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+impl<G: Adjacency> Adjacency for Masked<'_, G> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+    fn adj(&self, u: NodeId) -> &[NodeId] {
+        &self.filtered[u.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::gen;
+    use crate::graph::Graph;
+
+    #[test]
+    fn masked_node_is_isolated() {
+        let g = gen::path(5);
+        let m = Masked::without(&g, &[NodeId(2)]);
+        assert!(m.adj(NodeId(2)).is_empty());
+        assert_eq!(m.adj(NodeId(1)), &[NodeId(0)]);
+        assert_eq!(m.adj(NodeId(3)), &[NodeId(4)]);
+        assert!(m.is_alive(NodeId(0)));
+        assert!(!m.is_alive(NodeId(2)));
+        assert_eq!(m.alive_count(), 4);
+        assert_eq!(
+            m.alive_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn bfs_respects_mask() {
+        let g = gen::path(5);
+        let m = Masked::without(&g, &[NodeId(2)]);
+        let d = bfs::distances(&m, NodeId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], bfs::UNREACHED);
+    }
+
+    #[test]
+    fn empty_mask_is_transparent() {
+        let g = gen::grid(3, 3);
+        let m = Masked::without(&g, &[]);
+        for u in g.nodes() {
+            assert_eq!(m.adj(u), g.neighbors(u));
+        }
+        assert_eq!(m.node_count(), 9);
+    }
+
+    #[test]
+    fn clustering_runs_on_masked_view() {
+        // The whole pipeline must accept a view: mask the middle of a
+        // path and cluster both halves.
+        let g = gen::path(7);
+        let m = Masked::without(&g, &[NodeId(3)]);
+        let alive = m.alive_nodes();
+        // Components {0,1,2} and {4,5,6} are separately clusterable.
+        assert!(crate::connectivity::is_subset_connected(
+            &m,
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        ));
+        assert!(!crate::connectivity::is_subset_connected(&m, &alive));
+    }
+
+    #[test]
+    fn mask_on_empty_graph() {
+        let g = Graph::new(0);
+        let m = Masked::without(&g, &[]);
+        assert_eq!(m.alive_count(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Network-wide broadcast over the clustered structure — the paper's
+//! motivating application, simulated at message level.
+//!
+//! §1: "If all the hosts are organized into clusters, the information
+//! transmission flooding could be confined within each cluster", with
+//! clusterheads + gateways relaying between clusters. Two strategies
+//! run on the discrete-event engine:
+//!
+//! * [`Strategy::BlindFlood`] — every node retransmits the first copy
+//!   it hears (the reliability baseline; cost N transmissions).
+//! * [`Strategy::Backbone`] — CDS nodes (clusterheads and gateways)
+//!   retransmit unconditionally; clusterheads additionally start a
+//!   hop-budgeted local flood (TTL `k`) so their cluster members are
+//!   reached, and members relay those local floods while budget
+//!   remains.
+//!
+//! A member may relay again if a strictly larger budget arrives later
+//! (budget-monotone re-forwarding). This matters for correctness: a
+//! member's only ≤k-hop path to its head can pass through *other*
+//! clusters (affiliation is by distance, not by geodesic ownership),
+//! so naive cluster-scoped or forward-once rules can strand nodes —
+//! with budget-monotone TTL floods, a node at distance `i` from some
+//! head eventually transmits with budget ≥ `k - i`, which reaches
+//! every member by induction. Both strategies must deliver to every
+//! node (asserted in tests); the interesting outputs are transmission
+//! counts and latency.
+
+use crate::engine::{EventQueue, Time};
+use adhoc_cluster::cds::Cds;
+use adhoc_cluster::clustering::Clustering;
+use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::graph::NodeId;
+
+/// Broadcast strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Every node forwards once.
+    BlindFlood,
+    /// CDS nodes forward; non-CDS members relay hop-budgeted local
+    /// floods started by clusterheads (and by a non-CDS source).
+    Backbone,
+}
+
+/// Outcome of one simulated broadcast.
+#[derive(Clone, Debug)]
+pub struct BroadcastReport {
+    /// Transmissions performed.
+    pub transmissions: u64,
+    /// Nodes that received the message.
+    pub delivered: usize,
+    /// Time at which the last node was reached.
+    pub latency: Time,
+    /// Whether every node got the message.
+    pub complete: bool,
+}
+
+/// A copy in flight: `budget` is the remaining intra-cluster hop
+/// allowance (`0` = backbone-only copy, not relayable by members).
+#[derive(Clone, Copy, Debug)]
+struct Packet {
+    budget: u32,
+}
+
+/// Simulates one broadcast from `source`.
+///
+/// For [`Strategy::Backbone`], `clustering`/`cds` must describe a
+/// valid connected k-hop CDS of `g` (e.g. from the AC-LMST pipeline);
+/// for [`Strategy::BlindFlood`] they are ignored.
+pub fn simulate<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    cds: &Cds,
+    source: NodeId,
+    strategy: Strategy,
+) -> BroadcastReport {
+    let n = g.node_count();
+    let k = clustering.k;
+    let mut received = vec![false; n];
+    // Largest budget each node has transmitted with; u32::MAX once a
+    // node has done its unconditional (flood / backbone) transmission.
+    let mut sent_budget = vec![0u32; n];
+    let mut has_sent = vec![false; n];
+    let mut latency = 0;
+    let mut transmissions = 0u64;
+    let mut queue: EventQueue<(NodeId, Packet)> = EventQueue::new();
+
+    let in_cds = {
+        let mut mask = vec![false; n];
+        for v in cds.nodes() {
+            mask[v.index()] = true;
+        }
+        mask
+    };
+
+    fn fire<G: Adjacency>(
+        queue: &mut EventQueue<(NodeId, Packet)>,
+        transmissions: &mut u64,
+        g: &G,
+        from: NodeId,
+        pkt: Packet,
+    ) {
+        *transmissions += 1;
+        for &to in g.adj(from) {
+            queue.schedule(1, (to, pkt));
+        }
+    }
+
+    received[source.index()] = true;
+    has_sent[source.index()] = true;
+    let src_budget = match strategy {
+        Strategy::BlindFlood => 0,
+        // A head (or any CDS source) seeds a fresh local flood; a
+        // plain member needs its copy to travel up to k hops to reach
+        // its head, so it also gets the full budget.
+        Strategy::Backbone => k,
+    };
+    sent_budget[source.index()] = src_budget;
+    fire(
+        &mut queue,
+        &mut transmissions,
+        g,
+        source,
+        Packet { budget: src_budget },
+    );
+
+    while let Some((t, (at, pkt))) = queue.pop() {
+        if !received[at.index()] {
+            received[at.index()] = true;
+            latency = t;
+        }
+        match strategy {
+            Strategy::BlindFlood => {
+                if !has_sent[at.index()] {
+                    has_sent[at.index()] = true;
+                    fire(&mut queue, &mut transmissions, g, at, Packet { budget: 0 });
+                }
+            }
+            Strategy::Backbone => {
+                if in_cds[at.index()] {
+                    // Heads re-seed their cluster's local flood with
+                    // the full budget; gateways relay unconditionally
+                    // but also *carry* whatever budget arrived (a
+                    // head-to-member path may run through a gateway,
+                    // and dropping the budget there would strand the
+                    // members behind it).
+                    let budget = if clustering.is_head(at) {
+                        k
+                    } else {
+                        pkt.budget.saturating_sub(1)
+                    };
+                    let beats = !has_sent[at.index()] || budget > sent_budget[at.index()];
+                    if beats {
+                        has_sent[at.index()] = true;
+                        sent_budget[at.index()] = budget;
+                        fire(&mut queue, &mut transmissions, g, at, Packet { budget });
+                    }
+                } else if pkt.budget > 1 {
+                    // Member relay: only if this copy's remaining
+                    // budget beats anything it sent before.
+                    let fwd = pkt.budget - 1;
+                    let beats = if has_sent[at.index()] {
+                        fwd > sent_budget[at.index()]
+                    } else {
+                        true
+                    };
+                    if beats {
+                        has_sent[at.index()] = true;
+                        sent_budget[at.index()] = fwd;
+                        fire(
+                            &mut queue,
+                            &mut transmissions,
+                            g,
+                            at,
+                            Packet { budget: fwd },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let delivered = received.iter().filter(|&&r| r).count();
+    BroadcastReport {
+        transmissions,
+        delivered,
+        latency,
+        complete: delivered == n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_cluster::clustering::{cluster, MemberPolicy};
+    use adhoc_cluster::pipeline::{run_on, Algorithm};
+    use adhoc_cluster::priority::LowestId;
+    use adhoc_graph::gen;
+
+    fn setup(g: &adhoc_graph::Graph, k: u32) -> (Clustering, Cds) {
+        let c = cluster(g, k, &LowestId, MemberPolicy::IdBased);
+        let out = run_on(g, Algorithm::AcLmst, &c);
+        out.cds.verify(g, k).unwrap();
+        (c, out.cds)
+    }
+
+    #[test]
+    fn blind_flood_costs_n_and_delivers() {
+        let g = gen::grid(4, 5);
+        let (c, cds) = setup(&g, 1);
+        let r = simulate(&g, &c, &cds, NodeId(0), Strategy::BlindFlood);
+        assert!(r.complete);
+        assert_eq!(r.transmissions, 20);
+        assert!(r.latency > 0);
+    }
+
+    #[test]
+    fn backbone_delivers_everywhere() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        for k in 1..=3u32 {
+            for _ in 0..3 {
+                let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 8.0), &mut rng);
+                let (c, cds) = setup(&net.graph, k);
+                let bb = simulate(&net.graph, &c, &cds, NodeId(0), Strategy::Backbone);
+                assert!(
+                    bb.complete,
+                    "backbone broadcast missed {} nodes at k={k}",
+                    net.graph.len() - bb.delivered
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backbone_cheaper_than_flooding_when_sparse_cds() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        // Dense network, k=1: small CDS relative to N, so the backbone
+        // should clearly win.
+        let net = gen::geometric(&gen::GeometricConfig::new(150, 100.0, 10.0), &mut rng);
+        let (c, cds) = setup(&net.graph, 1);
+        let flood = simulate(&net.graph, &c, &cds, NodeId(0), Strategy::BlindFlood);
+        let bb = simulate(&net.graph, &c, &cds, NodeId(0), Strategy::Backbone);
+        assert!(flood.complete && bb.complete);
+        assert!(
+            bb.transmissions < flood.transmissions,
+            "backbone {} >= flood {}",
+            bb.transmissions,
+            flood.transmissions
+        );
+    }
+
+    #[test]
+    fn backbone_from_member_source_works() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 8.0), &mut rng);
+        let (c, cds) = setup(&net.graph, 2);
+        let member = net
+            .graph
+            .nodes()
+            .find(|&v| !c.is_head(v) && cds.gateways.binary_search(&v).is_err())
+            .expect("a plain member exists");
+        let r = simulate(&net.graph, &c, &cds, member, Strategy::Backbone);
+        assert!(r.complete, "member-sourced backbone broadcast incomplete");
+    }
+
+    #[test]
+    fn latency_flood_is_eccentricity() {
+        let g = gen::path(7);
+        let (c, cds) = setup(&g, 1);
+        let r = simulate(&g, &c, &cds, NodeId(0), Strategy::BlindFlood);
+        assert_eq!(r.latency, 6);
+        let r2 = simulate(&g, &c, &cds, NodeId(3), Strategy::BlindFlood);
+        assert_eq!(r2.latency, 3);
+    }
+
+    #[test]
+    fn single_node_broadcast() {
+        let g = adhoc_graph::Graph::new(1);
+        let (c, cds) = setup(&g, 1);
+        let r = simulate(&g, &c, &cds, NodeId(0), Strategy::Backbone);
+        assert!(r.complete);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.latency, 0);
+    }
+}

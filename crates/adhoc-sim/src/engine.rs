@@ -1,0 +1,176 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)`: two events at the same
+//! simulated time fire in the order they were scheduled, so a run is a
+//! pure function of its inputs. The protocol layer builds synchronized
+//! phases on top by scheduling barrier events after the last possible
+//! delivery of a phase.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in abstract ticks. One tick is one ideal-MAC
+/// broadcast latency (the paper assumes an ideal MAC layer, so every
+/// broadcast reaches all neighbors exactly one tick later, free of
+/// collisions).
+pub type Time = u64;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: Time,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` ticks from now.
+    pub fn schedule(&mut self, delay: Time, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Schedules `payload` at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past.
+    pub fn schedule_at(&mut self, time: Time, payload: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Whether any events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "c");
+        q.schedule(1, "a");
+        q.schedule(3, "b");
+        assert_eq!(q.pop(), Some((1, "a")));
+        assert_eq!(q.pop(), Some((3, "b")));
+        assert_eq!(q.pop(), Some((5, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2, "first");
+        q.schedule(2, "second");
+        q.schedule(2, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(4, ());
+        q.schedule(2, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 2);
+        q.pop();
+        assert_eq!(q.now(), 4);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "x");
+        q.pop();
+        q.schedule(1, "y");
+        assert_eq!(q.pop(), Some((11, "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.pop();
+        q.schedule_at(2, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, 1);
+        q.schedule(1, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Discrete-event simulation of the connected k-hop clustering
+//! protocol.
+//!
+//! The paper evaluates its algorithms "on a custom simulator" with an
+//! ideal MAC layer (collisions and contention are assumed away). This
+//! crate is that simulator, rebuilt:
+//!
+//! * [`engine`] — a deterministic discrete-event queue (time, sequence)
+//!   with unit-latency ideal-MAC broadcast semantics.
+//! * [`message`] / [`stats`] — the protocol's wire messages and
+//!   per-phase transmission accounting.
+//! * [`protocol`] — per-node state machines executing the paper's
+//!   Algorithm `AC-LMST` (and the NC/Mesh variants) purely by message
+//!   passing; converges to exactly the structure the centralized
+//!   pipeline in `adhoc-cluster` computes, which the integration tests
+//!   assert.
+//! * [`mac`] — a contention MAC (slotted CSMA, receiver-side
+//!   collisions) for ablating the paper's ideal-MAC assumption.
+//! * [`mobility`] — mobility models (random waypoint, random
+//!   direction, Gauss-Markov) and topology rebuilds.
+//! * [`maintenance`] — the §3.3 local-fix rules for node
+//!   disappearance (nothing / local gateway re-selection / cluster
+//!   re-election).
+//! * [`movement`] — the movement-sensitive maintenance policy of the
+//!   paper's §5 future work: cheapest-sufficient repairs under motion.
+//! * [`energy`] — a transmission energy model and clusterhead rotation
+//!   with residual-energy priority.
+//!
+//! # Example
+//!
+//! ```
+//! use adhoc_sim::protocol::{run_protocol, ProtocolConfig};
+//! use adhoc_cluster::pipeline::Algorithm;
+//! use adhoc_graph::gen;
+//!
+//! let g = gen::grid(4, 5);
+//! let run = run_protocol(&g, &ProtocolConfig::new(2, Algorithm::AcLmst));
+//! println!("{} heads, {} gateways, {} transmissions",
+//!          run.heads.len(), run.gateways.len(), run.stats.total());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod energy;
+pub mod engine;
+pub mod mac;
+pub mod maintenance;
+pub mod message;
+pub mod mobility;
+pub mod movement;
+pub mod protocol;
+pub mod stats;
+pub mod trace;
+
+pub use protocol::{run_protocol, DistributedRun, ProtocolConfig};
+pub use stats::{Phase, Stats};

@@ -1,0 +1,941 @@
+//! Distributed, message-level realization of the paper's algorithms.
+//!
+//! Every step of Algorithm `AC-LMST` (and its NC / Mesh variants) is
+//! executed by per-node state machines exchanging [`Message`]s through
+//! the ideal-MAC event engine — no node ever reads another node's
+//! state. The phases:
+//!
+//! 1. **Neighbor discovery** — 1-hop `Hello`s.
+//! 2. **Clustering** — iterative k-hop contests: undecided nodes flood
+//!    `Contend` keys k hops; contest winners flood `Declare`; undecided
+//!    receivers join per the member policy. Repeats until all joined.
+//! 3. **Cluster hello** — nodes announce their affiliation 1 hop.
+//! 4. **Head announce** — heads flood identity `2k+1` hops; everyone
+//!    learns hop distances to nearby heads (paper line 1–2).
+//! 5. **Dist vector** — nodes share learned head distances with
+//!    neighbors (enables canonical next-hop routing).
+//! 6. **Adjacency (A-NCR, AC only)** — border nodes report adjacent
+//!    cluster pairs to their heads (paper line 3).
+//! 7. **Set exchange (LMST only)** — heads flood their neighbor-set
+//!    and virtual distances `2k+1` hops (paper line 7–8).
+//! 8. **Gateway marking** — heads select partners (all of `S` for
+//!    Mesh, LMST on-tree neighbors for LMSTGA) and send marking tokens
+//!    along canonical shortest paths; token relays become gateways
+//!    (paper lines 9–11).
+//!
+//! The outcome is bit-for-bit identical to the centralized pipeline in
+//! `adhoc-cluster` (the integration tests assert this), while also
+//! accounting for every transmission.
+
+use crate::engine::EventQueue;
+use crate::message::{Message, WireKey};
+use crate::stats::{Phase, Stats};
+use adhoc_cluster::clustering::MemberPolicy;
+use adhoc_cluster::pipeline::Algorithm;
+use adhoc_graph::graph::{Graph, NodeId};
+use adhoc_graph::lmst;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of a protocol run.
+#[derive(Clone, Debug)]
+pub struct ProtocolConfig {
+    /// Clustering radius `k >= 1`.
+    pub k: u32,
+    /// Member affiliation policy. `SizeBased` requires global cluster
+    /// sizes and has no localized realization, so it is rejected.
+    pub policy: MemberPolicy,
+    /// Which gateway algorithm to execute. `GMst` is centralized by
+    /// definition and is rejected.
+    pub algorithm: Algorithm,
+    /// Optional custom election keys (defaults to lowest-ID).
+    pub keys: Option<Vec<WireKey>>,
+    /// When `Some(cap)`, record up to `cap` transmissions in a
+    /// [`Trace`](crate::trace::Trace) returned with the run.
+    pub trace_capacity: Option<usize>,
+}
+
+impl ProtocolConfig {
+    /// Lowest-ID, ID-based-membership configuration (the paper's
+    /// simulation setup) for the given `k` and algorithm.
+    pub fn new(k: u32, algorithm: Algorithm) -> Self {
+        ProtocolConfig {
+            k,
+            policy: MemberPolicy::IdBased,
+            algorithm,
+            keys: None,
+            trace_capacity: None,
+        }
+    }
+}
+
+/// The outcome of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistributedRun {
+    /// Elected clusterheads, ascending.
+    pub heads: Vec<NodeId>,
+    /// Every node's clusterhead.
+    pub head_of: Vec<NodeId>,
+    /// Every node's hop distance to its head.
+    pub dist_to_head: Vec<u32>,
+    /// Nodes that marked themselves gateways, ascending.
+    pub gateways: Vec<NodeId>,
+    /// Virtual links that were realized, `(a, b)` with `a < b`.
+    pub links_marked: Vec<(NodeId, NodeId)>,
+    /// Transmission and time accounting.
+    pub stats: Stats,
+    /// Transmission trace, when requested via
+    /// [`ProtocolConfig::trace_capacity`].
+    pub trace: Option<crate::trace::Trace>,
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Message,
+    },
+    Barrier(Barrier),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Barrier {
+    AfterHello,
+    ContendDone(u32),
+    DeclareDone(u32),
+    AfterClusterHello,
+    AfterAnnounce,
+    AfterDistVector,
+    AfterAdjacency,
+    AfterSetInfo,
+    AfterMarking,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    alive: bool,
+    neighbors: Vec<NodeId>, // learned from Hello, sorted
+    head: Option<NodeId>,
+    dist_to_head: u32,
+    // Clustering round state.
+    contend_seen: BTreeSet<NodeId>,
+    heard_keys: Vec<WireKey>,
+    declare_seen: BTreeSet<NodeId>,
+    heard_declares: Vec<(NodeId, u32)>,
+    // Post-clustering knowledge.
+    neighbor_cluster: BTreeMap<NodeId, (NodeId, u32)>,
+    head_dists: BTreeMap<NodeId, u32>, // learned from HeadAnnounce
+    neighbor_head_dists: BTreeMap<NodeId, BTreeMap<NodeId, u32>>,
+    // Head-only state.
+    adjacent: BTreeSet<NodeId>,
+    my_set: Vec<(NodeId, u32)>,
+    peer_sets: BTreeMap<NodeId, Vec<(NodeId, u32)>>,
+    set_seen: BTreeSet<NodeId>,
+    mark_initiated: BTreeSet<(NodeId, NodeId)>,
+    is_gateway: bool,
+}
+
+struct Simulator<'g> {
+    graph: &'g Graph,
+    cfg: ProtocolConfig,
+    nodes: Vec<Node>,
+    queue: EventQueue<Event>,
+    stats: Stats,
+    trace: Option<crate::trace::Trace>,
+    phase: Phase,
+    rounds: u32,
+    finished: bool,
+}
+
+impl<'g> Simulator<'g> {
+    fn new(graph: &'g Graph, cfg: ProtocolConfig) -> Self {
+        assert!(cfg.k >= 1, "k must be at least 1");
+        assert!(
+            cfg.policy != MemberPolicy::SizeBased,
+            "SizeBased affiliation needs global sizes; no localized \
+             realization exists"
+        );
+        assert!(
+            cfg.algorithm != Algorithm::GMst,
+            "G-MST is centralized by definition; use adhoc_cluster::gateway::gmst"
+        );
+        if let Some(keys) = &cfg.keys {
+            assert_eq!(keys.len(), graph.len(), "one key per node");
+        }
+        let nodes = (0..graph.len())
+            .map(|_| Node {
+                alive: true,
+                ..Node::default()
+            })
+            .collect();
+        let trace = cfg.trace_capacity.map(crate::trace::Trace::with_capacity);
+        Simulator {
+            graph,
+            cfg,
+            nodes,
+            queue: EventQueue::new(),
+            stats: Stats::default(),
+            trace,
+            phase: Phase::NeighborDiscovery,
+            rounds: 0,
+            finished: false,
+        }
+    }
+
+    fn key_of(&self, u: NodeId) -> WireKey {
+        match &self.cfg.keys {
+            Some(keys) => keys[u.index()],
+            None => WireKey { primary: 0, id: u },
+        }
+    }
+
+    fn record_tx(&mut self, from: NodeId, kind: crate::message::MessageKind) {
+        self.stats.record(self.phase, kind);
+        if let Some(trace) = &mut self.trace {
+            trace.record(crate::trace::TraceEvent {
+                time: self.queue.now(),
+                phase: self.phase,
+                kind,
+                from,
+            });
+        }
+    }
+
+    /// One radio transmission: delivered to every alive graph neighbor
+    /// one tick later.
+    fn broadcast(&mut self, from: NodeId, msg: Message) {
+        self.record_tx(from, msg.kind());
+        for &to in self.graph.neighbors(from) {
+            if self.nodes[to.index()].alive {
+                self.queue.schedule(
+                    1,
+                    Event::Deliver {
+                        to,
+                        from,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// One unicast hop (same cost model: one transmission).
+    fn unicast(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        debug_assert!(self.graph.neighbors(from).contains(&to));
+        self.record_tx(from, msg.kind());
+        self.queue.schedule(1, Event::Deliver { to, from, msg });
+    }
+
+    /// Canonical next hop from `at` toward `target_head`: the
+    /// smallest-ID alive neighbor whose announced distance to the head
+    /// is one less than ours. Mirrors
+    /// `adhoc_graph::bfs::lexico_path_from_labels`.
+    fn next_hop_toward(&self, at: NodeId, target_head: NodeId) -> NodeId {
+        let node = &self.nodes[at.index()];
+        let my_d = *node
+            .head_dists
+            .get(&target_head)
+            .unwrap_or_else(|| panic!("{at:?} has no distance label for {target_head:?}"));
+        debug_assert!(my_d > 0, "already at the target");
+        for &y in &node.neighbors {
+            if let Some(v) = node.neighbor_head_dists.get(&y) {
+                if v.get(&target_head) == Some(&(my_d - 1)) {
+                    return y;
+                }
+            }
+        }
+        panic!("no decreasing-distance neighbor from {at:?} toward {target_head:?}");
+    }
+
+    fn alive_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|v| self.nodes[v.index()].alive)
+            .collect()
+    }
+
+    fn undecided_ids(&self) -> Vec<NodeId> {
+        self.alive_ids()
+            .into_iter()
+            .filter(|v| self.nodes[v.index()].head.is_none())
+            .collect()
+    }
+
+    // ---- phase starters -------------------------------------------------
+
+    fn start(&mut self) {
+        self.phase = Phase::NeighborDiscovery;
+        for u in self.alive_ids() {
+            self.broadcast(u, Message::Hello);
+        }
+        self.queue.schedule(2, Event::Barrier(Barrier::AfterHello));
+    }
+
+    fn start_round(&mut self) {
+        self.rounds += 1;
+        let round = self.rounds;
+        self.phase = Phase::Clustering;
+        for u in self.undecided_ids() {
+            let key = self.key_of(u);
+            let k = self.cfg.k;
+            self.broadcast(
+                u,
+                Message::Contend {
+                    origin: u,
+                    key,
+                    ttl: k,
+                    round,
+                },
+            );
+        }
+        self.queue.schedule(
+            u64::from(self.cfg.k) + 1,
+            Event::Barrier(Barrier::ContendDone(round)),
+        );
+    }
+
+    fn contest_and_declare(&mut self, round: u32) {
+        for u in self.undecided_ids() {
+            let my_key = self.key_of(u);
+            let wins = self.nodes[u.index()]
+                .heard_keys
+                .iter()
+                .all(|&other| my_key < other);
+            if wins {
+                let node = &mut self.nodes[u.index()];
+                node.head = Some(u);
+                node.dist_to_head = 0;
+                let k = self.cfg.k;
+                self.broadcast(
+                    u,
+                    Message::Declare {
+                        origin: u,
+                        ttl: k,
+                        hops: 0,
+                        round,
+                    },
+                );
+            }
+        }
+        self.queue.schedule(
+            u64::from(self.cfg.k) + 1,
+            Event::Barrier(Barrier::DeclareDone(round)),
+        );
+    }
+
+    fn join_and_continue(&mut self) {
+        for u in self.undecided_ids() {
+            let node = &mut self.nodes[u.index()];
+            if node.heard_declares.is_empty() {
+                continue;
+            }
+            let (h, d) = match self.cfg.policy {
+                MemberPolicy::IdBased => *node
+                    .heard_declares
+                    .iter()
+                    .min_by_key(|&&(h, _)| h)
+                    .expect("nonempty"),
+                MemberPolicy::DistanceBased => *node
+                    .heard_declares
+                    .iter()
+                    .min_by_key(|&&(h, d)| (d, h))
+                    .expect("nonempty"),
+                MemberPolicy::SizeBased => unreachable!("rejected at construction"),
+            };
+            node.head = Some(h);
+            node.dist_to_head = d;
+        }
+        for node in &mut self.nodes {
+            node.contend_seen.clear();
+            node.heard_keys.clear();
+            node.declare_seen.clear();
+            node.heard_declares.clear();
+        }
+        if !self.undecided_ids().is_empty() {
+            assert!(
+                self.rounds <= self.nodes.len() as u32,
+                "clustering failed to converge"
+            );
+            self.start_round();
+        } else {
+            self.start_cluster_hello();
+        }
+    }
+
+    fn start_cluster_hello(&mut self) {
+        self.phase = Phase::ClusterHello;
+        for u in self.alive_ids() {
+            let node = &self.nodes[u.index()];
+            let head = node.head.expect("all nodes decided");
+            let dist = node.dist_to_head;
+            self.broadcast(u, Message::ClusterHello { head, dist });
+        }
+        self.queue
+            .schedule(2, Event::Barrier(Barrier::AfterClusterHello));
+    }
+
+    fn start_head_announce(&mut self) {
+        self.phase = Phase::HeadAnnounce;
+        let ttl = 2 * self.cfg.k + 1;
+        for u in self.alive_ids() {
+            if self.nodes[u.index()].head == Some(u) {
+                self.nodes[u.index()].head_dists.insert(u, 0);
+                self.broadcast(
+                    u,
+                    Message::HeadAnnounce {
+                        origin: u,
+                        ttl,
+                        hops: 0,
+                    },
+                );
+            }
+        }
+        self.queue
+            .schedule(u64::from(ttl) + 1, Event::Barrier(Barrier::AfterAnnounce));
+    }
+
+    fn start_dist_vector(&mut self) {
+        self.phase = Phase::DistVector;
+        for u in self.alive_ids() {
+            let dists: Vec<(NodeId, u32)> = self.nodes[u.index()]
+                .head_dists
+                .iter()
+                .map(|(&h, &d)| (h, d))
+                .collect();
+            self.broadcast(u, Message::DistVector { dists });
+        }
+        self.queue
+            .schedule(2, Event::Barrier(Barrier::AfterDistVector));
+    }
+
+    fn needs_adjacency(&self) -> bool {
+        matches!(self.cfg.algorithm, Algorithm::AcMesh | Algorithm::AcLmst)
+    }
+
+    fn needs_set_exchange(&self) -> bool {
+        matches!(self.cfg.algorithm, Algorithm::NcLmst | Algorithm::AcLmst)
+    }
+
+    fn start_adjacency(&mut self) {
+        self.phase = Phase::Adjacency;
+        for u in self.alive_ids() {
+            let node = &self.nodes[u.index()];
+            let my_head = node.head.expect("decided");
+            // Distinct foreign heads among my 1-hop neighbors.
+            let others: BTreeSet<NodeId> = node
+                .neighbor_cluster
+                .values()
+                .map(|&(h, _)| h)
+                .filter(|&h| h != my_head)
+                .collect();
+            for other in others {
+                if u == my_head {
+                    self.nodes[u.index()].adjacent.insert(other);
+                } else {
+                    let hop = self.next_hop_toward(u, my_head);
+                    self.unicast(
+                        u,
+                        hop,
+                        Message::AdjacencyReport {
+                            to_head: my_head,
+                            other_head: other,
+                        },
+                    );
+                }
+            }
+        }
+        self.queue.schedule(
+            u64::from(self.cfg.k) + 2,
+            Event::Barrier(Barrier::AfterAdjacency),
+        );
+    }
+
+    /// Computes each head's neighbor clusterhead set `S` per the
+    /// algorithm's rule (paper line 3) from purely local knowledge.
+    fn compute_sets(&mut self) {
+        let use_adjacent = self.needs_adjacency();
+        for u in self.alive_ids() {
+            if self.nodes[u.index()].head != Some(u) {
+                continue;
+            }
+            let node = &mut self.nodes[u.index()];
+            let set: Vec<(NodeId, u32)> = if use_adjacent {
+                node.adjacent
+                    .iter()
+                    .map(|&h| {
+                        let d = *node
+                            .head_dists
+                            .get(&h)
+                            .expect("adjacent head within 2k+1 announced");
+                        (h, d)
+                    })
+                    .collect()
+            } else {
+                node.head_dists
+                    .iter()
+                    .filter(|&(&h, _)| h != u)
+                    .map(|(&h, &d)| (h, d))
+                    .collect()
+            };
+            node.my_set = set;
+        }
+    }
+
+    fn start_set_exchange(&mut self) {
+        self.phase = Phase::SetExchange;
+        let ttl = 2 * self.cfg.k + 1;
+        for u in self.alive_ids() {
+            if self.nodes[u.index()].head != Some(u) {
+                continue;
+            }
+            let set = self.nodes[u.index()].my_set.clone();
+            self.broadcast(
+                u,
+                Message::SetInfo {
+                    origin: u,
+                    set,
+                    ttl,
+                },
+            );
+        }
+        self.queue
+            .schedule(u64::from(ttl) + 1, Event::Barrier(Barrier::AfterSetInfo));
+    }
+
+    fn start_marking(&mut self) {
+        self.phase = Phase::GatewayMarking;
+        let heads: Vec<NodeId> = self
+            .alive_ids()
+            .into_iter()
+            .filter(|&u| self.nodes[u.index()].head == Some(u))
+            .collect();
+        for u in heads {
+            let selected: Vec<NodeId> = match self.cfg.algorithm {
+                Algorithm::NcMesh | Algorithm::AcMesh => self.nodes[u.index()]
+                    .my_set
+                    .iter()
+                    .map(|&(h, _)| h)
+                    .collect(),
+                Algorithm::NcLmst | Algorithm::AcLmst => {
+                    let node = &self.nodes[u.index()];
+                    let partners: Vec<NodeId> = node.my_set.iter().map(|&(h, _)| h).collect();
+                    if partners.is_empty() {
+                        Vec::new()
+                    } else {
+                        lmst::on_tree_neighbors(u, &partners, |a, b| self.virtual_weight(u, a, b))
+                    }
+                }
+                Algorithm::GMst => unreachable!(),
+            };
+            for v in selected {
+                let (a, b) = if u < v { (u, v) } else { (v, u) };
+                if u == a {
+                    self.initiate_mark(a, b);
+                } else {
+                    // Ask the smaller endpoint to start the canonical
+                    // walk; routed toward `a` along decreasing labels.
+                    let hop = self.next_hop_toward(u, a);
+                    self.unicast(u, hop, Message::MarkRequest { a, b });
+                }
+            }
+        }
+        let span = u64::from(2 * self.cfg.k + 1);
+        self.queue
+            .schedule(2 * span + 2, Event::Barrier(Barrier::AfterMarking));
+    }
+
+    /// The local weight oracle a head `u` uses for its LMST: the
+    /// virtual link `a—b` exists iff `b` is in `a`'s advertised set
+    /// (symmetric by construction), with the advertised hop distance
+    /// and ID tie-breaking as weight.
+    fn virtual_weight(&self, u: NodeId, a: NodeId, b: NodeId) -> Option<lmst::TieWeight<u32>> {
+        let set_of = |h: NodeId| -> Option<&[(NodeId, u32)]> {
+            if h == u {
+                Some(&self.nodes[u.index()].my_set)
+            } else {
+                self.nodes[u.index()].peer_sets.get(&h).map(Vec::as_slice)
+            }
+        };
+        let sa = set_of(a)?;
+        let d = sa.iter().find(|&&(h, _)| h == b).map(|&(_, d)| d)?;
+        Some(lmst::TieWeight::new(d, a, b))
+    }
+
+    fn initiate_mark(&mut self, a: NodeId, b: NodeId) {
+        if !self.nodes[a.index()].mark_initiated.insert((a, b)) {
+            return; // already walking this link
+        }
+        let hop = self.next_hop_toward(a, b);
+        self.unicast(a, hop, Message::MarkToken { a, b });
+    }
+
+    // ---- event dispatch -------------------------------------------------
+
+    fn handle_deliver(&mut self, to: NodeId, from: NodeId, msg: Message) {
+        if !self.nodes[to.index()].alive {
+            return;
+        }
+        match msg {
+            Message::Hello => {
+                let node = &mut self.nodes[to.index()];
+                if let Err(pos) = node.neighbors.binary_search(&from) {
+                    node.neighbors.insert(pos, from);
+                }
+            }
+            Message::Contend {
+                origin,
+                key,
+                ttl,
+                round,
+            } => {
+                let node = &mut self.nodes[to.index()];
+                if origin == to || !node.contend_seen.insert(origin) {
+                    return;
+                }
+                if node.head.is_none() {
+                    node.heard_keys.push(key);
+                }
+                if ttl > 1 {
+                    self.broadcast(
+                        to,
+                        Message::Contend {
+                            origin,
+                            key,
+                            ttl: ttl - 1,
+                            round,
+                        },
+                    );
+                }
+            }
+            Message::Declare {
+                origin,
+                ttl,
+                hops,
+                round,
+            } => {
+                let node = &mut self.nodes[to.index()];
+                if origin == to || !node.declare_seen.insert(origin) {
+                    return;
+                }
+                let dist = hops + 1;
+                if node.head.is_none() {
+                    node.heard_declares.push((origin, dist));
+                }
+                if ttl > 1 {
+                    self.broadcast(
+                        to,
+                        Message::Declare {
+                            origin,
+                            ttl: ttl - 1,
+                            hops: dist,
+                            round,
+                        },
+                    );
+                }
+            }
+            Message::ClusterHello { head, dist } => {
+                self.nodes[to.index()]
+                    .neighbor_cluster
+                    .insert(from, (head, dist));
+            }
+            Message::HeadAnnounce { origin, ttl, hops } => {
+                let node = &mut self.nodes[to.index()];
+                if origin == to || node.head_dists.contains_key(&origin) {
+                    return;
+                }
+                let dist = hops + 1;
+                node.head_dists.insert(origin, dist);
+                if ttl > 1 {
+                    self.broadcast(
+                        to,
+                        Message::HeadAnnounce {
+                            origin,
+                            ttl: ttl - 1,
+                            hops: dist,
+                        },
+                    );
+                }
+            }
+            Message::DistVector { dists } => {
+                self.nodes[to.index()]
+                    .neighbor_head_dists
+                    .insert(from, dists.into_iter().collect());
+            }
+            Message::AdjacencyReport {
+                to_head,
+                other_head,
+            } => {
+                if to == to_head {
+                    self.nodes[to.index()].adjacent.insert(other_head);
+                } else {
+                    let hop = self.next_hop_toward(to, to_head);
+                    self.unicast(
+                        to,
+                        hop,
+                        Message::AdjacencyReport {
+                            to_head,
+                            other_head,
+                        },
+                    );
+                }
+            }
+            Message::SetInfo { origin, set, ttl } => {
+                let node = &mut self.nodes[to.index()];
+                if origin == to || !node.set_seen.insert(origin) {
+                    return;
+                }
+                node.peer_sets.insert(origin, set.clone());
+                if ttl > 1 {
+                    self.broadcast(
+                        to,
+                        Message::SetInfo {
+                            origin,
+                            set,
+                            ttl: ttl - 1,
+                        },
+                    );
+                }
+            }
+            Message::MarkRequest { a, b } => {
+                if to == a {
+                    self.initiate_mark(a, b);
+                } else {
+                    let hop = self.next_hop_toward(to, a);
+                    self.unicast(to, hop, Message::MarkRequest { a, b });
+                }
+            }
+            Message::MarkToken { a, b } => {
+                if to == b {
+                    return; // walk complete
+                }
+                // Interior node: become a gateway (heads stay heads).
+                if self.nodes[to.index()].head != Some(to) {
+                    self.nodes[to.index()].is_gateway = true;
+                }
+                let hop = self.next_hop_toward(to, b);
+                self.unicast(to, hop, Message::MarkToken { a, b });
+            }
+        }
+    }
+
+    fn handle_barrier(&mut self, barrier: Barrier) {
+        match barrier {
+            Barrier::AfterHello => self.start_round(),
+            Barrier::ContendDone(round) => self.contest_and_declare(round),
+            Barrier::DeclareDone(_) => self.join_and_continue(),
+            Barrier::AfterClusterHello => self.start_head_announce(),
+            Barrier::AfterAnnounce => self.start_dist_vector(),
+            Barrier::AfterDistVector => {
+                if self.needs_adjacency() {
+                    self.start_adjacency();
+                } else {
+                    self.compute_sets();
+                    if self.needs_set_exchange() {
+                        self.start_set_exchange();
+                    } else {
+                        self.start_marking();
+                    }
+                }
+            }
+            Barrier::AfterAdjacency => {
+                self.compute_sets();
+                if self.needs_set_exchange() {
+                    self.start_set_exchange();
+                } else {
+                    self.start_marking();
+                }
+            }
+            Barrier::AfterSetInfo => self.start_marking(),
+            Barrier::AfterMarking => self.finished = true,
+        }
+    }
+
+    fn run(mut self) -> DistributedRun {
+        self.start();
+        while !self.finished {
+            let (_, event) = self
+                .queue
+                .pop()
+                .expect("event queue drained before the final barrier");
+            match event {
+                Event::Deliver { to, from, msg } => self.handle_deliver(to, from, msg),
+                Event::Barrier(b) => self.handle_barrier(b),
+            }
+        }
+        self.stats.makespan = self.queue.now();
+        self.stats.rounds = self.rounds;
+
+        let n = self.nodes.len();
+        let mut heads = Vec::new();
+        let mut head_of = vec![NodeId(u32::MAX); n];
+        let mut dist_to_head = vec![0u32; n];
+        let mut gateways = Vec::new();
+        let mut links: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let u = NodeId(i as u32);
+            if !node.alive {
+                continue;
+            }
+            let h = node.head.expect("protocol completed");
+            head_of[i] = h;
+            dist_to_head[i] = node.dist_to_head;
+            if h == u {
+                heads.push(u);
+            }
+            if node.is_gateway {
+                gateways.push(u);
+            }
+            links.extend(node.mark_initiated.iter().copied());
+        }
+        DistributedRun {
+            heads,
+            head_of,
+            dist_to_head,
+            gateways,
+            links_marked: links.into_iter().collect(),
+            stats: self.stats,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Executes the distributed protocol on `g` and returns the converged
+/// structure plus transmission statistics.
+///
+/// # Panics
+/// Panics on `k == 0`, `MemberPolicy::SizeBased`, or
+/// `Algorithm::GMst` (see [`ProtocolConfig`]), and if `g` is
+/// disconnected across alive nodes (routing labels would be missing).
+pub fn run_protocol(g: &Graph, cfg: &ProtocolConfig) -> DistributedRun {
+    Simulator::new(g, cfg.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::gen;
+
+    #[test]
+    fn path_k1_matches_hand_computation() {
+        let g = gen::path(9);
+        let run = run_protocol(&g, &ProtocolConfig::new(1, Algorithm::AcLmst));
+        assert_eq!(
+            run.heads,
+            vec![NodeId(0), NodeId(2), NodeId(4), NodeId(6), NodeId(8)]
+        );
+        assert_eq!(
+            run.gateways,
+            vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7)]
+        );
+        assert_eq!(run.links_marked.len(), 4);
+        assert!(run.stats.total() > 0);
+        // Heads are elected one per round along the path: 0,2,4,6,8.
+        assert_eq!(run.stats.rounds, 5);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let g = Graph::new(1);
+        let run = run_protocol(&g, &ProtocolConfig::new(2, Algorithm::AcMesh));
+        assert_eq!(run.heads, vec![NodeId(0)]);
+        assert!(run.gateways.is_empty());
+    }
+
+    #[test]
+    fn star_elects_center_cluster() {
+        let g = gen::star(6);
+        let run = run_protocol(&g, &ProtocolConfig::new(1, Algorithm::NcMesh));
+        assert_eq!(run.heads, vec![NodeId(0)]);
+        assert!(run.gateways.is_empty());
+        assert!(run.links_marked.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "SizeBased")]
+    fn size_based_rejected() {
+        let g = gen::path(3);
+        let mut cfg = ProtocolConfig::new(1, Algorithm::AcLmst);
+        cfg.policy = MemberPolicy::SizeBased;
+        run_protocol(&g, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "centralized")]
+    fn gmst_rejected() {
+        let g = gen::path(3);
+        run_protocol(&g, &ProtocolConfig::new(1, Algorithm::GMst));
+    }
+
+    #[test]
+    fn custom_keys_change_election() {
+        // Give node 4 (path middle) the best key: it must win round 1.
+        let g = gen::path(5);
+        let mut cfg = ProtocolConfig::new(2, Algorithm::AcMesh);
+        cfg.keys = Some(
+            (0..5u32)
+                .map(|i| WireKey {
+                    primary: if i == 4 { 0 } else { 100 + u64::from(i) },
+                    id: NodeId(i),
+                })
+                .collect(),
+        );
+        let run = run_protocol(&g, &cfg);
+        assert!(run.heads.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn message_counts_populate_expected_phases() {
+        let g = gen::path(9);
+        let run = run_protocol(&g, &ProtocolConfig::new(1, Algorithm::AcLmst));
+        use crate::stats::Phase;
+        assert_eq!(run.stats.phase_total(Phase::NeighborDiscovery), 9);
+        assert!(run.stats.phase_total(Phase::Clustering) > 0);
+        assert_eq!(run.stats.phase_total(Phase::ClusterHello), 9);
+        assert!(run.stats.phase_total(Phase::HeadAnnounce) > 0);
+        assert_eq!(run.stats.phase_total(Phase::DistVector), 9);
+        assert!(run.stats.phase_total(Phase::Adjacency) > 0);
+        assert!(run.stats.phase_total(Phase::SetExchange) > 0);
+        assert!(run.stats.phase_total(Phase::GatewayMarking) > 0);
+    }
+
+    #[test]
+    fn mesh_skips_set_exchange_and_nc_skips_adjacency() {
+        use crate::stats::Phase;
+        let g = gen::path(9);
+        let mesh = run_protocol(&g, &ProtocolConfig::new(1, Algorithm::NcMesh));
+        assert_eq!(mesh.stats.phase_total(Phase::SetExchange), 0);
+        assert_eq!(mesh.stats.phase_total(Phase::Adjacency), 0);
+        let ac = run_protocol(&g, &ProtocolConfig::new(1, Algorithm::AcMesh));
+        assert!(ac.stats.phase_total(Phase::Adjacency) > 0);
+        assert_eq!(ac.stats.phase_total(Phase::SetExchange), 0);
+    }
+
+    #[test]
+    fn trace_capture_matches_stats() {
+        let g = gen::path(9);
+        let mut cfg = ProtocolConfig::new(1, Algorithm::AcLmst);
+        cfg.trace_capacity = Some(100_000);
+        let run = run_protocol(&g, &cfg);
+        let trace = run.trace.expect("trace requested");
+        assert_eq!(trace.len() as u64, run.stats.total());
+        assert_eq!(trace.dropped(), 0);
+        // Phase spans are ordered like the protocol's phases.
+        use crate::stats::Phase;
+        let hello = trace.phase_span(Phase::NeighborDiscovery).unwrap();
+        let marking = trace.phase_span(Phase::GatewayMarking).unwrap();
+        assert!(hello.1 <= marking.0);
+        // Without the flag, no trace is produced.
+        let bare = run_protocol(&g, &ProtocolConfig::new(1, Algorithm::AcLmst));
+        assert!(bare.trace.is_none());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = gen::grid(4, 5);
+        let a = run_protocol(&g, &ProtocolConfig::new(2, Algorithm::AcLmst));
+        let b = run_protocol(&g, &ProtocolConfig::new(2, Algorithm::AcLmst));
+        assert_eq!(a.heads, b.heads);
+        assert_eq!(a.gateways, b.gateways);
+        assert_eq!(a.stats.total(), b.stats.total());
+    }
+}

@@ -1,0 +1,134 @@
+//! Protocol execution traces.
+//!
+//! A trace is an ordered record of transmissions — who sent which kind
+//! of message, when, in which phase. Traces make the distributed runs
+//! auditable (e.g. "which floods dominate the k=4 overhead?") and
+//! power the `distributed_trace` example and debugging.
+
+use crate::engine::Time;
+use crate::message::MessageKind;
+use crate::stats::Phase;
+use adhoc_graph::graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One recorded transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time of the transmission.
+    pub time: Time,
+    /// Protocol phase it belongs to.
+    pub phase: Phase,
+    /// Message kind.
+    pub kind: MessageKind,
+    /// Transmitting node.
+    pub from: NodeId,
+}
+
+/// A bounded transmission log.
+///
+/// Capacity-bounded so tracing a large run cannot exhaust memory; once
+/// full, further events are counted but not stored
+/// ([`Trace::dropped`]).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace storing at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (or counts it as dropped when full).
+    pub fn record(&mut self, e: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Stored events, in transmission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events not stored because the trace was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events of one node, in order.
+    pub fn by_node(&self, u: NodeId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.from == u).collect()
+    }
+
+    /// `(first, last)` transmission times of a phase, if any occurred.
+    pub fn phase_span(&self, phase: Phase) -> Option<(Time, Time)> {
+        let mut it = self.events.iter().filter(|e| e.phase == phase);
+        let first = it.next()?.time;
+        let last = it.next_back().map_or(first, |e| e.time);
+        Some((first, last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: Time, from: u32, phase: Phase) -> TraceEvent {
+        TraceEvent {
+            time,
+            phase,
+            kind: MessageKind::Hello,
+            from: NodeId(from),
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::with_capacity(10);
+        t.record(ev(0, 1, Phase::NeighborDiscovery));
+        t.record(ev(1, 2, Phase::Clustering));
+        t.record(ev(3, 1, Phase::Clustering));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.by_node(NodeId(1)).len(), 2);
+        assert_eq!(t.phase_span(Phase::Clustering), Some((1, 3)));
+        assert_eq!(t.phase_span(Phase::SetExchange), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_drops() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(ev(i, 0, Phase::NeighborDiscovery));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn single_event_phase_span() {
+        let mut t = Trace::with_capacity(4);
+        t.record(ev(7, 3, Phase::GatewayMarking));
+        assert_eq!(t.phase_span(Phase::GatewayMarking), Some((7, 7)));
+    }
+}

@@ -1,0 +1,148 @@
+//! The load-bearing correctness test of the whole reproduction: the
+//! distributed message-passing protocol must converge to **exactly**
+//! the structure the centralized pipeline computes — same clusterheads,
+//! same memberships and distances, same realized virtual links, same
+//! gateway set — for every localized algorithm, both member policies,
+//! and a spread of (N, D, k).
+
+use adhoc_cluster::clustering::{self, MemberPolicy};
+use adhoc_cluster::pipeline::{self, Algorithm, PipelineConfig};
+use adhoc_cluster::priority::LowestId;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_sim::protocol::{run_protocol, ProtocolConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LOCALIZED: [Algorithm; 4] = [
+    Algorithm::NcMesh,
+    Algorithm::AcMesh,
+    Algorithm::NcLmst,
+    Algorithm::AcLmst,
+];
+
+fn assert_equivalent(
+    g: &adhoc_graph::Graph,
+    k: u32,
+    policy: MemberPolicy,
+    algorithm: Algorithm,
+    label: &str,
+) {
+    let mut cfg = ProtocolConfig::new(k, algorithm);
+    cfg.policy = policy;
+    let dist = run_protocol(g, &cfg);
+
+    let pcfg = PipelineConfig { k, policy };
+    let central = pipeline::run(g, algorithm, &pcfg);
+
+    assert_eq!(
+        dist.heads, central.clustering.heads,
+        "{label}: clusterheads differ"
+    );
+    assert_eq!(
+        dist.head_of, central.clustering.head_of,
+        "{label}: memberships differ"
+    );
+    assert_eq!(
+        dist.dist_to_head, central.clustering.dist_to_head,
+        "{label}: member distances differ"
+    );
+    assert_eq!(
+        dist.links_marked, central.selection.links_used,
+        "{label}: realized virtual links differ"
+    );
+    assert_eq!(
+        dist.gateways, central.selection.gateways,
+        "{label}: gateway sets differ"
+    );
+}
+
+#[test]
+fn distributed_equals_centralized_on_fixed_topologies() {
+    for (name, g) in [
+        ("path", gen::path(15)),
+        ("cycle", gen::cycle(14)),
+        ("grid", gen::grid(5, 6)),
+        ("star", gen::star(8)),
+    ] {
+        for k in 1..=3u32 {
+            for alg in LOCALIZED {
+                let label = format!("{name} k={k} {alg}");
+                assert_equivalent(&g, k, MemberPolicy::IdBased, alg, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_equals_centralized_on_random_geometric() {
+    let mut rng = StdRng::seed_from_u64(2025);
+    for (n, d) in [(60, 6.0), (100, 6.0), (80, 10.0)] {
+        let net = gen::geometric(&GeometricConfig::new(n, 100.0, d), &mut rng);
+        for k in 1..=4u32 {
+            for alg in LOCALIZED {
+                let label = format!("N={n} D={d} k={k} {alg}");
+                assert_equivalent(&net.graph, k, MemberPolicy::IdBased, alg, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_equals_centralized_distance_policy() {
+    let mut rng = StdRng::seed_from_u64(4096);
+    let net = gen::geometric(&GeometricConfig::new(90, 100.0, 8.0), &mut rng);
+    for k in 1..=3u32 {
+        for alg in LOCALIZED {
+            let label = format!("distance-policy k={k} {alg}");
+            assert_equivalent(&net.graph, k, MemberPolicy::DistanceBased, alg, &label);
+        }
+    }
+}
+
+#[test]
+fn distributed_cds_passes_centralized_verifier() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = gen::geometric(&GeometricConfig::new(100, 100.0, 6.0), &mut rng);
+    for k in 1..=3u32 {
+        for alg in LOCALIZED {
+            let run = run_protocol(&net.graph, &ProtocolConfig::new(k, alg));
+            let cds = adhoc_cluster::Cds {
+                heads: run.heads.clone(),
+                gateways: run.gateways.clone(),
+            };
+            cds.verify(&net.graph, k)
+                .unwrap_or_else(|e| panic!("{alg} k={k}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn overhead_grows_with_k() {
+    // The paper's §5: "Communication overhead increases with the
+    // growth of the value of k". Verify the trend on a fixed topology.
+    let mut rng = StdRng::seed_from_u64(99);
+    let net = gen::geometric(&GeometricConfig::new(120, 100.0, 8.0), &mut rng);
+    let mut last = 0u64;
+    for k in 1..=4u32 {
+        let run = run_protocol(&net.graph, &ProtocolConfig::new(k, Algorithm::AcLmst));
+        assert!(
+            run.stats.total() > last,
+            "total transmissions did not grow at k={k}"
+        );
+        last = run.stats.total();
+    }
+}
+
+#[test]
+fn clustering_rounds_match() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let net = gen::geometric(&GeometricConfig::new(70, 100.0, 6.0), &mut rng);
+    for k in 1..=3u32 {
+        let run = run_protocol(&net.graph, &ProtocolConfig::new(k, Algorithm::AcMesh));
+        let central = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+        assert_eq!(
+            run.stats.rounds, central.rounds,
+            "round counts differ at k={k}"
+        );
+    }
+}

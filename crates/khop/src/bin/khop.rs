@@ -1,0 +1,319 @@
+//! `khop` — command-line front end for the connected k-hop clustering
+//! stack.
+//!
+//! ```text
+//! khop gen  --n 100 --d 6 --seed 7 --out net.txt      generate a network file
+//! khop run  [--input net.txt | --n 100 --d 6 --seed 7] --k 2 --alg ac-lmst [--json]
+//! khop dist [--input net.txt | --n ... ] --k 2 --alg ac-lmst    distributed run + stats
+//! khop info --input net.txt                            topology metrics
+//! khop exact [--n 24 --d 5 --seed 7] --k 1             exact optimum + ratios
+//! khop maintain --n 100 --k 2 --steps 50 --speed 1.0   movement-sensitive repair
+//! khop mac  [--n 120 --d 10] --k 1 --cw 8              broadcast under CSMA
+//! ```
+
+use khop::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    flags: BTreeMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = BTreeMap::new();
+        let mut bools = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    flags.insert(name.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    bools.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                die(&format!("unexpected argument: {a}"));
+            }
+        }
+        Args { flags, bools }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.flags.get(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for --{name}: {v}"))),
+            None => default,
+        }
+    }
+
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("khop: {msg}");
+    eprintln!("usage: khop <gen|run|dist|info|exact|maintain|mac>");
+    eprintln!("            [--n N] [--d D] [--k K] [--seed S] [--steps T] [--cw W]");
+    eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst]");
+    eprintln!("            [--input FILE] [--out FILE] [--json]");
+    exit(2)
+}
+
+fn parse_alg(s: &str) -> Algorithm {
+    match s.to_ascii_lowercase().as_str() {
+        "nc-mesh" => Algorithm::NcMesh,
+        "ac-mesh" => Algorithm::AcMesh,
+        "nc-lmst" => Algorithm::NcLmst,
+        "ac-lmst" => Algorithm::AcLmst,
+        "g-mst" | "gmst" => Algorithm::GMst,
+        other => die(&format!("unknown algorithm {other}")),
+    }
+}
+
+/// Loads `--input` or generates from `--n/--d/--seed`.
+fn obtain_graph(args: &Args) -> Graph {
+    if let Some(path) = args.opt("input") {
+        let file = adhoc_graph::io::load(&PathBuf::from(path))
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        file.graph
+    } else {
+        let n: usize = args.get("n", 100);
+        let d: f64 = args.get("d", 6.0);
+        let seed: u64 = args.get("seed", 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::geometric(&gen::GeometricConfig::new(n, 100.0, d), &mut rng).graph
+    }
+}
+
+fn cmd_gen(args: &Args) {
+    let n: usize = args.get("n", 100);
+    let d: f64 = args.get("d", 6.0);
+    let seed: u64 = args.get("seed", 1);
+    let out = args.opt("out").unwrap_or("network.txt");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = gen::geometric(&gen::GeometricConfig::new(n, 100.0, d), &mut rng);
+    adhoc_graph::io::save(&PathBuf::from(out), &net.graph, Some(&net.positions))
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "wrote {out}: {} nodes, {} edges, avg degree {:.2}, range {:.2}",
+        net.graph.len(),
+        net.graph.edge_count(),
+        net.graph.average_degree(),
+        net.range
+    );
+}
+
+fn cmd_run(args: &Args) {
+    let g = obtain_graph(args);
+    let k: u32 = args.get("k", 2);
+    let alg = parse_alg(args.opt("alg").unwrap_or("ac-lmst"));
+    let out = pipeline::run(&g, alg, &PipelineConfig::new(k));
+    if let Err(e) = out.cds.verify(&g, k) {
+        die(&format!("produced an invalid CDS: {e}"));
+    }
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "algorithm": alg.name(),
+                "k": k,
+                "nodes": g.len(),
+                "edges": g.edge_count(),
+                "clusterheads": out.clustering.heads,
+                "gateways": out.selection.gateways,
+                "cds_size": out.cds.size(),
+                "links_used": out.selection.links_used,
+                "rounds": out.clustering.rounds,
+            })
+        );
+    } else {
+        println!(
+            "{} on {} nodes (k={k}): {} heads, {} gateways, CDS {}",
+            alg.name(),
+            g.len(),
+            out.clustering.head_count(),
+            out.selection.gateways.len(),
+            out.cds.size()
+        );
+    }
+}
+
+fn cmd_dist(args: &Args) {
+    let g = obtain_graph(args);
+    let k: u32 = args.get("k", 2);
+    let alg = parse_alg(args.opt("alg").unwrap_or("ac-lmst"));
+    if alg == Algorithm::GMst {
+        die("G-MST is centralized; use `khop run --alg g-mst`");
+    }
+    let run = run_protocol(&g, &ProtocolConfig::new(k, alg));
+    println!(
+        "distributed {} on {} nodes (k={k}): {} heads, {} gateways",
+        alg.name(),
+        g.len(),
+        run.heads.len(),
+        run.gateways.len()
+    );
+    print!("{}", run.stats.report());
+}
+
+fn cmd_info(args: &Args) {
+    let g = obtain_graph(args);
+    use adhoc_graph::metrics;
+    println!("nodes: {}", g.len());
+    println!("edges: {}", g.edge_count());
+    println!("avg degree: {:.2}", g.average_degree());
+    println!("connected: {}", connectivity::is_connected(&g));
+    println!("components: {}", connectivity::component_count(&g));
+    if let Some(d) = metrics::diameter(&g) {
+        println!("diameter: {d}");
+    }
+    if let Some(r) = metrics::radius(&g) {
+        println!("radius: {r}");
+    }
+    println!(
+        "avg clustering coeff: {:.3}",
+        metrics::average_clustering(&g)
+    );
+}
+
+fn cmd_exact(args: &Args) {
+    let g = obtain_graph(args);
+    let k: u32 = args.get("k", 1);
+    if g.len() > 40 {
+        die(&format!(
+            "exact search on {} nodes would not finish; use --n 40 or fewer",
+            g.len()
+        ));
+    }
+    let budget: u64 = args.get("budget", exact::ExactConfig::default().max_steps);
+    let opt = exact::min_khop_cds(&g, k, &ExactConfig { max_steps: budget });
+    println!(
+        "exact minimum {k}-hop CDS: {} nodes {} ({} expansions)",
+        opt.size(),
+        if opt.optimal {
+            "[proven optimal]"
+        } else {
+            "[budget exhausted — incumbent]"
+        },
+        opt.explored
+    );
+    println!("set: {:?}", opt.set);
+    for alg in Algorithm::ALL {
+        let out = pipeline::run(&g, alg, &PipelineConfig::new(k));
+        println!(
+            "  {:<8} CDS {:>3}  ratio {:.3}",
+            alg.name(),
+            out.cds.size(),
+            out.cds.size() as f64 / opt.size() as f64
+        );
+    }
+}
+
+fn cmd_maintain(args: &Args) {
+    let n: usize = args.get("n", 100);
+    let d: f64 = args.get("d", 10.0);
+    let k: u32 = args.get("k", 2);
+    let seed: u64 = args.get("seed", 1);
+    let steps: usize = args.get("steps", 50);
+    let speed: f64 = args.get("speed", 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = gen::geometric(&gen::GeometricConfig::new(n, 100.0, d), &mut rng);
+    let wp = WaypointConfig {
+        side: 100.0,
+        min_speed: (speed * 0.2).max(1e-6),
+        max_speed: speed,
+        pause: 2.0,
+    };
+    let model = mobility::RandomWaypoint::new(n, wp, &mut rng);
+    let mut mobile = MobileNetwork::with_model(base.positions.clone(), base.range, model);
+    let mut m = MaintainedCds::build(&mobile.graph, MovementConfig::strict(k, Algorithm::AcLmst));
+    println!("step | level       | orphans | cost | CDS | valid");
+    let mut total_cost = 0usize;
+    let mut total_rebuild = 0usize;
+    for step in 0..steps {
+        mobile.step(1.0, &mut rng);
+        total_rebuild += m.rebuild_cost(&mobile.graph);
+        let r = m.step(&mobile.graph);
+        total_cost += r.cost;
+        if r.level != RepairLevel::None || args.has("verbose") {
+            println!(
+                "{step:>4} | {:<11} | {:>7} | {:>4} | {:>3} | {}",
+                r.level.name(),
+                r.orphans,
+                r.cost,
+                m.cds.size(),
+                r.valid
+            );
+        }
+    }
+    println!(
+        "\ntotal maintenance cost {total_cost} node-rounds vs {} for rebuild-every-step ({:.0}% saved)",
+        total_rebuild,
+        100.0 * (1.0 - total_cost as f64 / total_rebuild.max(1) as f64)
+    );
+}
+
+fn cmd_mac(args: &Args) {
+    let g = obtain_graph(args);
+    let k: u32 = args.get("k", 1);
+    let cw: u32 = args.get("cw", 8);
+    let seed: u64 = args.get("seed", 1);
+    let out = pipeline::run(&g, Algorithm::AcLmst, &PipelineConfig::new(k));
+    let mut rng = StdRng::seed_from_u64(seed);
+    println!(
+        "{:<10} {:>6} {:>10} {:>9} {:>8}",
+        "strategy", "tx", "collisions", "delivered", "latency"
+    );
+    for (name, strategy) in [
+        ("flood", BroadcastStrategy::BlindFlood),
+        ("backbone", BroadcastStrategy::Backbone),
+    ] {
+        let r = mac::simulate_with_mac(
+            &g,
+            &out.clustering,
+            &out.cds,
+            NodeId(0),
+            strategy,
+            &MacConfig {
+                cw,
+                ..MacConfig::default()
+            },
+            &mut rng,
+        );
+        println!(
+            "{name:<10} {:>6} {:>10} {:>9} {:>7}s",
+            r.transmissions, r.collisions, r.delivered, r.latency_slots
+        );
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        die("missing command");
+    };
+    let args = Args::parse(rest);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "run" => cmd_run(&args),
+        "dist" => cmd_dist(&args),
+        "info" => cmd_info(&args),
+        "exact" => cmd_exact(&args),
+        "maintain" => cmd_maintain(&args),
+        "mac" => cmd_mac(&args),
+        other => die(&format!("unknown command {other}")),
+    }
+}

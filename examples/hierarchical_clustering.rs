@@ -1,0 +1,43 @@
+//! High-level clustering (§2): apply the clustering recursively over
+//! clusterheads to support very large networks.
+//!
+//! Run with: `cargo run --release --example hierarchical_clustering`
+
+use khop::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(64);
+    let net = gen::geometric(&gen::GeometricConfig::new(400, 100.0, 6.0), &mut rng);
+    println!(
+        "physical network: {} nodes, {} links\n",
+        net.graph.len(),
+        net.graph.edge_count()
+    );
+
+    let h = Hierarchy::build(&net.graph, &[1, 1, 1], MemberPolicy::IdBased);
+    println!("level | graph nodes | clusterheads");
+    for (i, level) in h.levels.iter().enumerate() {
+        println!(
+            "{i:>5} | {:>11} | {:>12}",
+            level.graph.len(),
+            level.clustering.head_count()
+        );
+        // Theorem 1 at every level: the next level's input (the
+        // adjacent cluster graph) is connected.
+        assert!(connectivity::is_connected(&level.graph));
+    }
+
+    let tops = h.top_heads();
+    println!(
+        "\ntop-level clusterheads (physical IDs): {:?}",
+        &tops[..tops.len().min(10)]
+    );
+    println!(
+        "reduction: {} nodes -> {} super-clusterheads over {} levels",
+        net.graph.len(),
+        tops.len(),
+        h.depth()
+    );
+}

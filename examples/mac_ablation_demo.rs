@@ -1,0 +1,63 @@
+//! Broadcast with and without the ideal-MAC assumption.
+//!
+//! The paper's simulator assumes collisions away; this demo runs the
+//! same broadcast once on the ideal MAC and once on the contention MAC
+//! (slotted CSMA) and prints what the assumption hides.
+//!
+//! Run with: `cargo run --example mac_ablation_demo`
+
+use khop::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = gen::geometric(&gen::GeometricConfig::new(120, 100.0, 10.0), &mut rng);
+    let k = 1;
+    let out = pipeline::run(&net.graph, Algorithm::AcLmst, &PipelineConfig::new(k));
+    let c = &out.clustering;
+    println!(
+        "network: {} nodes, CDS = {} ({} heads + {} gateways)\n",
+        net.graph.len(),
+        out.cds.size(),
+        out.cds.heads.len(),
+        out.cds.gateways.len()
+    );
+
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>9}",
+        "scenario", "tx", "collisions", "delivered", "latency"
+    );
+    for (name, strategy) in [
+        ("flood", BroadcastStrategy::BlindFlood),
+        ("backbone", BroadcastStrategy::Backbone),
+    ] {
+        let ideal = broadcast::simulate(&net.graph, c, &out.cds, NodeId(0), strategy);
+        println!(
+            "{:<22} {:>6} {:>10} {:>10} {:>8}t",
+            format!("ideal MAC / {name}"),
+            ideal.transmissions,
+            0,
+            ideal.delivered,
+            ideal.latency
+        );
+        let real = mac::simulate_with_mac(
+            &net.graph,
+            c,
+            &out.cds,
+            NodeId(0),
+            strategy,
+            &MacConfig::default(),
+            &mut rng,
+        );
+        println!(
+            "{:<22} {:>6} {:>10} {:>10} {:>8}s",
+            format!("CSMA cw=8 / {name}"),
+            real.transmissions,
+            real.collisions,
+            real.delivered,
+            real.latency_slots
+        );
+    }
+    println!("\nt = ideal-MAC ticks, s = CSMA slots");
+}

@@ -1,0 +1,43 @@
+//! Energy-aware gateway selection (extension of §3.3's power-aware
+//! discussion): LMSTGA over *weighted* virtual links that route around
+//! energy-poor relay nodes.
+//!
+//! Run with: `cargo run --example weighted_gateways`
+
+use khop::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let net = gen::geometric(&gen::GeometricConfig::new(100, 100.0, 8.0), &mut rng);
+    let k = 2;
+    let clustering = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+
+    // Heterogeneous batteries: relay cost = how depleted a node is.
+    let costs: Vec<u64> = (0..net.graph.len())
+        .map(|_| rng.gen_range(0..100))
+        .collect();
+
+    // Hop-based AC-LMST ignores energy.
+    let vg = VirtualGraph::build(&net.graph, &clustering, NeighborRule::Adjacent);
+    let hop = gateway::lmstga(&vg, &clustering);
+    // Weighted AC-LMST penalizes depleted relays.
+    let weighted =
+        gateway::lmstga_weighted(&net.graph, &clustering, NeighborRule::Adjacent, &costs);
+
+    for (name, sel) in [("hop-based", &hop), ("energy-aware", &weighted)] {
+        let cds = Cds::assemble(&clustering, sel);
+        cds.verify(&net.graph, k).expect("connected k-hop CDS");
+        println!(
+            "{name:<13} gateways: {:>3}   total relay cost: {:>5}   links: {}",
+            sel.gateways.len(),
+            gateway::selection_relay_cost(sel, &costs),
+            sel.links_used.len(),
+        );
+    }
+    println!(
+        "\nsame clusterheads, same guarantees (Theorem 2 verified on both);\n\
+         the weighted variant shifts the relay burden onto charged nodes."
+    );
+}
