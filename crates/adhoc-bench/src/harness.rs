@@ -5,7 +5,7 @@
 //! algorithms run against a shared clustering. Replicates are
 //! embarrassingly parallel: each gets its own deterministic RNG stream
 //! (`StdRng` seeded from `(N, D, k, replicate index)`), worker threads
-//! process disjoint index ranges (crossbeam scoped threads), and
+//! process disjoint index ranges (std scoped threads), and
 //! results merge deterministically. Batches continue until the paper's
 //! stopping rule is met: 100 replicates, or earlier if every metric's
 //! 90% confidence interval is within ±1% of its mean.
@@ -162,6 +162,7 @@ impl CellAccumulator {
 
     fn converged(&self, rel_tol: f64) -> bool {
         self.heads.summary().converged(rel_tol)
+            && self.gateways.values().all(|s| s.summary().converged(rel_tol))
             && self.cds.values().all(|s| s.summary().converged(rel_tol))
     }
 }
@@ -183,11 +184,11 @@ pub fn run_cell(cfg: &CellConfig, threads: Option<usize>) -> CellResult {
         next_index = end;
 
         let chunk = indices.len().div_ceil(threads);
-        let partials: Vec<CellAccumulator> = crossbeam::thread::scope(|scope| {
+        let partials: Vec<CellAccumulator> = std::thread::scope(|scope| {
             indices
                 .chunks(chunk.max(1))
                 .map(|slice| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = CellAccumulator::default();
                         for &i in slice {
                             local.absorb(run_replicate(cfg, i));
@@ -199,8 +200,7 @@ pub fn run_cell(cfg: &CellConfig, threads: Option<usize>) -> CellResult {
                 .into_iter()
                 .map(|h| h.join().expect("replicate worker panicked"))
                 .collect()
-        })
-        .expect("scope");
+        });
         for p in partials {
             acc.merge(p);
         }

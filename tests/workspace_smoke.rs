@@ -1,0 +1,46 @@
+//! Workspace wiring smoke test.
+//!
+//! Guards the build-system bootstrap itself: the root `tests/` directory
+//! is registered against the `khop` umbrella crate by explicit
+//! `[[test]]` manifest entries, and every algorithm the paper compares
+//! must be runnable end-to-end through the umbrella's prelude. If the
+//! manifest wiring or the crate dependency DAG breaks, this is the
+//! first test to fail.
+
+use khop::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_algorithms_run_on_a_seeded_geometric_graph() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let net = gen::geometric(&gen::GeometricConfig::new(60, 100.0, 7.0), &mut rng);
+    assert!(
+        connectivity::is_connected(&net.graph),
+        "seeded geometric graph should be connected at this density"
+    );
+
+    for k in [1u32, 2] {
+        for alg in Algorithm::ALL {
+            let out = pipeline::run(&net.graph, alg, &PipelineConfig::new(k));
+            out.cds
+                .verify(&net.graph, k)
+                .unwrap_or_else(|e| panic!("{alg:?} produced an invalid CDS at k={k}: {e}"));
+            assert!(
+                !out.clustering.heads.is_empty(),
+                "{alg:?} elected no clusterheads at k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn umbrella_reexports_expose_all_layers() {
+    // One symbol per layer: graph substrate, clustering, simulator.
+    let g = gen::grid(3, 3);
+    assert_eq!(g.len(), 9);
+    let c = clustering::cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+    c.verify(&g).unwrap();
+    let run = run_protocol(&g, &ProtocolConfig::new(1, Algorithm::AcLmst));
+    assert!(run.stats.total() > 0, "protocol should exchange messages");
+}

@@ -1,0 +1,324 @@
+//! Minimal, API-compatible shim for the subset of the `criterion`
+//! benchmarking crate (0.5 API) used by this workspace.
+//!
+//! The build environment has no network access, so this vendored crate
+//! supplies `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Instead of criterion's full statistical machinery it runs each
+//! benchmark for a warm-up pass plus `sample_size` timed iterations and
+//! reports mean wall-clock time per iteration — enough to compare
+//! algorithm variants and catch order-of-magnitude regressions, with
+//! the same source-level API so the real criterion can be dropped back
+//! in by editing one line of the workspace manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test`-mode flag: run each benchmark body once and skip timing.
+    test_mode: bool,
+    /// Substring filters from `cargo bench <filter>`; empty = run all.
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Criterion {
+            sample_size: 20,
+            test_mode: args.iter().any(|a| a == "--test"),
+            // Positional (non-flag) args are benchmark name filters,
+            // matched as substrings like real criterion.
+            filters: args
+                .iter()
+                .filter(|a| !a.starts_with('-'))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.test_mode, &self.filters, |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &id.full_name(None),
+            self.sample_size,
+            self.test_mode,
+            &self.filters,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_one(
+            &id.full_name(Some(&self.name)),
+            self.sample_size,
+            self.test_mode,
+            &self.parent.filters,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Runs a benchmark in the group parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &id.full_name(Some(&self.name)),
+            self.sample_size,
+            self.test_mode,
+            &self.parent.filters,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally with a parameter value.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` at parameter `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = &self.function {
+            parts.push(f);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+/// Conversion used by `BenchmarkGroup::bench_function`, which accepts
+/// either a plain name or a full [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `sample_size` times (once in
+    /// `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up pass, untimed.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    test_mode: bool,
+    filters: &[String],
+    mut f: F,
+) {
+    if !filters.is_empty() && !filters.iter().any(|pat| name.contains(pat.as_str())) {
+        return;
+    }
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else {
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!("{name:<60} {per_iter:>12.2?}/iter  ({} iters)", b.iters);
+    }
+}
+
+/// Declares a function that runs a list of benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filters.clear(); // the test harness's own args are not filters
+        let mut count = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("alg", 42);
+        assert_eq!(id.full_name(Some("grp")), "grp/alg/42");
+        let id = BenchmarkId::from_parameter(7);
+        assert_eq!(id.full_name(Some("grp")), "grp/7");
+    }
+}
