@@ -59,7 +59,7 @@ fn main() {
                     .selection
                     .links_used
                     .iter()
-                    .map(|&(a, b)| vg.link(a, b).expect("used link").clone())
+                    .map(|&(a, b)| vg.link(a, b).expect("used link").to_owned())
                     .collect(),
                 None => {
                     adhoc_cluster::virtual_graph::complete_virtual_links(&net.graph, &clustering)

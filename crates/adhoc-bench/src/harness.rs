@@ -12,7 +12,7 @@
 
 use crate::stats::{SampleSet, Summary};
 use adhoc_cluster::clustering::{self, MemberPolicy};
-use adhoc_cluster::pipeline::{self, Algorithm};
+use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
 use adhoc_cluster::priority::LowestId;
 use adhoc_graph::gen::{self, GeometricConfig};
 use adhoc_graph::Csr;
@@ -111,16 +111,28 @@ fn replicate_seed(cfg: &CellConfig, index: usize) -> u64 {
 }
 
 /// Runs one replicate: sample a connected network, cluster once,
-/// evaluate all five algorithms on the shared clustering.
+/// evaluate all five algorithms on the shared clustering through the
+/// single-sweep engine ([`pipeline::run_all`]).
 pub fn run_replicate(cfg: &CellConfig, index: usize) -> ReplicateSample {
+    run_replicate_with(cfg, index, &mut EvalScratch::new())
+}
+
+/// As [`run_replicate`], reusing `scratch` (worker threads keep one
+/// per thread so the label arena persists across replicates).
+pub fn run_replicate_with(
+    cfg: &CellConfig,
+    index: usize,
+    scratch: &mut EvalScratch,
+) -> ReplicateSample {
     let mut rng = StdRng::seed_from_u64(replicate_seed(cfg, index));
     let net = gen::geometric(&GeometricConfig::new(cfg.n, 100.0, cfg.d), &mut rng);
     let csr = Csr::from_graph(&net.graph);
     let clustering = clustering::cluster(&csr, cfg.k, &LowestId, MemberPolicy::IdBased);
+    let eval = pipeline::run_all_with(&csr, &clustering, scratch);
     let mut gateways = BTreeMap::new();
     let mut cds = BTreeMap::new();
     for alg in Algorithm::ALL {
-        let out = pipeline::run_on(&csr, alg, &clustering);
+        let out = eval.of(alg);
         debug_assert!(out.cds.verify(&csr, cfg.k).is_ok());
         gateways.insert(alg, out.selection.gateways.len());
         cds.insert(alg, out.cds.size());
@@ -176,12 +188,21 @@ pub fn run_cell(cfg: &CellConfig, threads: Option<usize>) -> CellResult {
         .max(1);
     let mut acc = CellAccumulator::default();
     let mut next_index = 0usize;
-    let batch = (threads * 8).min(cfg.max_reps.max(1));
 
     while next_index < cfg.max_reps {
-        let end = (next_index + batch).min(cfg.max_reps);
-        let indices: Vec<usize> = (next_index..end).collect();
-        next_index = end;
+        // The first batch is clamped to `min_reps` so the stopping rule
+        // is actually consulted at the earliest legal point; later
+        // batches grow to keep all workers busy. (Previously the batch
+        // was `threads * 8` capped at `max_reps`, so with enough
+        // threads the whole budget ran before the first convergence
+        // check and every cell silently cost `max_reps` replicates.)
+        let batch = if next_index == 0 {
+            cfg.min_reps.clamp(1, cfg.max_reps)
+        } else {
+            (threads * 8).clamp(1, cfg.max_reps - next_index)
+        };
+        let indices: Vec<usize> = (next_index..next_index + batch).collect();
+        next_index += batch;
 
         let chunk = indices.len().div_ceil(threads);
         let partials: Vec<CellAccumulator> = std::thread::scope(|scope| {
@@ -190,8 +211,9 @@ pub fn run_cell(cfg: &CellConfig, threads: Option<usize>) -> CellResult {
                 .map(|slice| {
                     scope.spawn(move || {
                         let mut local = CellAccumulator::default();
+                        let mut scratch = EvalScratch::new();
                         for &i in slice {
-                            local.absorb(run_replicate(cfg, i));
+                            local.absorb(run_replicate_with(cfg, i, &mut scratch));
                         }
                         local
                     })
@@ -271,6 +293,35 @@ mod tests {
         assert!(gmst <= ac_lmst + 1e-9);
         assert!(res.heads.mean >= 1.0);
         assert!(res.gateways_of(Algorithm::NcMesh).mean >= gmst - res.heads.mean);
+    }
+
+    #[test]
+    fn first_batch_respects_min_reps() {
+        // With a tolerance this loose the cell converges at the first
+        // legal check; the first batch must therefore be `min_reps`
+        // replicates, not `threads * 8` (which with many threads used
+        // to swallow the whole `max_reps` budget before any check).
+        let cfg = CellConfig {
+            min_reps: 2,
+            max_reps: 100,
+            rel_tol: 1e9,
+            ..tiny_cfg()
+        };
+        let res = run_cell(&cfg, Some(16));
+        assert_eq!(res.reps, 2, "stopping rule must fire after min_reps");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let cfg = tiny_cfg();
+        let mut scratch = EvalScratch::new();
+        for i in 0..3 {
+            let warm = run_replicate_with(&cfg, i, &mut scratch);
+            let cold = run_replicate(&cfg, i);
+            assert_eq!(warm.heads, cold.heads);
+            assert_eq!(warm.gateways, cold.gateways);
+            assert_eq!(warm.cds, cold.cds);
+        }
     }
 
     #[test]

@@ -136,7 +136,7 @@ mod tests {
         let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
         let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
         let sel = gateway::mesh(&vg, &c);
-        let links: Vec<_> = vg.links().cloned().collect();
+        let links: Vec<_> = vg.links().map(|l| l.to_owned()).collect();
         let svg = render(&g, &positions, &c, &sel, &links, &SvgStyle::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("polygon")); // heads

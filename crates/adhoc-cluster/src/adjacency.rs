@@ -14,8 +14,9 @@
 //!   keeping the rule localized.
 
 use crate::clustering::Clustering;
-use adhoc_graph::bfs::{Adjacency, BfsScratch, UNREACHED};
+use adhoc_graph::bfs::Adjacency;
 use adhoc_graph::graph::NodeId;
+use adhoc_graph::labels::HeadLabels;
 use std::collections::BTreeMap;
 
 /// Which neighbor clusterhead selection rule to apply.
@@ -33,7 +34,7 @@ pub enum NeighborRule {
 /// The relation is symmetric for both rules: `v ∈ set(u)` iff
 /// `u ∈ set(v)` (A-NCR "all the remaining connections between
 /// clusterheads are symmetric", and hop distance is symmetric for NC).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NeighborSets {
     sets: BTreeMap<NodeId, Vec<NodeId>>,
 }
@@ -97,25 +98,40 @@ pub fn neighbor_clusterheads<G: Adjacency>(
     rule: NeighborRule,
 ) -> NeighborSets {
     match rule {
-        NeighborRule::All2kPlus1 => all_within_2k1(g, clustering),
+        NeighborRule::All2kPlus1 => {
+            let bound = 2 * clustering.k + 1;
+            let labels = HeadLabels::build(g, &clustering.heads, bound);
+            nc_from_labels(clustering, &labels)
+        }
         NeighborRule::Adjacent => adjacent_heads(g, clustering),
     }
 }
 
-/// NC rule: bounded BFS from each head, collecting other heads.
-fn all_within_2k1<G: Adjacency>(g: &G, clustering: &Clustering) -> NeighborSets {
+/// NC rule read off precomputed head labels: head `o` is selected by
+/// `h` iff `dist(h, o) <= 2k+1`. No graph traversal happens here — the
+/// evaluation engine shares one [`HeadLabels`] build across the NC
+/// relation, both virtual graphs, and G-MST.
+///
+/// # Panics
+/// Panics if `labels` was built from a different head set or with a
+/// bound below `2k+1`.
+pub fn nc_from_labels(clustering: &Clustering, labels: &HeadLabels) -> NeighborSets {
     let bound = 2 * clustering.k + 1;
-    let mut scratch = BfsScratch::new(g.node_count());
+    assert!(
+        labels.bound() >= bound,
+        "labels bound {} below 2k+1 = {bound}",
+        labels.bound()
+    );
+    assert_eq!(labels.heads(), &clustering.heads[..], "head set mismatch");
     let mut sets: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-    for &h in &clustering.heads {
-        scratch.run(g, h, bound);
-        let mut near: Vec<NodeId> = clustering
+    for (slot, &h) in clustering.heads.iter().enumerate() {
+        // `heads` is ascending, so the filtered list is already sorted.
+        let near: Vec<NodeId> = clustering
             .heads
             .iter()
             .copied()
-            .filter(|&o| o != h && scratch.dist(o) != UNREACHED)
+            .filter(|&o| o != h && labels.dist(slot, o) <= bound)
             .collect();
-        near.sort_unstable();
         sets.insert(h, near);
     }
     NeighborSets { sets }
@@ -123,10 +139,23 @@ fn all_within_2k1<G: Adjacency>(g: &G, clustering: &Clustering) -> NeighborSets 
 
 /// A-NCR: two clusters are adjacent iff some edge of `G` crosses them
 /// (Definition 2); each head selects the heads of its adjacent
-/// clusters. A single scan over the edge set finds all adjacent pairs.
+/// clusters. A single scan over the edge set finds all adjacent pairs;
+/// duplicates are removed by one sort+dedup per head afterwards rather
+/// than ordered insertion in the hot loop.
 fn adjacent_heads<G: Adjacency>(g: &G, clustering: &Clustering) -> NeighborSets {
-    let mut sets: BTreeMap<NodeId, Vec<NodeId>> =
-        clustering.heads.iter().map(|&h| (h, Vec::new())).collect();
+    // Accumulate into slot-indexed vectors (O(1) per crossing edge
+    // instead of a map lookup), then sort+dedup once per head.
+    let heads = &clustering.heads;
+    let mut slot_of = vec![u32::MAX; g.node_count()];
+    for (i, &h) in heads.iter().enumerate() {
+        slot_of[h.index()] = i as u32;
+    }
+    let slot = |h: NodeId| -> usize {
+        let s = slot_of[h.index()];
+        assert_ne!(s, u32::MAX, "head present");
+        s as usize
+    };
+    let mut partners: Vec<Vec<NodeId>> = vec![Vec::new(); heads.len()];
     let n = g.node_count() as u32;
     for u in (0..n).map(NodeId) {
         let hu = clustering.head_of(u);
@@ -136,17 +165,20 @@ fn adjacent_heads<G: Adjacency>(g: &G, clustering: &Clustering) -> NeighborSets 
             }
             let hv = clustering.head_of(v);
             if hu != hv {
-                let su = sets.get_mut(&hu).expect("head present");
-                if let Err(pos) = su.binary_search(&hv) {
-                    su.insert(pos, hv);
-                }
-                let sv = sets.get_mut(&hv).expect("head present");
-                if let Err(pos) = sv.binary_search(&hu) {
-                    sv.insert(pos, hu);
-                }
+                partners[slot(hu)].push(hv);
+                partners[slot(hv)].push(hu);
             }
         }
     }
+    let sets = heads
+        .iter()
+        .zip(partners)
+        .map(|(&h, mut p)| {
+            p.sort_unstable();
+            p.dedup();
+            (h, p)
+        })
+        .collect();
     NeighborSets { sets }
 }
 

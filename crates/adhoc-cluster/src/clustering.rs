@@ -116,24 +116,7 @@ impl Clustering {
                 }
             }
         }
-        for v in (0..n as u32).map(NodeId) {
-            let h = self.head_of[v.index()];
-            if h == NONE {
-                return Err(format!("{v:?} never joined a cluster"));
-            }
-            scratch.run(g, h, self.k);
-            let d = scratch.dist(v);
-            if d == adhoc_graph::bfs::UNREACHED {
-                return Err(format!("{v:?} farther than {} hops from {h:?}", self.k));
-            }
-            if d != self.dist_to_head[v.index()] {
-                return Err(format!(
-                    "{v:?}: recorded distance {} but BFS says {d}",
-                    self.dist_to_head[v.index()]
-                ));
-            }
-        }
-        Ok(())
+        self.check_members(g, &mut scratch)
     }
 
     /// Verifies only the k-hop *domination* half of [`Self::verify`]:
@@ -145,24 +128,58 @@ impl Clustering {
     pub fn verify_coverage<G: Adjacency>(&self, g: &G) -> Result<(), String> {
         let n = g.node_count();
         if self.head_of.len() != n || self.dist_to_head.len() != n {
-            return Err("clustering size mismatch".into());
+            return Err(format!(
+                "clustering size mismatch: {} heads / {} dists for {n} nodes",
+                self.head_of.len(),
+                self.dist_to_head.len()
+            ));
         }
         let mut scratch = BfsScratch::new(n);
+        self.check_members(g, &mut scratch)
+    }
+
+    /// Shared member check of [`Self::verify`] / [`Self::verify_coverage`]:
+    /// groups nodes by their recorded head and runs **one** bounded BFS
+    /// per distinct head (not one per node — these verifiers run inside
+    /// every test and harness `debug_assert`, so the old per-node sweep
+    /// dominated test time). Grouping by the *recorded* `head_of`
+    /// values rather than `self.heads` keeps the old behavior of also
+    /// validating nodes whose recorded head was never elected.
+    fn check_members<G: Adjacency>(&self, g: &G, scratch: &mut BfsScratch) -> Result<(), String> {
+        let n = self.head_of.len();
+        let mut by_head: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        let mut group_of: Vec<usize> = vec![usize::MAX; n];
         for v in (0..n as u32).map(NodeId) {
             let h = self.head_of[v.index()];
             if h == NONE {
                 return Err(format!("{v:?} never joined a cluster"));
             }
-            scratch.run(g, h, self.k);
-            let d = scratch.dist(v);
-            if d == adhoc_graph::bfs::UNREACHED {
-                return Err(format!("{v:?} farther than {} hops from {h:?}", self.k));
+            if h.index() >= n {
+                return Err(format!("{v:?} points at out-of-range head {h:?}"));
             }
-            if d != self.dist_to_head[v.index()] {
-                return Err(format!(
-                    "{v:?}: recorded distance {} but BFS says {d}",
-                    self.dist_to_head[v.index()]
-                ));
+            let slot = match group_of[h.index()] {
+                usize::MAX => {
+                    group_of[h.index()] = by_head.len();
+                    by_head.push((h, Vec::new()));
+                    by_head.len() - 1
+                }
+                s => s,
+            };
+            by_head[slot].1.push(v);
+        }
+        for (h, members) in by_head {
+            scratch.run(g, h, self.k);
+            for v in members {
+                let d = scratch.dist(v);
+                if d == adhoc_graph::bfs::UNREACHED {
+                    return Err(format!("{v:?} farther than {} hops from {h:?}", self.k));
+                }
+                if d != self.dist_to_head[v.index()] {
+                    return Err(format!(
+                        "{v:?}: recorded distance {} but BFS says {d}",
+                        self.dist_to_head[v.index()]
+                    ));
+                }
             }
         }
         Ok(())

@@ -2,11 +2,11 @@
 
 use super::GatewaySelection;
 use crate::clustering::Clustering;
-use crate::virtual_graph::{self, VirtualLink};
+use crate::virtual_graph::{self, VirtualGraph};
 use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::labels::HeadLabels;
 use adhoc_graph::lmst::TieWeight;
 use adhoc_graph::mst::{self, WeightedEdge};
-use std::collections::BTreeMap;
 
 /// Global-MST gateway selection: build the complete virtual graph over
 /// all clusterheads (pairwise hop distances, no locality bound), take
@@ -18,20 +18,86 @@ use std::collections::BTreeMap;
 /// k-hop CDS for a constant k"). It is *not* localized: it needs global
 /// topology knowledge.
 pub fn gmst<G: Adjacency>(g: &G, clustering: &Clustering) -> GatewaySelection {
-    let links = virtual_graph::complete_virtual_links(g, clustering);
-    let by_pair: BTreeMap<(adhoc_graph::NodeId, adhoc_graph::NodeId), &VirtualLink> =
-        links.iter().map(|l| ((l.a, l.b), l)).collect();
-    let edges: Vec<WeightedEdge<TieWeight<u32>>> = links
-        .iter()
-        .map(|l| WeightedEdge::new(l.a, l.b, l.weight()))
-        .collect();
+    // Only head-to-head distances and inter-head path walks are
+    // consumed, so each BFS can stop as soon as the farthest head is
+    // labeled instead of sweeping its whole component.
+    let mut labels = HeadLabels::default();
+    labels.rebuild_reaching_heads(g, &clustering.heads);
+    gmst_from_labels(g, clustering, &labels)
+}
+
+/// As [`gmst`], but reading precomputed **unbounded** head labels (the
+/// evaluation engine shares one label build across all algorithms).
+///
+/// # Panics
+/// Panics if `labels` is hop-bounded or lacks a head of `clustering`.
+pub fn gmst_from_labels<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    labels: &HeadLabels,
+) -> GatewaySelection {
+    assert_eq!(labels.bound(), u32::MAX, "G-MST needs unbounded labels");
+    // All pairwise head distances are already in the labels; the MST
+    // over them is unique (TieWeight makes all weights distinct), so
+    // canonical paths need to be walked only for the h-1 edges Kruskal
+    // keeps, not for all h(h-1)/2 pairs.
+    let heads = &clustering.heads;
+    let mut edges: Vec<WeightedEdge<TieWeight<u32>>> =
+        Vec::with_capacity(heads.len().saturating_sub(1) * heads.len() / 2);
+    for (i, &b) in heads.iter().enumerate() {
+        let slot = labels.slot(b).expect("every head is labeled");
+        for &a in &heads[..i] {
+            let d = labels.dist(slot, a);
+            if d != adhoc_graph::bfs::UNREACHED {
+                edges.push(WeightedEdge::new(a, b, TieWeight::new(d, a, b)));
+            }
+        }
+    }
     // Kruskal over node-ID space: only head IDs appear as endpoints,
     // the remaining singletons are inert.
     let tree = mst::kruskal(g.node_count(), &edges);
-    let chosen = tree.iter().map(|e| {
-        let key = if e.a < e.b { (e.a, e.b) } else { (e.b, e.a) };
-        by_pair[&key]
-    });
+    let mut store = virtual_graph::LinkStore::default();
+    for e in &tree {
+        let (a, b) = if e.a < e.b { (e.a, e.b) } else { (e.b, e.a) };
+        let slot = labels.slot(b).expect("every head is labeled");
+        let ok = store.push_walk(g, a, b, &labels.row(slot));
+        debug_assert!(ok, "tree edges connect");
+    }
+    store.finish();
+    GatewaySelection::from_links(store.iter(), clustering)
+}
+
+/// G-MST read off the **NC virtual graph**, with no unbounded
+/// traversal at all — the single-sweep engine's route.
+///
+/// Why this is exact and not an approximation: on a clustering that
+/// covers `G`, Theorem 1 makes the adjacent cluster graph connected,
+/// and A-NCR ⊆ NC, so the NC graph (all head pairs within `2k+1`
+/// hops) is connected too. By the MST cycle property any head pair
+/// farther than `2k+1` hops is then the strict maximum of some cycle
+/// (close it through NC edges, all strictly cheaper) and can never be
+/// an MST edge — the MST of the *complete* head-distance graph uses
+/// only NC pairs, whose distances and canonical paths `nc` already
+/// holds. If the NC relation does **not** span the heads (degraded
+/// clustering, disconnected `G`), the shortcut is invalid and this
+/// falls back to the complete construction of [`gmst`], so the result
+/// is identical to it in every case.
+pub fn gmst_via_nc<G: Adjacency>(
+    g: &G,
+    nc: &VirtualGraph,
+    clustering: &Clustering,
+) -> GatewaySelection {
+    let edges: Vec<WeightedEdge<TieWeight<u32>>> = nc
+        .links()
+        .map(|l| WeightedEdge::new(l.a, l.b, l.weight()))
+        .collect();
+    let tree = mst::kruskal(g.node_count(), &edges);
+    if tree.len() + 1 != clustering.heads.len() {
+        return gmst(g, clustering);
+    }
+    let chosen = tree
+        .iter()
+        .map(|e| nc.link(e.a, e.b).expect("tree edges come from the NC graph"));
     GatewaySelection::from_links(chosen, clustering)
 }
 
@@ -71,6 +137,37 @@ mod tests {
                 "an MST over h heads has h-1 links"
             );
         }
+    }
+
+    #[test]
+    fn via_nc_matches_complete_construction() {
+        use crate::adjacency::NeighborRule;
+        use crate::virtual_graph::VirtualGraph;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(90, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let nc = VirtualGraph::build(&net.graph, &c, NeighborRule::All2kPlus1);
+            let fast = gmst_via_nc(&net.graph, &nc, &c);
+            let full = gmst(&net.graph, &c);
+            assert_eq!(fast, full, "k={k}");
+        }
+    }
+
+    #[test]
+    fn via_nc_falls_back_on_disconnected_graphs() {
+        use crate::adjacency::NeighborRule;
+        use crate::virtual_graph::VirtualGraph;
+        // Two far-apart components: the NC relation cannot span the
+        // heads, so the shortcut must defer to the complete
+        // construction (which yields a forest, one tree per component).
+        let g = adhoc_graph::graph::Graph::from_edges(8, &[(0, 1), (1, 2), (5, 6), (6, 7)]);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let nc = VirtualGraph::build(&g, &c, NeighborRule::All2kPlus1);
+        let fast = gmst_via_nc(&g, &nc, &c);
+        let full = gmst(&g, &c);
+        assert_eq!(fast, full);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use super::GatewaySelection;
 use crate::clustering::Clustering;
 use crate::virtual_graph::VirtualGraph;
-use adhoc_graph::lmst;
-use std::collections::BTreeSet;
+use adhoc_graph::graph::NodeId;
+use adhoc_graph::lmst::{self, TieWeight};
 
 /// LMST-based gateway selection (Algorithm `AC-LMST`, lines 7–11, also
 /// applicable to the NC relation for `NC-LMST`).
@@ -17,17 +17,48 @@ use std::collections::BTreeSet;
 /// endpoint keeps it; all interior nodes of realized links become
 /// gateways. Theorem 2 proves the result connects all clusterheads.
 pub fn lmstga(vg: &VirtualGraph, clustering: &Clustering) -> GatewaySelection {
-    let mut kept: BTreeSet<(adhoc_graph::NodeId, adhoc_graph::NodeId)> = BTreeSet::new();
+    lmstga_with(&mut LmstgaScratch::default(), vg, clustering)
+}
+
+/// Reusable buffers for [`lmstga_with`]: the Monte-Carlo engine calls
+/// the LMST rule twice per replicate (NC and AC graphs), so the local
+/// MST scratch and the kept-pair accumulator persist per worker.
+#[derive(Debug, Default)]
+pub struct LmstgaScratch {
+    lmst: lmst::LmstScratch<TieWeight<u32>>,
+    on_tree: Vec<NodeId>,
+    kept: Vec<(NodeId, NodeId)>,
+}
+
+/// As [`lmstga`], reusing `scratch` across calls.
+pub fn lmstga_with(
+    scratch: &mut LmstgaScratch,
+    vg: &VirtualGraph,
+    clustering: &Clustering,
+) -> GatewaySelection {
+    scratch.kept.clear();
     for (u, partners) in vg.neighbor_sets.iter() {
         if partners.is_empty() {
             continue;
         }
-        let on_tree = lmst::on_tree_neighbors(u, partners, |a, b| vg.weight(a, b));
-        for v in on_tree {
-            kept.insert(if u < v { (u, v) } else { (v, u) });
+        lmst::on_tree_neighbors_into(
+            &mut scratch.lmst,
+            u,
+            partners,
+            |a, b| vg.weight(a, b),
+            &mut scratch.on_tree,
+        );
+        for &v in &scratch.on_tree {
+            scratch.kept.push(if u < v { (u, v) } else { (v, u) });
         }
     }
-    let links = kept
+    // A link realized by both endpoints appears twice; sort+dedup gives
+    // the same ascending unique pair sequence the old set-based
+    // accumulator produced.
+    scratch.kept.sort_unstable();
+    scratch.kept.dedup();
+    let links = scratch
+        .kept
         .iter()
         .map(|&(a, b)| vg.link(a, b).expect("kept link exists in the relation"));
     GatewaySelection::from_links(links, clustering)

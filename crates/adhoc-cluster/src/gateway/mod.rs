@@ -19,13 +19,13 @@ mod lmstga;
 mod mesh;
 mod weighted;
 
-pub use gmst::gmst;
-pub use lmstga::lmstga;
+pub use gmst::{gmst, gmst_from_labels, gmst_via_nc};
+pub use lmstga::{lmstga, lmstga_with, LmstgaScratch};
 pub use mesh::mesh;
 pub use weighted::{lmstga_weighted, selection_relay_cost};
 
 use crate::clustering::Clustering;
-use crate::virtual_graph::VirtualLink;
+use crate::virtual_graph::LinkRef;
 use adhoc_graph::graph::NodeId;
 
 /// The outcome of a gateway selection algorithm.
@@ -44,7 +44,7 @@ impl GatewaySelection {
     /// unbounded G-MST links) are not re-marked: they already belong to
     /// the CDS.
     pub(crate) fn from_links<'a>(
-        links: impl IntoIterator<Item = &'a VirtualLink>,
+        links: impl IntoIterator<Item = LinkRef<'a>>,
         clustering: &Clustering,
     ) -> Self {
         let mut gateways = Vec::new();
@@ -90,7 +90,7 @@ mod tests {
         let all: Vec<_> = vg.links().collect();
         // Feed every link twice; gateways and links must still be
         // unique.
-        let doubled: Vec<_> = all.iter().chain(all.iter()).copied().collect();
+        let doubled = all.iter().chain(all.iter()).copied();
         let sel = GatewaySelection::from_links(doubled, &c);
         assert_eq!(sel.links_used.len(), vg.link_count());
         assert_eq!(

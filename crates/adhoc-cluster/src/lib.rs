@@ -26,9 +26,12 @@
 //!
 //! The five algorithm combinations the paper evaluates — `NC-Mesh`,
 //! `AC-Mesh`, `NC-LMST`, `AC-LMST`, `G-MST` — are exposed through
-//! [`pipeline::Algorithm`]. For small instances, [`exact`] provides
-//! branch-and-bound minimum k-hop DS/CDS solvers so all of them can be
-//! measured as true approximation ratios.
+//! [`pipeline::Algorithm`]; [`pipeline::run_all`] evaluates all five
+//! from a single per-head label sweep (the Monte-Carlo engine), while
+//! [`pipeline::run_on`] runs one algorithm at a time. For small
+//! instances, [`exact`] provides branch-and-bound minimum k-hop DS/CDS
+//! solvers so all of them can be measured as true approximation
+//! ratios.
 //!
 //! # Quickstart
 //!

@@ -1,14 +1,30 @@
 //! End-to-end pipeline: clustering → neighbor selection → gateways →
 //! CDS, packaged as the five algorithms of the paper's evaluation.
+//!
+//! Two entry points exist for the per-algorithm phases:
+//!
+//! * [`run_on`] — evaluate **one** algorithm on a shared clustering
+//!   (the original API, kept as a thin compatible wrapper).
+//! * [`run_all`] — the single-sweep evaluation engine: evaluate **all
+//!   five** algorithms from one [`HeadLabels`] build (one BFS per
+//!   clusterhead) and one NC virtual graph; the AC graph is derived by
+//!   filtering NC links against the adjacency relation (A-NCR ⊆ NC,
+//!   Theorem 1), and G-MST reads the same unbounded labels. This is
+//!   what the Monte-Carlo harness runs — it removes the ~5× redundant
+//!   graph traversal per replicate that calling [`run_on`] per
+//!   algorithm costs, while producing bit-identical output (enforced
+//!   by the `run_all_equivalence` proptest).
 
-use crate::adjacency::NeighborRule;
+use crate::adjacency::{self, NeighborRule};
 use crate::cds::Cds;
 use crate::clustering::{self, Clustering, MemberPolicy};
 use crate::gateway::{self, GatewaySelection};
 use crate::priority::LowestId;
 use crate::virtual_graph::VirtualGraph;
 use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::labels::HeadLabels;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The five gateway-construction algorithms compared in §4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -136,6 +152,135 @@ pub fn run_on<G: Adjacency>(
         virtual_graph,
         selection,
         cds,
+    }
+}
+
+/// Reusable per-worker state of the evaluation engine: the head-label
+/// arena persists across replicates within a thread, so a warm worker
+/// pays no per-replicate allocation for the label sweep.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    labels: HeadLabels,
+    lmstga: gateway::LmstgaScratch,
+}
+
+impl EvalScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}
+
+/// One algorithm's share of an [`EvaluationOutput`].
+#[derive(Clone, Debug)]
+pub struct AlgorithmOutput {
+    /// The realized links and marked gateways.
+    pub selection: GatewaySelection,
+    /// The final k-hop CDS.
+    pub cds: Cds,
+}
+
+/// Everything [`run_all`] produced: all five algorithms evaluated from
+/// one shared label sweep.
+#[derive(Clone, Debug)]
+pub struct EvaluationOutput {
+    /// The shared k-hop clustering.
+    pub clustering: Clustering,
+    /// The NC (`2k+1`-hop) virtual graph, shared by NC-Mesh / NC-LMST.
+    pub nc_graph: VirtualGraph,
+    /// The AC (A-NCR) virtual graph — the NC graph restricted to
+    /// adjacent pairs — shared by AC-Mesh / AC-LMST.
+    pub ac_graph: VirtualGraph,
+    /// Per-algorithm selections and CDSs (all five present).
+    pub outputs: BTreeMap<Algorithm, AlgorithmOutput>,
+}
+
+impl EvaluationOutput {
+    /// The output of `algorithm`.
+    ///
+    /// # Panics
+    /// Never in practice: [`run_all`] populates all five algorithms.
+    pub fn of(&self, algorithm: Algorithm) -> &AlgorithmOutput {
+        &self.outputs[&algorithm]
+    }
+}
+
+/// Evaluates **all five** algorithms on a shared clustering with one
+/// head-label sweep (see the module docs for the dataflow). Equivalent
+/// to — but much faster than — calling [`run_on`] once per algorithm.
+pub fn run_all<G: Adjacency>(g: &G, clustering: &Clustering) -> EvaluationOutput {
+    run_all_with(g, clustering, &mut EvalScratch::new())
+}
+
+/// As [`run_all`], reusing `scratch` across calls (the Monte-Carlo
+/// harness keeps one per worker thread).
+pub fn run_all_with<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    scratch: &mut EvalScratch,
+) -> EvaluationOutput {
+    // One BFS per head, bounded to the paper's 2k+1 locality radius.
+    // These labels serve the NC relation, both virtual graphs, and —
+    // via the Theorem-1 bottleneck argument in
+    // [`gateway::gmst_via_nc`] — even the global MST baseline, so no
+    // unbounded traversal happens on the hot path at all.
+    let bound = 2 * clustering.k + 1;
+    scratch.labels.rebuild(g, &clustering.heads, bound);
+    let labels = &scratch.labels;
+
+    let nc_sets = adjacency::nc_from_labels(clustering, labels);
+    let ac_sets = adjacency::neighbor_clusterheads(g, clustering, NeighborRule::Adjacent);
+    #[cfg(debug_assertions)]
+    for (u, v) in ac_sets.pairs() {
+        let d = labels.head_dist(u, v);
+        debug_assert!(
+            d > clustering.k && d <= 2 * clustering.k + 1,
+            "A-NCR pair {u:?},{v:?} at distance {d} contradicts Theorem 1 (k={})",
+            clustering.k
+        );
+    }
+
+    let nc_graph = VirtualGraph::from_labels(g, clustering, nc_sets, labels);
+    // On dense deployments every pair of nearby clusters often touches,
+    // making the AC relation literally equal to NC — then the AC graph
+    // and both AC selections are the NC ones and need no recomputation.
+    let ac_is_nc = ac_sets == nc_graph.neighbor_sets;
+    let ac_graph = if ac_is_nc {
+        nc_graph.clone()
+    } else {
+        nc_graph.restricted_to(ac_sets)
+    };
+
+    let nc_mesh = gateway::mesh(&nc_graph, clustering);
+    let ac_mesh = if ac_is_nc {
+        nc_mesh.clone()
+    } else {
+        gateway::mesh(&ac_graph, clustering)
+    };
+    let nc_lmst = gateway::lmstga_with(&mut scratch.lmstga, &nc_graph, clustering);
+    let ac_lmst = if ac_is_nc {
+        nc_lmst.clone()
+    } else {
+        gateway::lmstga_with(&mut scratch.lmstga, &ac_graph, clustering)
+    };
+    let g_mst = gateway::gmst_via_nc(g, &nc_graph, clustering);
+
+    let mut outputs = BTreeMap::new();
+    for (alg, selection) in [
+        (Algorithm::NcMesh, nc_mesh),
+        (Algorithm::AcMesh, ac_mesh),
+        (Algorithm::NcLmst, nc_lmst),
+        (Algorithm::AcLmst, ac_lmst),
+        (Algorithm::GMst, g_mst),
+    ] {
+        let cds = Cds::assemble(clustering, &selection);
+        outputs.insert(alg, AlgorithmOutput { selection, cds });
+    }
+    EvaluationOutput {
+        clustering: clustering.clone(),
+        nc_graph,
+        ac_graph,
+        outputs,
     }
 }
 

@@ -1,4 +1,4 @@
-//! Virtual links and the virtual graph of §3.2.
+//! Virtual links and the virtual graph of §3.2, arena-backed.
 //!
 //! A *virtual link* between two clusterheads is a canonical shortest
 //! path between them in the original network `G`; its *virtual
@@ -8,20 +8,30 @@
 //! cluster graph `G''`.
 //!
 //! Canonical paths are the lexicographically smallest shortest paths
-//! (`adhoc_graph::bfs::lexico_shortest_path`) oriented from the smaller
-//! endpoint ID, so the two endpoints of a link — and the centralized
-//! and distributed implementations — always agree on which nodes would
-//! become gateways.
+//! (`adhoc_graph::bfs::lexico_path_from_labels`) oriented from the
+//! smaller endpoint ID, so the two endpoints of a link — and the
+//! centralized and distributed implementations — always agree on which
+//! nodes would become gateways.
+//!
+//! Storage is a [`LinkStore`]: a flat `(a, b)`-sorted index whose path
+//! bytes all live in **one** shared arena (`offset/len` slices), not a
+//! `BTreeMap` with a heap `Vec` per link. Borrowed [`LinkRef`] views
+//! are handed out; [`VirtualLink`] remains as the owned
+//! materialization for callers that need to keep a path around.
+//! Construction reads per-head distance labels ([`HeadLabels`]) so one
+//! BFS sweep per head serves every consumer.
 
 use crate::adjacency::{self, NeighborRule, NeighborSets};
 use crate::clustering::Clustering;
-use adhoc_graph::bfs::{self, Adjacency, BfsScratch};
+use adhoc_graph::bfs::{self, Adjacency};
 use adhoc_graph::graph::NodeId;
+use adhoc_graph::labels::HeadLabels;
 use adhoc_graph::lmst::TieWeight;
 use adhoc_graph::paths;
-use std::collections::BTreeMap;
 
-/// A realized virtual link between clusterheads `a < b`.
+/// An owned virtual link between clusterheads `a < b` (materialized
+/// from a [`LinkRef`] when a caller needs ownership, e.g. for
+/// rendering snapshots).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VirtualLink {
     /// Smaller endpoint.
@@ -48,6 +58,149 @@ impl VirtualLink {
     pub fn interior(&self) -> &[NodeId] {
         paths::interior(&self.path)
     }
+
+    /// Borrowed view of this link.
+    pub fn as_ref(&self) -> LinkRef<'_> {
+        LinkRef {
+            a: self.a,
+            b: self.b,
+            path: &self.path,
+        }
+    }
+}
+
+/// A borrowed virtual link: endpoints plus a path slice into the
+/// owning [`LinkStore`]'s arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkRef<'a> {
+    /// Smaller endpoint.
+    pub a: NodeId,
+    /// Larger endpoint.
+    pub b: NodeId,
+    /// Canonical shortest path from `a` to `b`, inclusive.
+    pub path: &'a [NodeId],
+}
+
+impl<'a> LinkRef<'a> {
+    /// Hop count (the paper's "virtual distance").
+    pub fn hops(&self) -> u32 {
+        paths::hop_count(self.path)
+    }
+
+    /// The LMST weight triple `(hops, max id, min id)`.
+    pub fn weight(&self) -> TieWeight<u32> {
+        TieWeight::new(self.hops(), self.a, self.b)
+    }
+
+    /// Interior nodes — the nodes marked as gateways when this link is
+    /// selected.
+    pub fn interior(&self) -> &'a [NodeId] {
+        paths::interior(self.path)
+    }
+
+    /// Materializes an owned [`VirtualLink`].
+    pub fn to_owned(&self) -> VirtualLink {
+        VirtualLink {
+            a: self.a,
+            b: self.b,
+            path: self.path.to_vec(),
+        }
+    }
+}
+
+/// `(a, b, offset, len)` row of a [`LinkStore`].
+#[derive(Clone, Copy, Debug)]
+struct LinkEntry {
+    a: NodeId,
+    b: NodeId,
+    off: u32,
+    len: u32,
+}
+
+/// A set of virtual links with all path nodes in one shared arena.
+///
+/// Entries are sorted by `(a, b)` after construction, so lookups are a
+/// binary search and iteration is in ascending pair order — the same
+/// order the previous `BTreeMap` representation yielded.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStore {
+    entries: Vec<LinkEntry>,
+    arena: Vec<NodeId>,
+}
+
+impl LinkStore {
+    /// Appends the canonical path `a ⇝ b` walked from `labels` (which
+    /// must be rooted at `b`). Returns whether the pair was connected
+    /// within the labels' bound.
+    pub(crate) fn push_walk<G: Adjacency, L: bfs::DistLabels>(
+        &mut self,
+        g: &G,
+        a: NodeId,
+        b: NodeId,
+        labels: &L,
+    ) -> bool {
+        let off = self.arena.len();
+        if !bfs::lexico_path_append(g, a, b, labels, &mut self.arena) {
+            return false;
+        }
+        self.entries.push(LinkEntry {
+            a,
+            b,
+            off: off as u32,
+            len: (self.arena.len() - off) as u32,
+        });
+        true
+    }
+
+    /// Copies one link (entry + path bytes) from another store.
+    fn push_copy(&mut self, link: LinkRef<'_>) {
+        let off = self.arena.len() as u32;
+        self.arena.extend_from_slice(link.path);
+        self.entries.push(LinkEntry {
+            a: link.a,
+            b: link.b,
+            off,
+            len: link.path.len() as u32,
+        });
+    }
+
+    /// Sorts the index by `(a, b)` (paths stay where they are — the
+    /// entries carry their slices).
+    pub(crate) fn finish(&mut self) {
+        self.entries.sort_unstable_by_key(|e| (e.a, e.b));
+    }
+
+    fn view(&self, e: &LinkEntry) -> LinkRef<'_> {
+        LinkRef {
+            a: e.a,
+            b: e.b,
+            path: &self.arena[e.off as usize..(e.off + e.len) as usize],
+        }
+    }
+
+    /// The link between `u` and `v` (order-insensitive).
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<LinkRef<'_>> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.entries
+            .binary_search_by_key(&key, |e| (e.a, e.b))
+            .ok()
+            .map(|i| self.view(&self.entries[i]))
+    }
+
+    /// All links, ascending by `(a, b)`.
+    pub fn iter(&self) -> impl Iterator<Item = LinkRef<'_>> {
+        self.entries.iter().map(|e| self.view(e))
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no links.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// The virtual graph over clusterheads under a neighbor rule.
@@ -57,43 +210,95 @@ pub struct VirtualGraph {
     pub heads: Vec<NodeId>,
     /// The neighbor clusterhead relation the graph was built from.
     pub neighbor_sets: NeighborSets,
-    links: BTreeMap<(NodeId, NodeId), VirtualLink>,
+    store: LinkStore,
 }
 
 impl VirtualGraph {
     /// Builds the virtual graph of `clustering` under `rule`: one
     /// canonical shortest path per selected pair, each at most `2k+1`
-    /// hops (guaranteed by both rules).
+    /// hops (guaranteed by both rules). Runs one bounded BFS per head
+    /// ([`HeadLabels`]) and derives everything from the labels.
     pub fn build<G: Adjacency>(g: &G, clustering: &Clustering, rule: NeighborRule) -> Self {
-        let neighbor_sets = adjacency::neighbor_clusterheads(g, clustering, rule);
         let bound = 2 * clustering.k + 1;
-        let mut links = BTreeMap::new();
-        let mut scratch = BfsScratch::new(g.node_count());
-        // One bounded BFS per head b; extract paths to all selected
-        // partners a < b from b's distance labels.
+        let labels = HeadLabels::build(g, &clustering.heads, bound);
+        let neighbor_sets = match rule {
+            NeighborRule::All2kPlus1 => adjacency::nc_from_labels(clustering, &labels),
+            NeighborRule::Adjacent => adjacency::neighbor_clusterheads(g, clustering, rule),
+        };
+        Self::from_labels(g, clustering, neighbor_sets, &labels)
+    }
+
+    /// Builds the virtual graph for an already-computed neighbor
+    /// relation from shared head labels (no graph traversal beyond the
+    /// canonical label walks).
+    ///
+    /// # Panics
+    /// Panics if `labels` lacks a selected head or was built with a
+    /// bound below `2k+1`.
+    pub fn from_labels<G: Adjacency>(
+        g: &G,
+        clustering: &Clustering,
+        neighbor_sets: NeighborSets,
+        labels: &HeadLabels,
+    ) -> Self {
+        assert!(
+            labels.bound() > 2 * clustering.k,
+            "labels too shallow for the 2k+1 link bound"
+        );
+        let mut store = LinkStore::default();
+        // Extract paths to all selected partners a < b from b's
+        // distance labels.
         for (b, partners) in neighbor_sets.iter() {
-            let smaller: Vec<NodeId> = partners.iter().copied().filter(|&a| a < b).collect();
-            if smaller.is_empty() {
+            if !partners.iter().any(|&a| a < b) {
                 continue;
             }
-            scratch.run(g, b, bound);
-            for a in smaller {
-                let path = bfs::lexico_path_from_labels(g, a, b, &scratch)
-                    .expect("selected neighbor heads are within 2k+1 hops");
-                links.insert((a, b), VirtualLink { a, b, path });
+            let slot = labels.slot(b).expect("selected head is labeled");
+            let row = labels.row(slot);
+            for &a in partners.iter().filter(|&&a| a < b) {
+                let ok = store.push_walk(g, a, b, &row);
+                assert!(ok, "selected neighbor heads are within 2k+1 hops");
             }
         }
+        store.finish();
         VirtualGraph {
             heads: clustering.heads.clone(),
             neighbor_sets,
-            links,
+            store,
+        }
+    }
+
+    /// Derives the sub-virtual-graph induced by a coarser neighbor
+    /// relation, copying canonical paths instead of re-walking them.
+    /// Used by the evaluation engine to obtain the AC graph from the
+    /// NC graph (A-NCR ⊆ NC: adjacent heads are within `2k+1` hops,
+    /// Theorem 1).
+    ///
+    /// # Panics
+    /// Panics if `neighbor_sets` selects a pair this graph lacks.
+    pub fn restricted_to(&self, neighbor_sets: NeighborSets) -> Self {
+        let mut store = LinkStore::default();
+        for (a, b) in neighbor_sets.pairs() {
+            let link = self
+                .get_link(a, b)
+                .expect("restricted relation is a subset of this graph");
+            store.push_copy(link);
+        }
+        store.finish();
+        VirtualGraph {
+            heads: self.heads.clone(),
+            neighbor_sets,
+            store,
         }
     }
 
     /// The virtual link between `u` and `v` (order-insensitive).
-    pub fn link(&self, u: NodeId, v: NodeId) -> Option<&VirtualLink> {
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.links.get(&key)
+    pub fn link(&self, u: NodeId, v: NodeId) -> Option<LinkRef<'_>> {
+        self.store.get(u, v)
+    }
+
+    // Private alias so `restricted_to` reads unambiguously.
+    fn get_link(&self, u: NodeId, v: NodeId) -> Option<LinkRef<'_>> {
+        self.store.get(u, v)
     }
 
     /// Whether a virtual link between `u` and `v` exists.
@@ -103,38 +308,59 @@ impl VirtualGraph {
 
     /// LMST weight of the `u`–`v` link, if present.
     pub fn weight(&self, u: NodeId, v: NodeId) -> Option<TieWeight<u32>> {
-        self.link(u, v).map(VirtualLink::weight)
+        self.link(u, v).map(|l| l.weight())
     }
 
     /// All links, ascending by `(a, b)`.
-    pub fn links(&self) -> impl Iterator<Item = &VirtualLink> {
-        self.links.values()
+    pub fn links(&self) -> impl Iterator<Item = LinkRef<'_>> {
+        self.store.iter()
     }
 
     /// Number of links.
     pub fn link_count(&self) -> usize {
-        self.links.len()
+        self.store.len()
     }
 }
 
-/// Virtual links between **all** pairs of clusterheads with no hop
-/// bound, for the centralized G-MST baseline. Disconnected pairs are
-/// omitted (cannot happen on a connected `G`).
-pub fn complete_virtual_links<G: Adjacency>(g: &G, clustering: &Clustering) -> Vec<VirtualLink> {
-    let mut out = Vec::new();
-    let mut scratch = BfsScratch::new(g.node_count());
+/// Virtual links between **all** pairs of clusterheads read off
+/// unbounded head labels, for the centralized G-MST baseline.
+/// Disconnected pairs are omitted (cannot happen on a connected `G`).
+///
+/// # Panics
+/// Panics if `labels` is bounded or lacks a head of `clustering`.
+pub fn complete_link_store<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    labels: &HeadLabels,
+) -> LinkStore {
+    assert_eq!(labels.bound(), u32::MAX, "G-MST needs unbounded labels");
+    let mut store = LinkStore::default();
     for (i, &b) in clustering.heads.iter().enumerate() {
         if i == 0 {
             continue;
         }
-        scratch.run(g, b, u32::MAX);
+        let row = labels
+            .slot(b)
+            .map(|s| labels.row(s))
+            .expect("every head is labeled");
         for &a in &clustering.heads[..i] {
-            if let Some(path) = bfs::lexico_path_from_labels(g, a, b, &scratch) {
-                out.push(VirtualLink { a, b, path });
-            }
+            store.push_walk(g, a, b, &row);
         }
     }
-    out
+    store.finish();
+    store
+}
+
+/// Owned-`Vec` convenience over [`complete_link_store`], building its
+/// own labels (one BFS per head, stopping at the farthest head — the
+/// complete links only ever walk between heads).
+pub fn complete_virtual_links<G: Adjacency>(g: &G, clustering: &Clustering) -> Vec<VirtualLink> {
+    let mut labels = HeadLabels::default();
+    labels.rebuild_reaching_heads(g, &clustering.heads);
+    complete_link_store(g, clustering, &labels)
+        .iter()
+        .map(|l| l.to_owned())
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,7 +385,7 @@ mod tests {
         // edges, each link 2 hops through the odd member.
         assert_eq!(vg.link_count(), 4);
         let l = vg.link(NodeId(2), NodeId(0)).unwrap();
-        assert_eq!(l.path, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(l.path, &[NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(l.hops(), 2);
         assert_eq!(l.interior(), &[NodeId(1)]);
         assert!(vg.has_link(NodeId(4), NodeId(6)));
@@ -187,7 +413,7 @@ mod tests {
             for rule in [NeighborRule::Adjacent, NeighborRule::All2kPlus1] {
                 let vg = VirtualGraph::build(&net.graph, &c, rule);
                 for l in vg.links() {
-                    assert!(paths::is_valid_path(&net.graph, &l.path));
+                    assert!(paths::is_valid_path(&net.graph, l.path));
                     assert!(l.hops() <= 2 * k + 1);
                     assert!(l.a < l.b);
                     assert_eq!(l.path[0], l.a);
@@ -214,7 +440,27 @@ mod tests {
             let d = bfs::distances(&net.graph, l.a);
             assert_eq!(l.hops(), d[l.b.index()], "virtual link not shortest");
             let independent = bfs::lexico_shortest_path(&net.graph, l.a, l.b, u32::MAX).unwrap();
-            assert_eq!(l.path, independent, "virtual link not canonical");
+            assert_eq!(l.path, &independent[..], "virtual link not canonical");
+        }
+    }
+
+    #[test]
+    fn restriction_matches_direct_build() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(19);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+            let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let nc = VirtualGraph::build(&net.graph, &c, NeighborRule::All2kPlus1);
+            let ac_sets =
+                adjacency::neighbor_clusterheads(&net.graph, &c, NeighborRule::Adjacent);
+            let restricted = nc.restricted_to(ac_sets);
+            let direct = VirtualGraph::build(&net.graph, &c, NeighborRule::Adjacent);
+            assert_eq!(restricted.link_count(), direct.link_count());
+            for l in direct.links() {
+                let r = restricted.link(l.a, l.b).expect("same relation");
+                assert_eq!(l.path, r.path, "paths must be byte-identical");
+            }
         }
     }
 
@@ -236,5 +482,17 @@ mod tests {
         let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
         assert_eq!(vg.link_count(), 0);
         assert!(complete_virtual_links(&g, &c).is_empty());
+    }
+
+    #[test]
+    fn owned_and_borrowed_views_agree() {
+        let (g, c) = path9();
+        let vg = VirtualGraph::build(&g, &c, NeighborRule::Adjacent);
+        let l = vg.link(NodeId(0), NodeId(2)).unwrap();
+        let owned = l.to_owned();
+        assert_eq!(owned.as_ref(), l);
+        assert_eq!(owned.hops(), l.hops());
+        assert_eq!(owned.weight(), l.weight());
+        assert_eq!(owned.interior(), l.interior());
     }
 }

@@ -129,7 +129,7 @@ proptest! {
         for l in vg.links() {
             let d = adhoc_graph::bfs::distances(&g, l.a);
             prop_assert_eq!(l.hops(), d[l.b.index()]);
-            prop_assert!(adhoc_graph::paths::is_valid_path(&g, &l.path));
+            prop_assert!(adhoc_graph::paths::is_valid_path(&g, l.path));
         }
     }
 

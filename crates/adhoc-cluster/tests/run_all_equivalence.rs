@@ -1,0 +1,86 @@
+//! The single-sweep evaluation engine must be a pure optimization:
+//! `pipeline::run_all` has to reproduce the per-algorithm
+//! `pipeline::run_on` outputs **bit-for-bit** — same realized links,
+//! same gateways, same CDS membership, same canonical paths — for all
+//! five algorithms over random geometric graphs (the paper's §4
+//! workload) across k ∈ 1..=4.
+
+use adhoc_cluster::adjacency::NeighborRule;
+use adhoc_cluster::clustering::{self, MemberPolicy};
+use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
+use adhoc_cluster::priority::LowestId;
+use adhoc_cluster::virtual_graph::VirtualGraph;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::graph::NodeId;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Flattens a virtual graph into comparable `(a, b, path)` rows.
+fn link_rows(vg: &VirtualGraph) -> Vec<(NodeId, NodeId, Vec<NodeId>)> {
+    vg.links().map(|l| (l.a, l.b, l.path.to_vec())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn run_all_matches_run_on(
+        seed in 0u64..1_000_000,
+        n in 40usize..=100,
+        k in 1u32..=4,
+        dense in 0u32..2,
+    ) {
+        let d = if dense == 1 { 10.0 } else { 6.0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = gen::geometric(&GeometricConfig::new(n, 100.0, d), &mut rng);
+        let c = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+
+        let eval = pipeline::run_all(&net.graph, &c);
+        prop_assert_eq!(&eval.clustering.head_of, &c.head_of);
+
+        for alg in Algorithm::ALL {
+            let reference = pipeline::run_on(&net.graph, alg, &c);
+            let engine = eval.of(alg);
+            prop_assert_eq!(
+                &engine.selection, &reference.selection,
+                "{} selection diverged", alg
+            );
+            prop_assert_eq!(&engine.cds, &reference.cds, "{} CDS diverged", alg);
+
+            // The shared virtual graphs must match the per-algorithm
+            // builds down to the canonical path bytes.
+            if let Some(ref_vg) = &reference.virtual_graph {
+                let shared = match alg.neighbor_rule().expect("localized") {
+                    NeighborRule::All2kPlus1 => &eval.nc_graph,
+                    NeighborRule::Adjacent => &eval.ac_graph,
+                };
+                prop_assert_eq!(
+                    link_rows(shared),
+                    link_rows(ref_vg),
+                    "{} virtual graph diverged", alg
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_scratch_matches_cold_scratch(
+        seed in 0u64..1_000_000,
+        k in 1u32..=3,
+    ) {
+        // Reusing one scratch across replicates of different sizes must
+        // never leak state between builds.
+        let mut scratch = EvalScratch::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for n in [70usize, 40, 90] {
+            let net = gen::geometric(&GeometricConfig::new(n, 100.0, 6.0), &mut rng);
+            let c = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let warm = pipeline::run_all_with(&net.graph, &c, &mut scratch);
+            let cold = pipeline::run_all(&net.graph, &c);
+            for alg in Algorithm::ALL {
+                prop_assert_eq!(&warm.of(alg).selection, &cold.of(alg).selection);
+                prop_assert_eq!(&warm.of(alg).cds, &cold.of(alg).cds);
+            }
+        }
+    }
+}

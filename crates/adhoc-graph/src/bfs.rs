@@ -31,6 +31,24 @@ impl Adjacency for Graph {
     }
 }
 
+/// Read-only hop-distance labels rooted at some source.
+///
+/// The canonical-path walk ([`lexico_path_from_labels`]) only needs
+/// `dist` lookups, so it runs equally off a fresh [`BfsScratch`] run or
+/// a stored row of [`crate::labels::HeadLabels`].
+pub trait DistLabels {
+    /// Distance of `v` from the label source (`UNREACHED` if outside
+    /// the labeled ball).
+    fn dist(&self, v: NodeId) -> u32;
+}
+
+impl DistLabels for BfsScratch {
+    #[inline]
+    fn dist(&self, v: NodeId) -> u32 {
+        self.dist[v.index()]
+    }
+}
+
 /// Hop distances from `src` to every node (`UNREACHED` if disconnected).
 pub fn distances<G: Adjacency>(g: &G, src: NodeId) -> Vec<u32> {
     let mut scratch = BfsScratch::new(g.node_count());
@@ -214,37 +232,57 @@ pub fn lexico_shortest_path<G: Adjacency>(
     lexico_path_from_labels(g, from, to, &scratch)
 }
 
-/// As [`lexico_shortest_path`], but reusing a scratch already holding a
-/// (sufficiently deep) BFS run from `to`.
+/// As [`lexico_shortest_path`], but reusing labels already rooted at
+/// `to` — a [`BfsScratch`] after `run(g, to, ..)` or a stored
+/// [`crate::labels::HeadLabels`] row.
 ///
 /// # Panics
-/// Panics if `scratch`'s last run was not rooted at `to`.
-pub fn lexico_path_from_labels<G: Adjacency>(
+/// Panics if `labels` is not rooted at `to`.
+pub fn lexico_path_from_labels<G: Adjacency, L: DistLabels>(
     g: &G,
     from: NodeId,
     to: NodeId,
-    scratch: &BfsScratch,
+    labels: &L,
 ) -> Option<Vec<NodeId>> {
-    assert_eq!(scratch.dist(to), 0, "scratch must hold a BFS from `to`");
-    let d = scratch.dist(from);
+    let mut path = Vec::new();
+    lexico_path_append(g, from, to, labels, &mut path).then_some(path)
+}
+
+/// Arena-friendly variant of [`lexico_path_from_labels`]: appends the
+/// path to `out` and returns whether `from` was reachable (on `false`,
+/// `out` is unchanged). Callers building many paths share one backing
+/// vector and record `(offset, len)` slices instead of allocating a
+/// `Vec` per path.
+///
+/// # Panics
+/// Panics if `labels` is not rooted at `to`.
+pub fn lexico_path_append<G: Adjacency, L: DistLabels>(
+    g: &G,
+    from: NodeId,
+    to: NodeId,
+    labels: &L,
+    out: &mut Vec<NodeId>,
+) -> bool {
+    assert_eq!(labels.dist(to), 0, "labels must be rooted at `to`");
+    let d = labels.dist(from);
     if d == UNREACHED {
-        return None;
+        return false;
     }
-    let mut path = Vec::with_capacity(d as usize + 1);
+    out.reserve(d as usize + 1);
     let mut cur = from;
-    path.push(cur);
+    out.push(cur);
     while cur != to {
-        let dcur = scratch.dist(cur);
+        let dcur = labels.dist(cur);
         let next = g
             .adj(cur)
             .iter()
             .copied()
-            .find(|&w| scratch.dist(w) == dcur - 1)
+            .find(|&w| labels.dist(w) == dcur - 1)
             .expect("distance labels must decrease along some neighbor");
-        path.push(next);
+        out.push(next);
         cur = next;
     }
-    Some(path)
+    true
 }
 
 /// Eccentricity of `src` (max distance to any reachable node).

@@ -1,0 +1,385 @@
+//! Shared per-head BFS labels — the single-sweep substrate of the
+//! evaluation engine.
+//!
+//! The paper's locality argument (§3.2) is that every clusterhead only
+//! needs its `2k+1`-hop ball to select neighbor clusterheads and
+//! realize virtual links. The Monte-Carlo harness previously re-ran
+//! that ball exploration once per algorithm (~5× per replicate);
+//! [`HeadLabels`] runs **one** hop-bounded BFS per head and stores the
+//! distance labels in a flat arena (row-major, one row of `n` distances
+//! per head) that every downstream consumer — the NC relation, both
+//! virtual graphs, G-MST's complete link set — reads without further
+//! traversal.
+//!
+//! Only distance labels are stored: the canonical (lexicographically
+//! smallest) shortest paths all shortest-path consumers share are
+//! derived by the greedy label walk of
+//! [`lexico_path_from_labels`](crate::bfs::lexico_path_from_labels),
+//! which needs distances alone. BFS-tree parent pointers are
+//! deliberately *not* kept — the first-discoverer parent is not the
+//! canonical-path predecessor, so storing it would invite misuse.
+//!
+//! The struct is designed for reuse across Monte-Carlo replicates:
+//! [`HeadLabels::rebuild`] resets only the entries the previous build
+//! dirtied (touched-list reset via the per-head ball lists) and grows
+//! its buffers monotonically, so a worker thread pays no per-replicate
+//! allocation once warm.
+
+use crate::bfs::{Adjacency, DistLabels, UNREACHED};
+use crate::graph::NodeId;
+
+/// Sentinel slot for "this node is not a head".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Hop-distance labels from every clusterhead, in one flat arena.
+///
+/// Rows are indexed by *slot* — the position of the head in the sorted
+/// head list the labels were built from ([`HeadLabels::heads`]).
+#[derive(Clone, Debug, Default)]
+pub struct HeadLabels {
+    /// Node count of the graph of the last build (row stride).
+    n: usize,
+    /// Hop bound of the last build (`u32::MAX` = unbounded).
+    bound: u32,
+    /// The sources, in the order given to the last build.
+    heads: Vec<NodeId>,
+    /// Node-indexed inverse of `heads` (`NO_SLOT` for non-heads).
+    slot_of: Vec<u32>,
+    /// Row-major `heads.len() × n` distances; `UNREACHED` outside each
+    /// head's ball. Entries beyond the current logical size are kept
+    /// `UNREACHED` so the arena can shrink logically without a sweep.
+    dist: Vec<u32>,
+    /// Concatenated per-head balls (visited nodes in discovery order;
+    /// doubles as the BFS queue during a build).
+    balls: Vec<NodeId>,
+    /// `heads.len() + 1` offsets into `balls`.
+    ball_offsets: Vec<u32>,
+}
+
+impl HeadLabels {
+    /// Builds labels from scratch: one BFS per head, exploring to
+    /// `bound` hops (`u32::MAX` = whole component).
+    pub fn build<G: Adjacency>(g: &G, heads: &[NodeId], bound: u32) -> Self {
+        let mut labels = HeadLabels::default();
+        labels.rebuild(g, heads, bound);
+        labels
+    }
+
+    /// Rebuilds the labels for a (possibly different) graph and head
+    /// set, reusing every allocation. Reset cost is proportional to
+    /// what the previous build actually touched, not to `heads × n`.
+    pub fn rebuild<G: Adjacency>(&mut self, g: &G, heads: &[NodeId], bound: u32) {
+        self.rebuild_inner(g, heads, bound, false);
+    }
+
+    /// Unbounded rebuild that stops each head's BFS as soon as every
+    /// other head has been labeled — the cheapest build that still
+    /// supports all head-to-head queries (NC relation, G-MST edges)
+    /// and every canonical inter-head path walk.
+    ///
+    /// Every labeled distance is exact, and all nodes at distance
+    /// *strictly below* the farthest head are guaranteed labeled (BFS
+    /// completes a level before the next one starts), which is exactly
+    /// what the decreasing-label path walk needs. [`Self::ball`] may
+    /// however omit nodes at or beyond the farthest head's level, so
+    /// callers that need full balls must use [`Self::rebuild`].
+    pub fn rebuild_reaching_heads<G: Adjacency>(&mut self, g: &G, heads: &[NodeId]) {
+        self.rebuild_inner(g, heads, u32::MAX, true);
+    }
+
+    fn rebuild_inner<G: Adjacency>(
+        &mut self,
+        g: &G,
+        heads: &[NodeId],
+        bound: u32,
+        stop_at_heads: bool,
+    ) {
+        // Undo the previous build while its row stride is still valid.
+        for slot in 0..self.heads.len() {
+            let base = slot * self.n;
+            let (lo, hi) = (
+                self.ball_offsets[slot] as usize,
+                self.ball_offsets[slot + 1] as usize,
+            );
+            for &v in &self.balls[lo..hi] {
+                self.dist[base + v.index()] = UNREACHED;
+            }
+        }
+        for &h in &self.heads {
+            if h.index() < self.slot_of.len() {
+                self.slot_of[h.index()] = NO_SLOT;
+            }
+        }
+        self.balls.clear();
+        self.ball_offsets.clear();
+
+        self.n = g.node_count();
+        self.bound = bound;
+        self.heads.clear();
+        self.heads.extend_from_slice(heads);
+        if self.slot_of.len() < self.n {
+            self.slot_of.resize(self.n, NO_SLOT);
+        }
+        let rows = self.heads.len() * self.n;
+        if self.dist.len() < rows {
+            self.dist.resize(rows, UNREACHED);
+        }
+        for (slot, &h) in self.heads.iter().enumerate() {
+            debug_assert_eq!(self.slot_of[h.index()], NO_SLOT, "duplicate head {h:?}");
+            self.slot_of[h.index()] = slot as u32;
+        }
+
+        // One bounded BFS per head. The concatenated ball list is the
+        // BFS queue itself (discovery order == FIFO order), so no
+        // auxiliary queue allocation exists at all.
+        self.ball_offsets.push(0);
+        for slot in 0..self.heads.len() {
+            let h = self.heads[slot];
+            let base = slot * self.n;
+            let start = self.balls.len();
+            self.dist[base + h.index()] = 0;
+            self.balls.push(h);
+            // Other heads this BFS still has to label before it may
+            // stop early (`usize::MAX` disables early stopping).
+            let mut heads_left = if stop_at_heads {
+                self.heads.len() - 1
+            } else {
+                usize::MAX
+            };
+            let mut qi = start;
+            'bfs: while qi < self.balls.len() && heads_left > 0 {
+                let u = self.balls[qi];
+                qi += 1;
+                let du = self.dist[base + u.index()];
+                if du == bound {
+                    continue;
+                }
+                for &v in g.adj(u) {
+                    if self.dist[base + v.index()] == UNREACHED {
+                        self.dist[base + v.index()] = du + 1;
+                        self.balls.push(v);
+                        if stop_at_heads && self.slot_of[v.index()] != NO_SLOT {
+                            heads_left -= 1;
+                            if heads_left == 0 {
+                                break 'bfs;
+                            }
+                        }
+                    }
+                }
+            }
+            self.ball_offsets.push(self.balls.len() as u32);
+        }
+    }
+
+    /// The heads the labels were built from, in slot order.
+    #[inline]
+    pub fn heads(&self) -> &[NodeId] {
+        &self.heads
+    }
+
+    /// The hop bound of the last build (`u32::MAX` = unbounded).
+    #[inline]
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Node count of the graph of the last build.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The slot of `head`, or `None` if it is not a labeled source.
+    #[inline]
+    pub fn slot(&self, head: NodeId) -> Option<usize> {
+        match self.slot_of.get(head.index()) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Hop distance from the head in `slot` to `v` (`UNREACHED` if `v`
+    /// is outside the head's ball).
+    #[inline]
+    pub fn dist(&self, slot: usize, v: NodeId) -> u32 {
+        self.dist[slot * self.n + v.index()]
+    }
+
+    /// Hop distance between two labeled heads (`UNREACHED` if beyond
+    /// the bound or disconnected).
+    ///
+    /// # Panics
+    /// Panics if `a` is not a labeled head.
+    pub fn head_dist(&self, a: NodeId, b: NodeId) -> u32 {
+        let slot = self
+            .slot(a)
+            .unwrap_or_else(|| panic!("{a:?} is not a labeled head"));
+        self.dist(slot, b)
+    }
+
+    /// The ball of the head in `slot`: every node within the bound, in
+    /// BFS discovery order (the head itself first).
+    pub fn ball(&self, slot: usize) -> &[NodeId] {
+        let (lo, hi) = (
+            self.ball_offsets[slot] as usize,
+            self.ball_offsets[slot + 1] as usize,
+        );
+        &self.balls[lo..hi]
+    }
+
+    /// The distance row of `slot` as a [`DistLabels`] view, usable with
+    /// [`crate::bfs::lexico_path_from_labels`].
+    #[inline]
+    pub fn row(&self, slot: usize) -> HeadRow<'_> {
+        HeadRow {
+            dist: &self.dist[slot * self.n..(slot + 1) * self.n],
+        }
+    }
+}
+
+/// One head's distance row (a borrowed [`DistLabels`] view).
+#[derive(Clone, Copy, Debug)]
+pub struct HeadRow<'a> {
+    dist: &'a [u32],
+}
+
+impl DistLabels for HeadRow<'_> {
+    #[inline]
+    fn dist(&self, v: NodeId) -> u32 {
+        self.dist[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{self, BfsScratch};
+    use crate::gen;
+    use crate::graph::Graph;
+
+    fn assert_matches_scratch(g: &Graph, heads: &[NodeId], bound: u32, labels: &HeadLabels) {
+        let mut scratch = BfsScratch::new(g.len());
+        for (slot, &h) in heads.iter().enumerate() {
+            scratch.run(g, h, bound);
+            for v in g.nodes() {
+                assert_eq!(
+                    labels.dist(slot, v),
+                    scratch.dist(v),
+                    "head {h:?} node {v:?}"
+                );
+            }
+            assert_eq!(labels.ball(slot), scratch.visited());
+        }
+    }
+
+    #[test]
+    fn labels_match_per_head_bfs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = gen::geometric(&gen::GeometricConfig::new(60, 100.0, 6.0), &mut rng);
+        let heads = vec![NodeId(0), NodeId(7), NodeId(33)];
+        for bound in [1, 3, u32::MAX] {
+            let labels = HeadLabels::build(&net.graph, &heads, bound);
+            assert_matches_scratch(&net.graph, &heads, bound, &labels);
+        }
+    }
+
+    #[test]
+    fn slots_and_head_dist() {
+        let g = gen::path(6);
+        let heads = vec![NodeId(0), NodeId(4)];
+        let labels = HeadLabels::build(&g, &heads, u32::MAX);
+        assert_eq!(labels.slot(NodeId(0)), Some(0));
+        assert_eq!(labels.slot(NodeId(4)), Some(1));
+        assert_eq!(labels.slot(NodeId(2)), None);
+        assert_eq!(labels.head_dist(NodeId(0), NodeId(4)), 4);
+        assert_eq!(labels.head_dist(NodeId(4), NodeId(0)), 4);
+        assert_eq!(labels.heads(), &heads[..]);
+        assert_eq!(labels.bound(), u32::MAX);
+        assert_eq!(labels.node_count(), 6);
+    }
+
+    #[test]
+    fn bounded_ball_excludes_far_nodes() {
+        let g = gen::path(8);
+        let labels = HeadLabels::build(&g, &[NodeId(0)], 2);
+        assert_eq!(labels.dist(0, NodeId(2)), 2);
+        assert_eq!(labels.dist(0, NodeId(3)), UNREACHED);
+        assert_eq!(labels.ball(0), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn rebuild_resets_across_graphs_of_different_size() {
+        let big = gen::path(12);
+        let small = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut labels = HeadLabels::build(&big, &[NodeId(0), NodeId(6), NodeId(11)], u32::MAX);
+        labels.rebuild(&small, &[NodeId(2)], 1);
+        assert_eq!(labels.heads(), &[NodeId(2)]);
+        assert_eq!(labels.slot(NodeId(0)), None, "old head slots reset");
+        assert_eq!(labels.dist(0, NodeId(3)), 1);
+        assert_eq!(labels.dist(0, NodeId(0)), UNREACHED);
+        assert_matches_scratch(&small, &[NodeId(2)], 1, &labels);
+        // And back up to the larger graph again.
+        labels.rebuild(&big, &[NodeId(3), NodeId(9)], 3);
+        assert_matches_scratch(&big, &[NodeId(3), NodeId(9)], 3, &labels);
+    }
+
+    #[test]
+    fn row_drives_lexico_paths() {
+        // Two shortest 0->3 paths; the label walk must pick the one
+        // through 1, identical to the scratch-based construction.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let labels = HeadLabels::build(&g, &[NodeId(3)], u32::MAX);
+        let p = bfs::lexico_path_from_labels(&g, NodeId(0), NodeId(3), &labels.row(0)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn reaching_heads_labels_support_head_queries_and_walks() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+        let heads = vec![NodeId(0), NodeId(5), NodeId(41), NodeId(77)];
+        let full = HeadLabels::build(&net.graph, &heads, u32::MAX);
+        let mut lazy = HeadLabels::default();
+        lazy.rebuild_reaching_heads(&net.graph, &heads);
+        for (slot, &h) in heads.iter().enumerate() {
+            // Head-to-head distances agree with the full build.
+            for &o in &heads {
+                assert_eq!(lazy.dist(slot, o), full.dist(slot, o), "{h:?} -> {o:?}");
+            }
+            // Every labeled node is labeled with its exact distance.
+            for &v in lazy.ball(slot) {
+                assert_eq!(lazy.dist(slot, v), full.dist(slot, v));
+            }
+            // Canonical inter-head walks agree with the full build.
+            for &a in &heads {
+                if a == h {
+                    continue;
+                }
+                let p1 =
+                    bfs::lexico_path_from_labels(&net.graph, a, h, &lazy.row(slot)).unwrap();
+                let p2 =
+                    bfs::lexico_path_from_labels(&net.graph, a, h, &full.row(slot)).unwrap();
+                assert_eq!(p1, p2, "walk {a:?} -> {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reaching_heads_single_head_skips_exploration() {
+        let g = gen::path(9);
+        let mut labels = HeadLabels::default();
+        labels.rebuild_reaching_heads(&g, &[NodeId(4)]);
+        assert_eq!(labels.ball(0), &[NodeId(4)]);
+        assert_eq!(labels.dist(0, NodeId(4)), 0);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unreached() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let labels = HeadLabels::build(&g, &[NodeId(0), NodeId(2)], u32::MAX);
+        assert_eq!(labels.head_dist(NodeId(0), NodeId(2)), UNREACHED);
+        assert_eq!(labels.dist(0, NodeId(1)), 1);
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`bfs`] — breadth-first search: full and hop-bounded distances,
 //!   k-hop neighborhoods, reusable scratch buffers, canonical
 //!   (lexicographically smallest) shortest paths.
+//! * [`labels`] — [`HeadLabels`]: one bounded BFS per clusterhead with
+//!   all distance labels in a flat reusable arena, the single-sweep
+//!   substrate of the evaluation engine (`adhoc-cluster::pipeline`'s
+//!   `run_all`).
 //! * [`mst`] — Kruskal and Prim minimum spanning trees over abstract
 //!   weights, and [`unionfind::UnionFind`].
 //! * [`lmst`] — the Li/Hou/Sha local minimum spanning tree rule, both in
@@ -49,6 +53,7 @@ pub mod gen;
 pub mod geom;
 pub mod graph;
 pub mod io;
+pub mod labels;
 pub mod lmst;
 pub mod metrics;
 pub mod mst;
@@ -59,3 +64,4 @@ pub mod unionfind;
 pub use csr::Csr;
 pub use geom::Point;
 pub use graph::{Graph, NodeId};
+pub use labels::HeadLabels;

@@ -4,6 +4,7 @@
 //! ```text
 //! khop gen  --n 100 --d 6 --seed 7 --out net.txt      generate a network file
 //! khop run  [--input net.txt | --n 100 --d 6 --seed 7] --k 2 --alg ac-lmst [--json]
+//! khop run  --alg all ...                              all five algorithms, one engine sweep
 //! khop dist [--input net.txt | --n ... ] --k 2 --alg ac-lmst    distributed run + stats
 //! khop info --input net.txt                            topology metrics
 //! khop exact [--n 24 --d 5 --seed 7] --k 1             exact optimum + ratios
@@ -67,7 +68,7 @@ fn die(msg: &str) -> ! {
     eprintln!("khop: {msg}");
     eprintln!("usage: khop <gen|run|dist|info|exact|maintain|mac>");
     eprintln!("            [--n N] [--d D] [--k K] [--seed S] [--steps T] [--cw W]");
-    eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst]");
+    eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst|all]");
     eprintln!("            [--input FILE] [--out FILE] [--json]");
     exit(2)
 }
@@ -116,10 +117,71 @@ fn cmd_gen(args: &Args) {
     );
 }
 
+/// `khop run --alg all`: evaluate all five algorithms through the
+/// single-sweep engine (`pipeline::run_all`) on one shared clustering.
+fn cmd_run_all(g: &Graph, k: u32, json: bool) {
+    let clustering = clustering::cluster(g, k, &LowestId, MemberPolicy::IdBased);
+    let eval = pipeline::run_all(g, &clustering);
+    let mut rows = Vec::new();
+    for alg in Algorithm::ALL {
+        let out = eval.of(alg);
+        if let Err(e) = out.cds.verify(g, k) {
+            die(&format!("{} produced an invalid CDS: {e}", alg.name()));
+        }
+        rows.push((alg, out));
+    }
+    if json {
+        let algorithms: BTreeMap<&str, serde_json::Value> = rows
+            .iter()
+            .map(|(alg, out)| {
+                (
+                    alg.name(),
+                    serde_json::json!({
+                        "gateways": out.selection.gateways,
+                        "cds_size": out.cds.size(),
+                        "links_used": out.selection.links_used,
+                    }),
+                )
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::json!({
+                "k": k,
+                "nodes": g.len(),
+                "edges": g.edge_count(),
+                "clusterheads": clustering.heads,
+                "rounds": clustering.rounds,
+                "algorithms": algorithms,
+            })
+        );
+    } else {
+        println!(
+            "{} nodes (k={k}): {} heads in {} rounds",
+            g.len(),
+            clustering.head_count(),
+            clustering.rounds
+        );
+        for (alg, out) in rows {
+            println!(
+                "  {:<8} gateways: {:>4}   CDS: {:>4}",
+                alg.name(),
+                out.selection.gateways.len(),
+                out.cds.size()
+            );
+        }
+    }
+}
+
 fn cmd_run(args: &Args) {
     let g = obtain_graph(args);
     let k: u32 = args.get("k", 2);
-    let alg = parse_alg(args.opt("alg").unwrap_or("ac-lmst"));
+    let alg_name = args.opt("alg").unwrap_or("ac-lmst");
+    if alg_name.eq_ignore_ascii_case("all") {
+        cmd_run_all(&g, k, args.has("json"));
+        return;
+    }
+    let alg = parse_alg(alg_name);
     let out = pipeline::run(&g, alg, &PipelineConfig::new(k));
     if let Err(e) = out.cds.verify(&g, k) {
         die(&format!("produced an invalid CDS: {e}"));

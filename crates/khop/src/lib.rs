@@ -32,19 +32,22 @@ pub mod prelude {
     pub use adhoc_cluster::gateway;
     pub use adhoc_cluster::hierarchy::{self, Hierarchy};
     pub use adhoc_cluster::maxmin;
-    pub use adhoc_cluster::pipeline::{self, Algorithm, PipelineConfig};
+    pub use adhoc_cluster::pipeline::{
+        self, Algorithm, EvalScratch, EvaluationOutput, PipelineConfig,
+    };
     pub use adhoc_cluster::priority::{
         HighestDegree, KhopDegree, LowestId, LowestSpeed, Priority, PriorityKey,
         RandomTimer, ResidualEnergy, SumOfDistances,
     };
     pub use adhoc_cluster::routing::{self, ClusterRouter};
-    pub use adhoc_cluster::virtual_graph::{self, VirtualGraph, VirtualLink};
+    pub use adhoc_cluster::virtual_graph::{self, LinkRef, LinkStore, VirtualGraph, VirtualLink};
     pub use adhoc_cluster::wulou;
     pub use adhoc_graph::bfs;
     pub use adhoc_graph::connectivity;
     pub use adhoc_graph::gen;
     pub use adhoc_graph::geom::Point;
     pub use adhoc_graph::graph::{Graph, NodeId};
+    pub use adhoc_graph::labels::HeadLabels;
     pub use adhoc_sim::broadcast::{self, BroadcastReport, Strategy as BroadcastStrategy};
     pub use adhoc_sim::energy::{self, EnergyModel, RotationPolicy};
     pub use adhoc_sim::mac::{self, MacConfig, MacReport};
