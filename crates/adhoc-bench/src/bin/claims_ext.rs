@@ -122,14 +122,14 @@ fn main() {
             };
             let model = RandomWaypoint::new(100, wp, &mut rng);
             let mut net = MobileNetwork::with_model(base.positions.clone(), base.range, model);
-            let mut prev = pipeline::run(&net.graph, Algorithm::AcLmst, &PipelineConfig::new(k))
+            let mut prev = pipeline::run(net.graph(), Algorithm::AcLmst, &PipelineConfig::new(k))
                 .cds
                 .nodes();
             let mut churn = 0usize;
             let mut total = 0usize;
             for _ in 0..steps {
                 net.step(1.0, &mut rng);
-                let cds = pipeline::run(&net.graph, Algorithm::AcLmst, &PipelineConfig::new(k))
+                let cds = pipeline::run(net.graph(), Algorithm::AcLmst, &PipelineConfig::new(k))
                     .cds
                     .nodes();
                 churn += cds.iter().filter(|v| prev.binary_search(v).is_err()).count()
@@ -161,16 +161,16 @@ fn main() {
         let model = RandomWaypoint::new(100, wp, &mut rng);
         let mut net = MobileNetwork::with_model(base.positions.clone(), base.range, model);
         let mut m =
-            MaintainedCds::build(&net.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+            MaintainedCds::build(net.graph(), MovementConfig::strict(2, Algorithm::AcLmst));
         let mut policy_cost = 0usize;
         let mut rebuild_cost = 0usize;
         let mut always_valid = true;
         for _ in 0..steps {
             net.step(1.0, &mut rng);
-            rebuild_cost += m.rebuild_cost(&net.graph);
-            let r = m.step(&net.graph);
+            rebuild_cost += m.rebuild_cost(net.graph());
+            let r = m.step(net.graph());
             policy_cost += r.cost;
-            if connectivity::is_connected(&net.graph) {
+            if connectivity::is_connected(net.graph()) {
                 always_valid &= r.valid;
             }
         }

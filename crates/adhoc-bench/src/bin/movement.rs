@@ -48,7 +48,7 @@ fn drive(cfg: MovementConfig, steps: usize, seed: u64) -> PolicyOutcome {
     };
     let model = RandomWaypoint::new(n, wp, &mut rng);
     let mut mobile = MobileNetwork::with_model(base.positions.clone(), base.range, model);
-    let mut m = MaintainedCds::build(&mobile.graph, cfg);
+    let mut m = MaintainedCds::build(mobile.graph(), cfg);
     let mut cost = 0usize;
     let mut levels = [0usize; 4];
     let mut churn = 0usize;
@@ -57,7 +57,7 @@ fn drive(cfg: MovementConfig, steps: usize, seed: u64) -> PolicyOutcome {
     let mut prev_heads: Vec<NodeId> = m.clustering.heads.clone();
     for _ in 0..steps {
         mobile.step(1.0, &mut rng);
-        let r = m.step(&mobile.graph);
+        let r = m.step(mobile.graph());
         cost += r.cost;
         levels[match r.level {
             RepairLevel::None => 0,
@@ -71,7 +71,7 @@ fn drive(cfg: MovementConfig, steps: usize, seed: u64) -> PolicyOutcome {
             .iter()
             .filter(|h| prev_heads.binary_search(h).is_err())
             .count();
-        if connectivity::is_connected(&mobile.graph) {
+        if connectivity::is_connected(mobile.graph()) {
             judged += 1;
             if r.valid {
                 valid += 1;
@@ -107,7 +107,7 @@ fn rebuild_baseline(steps: usize, seed: u64) -> PolicyOutcome {
     let model = RandomWaypoint::new(n, wp, &mut rng);
     let mut mobile = MobileNetwork::with_model(base.positions.clone(), base.range, model);
     let cfg = MovementConfig::strict(2, Algorithm::AcLmst);
-    let mut m = MaintainedCds::build(&mobile.graph, cfg);
+    let mut m = MaintainedCds::build(mobile.graph(), cfg);
     let mut cost = 0usize;
     let mut churn = 0usize;
     let mut valid = 0usize;
@@ -115,17 +115,17 @@ fn rebuild_baseline(steps: usize, seed: u64) -> PolicyOutcome {
     let mut prev_heads: Vec<NodeId> = m.clustering.heads.clone();
     for _ in 0..steps {
         mobile.step(1.0, &mut rng);
-        cost += m.rebuild_cost(&mobile.graph);
-        m = MaintainedCds::build(&mobile.graph, cfg);
+        cost += m.rebuild_cost(mobile.graph());
+        m = MaintainedCds::build(mobile.graph(), cfg);
         churn += m
             .clustering
             .heads
             .iter()
             .filter(|h| prev_heads.binary_search(h).is_err())
             .count();
-        if connectivity::is_connected(&mobile.graph) {
+        if connectivity::is_connected(mobile.graph()) {
             judged += 1;
-            if m.cds.verify(&mobile.graph, 2).is_ok() {
+            if m.cds.verify(mobile.graph(), 2).is_ok() {
                 valid += 1;
             }
         }

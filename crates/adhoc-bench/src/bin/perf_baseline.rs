@@ -19,8 +19,10 @@
 //! seed arm doubles as a behavioral regression check of the refactor.
 //!
 //! Writes `results/BENCH_pipeline.json` (override the directory with
-//! `KHOP_RESULTS_DIR`) with per-cell wall-clock, replicates/sec and
-//! speedups, stamped with `git describe`, then reads the file back and
+//! `KHOP_RESULTS_DIR`) with per-cell wall-clock, replicates/sec,
+//! speedups, and the warm label arena's heap footprint
+//! (`labels_memory_bytes`, the ROADMAP's dense-layout memory probe),
+//! stamped with `git describe`, then reads the file back and
 //! re-parses it so CI catches a malformed dump immediately. Subsequent
 //! PRs compare their numbers against the committed file to keep a perf
 //! trajectory.
@@ -420,6 +422,11 @@ fn main() {
         );
         assert_eq!(run_on_sum, engine_sum, "engine and run_on metrics diverged");
 
+        // Arena footprint of the warm label scratch for this cell — the
+        // ROADMAP's dense-vs-sparse layout decision is data-driven off
+        // this (dominant term: heads × n × 4 bytes per worker thread).
+        let labels_memory_bytes = scratch.labels_memory_bytes();
+
         let speedup = seed_secs / engine_secs.max(1e-12);
         println!(
             "n={:<4} d={:<4} k={}  reps={:<3} seed {:>8.0} rps | run_on {:>8.0} rps | engine {:>8.0} rps | {:>5.2}x vs seed",
@@ -445,6 +452,7 @@ fn main() {
             "engine_replicates_per_sec": total_reps / engine_secs,
             "speedup_vs_seed": speedup,
             "speedup_vs_run_on": run_on_secs / engine_secs.max(1e-12),
+            "labels_memory_bytes": labels_memory_bytes,
         }));
     }
 

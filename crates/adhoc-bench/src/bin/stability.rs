@@ -100,25 +100,25 @@ fn run_model<M: Mobility>(
         cds_churn: Vec::new(),
         stale: Vec::new(),
     };
-    let mut prev_graph = net.graph.clone();
+    let mut prev_graph = net.graph().clone();
     let c = cluster(&prev_graph, k, &LowestId, MemberPolicy::IdBased);
     let mut prev_heads = c.heads.clone();
     let mut prev_cds = run_on(&prev_graph, Algorithm::AcLmst, &c).cds.nodes();
     for _ in 0..steps {
         net.step(1.0, rng);
-        let changed = changed_edges(&prev_graph, &net.graph);
+        let changed = changed_edges(&prev_graph, net.graph());
         metrics
             .stale
             .push(staleness(&prev_graph, &prev_heads, k, &changed));
-        let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
-        let cds = run_on(&net.graph, Algorithm::AcLmst, &c).cds.nodes();
+        let c = cluster(net.graph(), k, &LowestId, MemberPolicy::IdBased);
+        let cds = run_on(net.graph(), Algorithm::AcLmst, &c).cds.nodes();
         metrics.head_churn.push(
             symmetric_difference(&prev_heads, &c.heads) as f64 / c.heads.len().max(1) as f64,
         );
         metrics
             .cds_churn
             .push(symmetric_difference(&prev_cds, &cds) as f64 / cds.len().max(1) as f64);
-        prev_graph = net.graph.clone();
+        prev_graph = net.graph().clone();
         prev_heads = c.heads;
         prev_cds = cds;
     }
@@ -245,7 +245,7 @@ fn main() {
         let mut net = MobileNetwork::with_model(base.positions.clone(), base.range, model);
         let mut churn = Vec::new();
         let mut prev_heads: Vec<NodeId> = Vec::new();
-        let mut prev_positions = net.positions.clone();
+        let mut prev_positions = net.positions().to_vec();
         // Exponentially smoothed speed estimates, quantized to coarse
         // bins: the election key only moves when a node's smoothed
         // speed crosses a bin boundary (hysteresis), so slow nodes are
@@ -268,7 +268,7 @@ fn main() {
                         continue;
                     }
                     members += 1;
-                    scratch.run(&net.graph, c.head_of(v), 2);
+                    scratch.run(net.graph(), c.head_of(v), 2);
                     if scratch.dist(v) > 2 {
                         broken += 1;
                     }
@@ -279,20 +279,20 @@ fn main() {
             }
             for (e, (a, b)) in ema
                 .iter_mut()
-                .zip(net.positions.iter().zip(&prev_positions))
+                .zip(net.positions().iter().zip(&prev_positions))
             {
                 *e = 0.8 * *e + 0.2 * a.distance(b);
             }
             let clustering = if use_speed {
                 let binned: Vec<f64> = ema.iter().map(|&e| (e / 0.25).floor() * 0.25).collect();
                 cluster(
-                    &net.graph,
+                    net.graph(),
                     2,
                     &LowestSpeed::new(&binned),
                     MemberPolicy::IdBased,
                 )
             } else {
-                cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased)
+                cluster(net.graph(), 2, &LowestId, MemberPolicy::IdBased)
             };
             if !prev_heads.is_empty() {
                 churn.push(
@@ -309,7 +309,7 @@ fn main() {
             head_speed.push(mean_speed);
             prev_heads.clone_from(&clustering.heads);
             prev_clustering = Some(clustering);
-            prev_positions.clone_from(&net.positions);
+            prev_positions.clear(); prev_positions.extend_from_slice(net.positions());
         }
         println!(
             "{:<14} {:>10.3} {:>11.3} {:>12.3}",

@@ -26,6 +26,7 @@
 //! | `mac_ablation` | broadcast under slotted CSMA vs the ideal MAC |
 //! | `stability` | CDS churn and information staleness vs k under mobility |
 //! | `movement` | §5 movement-sensitive maintenance vs rebuild-every-step |
+//! | `churn` | incremental delta engine vs rebuild-every-step across mobility models × N (`results/BENCH_churn.json`) |
 //! | `scalability` | pipeline wall time out to N = 4000 at fixed density |
 //! | `quasi` | the Figure-5 comparison on quasi-UDG radios |
 //! | `claims_ext` | extension claims 1–5, checked programmatically |

@@ -71,16 +71,22 @@ pub fn gmst_from_labels<G: Adjacency>(
 /// traversal at all — the single-sweep engine's route.
 ///
 /// Why this is exact and not an approximation: on a clustering that
-/// covers `G`, Theorem 1 makes the adjacent cluster graph connected,
-/// and A-NCR ⊆ NC, so the NC graph (all head pairs within `2k+1`
-/// hops) is connected too. By the MST cycle property any head pair
+/// covers a connected component of `G`, Theorem 1 makes that
+/// component's adjacent cluster graph connected, and A-NCR ⊆ NC, so
+/// the NC graph (all head pairs within `2k+1` hops) connects the
+/// component's heads too. By the MST cycle property any head pair
 /// farther than `2k+1` hops is then the strict maximum of some cycle
 /// (close it through NC edges, all strictly cheaper) and can never be
-/// an MST edge — the MST of the *complete* head-distance graph uses
-/// only NC pairs, whose distances and canonical paths `nc` already
-/// holds. If the NC relation does **not** span the heads (degraded
-/// clustering, disconnected `G`), the shortcut is invalid and this
-/// falls back to the complete construction of [`gmst`], so the result
+/// an MST edge — the MST *forest* of the complete head-distance graph
+/// (one tree per component, which is what [`gmst`] produces on
+/// disconnected `G`: cross-component pairs have no path and are
+/// omitted) uses only NC pairs, whose distances and canonical paths
+/// `nc` already holds. The spanning test is therefore per component:
+/// the Kruskal forest over NC links must hold `h − c` edges, where `c`
+/// is the number of components of `G` that contain a head (an `O(E α)`
+/// union-find sweep). Only if the NC relation fails *that* — a
+/// degraded clustering whose coverage churn has broken — does this
+/// fall back to the complete construction of [`gmst`], so the result
 /// is identical to it in every case.
 pub fn gmst_via_nc<G: Adjacency>(
     g: &G,
@@ -92,13 +98,32 @@ pub fn gmst_via_nc<G: Adjacency>(
         .map(|l| WeightedEdge::new(l.a, l.b, l.weight()))
         .collect();
     let tree = mst::kruskal(g.node_count(), &edges);
-    if tree.len() + 1 != clustering.heads.len() {
+    // Common case first: one tree spanning every head (connected `G`),
+    // decided without touching `g`. The union-find sweep only runs for
+    // genuine forests.
+    let spans = tree.len() + 1 == clustering.heads.len()
+        || tree.len() + head_components(g, clustering) == clustering.heads.len();
+    if !spans {
         return gmst(g, clustering);
     }
     let chosen = tree
         .iter()
         .map(|e| nc.link(e.a, e.b).expect("tree edges come from the NC graph"));
     GatewaySelection::from_links(chosen, clustering)
+}
+
+/// Number of connected components of `g` containing at least one
+/// clusterhead.
+fn head_components<G: Adjacency>(g: &G, clustering: &Clustering) -> usize {
+    let label = adhoc_graph::connectivity::components(g);
+    let mut labels: Vec<u32> = clustering
+        .heads
+        .iter()
+        .map(|h| label[h.index()])
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+    labels.len()
 }
 
 #[cfg(test)]
@@ -156,18 +181,48 @@ mod tests {
     }
 
     #[test]
-    fn via_nc_falls_back_on_disconnected_graphs() {
+    fn via_nc_accepts_per_component_forests() {
         use crate::adjacency::NeighborRule;
         use crate::virtual_graph::VirtualGraph;
-        // Two far-apart components: the NC relation cannot span the
-        // heads, so the shortcut must defer to the complete
-        // construction (which yields a forest, one tree per component).
+        // Two far-apart components: the NC Kruskal result is a forest,
+        // one tree per head-bearing component, which the per-component
+        // spanning test must accept without the complete-links
+        // fallback — and the result still equals the complete
+        // construction.
         let g = adhoc_graph::graph::Graph::from_edges(8, &[(0, 1), (1, 2), (5, 6), (6, 7)]);
         let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
         let nc = VirtualGraph::build(&g, &c, NeighborRule::All2kPlus1);
         let fast = gmst_via_nc(&g, &nc, &c);
         let full = gmst(&g, &c);
         assert_eq!(fast, full);
+    }
+
+    #[test]
+    fn via_nc_falls_back_when_nc_cannot_span_a_component() {
+        use crate::adjacency::NeighborRule;
+        use crate::virtual_graph::VirtualGraph;
+        use crate::clustering::Clustering;
+        // A *degraded* clustering (churn can produce these between
+        // repairs): two heads in one component but farther apart than
+        // 2k+1 hops, so the NC relation is empty and the shortcut must
+        // defer to the complete construction.
+        let g = gen::path(12);
+        let mut head_of = vec![NodeId(0); 12];
+        head_of[11] = NodeId(11);
+        let c = Clustering {
+            k: 1,
+            heads: vec![NodeId(0), NodeId(11)],
+            head_of,
+            dist_to_head: (0..12).map(|i| (i as u32).min(1)).collect(),
+            rounds: 0,
+        };
+        let nc = VirtualGraph::build(&g, &c, NeighborRule::All2kPlus1);
+        assert_eq!(nc.link_count(), 0, "heads beyond 2k+1: no NC links");
+        let fast = gmst_via_nc(&g, &nc, &c);
+        let full = gmst(&g, &c);
+        assert_eq!(fast, full);
+        // The fallback really connected them: one 11-hop link.
+        assert_eq!(fast.links_used, vec![(NodeId(0), NodeId(11))]);
     }
 
     #[test]

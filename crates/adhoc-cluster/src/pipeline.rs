@@ -14,6 +14,13 @@
 //!   graph traversal per replicate that calling [`run_on`] per
 //!   algorithm costs, while producing bit-identical output (enforced
 //!   by the `run_all_equivalence` proptest).
+//! * [`update_all`] — the **incremental churn engine**: given the
+//!   previous evaluation, its warm [`EvalScratch`], and a
+//!   [`TopologyDelta`], refresh only the labels, virtual links, and
+//!   selections the changed edges can have affected (dirty-head set),
+//!   falling back to [`run_all`] past a dirty-fraction threshold.
+//!   Output is bit-for-bit identical to a from-scratch [`run_all`] on
+//!   the new graph (enforced by the `update_all_equivalence` proptest).
 
 use crate::adjacency::{self, NeighborRule};
 use crate::cds::Cds;
@@ -22,6 +29,7 @@ use crate::gateway::{self, GatewaySelection};
 use crate::priority::LowestId;
 use crate::virtual_graph::VirtualGraph;
 use adhoc_graph::bfs::Adjacency;
+use adhoc_graph::delta::TopologyDelta;
 use adhoc_graph::labels::HeadLabels;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -169,6 +177,20 @@ impl EvalScratch {
     pub fn new() -> Self {
         EvalScratch::default()
     }
+
+    /// The head-label arena of the last [`run_all_with`] /
+    /// [`update_all`] call. Maintenance policies read distances off it
+    /// (orphan and head-merge detection) instead of re-running BFS.
+    pub fn labels(&self) -> &HeadLabels {
+        &self.labels
+    }
+
+    /// Heap bytes currently held by the label arena (the
+    /// `O(heads × n)` dense layout the ROADMAP's sparse-layout decision
+    /// needs numbers on; recorded per grid cell by `perf_baseline`).
+    pub fn labels_memory_bytes(&self) -> usize {
+        self.labels.memory_bytes()
+    }
 }
 
 /// One algorithm's share of an [`EvaluationOutput`].
@@ -229,18 +251,38 @@ pub fn run_all_with<G: Adjacency>(
     let labels = &scratch.labels;
 
     let nc_sets = adjacency::nc_from_labels(clustering, labels);
+    let nc_graph = VirtualGraph::from_labels(g, clustering, nc_sets, labels);
+    eval_from_nc(g, clustering, labels, nc_graph, &mut scratch.lmstga)
+}
+
+/// Shared tail of [`run_all_with`] and [`update_all`]: everything
+/// downstream of the NC virtual graph (AC restriction, the four
+/// localized selections, G-MST, CDS assembly). All inputs here live in
+/// head space, so this stage costs `O(h · local degree²)` — negligible
+/// next to the label sweeps and path walks that produced `nc_graph`.
+fn eval_from_nc<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    labels: &HeadLabels,
+    nc_graph: VirtualGraph,
+    lmstga: &mut gateway::LmstgaScratch,
+) -> EvaluationOutput {
     let ac_sets = adjacency::neighbor_clusterheads(g, clustering, NeighborRule::Adjacent);
     #[cfg(debug_assertions)]
     for (u, v) in ac_sets.pairs() {
         let d = labels.head_dist(u, v);
+        // Theorem 1's upper bound. (The k+1 lower bound holds for fresh
+        // elections but not for *maintained* clusterings, whose heads
+        // may legally drift within k hops between re-elections.)
         debug_assert!(
-            d > clustering.k && d <= 2 * clustering.k + 1,
+            d <= 2 * clustering.k + 1,
             "A-NCR pair {u:?},{v:?} at distance {d} contradicts Theorem 1 (k={})",
             clustering.k
         );
     }
+    #[cfg(not(debug_assertions))]
+    let _ = labels;
 
-    let nc_graph = VirtualGraph::from_labels(g, clustering, nc_sets, labels);
     // On dense deployments every pair of nearby clusters often touches,
     // making the AC relation literally equal to NC — then the AC graph
     // and both AC selections are the NC ones and need no recomputation.
@@ -257,11 +299,11 @@ pub fn run_all_with<G: Adjacency>(
     } else {
         gateway::mesh(&ac_graph, clustering)
     };
-    let nc_lmst = gateway::lmstga_with(&mut scratch.lmstga, &nc_graph, clustering);
+    let nc_lmst = gateway::lmstga_with(lmstga, &nc_graph, clustering);
     let ac_lmst = if ac_is_nc {
         nc_lmst.clone()
     } else {
-        gateway::lmstga_with(&mut scratch.lmstga, &ac_graph, clustering)
+        gateway::lmstga_with(lmstga, &ac_graph, clustering)
     };
     let g_mst = gateway::gmst_via_nc(g, &nc_graph, clustering);
 
@@ -282,6 +324,197 @@ pub fn run_all_with<G: Adjacency>(
         ac_graph,
         outputs,
     }
+}
+
+/// Dirty fraction above which [`update_all`] stops being incremental:
+/// when a delta touches more than this share of the clusterheads, the
+/// per-row bookkeeping costs more than the full label rebuild it would
+/// save, so the engine falls back to [`run_all_with`].
+pub const DIRTY_FRACTION_FALLBACK: f64 = 0.5;
+
+/// How [`update_all`] processed a delta (returned alongside the
+/// refreshed output; benches and maintenance policies report it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Clusterheads whose `2k+1` ball a changed edge touched (equals
+    /// `head_count` when the engine fell back to a full evaluation).
+    pub dirty_heads: usize,
+    /// Total clusterheads.
+    pub head_count: usize,
+    /// Whether the engine fell back to a from-scratch [`run_all_with`]
+    /// (dirty fraction above [`DIRTY_FRACTION_FALLBACK`], incompatible
+    /// scratch, or a changed head set).
+    pub rebuilt: bool,
+}
+
+impl UpdateReport {
+    /// Dirty heads as a fraction of all heads (1.0 on fallback).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.head_count == 0 {
+            0.0
+        } else {
+            self.dirty_heads as f64 / self.head_count as f64
+        }
+    }
+}
+
+/// How [`advance_labels`] brought the scratch labels up to date with a
+/// post-delta graph (phase 1 of an incremental refresh).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LabelAdvance {
+    /// Only these slots were re-swept; all other rows are provably
+    /// unchanged.
+    Incremental {
+        /// Dirty head slots, ascending (indexes into the head list).
+        dirty: Vec<usize>,
+    },
+    /// The labels were rebuilt from scratch (dirty fraction above
+    /// [`DIRTY_FRACTION_FALLBACK`], or the scratch did not match the
+    /// clustering/graph).
+    Rebuilt,
+}
+
+/// Phase 1 of [`update_all`]: advances `scratch`'s label arena from the
+/// pre-delta graph to `g` (the **post-delta** graph), re-sweeping only
+/// the heads whose `2k+1` ball a changed edge touched.
+///
+/// Split out so maintenance policies can *read the refreshed labels*
+/// (orphan members, head merges) and repair the clustering **before**
+/// [`update_all_after`] derives the virtual graphs — a clustering whose
+/// coverage churn has broken can place adjacent heads beyond `2k+1`
+/// hops, which the virtual-graph builders reject.
+pub fn advance_labels<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    delta: &TopologyDelta,
+    scratch: &mut EvalScratch,
+) -> LabelAdvance {
+    let bound = 2 * clustering.k + 1;
+    let compatible = scratch.labels.heads() == &clustering.heads[..]
+        && scratch.labels.bound() == bound
+        && scratch.labels.node_count() == g.node_count();
+    if !compatible {
+        scratch.labels.rebuild(g, &clustering.heads, bound);
+        return LabelAdvance::Rebuilt;
+    }
+    let dirty = scratch.labels.dirty_slots(delta);
+    if dirty.len() as f64 > DIRTY_FRACTION_FALLBACK * clustering.heads.len() as f64 {
+        scratch.labels.rebuild(g, &clustering.heads, bound);
+        return LabelAdvance::Rebuilt;
+    }
+    scratch.labels.apply_delta(g, &dirty);
+    LabelAdvance::Incremental { dirty }
+}
+
+/// Phase 2 of [`update_all`]: derives the full five-algorithm
+/// evaluation from labels already advanced by [`advance_labels`].
+/// `clustering` must keep the head set the labels were advanced for,
+/// but may carry repaired member affiliations (they only feed the A-NCR
+/// edge scan, which is recomputed every time). `prev` must be the
+/// evaluation of the pre-delta graph on the same head set — its NC rows
+/// and canonical paths are reused for every clean head.
+pub fn update_all_after<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    advance: &LabelAdvance,
+    prev: &EvaluationOutput,
+    scratch: &mut EvalScratch,
+) -> (EvaluationOutput, UpdateReport) {
+    let heads = clustering.heads.len();
+    assert_eq!(
+        scratch.labels.heads(),
+        &clustering.heads[..],
+        "labels were advanced for a different head set"
+    );
+    let incremental = match advance {
+        LabelAdvance::Incremental { dirty } if prev.clustering.heads == clustering.heads => {
+            Some(dirty)
+        }
+        _ => None,
+    };
+    let labels = &scratch.labels;
+    let (nc_graph, report) = match incremental {
+        Some(dirty) => {
+            let nc_sets = adjacency::nc_from_labels_patched(
+                clustering,
+                labels,
+                &prev.nc_graph.neighbor_sets,
+                dirty,
+            );
+            let mut dirty_mask = vec![false; heads];
+            for &slot in dirty {
+                dirty_mask[slot] = true;
+            }
+            let nc_graph = VirtualGraph::from_labels_patched(
+                g,
+                clustering,
+                nc_sets,
+                labels,
+                &prev.nc_graph,
+                &dirty_mask,
+            );
+            let report = UpdateReport {
+                dirty_heads: dirty.len(),
+                head_count: heads,
+                rebuilt: false,
+            };
+            (nc_graph, report)
+        }
+        None => {
+            let nc_sets = adjacency::nc_from_labels(clustering, labels);
+            let nc_graph = VirtualGraph::from_labels(g, clustering, nc_sets, labels);
+            let report = UpdateReport {
+                dirty_heads: heads,
+                head_count: heads,
+                rebuilt: true,
+            };
+            (nc_graph, report)
+        }
+    };
+    let out = eval_from_nc(g, clustering, labels, nc_graph, &mut scratch.lmstga);
+    (out, report)
+}
+
+/// Incrementally refreshes a previous [`run_all`] evaluation after a
+/// [`TopologyDelta`] — the churn-engine core. `g` is the **post-delta**
+/// graph; `scratch` must be the scratch that produced `prev` (its label
+/// arena still describes the pre-delta graph); `clustering` must keep
+/// `prev`'s head set (the maintenance layer in `adhoc-sim` falls back
+/// to [`run_all_with`] itself when re-elections change it).
+///
+/// The refresh touches only what the delta can have changed:
+///
+/// 1. labels — one bounded BFS per **dirty** head
+///    ([`HeadLabels::apply_delta`]); clean rows are reused;
+/// 2. NC relation — dirty rows re-derived, clean rows copied
+///    ([`adjacency::nc_from_labels_patched`]);
+/// 3. NC links — canonical paths re-walked only for pairs owned by a
+///    dirty head, copied otherwise
+///    ([`VirtualGraph::from_labels_patched`]);
+/// 4. the head-space tail (AC restriction, selections, CDS) is shared
+///    verbatim with [`run_all_with`] and is cheap.
+///
+/// When the dirty fraction crosses [`DIRTY_FRACTION_FALLBACK`], or the
+/// head set / node count changed, it falls back to a full rebuild.
+/// Either way the output is **bit-for-bit identical** to a from-scratch
+/// [`run_all`] on `g` (pinned by the `update_all_equivalence`
+/// proptest). Maintenance policies that must inspect labels between the
+/// two phases call [`advance_labels`] / [`update_all_after`] directly.
+pub fn update_all<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    delta: &TopologyDelta,
+    prev: &EvaluationOutput,
+    scratch: &mut EvalScratch,
+) -> (EvaluationOutput, UpdateReport) {
+    let advance = if prev.clustering.heads == clustering.heads {
+        advance_labels(g, clustering, delta, scratch)
+    } else {
+        let bound = 2 * clustering.k + 1;
+        scratch.labels.rebuild(g, &clustering.heads, bound);
+        LabelAdvance::Rebuilt
+    };
+    update_all_after(g, clustering, &advance, prev, scratch)
 }
 
 #[cfg(test)]
@@ -358,5 +591,126 @@ mod tests {
         let out = run(&g, Algorithm::GMst, &PipelineConfig::new(1));
         assert!(out.virtual_graph.is_none());
         assert!(out.cds.verify(&g, 1).is_ok());
+    }
+
+    /// Field-by-field equality of two evaluations (EvaluationOutput
+    /// deliberately has no PartialEq — this is the bit-for-bit check
+    /// the delta-equivalence tests share).
+    pub(crate) fn assert_evals_equal(a: &EvaluationOutput, b: &EvaluationOutput, ctx: &str) {
+        assert_eq!(a.clustering.heads, b.clustering.heads, "{ctx}: heads");
+        assert_eq!(a.clustering.head_of, b.clustering.head_of, "{ctx}: head_of");
+        for (x, y, name) in [
+            (&a.nc_graph, &b.nc_graph, "nc"),
+            (&a.ac_graph, &b.ac_graph, "ac"),
+        ] {
+            assert_eq!(x.neighbor_sets, y.neighbor_sets, "{ctx}: {name} sets");
+            assert_eq!(x.link_count(), y.link_count(), "{ctx}: {name} link count");
+            for (l, r) in x.links().zip(y.links()) {
+                assert_eq!((l.a, l.b), (r.a, r.b), "{ctx}: {name} pair");
+                assert_eq!(l.path, r.path, "{ctx}: {name} path {:?}-{:?}", l.a, l.b);
+            }
+        }
+        for alg in Algorithm::ALL {
+            assert_eq!(a.of(alg).selection, b.of(alg).selection, "{ctx}: {alg}");
+            assert_eq!(a.of(alg).cds, b.of(alg).cds, "{ctx}: {alg} cds");
+        }
+    }
+
+    /// Chained deltas through `update_all` must reproduce a
+    /// from-scratch `run_all` exactly — including the label arena.
+    /// Extra edges are added and later removed (the edge set always
+    /// stays a superset of the original connected graph, so the fixed
+    /// clustering keeps covering it, as the maintenance layer
+    /// guarantees in production).
+    #[test]
+    fn update_all_matches_run_all_across_delta_chain() {
+        use adhoc_graph::graph::NodeId;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(404);
+        for k in 1..=3u32 {
+            let net = gen::geometric(&gen::GeometricConfig::new(90, 100.0, 6.0), &mut rng);
+            let mut g = net.graph.clone();
+            let clustering =
+                crate::clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+            let mut scratch = EvalScratch::new();
+            let mut prev = run_all_with(&g, &clustering, &mut scratch);
+            let mut extras: Vec<(NodeId, NodeId)> = Vec::new();
+            for step in 0..12 {
+                let mut delta = adhoc_graph::delta::TopologyDelta::new();
+                if step % 3 == 2 && !extras.is_empty() {
+                    // Take back some previously added edges.
+                    for _ in 0..rng.gen_range(1..=extras.len()) {
+                        let (a, b) = extras.swap_remove(rng.gen_range(0..extras.len()));
+                        g.remove_edge(a, b);
+                        delta.push_removed(a, b);
+                    }
+                } else {
+                    for _ in 0..rng.gen_range(1..5) {
+                        let a = NodeId(rng.gen_range(0..90u32));
+                        let b = NodeId(rng.gen_range(0..90u32));
+                        if a != b && !g.has_edge(a, b) {
+                            g.add_edge(a, b);
+                            delta.push_added(a, b);
+                            extras.push(if a < b { (a, b) } else { (b, a) });
+                        }
+                    }
+                }
+                delta.normalize();
+                let (next, report) = update_all(&g, &clustering, &delta, &prev, &mut scratch);
+                assert!(report.dirty_heads <= report.head_count);
+                let fresh = run_all(&g, &clustering);
+                assert_evals_equal(&next, &fresh, &format!("k={k} step={step}"));
+                // The warm labels equal a cold rebuild too.
+                let cold = adhoc_graph::labels::HeadLabels::build(
+                    &g,
+                    &clustering.heads,
+                    2 * k + 1,
+                );
+                for slot in 0..clustering.heads.len() {
+                    assert_eq!(scratch.labels().ball(slot), cold.ball(slot));
+                }
+                prev = next;
+            }
+        }
+    }
+
+    /// A delta that floods most balls must trip the fallback, and the
+    /// fallback must still be exact.
+    #[test]
+    fn update_all_falls_back_on_heavy_deltas() {
+        use adhoc_graph::graph::NodeId;
+        let g0 = gen::path(20);
+        let clustering = crate::clustering::cluster(&g0, 1, &LowestId, MemberPolicy::IdBased);
+        let mut scratch = EvalScratch::new();
+        let prev = run_all_with(&g0, &clustering, &mut scratch);
+        // Add a hub touching everything: every head's 3-ball changes.
+        let mut g = g0.clone();
+        let mut delta = adhoc_graph::delta::TopologyDelta::new();
+        for v in 1..20u32 {
+            if !g.has_edge(NodeId(0), NodeId(v)) {
+                g.add_edge(NodeId(0), NodeId(v));
+                delta.push_added(NodeId(0), NodeId(v));
+            }
+        }
+        delta.normalize();
+        let (next, report) = update_all(&g, &clustering, &delta, &prev, &mut scratch);
+        assert!(report.rebuilt);
+        assert_eq!(report.dirty_fraction(), 1.0);
+        assert_evals_equal(&next, &run_all(&g, &clustering), "fallback");
+    }
+
+    /// An empty delta is a no-op refresh with zero dirty heads.
+    #[test]
+    fn update_all_empty_delta_is_clean() {
+        let g = gen::grid(4, 5);
+        let clustering = crate::clustering::cluster(&g, 2, &LowestId, MemberPolicy::IdBased);
+        let mut scratch = EvalScratch::new();
+        let prev = run_all_with(&g, &clustering, &mut scratch);
+        let delta = adhoc_graph::delta::TopologyDelta::new();
+        let (next, report) = update_all(&g, &clustering, &delta, &prev, &mut scratch);
+        assert_eq!(report.dirty_heads, 0);
+        assert!(!report.rebuilt);
+        assert_eq!(report.dirty_fraction(), 0.0);
+        assert_evals_equal(&next, &prev, "no-op");
     }
 }

@@ -267,6 +267,60 @@ impl VirtualGraph {
         }
     }
 
+    /// As [`Self::from_labels`], but after an **incremental** label
+    /// update ([`HeadLabels::apply_delta`]): links owned by a clean
+    /// larger endpoint are copied byte-for-byte from `prev` (the
+    /// canonical walk reads only that endpoint's distance row and the
+    /// adjacency of nodes inside its ball, both provably untouched when
+    /// the head is clean), and only links owned by `dirty` slots are
+    /// re-walked. Produces exactly what [`Self::from_labels`] would on
+    /// the new labels (pinned by tests).
+    ///
+    /// # Panics
+    /// As [`Self::from_labels`], plus if a clean pair of the relation
+    /// is missing from `prev` (which would mean the dirty set was
+    /// unsound).
+    pub fn from_labels_patched<G: Adjacency>(
+        g: &G,
+        clustering: &Clustering,
+        neighbor_sets: NeighborSets,
+        labels: &HeadLabels,
+        prev: &VirtualGraph,
+        dirty_slots: &[bool],
+    ) -> Self {
+        assert!(
+            labels.bound() > 2 * clustering.k,
+            "labels too shallow for the 2k+1 link bound"
+        );
+        let mut store = LinkStore::default();
+        for (b, partners) in neighbor_sets.iter() {
+            if !partners.iter().any(|&a| a < b) {
+                continue;
+            }
+            let slot = labels.slot(b).expect("selected head is labeled");
+            if dirty_slots[slot] {
+                let row = labels.row(slot);
+                for &a in partners.iter().filter(|&&a| a < b) {
+                    let ok = store.push_walk(g, a, b, &row);
+                    assert!(ok, "selected neighbor heads are within 2k+1 hops");
+                }
+            } else {
+                for &a in partners.iter().filter(|&&a| a < b) {
+                    let link = prev
+                        .link(a, b)
+                        .expect("clean head's links persist across the delta");
+                    store.push_copy(link);
+                }
+            }
+        }
+        store.finish();
+        VirtualGraph {
+            heads: clustering.heads.clone(),
+            neighbor_sets,
+            store,
+        }
+    }
+
     /// Derives the sub-virtual-graph induced by a coarser neighbor
     /// relation, copying canonical paths instead of re-walking them.
     /// Used by the evaluation engine to obtain the AC graph from the

@@ -6,11 +6,17 @@
 //! 10 for the dense one), and instances resampled until connected.
 //! [`geometric`] reproduces exactly that. Deterministic topologies for
 //! tests live in [`path`], [`cycle`], [`grid`], [`star`], [`complete`].
+//!
+//! For *changing* positions (mobility, churn experiments),
+//! [`SpatialGrid`] maintains the unit-disk graph incrementally and
+//! reports each step's edge changes as a [`TopologyDelta`].
 
 use crate::connectivity;
+use crate::delta::TopologyDelta;
 use crate::geom::{self, Point};
 use crate::graph::{Graph, NodeId};
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Configuration of the random geometric network workload.
 #[derive(Clone, Debug)]
@@ -147,6 +153,157 @@ pub fn unit_disk_graph(positions: &[Point], r: f64) -> Graph {
         }
     }
     g
+}
+
+/// A persistent spatial-hash grid over node positions, maintaining the
+/// unit-disk graph **incrementally** as nodes move.
+///
+/// [`unit_disk_graph`] answers "what is the topology of these
+/// positions" from scratch; under mobility that question is asked every
+/// beacon period about positions that barely changed. `SpatialGrid`
+/// keeps the cell buckets and the graph alive between steps:
+/// [`SpatialGrid::update`] re-examines only the nodes that actually
+/// moved (an edge can change only if an endpoint moved), scanning the
+/// 3×3 cell block around each — `O(moved · local density)` instead of a
+/// full rebuild — and reports exactly which edges appeared and vanished
+/// as a [`TopologyDelta`], the input of every incremental consumer
+/// above (`HeadLabels::apply_delta`, `pipeline::update_all`).
+///
+/// Cells are hashed by integer cell coordinates, so the grid covers an
+/// unbounded plane with memory proportional to *occupied* cells only —
+/// unlike the bounding-box counting grid inside [`unit_disk_graph`],
+/// it never degrades on sparse deployments.
+///
+/// The maintained graph is always identical to
+/// `unit_disk_graph(positions, r)` on the current positions (tested).
+#[derive(Clone, Debug)]
+pub struct SpatialGrid {
+    r: f64,
+    positions: Vec<Point>,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    graph: Graph,
+}
+
+impl SpatialGrid {
+    /// Builds the grid and its unit-disk graph from scratch.
+    ///
+    /// # Panics
+    /// Panics unless `r` is positive and finite (a fixed transmission
+    /// range is the model's invariant).
+    pub fn build(positions: &[Point], r: f64) -> Self {
+        assert!(r.is_finite() && r > 0.0, "range must be positive and finite");
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            cells.entry(Self::cell(r, p)).or_default().push(i as u32);
+        }
+        SpatialGrid {
+            r,
+            positions: positions.to_vec(),
+            cells,
+            graph: unit_disk_graph(positions, r),
+        }
+    }
+
+    #[inline]
+    fn cell(r: f64, p: &Point) -> (i64, i64) {
+        ((p.x / r).floor() as i64, (p.y / r).floor() as i64)
+    }
+
+    /// The maintained unit-disk graph of the current positions.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current node positions.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The transmission range.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.r
+    }
+
+    /// Moves the nodes to `new_positions` and updates the adjacency
+    /// incrementally, returning the edge delta. Cost is proportional to
+    /// the number of *moved* nodes times their local density, not to
+    /// the network size.
+    ///
+    /// # Panics
+    /// Panics if `new_positions` has a different length than the grid
+    /// was built with (the node set is fixed).
+    pub fn update(&mut self, new_positions: &[Point]) -> TopologyDelta {
+        assert_eq!(
+            new_positions.len(),
+            self.positions.len(),
+            "the node set is fixed; deltas only move nodes"
+        );
+        let r = self.r;
+        // Pass 1: re-bucket every moved node and commit its position,
+        // so all range tests below see the *new* geometry.
+        let mut moved: Vec<u32> = Vec::new();
+        for (i, (&new_p, old_p)) in new_positions
+            .iter()
+            .zip(self.positions.iter_mut())
+            .enumerate()
+        {
+            if new_p == *old_p {
+                continue;
+            }
+            moved.push(i as u32);
+            let (old_c, new_c) = (Self::cell(r, old_p), Self::cell(r, &new_p));
+            if old_c != new_c {
+                let bucket = self.cells.get_mut(&old_c).expect("node was bucketed");
+                let pos = bucket
+                    .iter()
+                    .position(|&x| x == i as u32)
+                    .expect("node in its bucket");
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.cells.remove(&old_c);
+                }
+                self.cells.entry(new_c).or_default().push(i as u32);
+            }
+            *old_p = new_p;
+        }
+        // Pass 2: an edge can change only if an endpoint moved. Each
+        // moved node checks its current neighbors for broken links and
+        // its 3×3 cell block for new ones; edges whose both endpoints
+        // moved are visited twice and deduplicated by `normalize`.
+        let mut delta = TopologyDelta::new();
+        for &u in &moved {
+            let u_id = NodeId(u);
+            let pu = self.positions[u as usize];
+            for &v in self.graph.neighbors(u_id) {
+                if !pu.in_range(&self.positions[v.index()], r) {
+                    delta.push_removed(u_id, v);
+                }
+            }
+            let (cx, cy) = Self::cell(r, &pu);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &v in bucket {
+                        let v_id = NodeId(v);
+                        if v != u
+                            && pu.in_range(&self.positions[v as usize], r)
+                            && !self.graph.has_edge(u_id, v_id)
+                        {
+                            delta.push_added(u_id, v_id);
+                        }
+                    }
+                }
+            }
+        }
+        delta.normalize();
+        delta.apply_to(&mut self.graph);
+        delta
+    }
 }
 
 /// The reference all-pairs unit-disk construction (`O(n²)`), kept for
@@ -531,6 +688,75 @@ mod tests {
         assert_eq!(unit_disk_graph(&pos, 0.0).edge_count(), 0);
         let all = unit_disk_graph(&pos, 1e9);
         assert_eq!(all.edge_count(), 80 * 79 / 2);
+    }
+
+    /// Random-walks a point set and checks after every step that the
+    /// incrementally maintained grid graph equals a from-scratch
+    /// rebuild and that the reported delta is exactly the difference.
+    #[test]
+    fn spatial_grid_matches_rebuild_under_random_motion() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for (n, r, step) in [(40usize, 12.0, 3.0), (120, 9.0, 1.5), (80, 25.0, 10.0)] {
+            let mut pos: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+                .collect();
+            let mut grid = SpatialGrid::build(&pos, r);
+            assert_eq!(
+                grid.graph().edges().collect::<Vec<_>>(),
+                unit_disk_graph(&pos, r).edges().collect::<Vec<_>>()
+            );
+            for round in 0..12 {
+                let before = grid.graph().clone();
+                // Move a random subset (sometimes everyone, sometimes
+                // a handful; every third round nobody).
+                let movers = match round % 3 {
+                    0 => 0,
+                    1 => n / 8 + 1,
+                    _ => n,
+                };
+                for _ in 0..movers {
+                    let i = rng.gen_range(0..n);
+                    pos[i].x = (pos[i].x + (rng.gen::<f64>() - 0.5) * step).clamp(0.0, 100.0);
+                    pos[i].y = (pos[i].y + (rng.gen::<f64>() - 0.5) * step).clamp(0.0, 100.0);
+                }
+                let delta = grid.update(&pos);
+                let oracle = unit_disk_graph(&pos, r);
+                assert_eq!(
+                    grid.graph().edges().collect::<Vec<_>>(),
+                    oracle.edges().collect::<Vec<_>>(),
+                    "n={n} r={r} round={round}"
+                );
+                assert_eq!(
+                    delta,
+                    crate::delta::TopologyDelta::between(&before, &oracle)
+                );
+                if movers == 0 {
+                    assert!(delta.is_empty());
+                }
+                grid.graph().check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_grid_handles_cell_crossings_and_duplicates() {
+        // Nodes stacked on one point, then dispersed across many cells.
+        let pos = vec![Point::new(5.0, 5.0); 6];
+        let mut grid = SpatialGrid::build(&pos, 2.0);
+        assert_eq!(grid.graph().edge_count(), 15);
+        let spread: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let delta = grid.update(&spread);
+        assert_eq!(delta.removed.len(), 15);
+        assert!(delta.added.is_empty());
+        assert_eq!(grid.graph().edge_count(), 0);
+        assert_eq!(grid.positions(), &spread[..]);
+        assert_eq!(grid.range(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn spatial_grid_rejects_degenerate_range() {
+        SpatialGrid::build(&[Point::new(0.0, 0.0)], 0.0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! allocation once warm.
 
 use crate::bfs::{Adjacency, DistLabels, UNREACHED};
+use crate::delta::TopologyDelta;
 use crate::graph::NodeId;
 
 /// Sentinel slot for "this node is not a head".
@@ -54,6 +55,15 @@ pub struct HeadLabels {
     balls: Vec<NodeId>,
     /// `heads.len() + 1` offsets into `balls`.
     ball_offsets: Vec<u32>,
+    /// Whether the last build stopped each BFS at the farthest head
+    /// ([`Self::rebuild_reaching_heads`]), leaving balls *partial* —
+    /// such labels cannot drive delta-based dirtiness reasoning.
+    stopped_at_heads: bool,
+    /// Previous balls/offsets while [`Self::apply_delta`] writes the
+    /// new concatenated list (kept so incremental steps allocate
+    /// nothing once warm).
+    prev_balls: Vec<NodeId>,
+    prev_offsets: Vec<u32>,
 }
 
 impl HeadLabels {
@@ -132,43 +142,160 @@ impl HeadLabels {
         // One bounded BFS per head. The concatenated ball list is the
         // BFS queue itself (discovery order == FIFO order), so no
         // auxiliary queue allocation exists at all.
+        self.stopped_at_heads = stop_at_heads;
         self.ball_offsets.push(0);
         for slot in 0..self.heads.len() {
-            let h = self.heads[slot];
-            let base = slot * self.n;
-            let start = self.balls.len();
-            self.dist[base + h.index()] = 0;
-            self.balls.push(h);
-            // Other heads this BFS still has to label before it may
-            // stop early (`usize::MAX` disables early stopping).
-            let mut heads_left = if stop_at_heads {
-                self.heads.len() - 1
-            } else {
-                usize::MAX
-            };
-            let mut qi = start;
-            'bfs: while qi < self.balls.len() && heads_left > 0 {
-                let u = self.balls[qi];
-                qi += 1;
-                let du = self.dist[base + u.index()];
-                if du == bound {
-                    continue;
-                }
-                for &v in g.adj(u) {
-                    if self.dist[base + v.index()] == UNREACHED {
-                        self.dist[base + v.index()] = du + 1;
-                        self.balls.push(v);
-                        if stop_at_heads && self.slot_of[v.index()] != NO_SLOT {
-                            heads_left -= 1;
-                            if heads_left == 0 {
-                                break 'bfs;
-                            }
+            self.sweep_head(g, slot, stop_at_heads);
+            self.ball_offsets.push(self.balls.len() as u32);
+        }
+    }
+
+    /// Runs one head's bounded BFS, appending its ball to `self.balls`
+    /// (the tail of which doubles as the queue). The head's distance
+    /// row must be all-`UNREACHED` on entry.
+    fn sweep_head<G: Adjacency>(&mut self, g: &G, slot: usize, stop_at_heads: bool) {
+        let h = self.heads[slot];
+        let base = slot * self.n;
+        let start = self.balls.len();
+        self.dist[base + h.index()] = 0;
+        self.balls.push(h);
+        // Other heads this BFS still has to label before it may
+        // stop early (`usize::MAX` disables early stopping).
+        let mut heads_left = if stop_at_heads {
+            self.heads.len() - 1
+        } else {
+            usize::MAX
+        };
+        let mut qi = start;
+        'bfs: while qi < self.balls.len() && heads_left > 0 {
+            let u = self.balls[qi];
+            qi += 1;
+            let du = self.dist[base + u.index()];
+            if du == self.bound {
+                continue;
+            }
+            for &v in g.adj(u) {
+                if self.dist[base + v.index()] == UNREACHED {
+                    self.dist[base + v.index()] = du + 1;
+                    self.balls.push(v);
+                    if stop_at_heads && self.slot_of[v.index()] != NO_SLOT {
+                        heads_left -= 1;
+                        if heads_left == 0 {
+                            break 'bfs;
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// The slots (ascending) whose labels a topology delta can have
+    /// changed: head `h` is *dirty* iff some changed edge has an
+    /// endpoint inside `h`'s current ball.
+    ///
+    /// Why that test is sound for a whole batch of changes: a label of
+    /// `h` changes only if some node's distance to `h` crosses or moves
+    /// within the bound. A distance that *decreased* did so along a new
+    /// path whose first added edge `(u, v)` is reached from `h` by
+    /// surviving old edges — so `u` was already in the old ball. A
+    /// distance that *increased* had every old shortest path broken, and
+    /// any such path lies entirely inside the old ball, so the removed
+    /// edge's endpoints are labeled. Either way the dirtiness shows up
+    /// against the **old** labels, which is what this reads.
+    ///
+    /// # Panics
+    /// Panics on labels built by [`Self::rebuild_reaching_heads`]
+    /// (partial balls cannot certify cleanliness) and on deltas whose
+    /// endpoints exceed the labeled node count.
+    pub fn dirty_slots(&self, delta: &TopologyDelta) -> Vec<usize> {
+        assert!(
+            !self.stopped_at_heads,
+            "delta updates need full-ball labels (use `rebuild`, not \
+             `rebuild_reaching_heads`)"
+        );
+        let mut dirty = Vec::new();
+        for slot in 0..self.heads.len() {
+            let base = slot * self.n;
+            if delta
+                .endpoints()
+                .any(|v| self.dist[base + v.index()] != UNREACHED)
+            {
+                dirty.push(slot);
+            }
+        }
+        dirty
+    }
+
+    /// Re-labels exactly the `dirty` slots (from [`Self::dirty_slots`])
+    /// against the post-delta graph `g`, leaving clean rows untouched —
+    /// the labels end up identical to a full [`Self::rebuild`] on `g`
+    /// (pinned by tests) at the cost of one bounded BFS per *dirty*
+    /// head instead of one per head.
+    ///
+    /// Call sequence: `let dirty = labels.dirty_slots(&delta);` against
+    /// the old graph's labels, apply the delta to the graph, then
+    /// `labels.apply_delta(&g, &dirty)`.
+    ///
+    /// # Panics
+    /// Panics if `g`'s node count differs from the labeled one (node
+    /// sets never change under a delta; departures isolate), or if
+    /// `dirty` is not ascending and in range.
+    pub fn apply_delta<G: Adjacency>(&mut self, g: &G, dirty: &[usize]) {
+        assert_eq!(g.node_count(), self.n, "deltas keep the node set");
+        debug_assert!(
+            dirty.windows(2).all(|w| w[0] < w[1]),
+            "dirty slots must be ascending and unique"
+        );
+        if dirty.is_empty() {
+            return;
+        }
+        // Touched-entry reset of the dirty rows only.
+        for &slot in dirty {
+            assert!(slot < self.heads.len(), "dirty slot out of range");
+            let base = slot * self.n;
+            let (lo, hi) = (
+                self.ball_offsets[slot] as usize,
+                self.ball_offsets[slot + 1] as usize,
+            );
+            for &v in &self.balls[lo..hi] {
+                self.dist[base + v.index()] = UNREACHED;
+            }
+        }
+        // Rebuild the concatenated ball list: clean rows are copied
+        // byte-for-byte, dirty rows re-run their bounded BFS.
+        std::mem::swap(&mut self.balls, &mut self.prev_balls);
+        std::mem::swap(&mut self.ball_offsets, &mut self.prev_offsets);
+        self.balls.clear();
+        self.ball_offsets.clear();
+        self.ball_offsets.push(0);
+        let mut next_dirty = 0usize;
+        for slot in 0..self.heads.len() {
+            if next_dirty < dirty.len() && dirty[next_dirty] == slot {
+                next_dirty += 1;
+                self.sweep_head(g, slot, false);
+            } else {
+                let (lo, hi) = (
+                    self.prev_offsets[slot] as usize,
+                    self.prev_offsets[slot + 1] as usize,
+                );
+                let seg = &self.prev_balls[lo..hi];
+                self.balls.extend_from_slice(seg);
+            }
             self.ball_offsets.push(self.balls.len() as u32);
         }
+    }
+
+    /// Bytes of heap memory the label arenas currently hold (capacity,
+    /// not logical size). This is the footprint the ROADMAP's
+    /// dense-vs-sparse layout decision needs data on: the dominant term
+    /// is the `heads × n × 4`-byte distance arena.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dist.capacity() * size_of::<u32>()
+            + (self.balls.capacity() + self.prev_balls.capacity() + self.heads.capacity())
+                * size_of::<NodeId>()
+            + (self.ball_offsets.capacity() + self.prev_offsets.capacity()) * size_of::<u32>()
+            + self.slot_of.capacity() * size_of::<u32>()
     }
 
     /// The heads the labels were built from, in slot order.
@@ -373,6 +500,113 @@ mod tests {
         labels.rebuild_reaching_heads(&g, &[NodeId(4)]);
         assert_eq!(labels.ball(0), &[NodeId(4)]);
         assert_eq!(labels.dist(0, NodeId(4)), 0);
+    }
+
+    /// Drives a random delta sequence and checks after every step that
+    /// dirty-slot detection plus per-row repair reproduces a full
+    /// rebuild bit-for-bit (dist rows *and* ball lists).
+    #[test]
+    fn apply_delta_matches_full_rebuild() {
+        use crate::delta::TopologyDelta;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for bound in [2u32, 5, u32::MAX] {
+            let net = gen::geometric(&gen::GeometricConfig::new(70, 100.0, 6.0), &mut rng);
+            let mut g = net.graph.clone();
+            let heads = vec![NodeId(0), NodeId(9), NodeId(25), NodeId(48), NodeId(69)];
+            let mut labels = HeadLabels::build(&g, &heads, bound);
+            for _ in 0..15 {
+                // Random flips: toggle a few node pairs.
+                let mut delta = TopologyDelta::new();
+                for _ in 0..rng.gen_range(1..6) {
+                    let a = NodeId(rng.gen_range(0..70u32));
+                    let b = NodeId(rng.gen_range(0..70u32));
+                    if a == b {
+                        continue;
+                    }
+                    if g.has_edge(a, b) {
+                        g.remove_edge(a, b);
+                        delta.push_removed(a, b);
+                    } else {
+                        g.add_edge(a, b);
+                        delta.push_added(a, b);
+                    }
+                }
+                delta.normalize();
+                let dirty = labels.dirty_slots(&delta);
+                labels.apply_delta(&g, &dirty);
+                let fresh = HeadLabels::build(&g, &heads, bound);
+                for (slot, &h) in heads.iter().enumerate() {
+                    for v in g.nodes() {
+                        assert_eq!(
+                            labels.dist(slot, v),
+                            fresh.dist(slot, v),
+                            "bound {bound} head {h:?} node {v:?}"
+                        );
+                    }
+                    assert_eq!(labels.ball(slot), fresh.ball(slot), "head {h:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_dirties_nothing() {
+        use crate::delta::TopologyDelta;
+        let g = gen::path(9);
+        let mut labels = HeadLabels::build(&g, &[NodeId(0), NodeId(4), NodeId(8)], 3);
+        let dirty = labels.dirty_slots(&TopologyDelta::new());
+        assert!(dirty.is_empty());
+        let before = labels.clone();
+        labels.apply_delta(&g, &dirty);
+        assert_eq!(labels.ball(1), before.ball(1));
+    }
+
+    #[test]
+    fn faraway_change_leaves_bounded_ball_clean() {
+        use crate::delta::TopologyDelta;
+        // Heads 0 and 11 with bound 2 on a path: a flip at the far end
+        // must dirty only the nearby head.
+        let mut g = gen::path(12);
+        let labels = HeadLabels::build(&g, &[NodeId(0), NodeId(11)], 2);
+        let mut delta = TopologyDelta::new();
+        g.remove_edge(NodeId(10), NodeId(11));
+        delta.push_removed(NodeId(10), NodeId(11));
+        assert_eq!(labels.dirty_slots(&delta), vec![1]);
+        let mut inc = labels.clone();
+        inc.apply_delta(&g, &[1]);
+        assert_eq!(inc.dist(1, NodeId(10)), UNREACHED);
+        assert_eq!(inc.ball(1), &[NodeId(11)]);
+        assert_eq!(inc.ball(0), labels.ball(0), "clean row untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "full-ball labels")]
+    fn reaching_heads_labels_reject_deltas() {
+        use crate::delta::TopologyDelta;
+        let g = gen::path(9);
+        let mut labels = HeadLabels::default();
+        labels.rebuild_reaching_heads(&g, &[NodeId(0), NodeId(8)]);
+        let mut d = TopologyDelta::new();
+        d.push_added(NodeId(0), NodeId(5));
+        labels.dirty_slots(&d);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_arena_growth() {
+        let small = HeadLabels::build(&gen::path(4), &[NodeId(0)], 1);
+        let big = HeadLabels::build(
+            &gen::grid(10, 10),
+            &[NodeId(0), NodeId(34), NodeId(67), NodeId(99)],
+            u32::MAX,
+        );
+        assert!(small.memory_bytes() > 0);
+        assert!(
+            big.memory_bytes() >= 4 * 100 * 4,
+            "dense arena dominates: {} bytes",
+            big.memory_bytes()
+        );
+        assert!(big.memory_bytes() > small.memory_bytes());
     }
 
     #[test]

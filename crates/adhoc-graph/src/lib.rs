@@ -48,6 +48,7 @@
 pub mod bfs;
 pub mod connectivity;
 pub mod csr;
+pub mod delta;
 pub mod dijkstra;
 pub mod gen;
 pub mod geom;
@@ -62,6 +63,7 @@ pub mod subgraph;
 pub mod unionfind;
 
 pub use csr::Csr;
+pub use delta::TopologyDelta;
 pub use geom::Point;
 pub use graph::{Graph, NodeId};
 pub use labels::HeadLabels;

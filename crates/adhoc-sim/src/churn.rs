@@ -1,0 +1,763 @@
+//! The unified incremental maintenance engine ("churn engine").
+//!
+//! Before this module, the stack had **two parallel repair
+//! implementations that shared no code**: `maintenance` re-ran whole
+//! pipeline phases after a single §3.3 departure, and `movement`
+//! re-swept every clusterhead's neighborhood every step to reconcile
+//! with continuous drift. Both paid full price for local damage.
+//!
+//! [`ChurnEngine`] collapses them onto one incremental stack:
+//!
+//! * a **departure** is just a [`TopologyDelta`] removing one node's
+//!   edges ([`ChurnEngine::depart`]);
+//! * a **movement step** is a positional delta
+//!   ([`ChurnEngine::step_delta`], produced by
+//!   [`MobileNetwork::step`](crate::mobility::MobileNetwork::step)'s
+//!   spatial grid, or diffed from a snapshot by [`ChurnEngine::step`]).
+//!
+//! Each delta flows through `pipeline::advance_labels` (bounded BFS for
+//! **dirty** heads only), the [`RepairLevel`] policy reads the refreshed
+//! labels to find orphaned members and merged heads, shared repair
+//! primitives fix what broke, and `pipeline::update_all_after` refreshes
+//! only the affected virtual links and selections. The maintained
+//! evaluation is **bit-for-bit identical** to a from-scratch
+//! `pipeline::run_all` on the current graph (pinned by the
+//! `churn_equivalence` proptest), while the existing [`RepairLevel`]
+//! policy and node-round cost accounting ride on top unchanged.
+//!
+//! The `movement::MaintainedCds` name remains as an alias of this
+//! engine; `maintenance::handle_departure` stays as the stateless §3.3
+//! reference implementation, now built from the same crate-private
+//! repair primitives (`rejoin_one`, `elect_orphans`, `broken_mates`).
+
+use crate::movement::{MovementConfig, RepairLevel, StepReport};
+use adhoc_cluster::cds::Cds;
+use adhoc_cluster::clustering::{cluster, Clustering, MemberPolicy};
+use adhoc_cluster::pipeline::{self, EvalScratch, EvaluationOutput, LabelAdvance};
+use adhoc_cluster::priority::LowestId;
+use adhoc_graph::bfs::BfsScratch;
+use adhoc_graph::connectivity;
+use adhoc_graph::delta::TopologyDelta;
+use adhoc_graph::graph::{Graph, NodeId};
+use adhoc_graph::labels::HeadLabels;
+
+/// Sentinel head for a node that is not in any cluster (departed).
+pub(crate) const GONE: NodeId = NodeId(u32::MAX);
+
+/// What to do with orphans that have **no** clusterhead within `k`
+/// hops after a repair attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StrandedPolicy {
+    /// Movement policy: coverage loss means it is time to re-elect
+    /// globally ("least cluster change").
+    FullRebuild,
+    /// §3.3 departure rule: the stranded orphans elect heads among
+    /// themselves with iterative lowest-ID contests (a *local* fix).
+    Elect,
+}
+
+/// A connected k-hop clustering, its gateway CDS, and the full
+/// five-algorithm evaluation, kept alive under topology churn at
+/// incremental cost.
+///
+/// The engine owns its view of the topology. Reconcile it with
+/// [`Self::step`] (snapshot; the delta is diffed), advance it with
+/// [`Self::step_delta`] (exact delta, e.g. from a
+/// [`SpatialGrid`](adhoc_graph::gen::SpatialGrid)), or remove a node
+/// with [`Self::depart`]. Arrivals change the node set and are out of
+/// scope (see `maintenance::handle_arrival`).
+#[derive(Debug)]
+pub struct ChurnEngine {
+    cfg: MovementConfig,
+    /// Current clustering (heads + affiliations; departed nodes carry a
+    /// sentinel head and belong to no cluster).
+    pub clustering: Clustering,
+    /// Current maintained CDS (heads + gateways). Per the lazy repair
+    /// policy it adopts refreshed gateways only when a repair level
+    /// says the old ones broke.
+    pub cds: Cds,
+    graph: Graph,
+    departed: Vec<bool>,
+    eval: EvaluationOutput,
+    scratch: EvalScratch,
+    /// Orphan k-ball probes (the charged part of re-affiliation).
+    bfs: BfsScratch,
+    /// `structures_valid()` of the last reconciled state, so an
+    /// empty-delta step (nothing moved) costs O(1) instead of two
+    /// connectivity sweeps.
+    last_valid: bool,
+}
+
+impl ChurnEngine {
+    /// Builds the initial structure on `g` (full pipeline run).
+    pub fn build(g: &Graph, cfg: MovementConfig) -> Self {
+        let clustering = cluster(g, cfg.k, &LowestId, MemberPolicy::IdBased);
+        let mut scratch = EvalScratch::new();
+        let eval = pipeline::run_all_with(g, &clustering, &mut scratch);
+        let cds = eval.of(cfg.algorithm).cds.clone();
+        let mut engine = ChurnEngine {
+            cfg,
+            clustering,
+            cds,
+            graph: g.clone(),
+            departed: vec![false; g.len()],
+            eval,
+            scratch,
+            bfs: BfsScratch::new(g.len()),
+            last_valid: true,
+        };
+        engine.last_valid = engine.structures_valid();
+        engine
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &MovementConfig {
+        &self.cfg
+    }
+
+    /// The engine's current view of the topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The maintained five-algorithm evaluation — always bit-for-bit
+    /// what `pipeline::run_all` would compute on the current graph and
+    /// clustering.
+    pub fn evaluation(&self) -> &EvaluationOutput {
+        &self.eval
+    }
+
+    /// The incrementally maintained head labels.
+    pub fn labels(&self) -> &HeadLabels {
+        self.scratch.labels()
+    }
+
+    /// Whether `u` has departed.
+    pub fn is_departed(&self, u: NodeId) -> bool {
+        self.departed[u.index()]
+    }
+
+    /// Reconciles the structure with a new topology snapshot, choosing
+    /// the cheapest sufficient repair. Returns what was done.
+    ///
+    /// # Panics
+    /// Panics if the node count changed (the engine's node set is
+    /// fixed; departures isolate).
+    pub fn step(&mut self, g: &Graph) -> StepReport {
+        assert_eq!(g.len(), self.graph.len(), "the engine's node set is fixed");
+        let delta = TopologyDelta::between(&self.graph, g);
+        self.graph = g.clone();
+        self.reconcile(&delta, StrandedPolicy::FullRebuild)
+    }
+
+    /// As [`Self::step`], but fed the exact edge delta (no snapshot
+    /// diffing; this is what delta producers like the mobility grid
+    /// drive).
+    pub fn step_delta(&mut self, delta: &TopologyDelta) -> StepReport {
+        delta.apply_to(&mut self.graph);
+        self.reconcile(delta, StrandedPolicy::FullRebuild)
+    }
+
+    /// §3.3 departure of `u` through the incremental engine: exactly a
+    /// delta removing `u`'s edges, plus the role-aware repair rule —
+    /// bystanders cost nothing, a gateway's loss disconnects the
+    /// maintained CDS and triggers only the gateway refresh, and a
+    /// departing clusterhead orphans its members, who re-join surviving
+    /// heads or elect locally among themselves.
+    ///
+    /// # Panics
+    /// Panics if `u` departed already.
+    pub fn depart(&mut self, u: NodeId) -> StepReport {
+        assert!(!self.departed[u.index()], "{u:?} departed already");
+        let delta = TopologyDelta::isolating(&self.graph, u);
+        self.departed[u.index()] = true;
+        if !self.clustering.is_head(u) {
+            delta.apply_to(&mut self.graph);
+            self.clustering.head_of[u.index()] = GONE;
+            self.clustering.dist_to_head[u.index()] = 0;
+            return self.reconcile(&delta, StrandedPolicy::Elect);
+        }
+        // Head departure: the head set changes, so the label arena
+        // cannot advance incrementally — pay the full engine price but
+        // keep the *repair* local (§3.3): only the orphaned cluster and
+        // broken mates are touched.
+        let old_graph = self.graph.clone();
+        delta.apply_to(&mut self.graph);
+        let mut orphans: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&v| v != u && self.clustering.head_of(v) == u)
+            .collect();
+        orphans.extend(broken_mates(&old_graph, &self.graph, &self.clustering, u));
+        orphans.sort_unstable();
+        orphans.dedup();
+        let pos = self
+            .clustering
+            .heads
+            .binary_search(&u)
+            .expect("was a head");
+        self.clustering.heads.remove(pos);
+        self.clustering.head_of[u.index()] = GONE;
+        self.clustering.dist_to_head[u.index()] = 0;
+        let mut cost = 0usize;
+        let mut stranded = Vec::new();
+        for &v in &orphans {
+            let (probed, joined) = rejoin_one(&self.graph, &mut self.clustering, v, &mut self.bfs);
+            cost += probed;
+            if !joined {
+                stranded.push(v);
+            }
+        }
+        let (_, probes) = elect_orphans(&self.graph, &mut self.clustering, stranded, &mut self.bfs);
+        cost += probes;
+        self.eval = pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
+        self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
+        cost += self.information_cost();
+        self.last_valid = self.structures_valid();
+        StepReport {
+            level: RepairLevel::Full,
+            orphans: orphans.len(),
+            merged_head_pairs: 0,
+            cost,
+            valid: self.last_valid,
+            dirty_heads: self.clustering.heads.len(),
+        }
+    }
+
+    /// The shared delta-repair core: advance labels for dirty heads,
+    /// run the [`RepairLevel`] policy off them, refresh the evaluation
+    /// incrementally.
+    fn reconcile(&mut self, delta: &TopologyDelta, on_stranded: StrandedPolicy) -> StepReport {
+        let k = self.cfg.k;
+        if delta.is_empty() {
+            // Nothing moved: the previous verdict stands verbatim — an
+            // idle beacon costs O(1), no connectivity sweeps.
+            return StepReport {
+                level: RepairLevel::None,
+                orphans: 0,
+                merged_head_pairs: 0,
+                cost: 0,
+                valid: self.last_valid,
+                dirty_heads: 0,
+            };
+        }
+
+        // Phase 1: bring the label arena up to date (bounded BFS for
+        // dirty heads only). The policy below reads distances off it —
+        // this replaces the per-head full sweeps the old movement
+        // engine ran every step.
+        let advance =
+            pipeline::advance_labels(&self.graph, &self.clustering, delta, &mut self.scratch);
+        let dirty_heads = match &advance {
+            LabelAdvance::Incremental { dirty } => dirty.len(),
+            LabelAdvance::Rebuilt => self.clustering.heads.len(),
+        };
+
+        // Policy detection off the labels: orphaned members (lost their
+        // ≤k-hop head path) and merged head pairs. These reads ride on
+        // the beacons a distributed realization already exchanges, so
+        // they are not charged (same stance as the old engine).
+        let labels = self.scratch.labels();
+        let mut orphans = Vec::new();
+        let mut fresh_dist = Vec::new();
+        for v in self.graph.nodes() {
+            if self.departed[v.index()] || self.clustering.is_head(v) {
+                continue;
+            }
+            let h = self.clustering.head_of(v);
+            let slot = labels.slot(h).expect("affiliation head is labeled");
+            let d = labels.dist(slot, v);
+            if d > k {
+                orphans.push(v);
+            } else {
+                fresh_dist.push((v, d));
+            }
+        }
+        let heads = &self.clustering.heads;
+        let mut merged_head_pairs = 0usize;
+        for (slot, _) in heads.iter().enumerate() {
+            for &other in &heads[slot + 1..] {
+                if labels.dist(slot, other) <= self.cfg.merge_distance {
+                    merged_head_pairs += 1;
+                }
+            }
+        }
+        if merged_head_pairs > 0 {
+            return self.full_rebuild(orphans.len(), merged_head_pairs);
+        }
+        for (v, d) in fresh_dist {
+            self.clustering.dist_to_head[v.index()] = d;
+        }
+
+        let mut level = RepairLevel::None;
+        let mut cost = 0usize;
+        let mut heads_changed = false;
+        if !orphans.is_empty() {
+            // Re-affiliate each orphan to the nearest head within k
+            // hops (distance, then head ID). The k-ball probe is the
+            // charged node-round cost, exactly as before.
+            level = RepairLevel::Reaffiliate;
+            let mut stranded = Vec::new();
+            for &v in &orphans {
+                let (probed, joined) =
+                    rejoin_one(&self.graph, &mut self.clustering, v, &mut self.bfs);
+                cost += probed;
+                if !joined {
+                    stranded.push(v);
+                }
+            }
+            if !stranded.is_empty() {
+                match on_stranded {
+                    StrandedPolicy::FullRebuild => {
+                        // Coverage loss: least-cluster-change says this
+                        // is the moment to re-elect.
+                        return self.full_rebuild(orphans.len(), 0);
+                    }
+                    StrandedPolicy::Elect => {
+                        let (_, probes) = elect_orphans(
+                            &self.graph,
+                            &mut self.clustering,
+                            stranded,
+                            &mut self.bfs,
+                        );
+                        cost += probes;
+                        level = RepairLevel::Full;
+                        heads_changed = true;
+                    }
+                }
+            }
+        }
+
+        // Refresh the maintained evaluation: incremental when the head
+        // set survived, full otherwise (elections invalidate the label
+        // arena's row layout).
+        let mut dirty_heads = dirty_heads;
+        if heads_changed {
+            self.eval =
+                pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
+            dirty_heads = self.clustering.heads.len();
+        } else {
+            let (eval, _) = pipeline::update_all_after(
+                &self.graph,
+                &self.clustering,
+                &advance,
+                &self.eval,
+                &mut self.scratch,
+            );
+            self.eval = eval;
+        }
+
+        // Backbone check: the maintained CDS must still induce a
+        // connected subgraph (domination holds by construction now).
+        // A departed gateway shows up here too — its isolated node
+        // disconnects the old CDS, and the refreshed selection is
+        // adopted, which is §3.3's "re-run the gateway selection".
+        if !connectivity::is_subset_connected(&self.graph, &self.cds.nodes()) {
+            level = level.max(RepairLevel::Gateways);
+            self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
+            // Every head re-collects its 2k+1 ball.
+            cost += self.information_cost();
+        }
+
+        let valid = self.structures_valid();
+        self.last_valid = valid;
+        if !valid && self.alive_connected() {
+            // A repair on a connected graph must succeed; if it somehow
+            // did not, escalate.
+            return self.full_rebuild(orphans.len(), 0);
+        }
+        StepReport {
+            level,
+            orphans: orphans.len(),
+            merged_head_pairs: 0,
+            cost,
+            valid,
+            dirty_heads,
+        }
+    }
+
+    /// Global re-election (the movement policy's `Full` level). Departed
+    /// nodes are isolated, so the fresh election gives each a singleton
+    /// cluster — stripped right after, which is exactly the §3.3
+    /// outcome for switched-off nodes.
+    fn full_rebuild(&mut self, orphans: usize, merged: usize) -> StepReport {
+        let mut clustering = cluster(&self.graph, self.cfg.k, &LowestId, MemberPolicy::IdBased);
+        for u in self.graph.nodes() {
+            if self.departed[u.index()] {
+                if let Ok(pos) = clustering.heads.binary_search(&u) {
+                    clustering.heads.remove(pos);
+                }
+                clustering.head_of[u.index()] = GONE;
+                clustering.dist_to_head[u.index()] = 0;
+            }
+        }
+        self.clustering = clustering;
+        self.eval = pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
+        self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
+        let alive = self.departed.iter().filter(|&&d| !d).count();
+        let cost = alive + self.information_cost();
+        self.last_valid = self.structures_valid();
+        StepReport {
+            level: RepairLevel::Full,
+            orphans,
+            merged_head_pairs: merged,
+            cost,
+            valid: self.last_valid,
+            dirty_heads: self.clustering.heads.len(),
+        }
+    }
+
+    /// Charged cost of the gateway phase: every head's `2k+1`-hop ball.
+    /// Read off the maintained label arena (whose balls are exactly
+    /// those neighborhoods) instead of re-running BFS.
+    fn information_cost(&self) -> usize {
+        let labels = self.scratch.labels();
+        (0..self.clustering.heads.len())
+            .map(|slot| labels.ball(slot).len())
+            .sum()
+    }
+
+    /// The cost the rebuild-every-step baseline would pay on `g` (used
+    /// by the comparison experiments; `g` may be a snapshot the engine
+    /// has not reconciled with yet, so this probes it directly).
+    pub fn rebuild_cost(&self, g: &Graph) -> usize {
+        let mut scratch = BfsScratch::new(g.len());
+        g.len()
+            + self
+                .clustering
+                .heads
+                .iter()
+                .map(|&h| {
+                    scratch.run(g, h, 2 * self.cfg.k + 1);
+                    scratch.visited().len()
+                })
+                .sum::<usize>()
+    }
+
+    /// Whether the maintained structure verifies as a k-hop CDS over
+    /// the *alive* nodes (false only when the alive network itself is
+    /// disconnected).
+    fn structures_valid(&self) -> bool {
+        if !self.departed.iter().any(|&d| d) {
+            return self.cds.verify(&self.graph, self.cfg.k).is_ok();
+        }
+        let dist = connectivity::distance_to_set(&self.graph, &self.cds.heads);
+        if self
+            .graph
+            .nodes()
+            .any(|v| !self.departed[v.index()] && dist[v.index()] > self.cfg.k)
+        {
+            return false;
+        }
+        connectivity::is_subset_connected(&self.graph, &self.cds.nodes())
+    }
+
+    fn alive_connected(&self) -> bool {
+        let alive: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&v| !self.departed[v.index()])
+            .collect();
+        connectivity::is_subset_connected(&self.graph, &alive)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared repair primitives — used by the engine above and by the
+// stateless §3.3 implementation in `maintenance`.
+// ---------------------------------------------------------------------
+
+/// Re-joins orphan `v` to the nearest surviving clusterhead within `k`
+/// hops (distance, then head ID — the deterministic policy the
+/// clustering itself uses), recording the exact distance. Returns the
+/// size of the k-ball probe (the charged node-rounds) and whether a
+/// head was found.
+pub(crate) fn rejoin_one(
+    g: &Graph,
+    clustering: &mut Clustering,
+    v: NodeId,
+    scratch: &mut BfsScratch,
+) -> (usize, bool) {
+    scratch.run(g, v, clustering.k);
+    let probed = scratch.visited().len();
+    let best = scratch
+        .visited()
+        .iter()
+        .filter(|&&h| clustering.is_head(h) && h != v)
+        .map(|&h| (scratch.dist(h), h))
+        .min();
+    match best {
+        Some((d, h)) => {
+            clustering.head_of[v.index()] = h;
+            clustering.dist_to_head[v.index()] = d;
+            (probed, true)
+        }
+        None => (probed, false),
+    }
+}
+
+/// §3.3's local election: orphans with no surviving head within `k`
+/// hops elect heads among themselves with iterative lowest-ID contests
+/// restricted to the undecided set. Returns the elected heads and the
+/// total k-ball probe size (charged node-rounds).
+pub(crate) fn elect_orphans(
+    g: &Graph,
+    clustering: &mut Clustering,
+    mut undecided: Vec<NodeId>,
+    scratch: &mut BfsScratch,
+) -> (Vec<NodeId>, usize) {
+    let mut elected = Vec::new();
+    let mut probes = 0usize;
+    while !undecided.is_empty() {
+        undecided.sort_unstable();
+        let mut winners = Vec::new();
+        for &v in &undecided {
+            scratch.run(g, v, clustering.k);
+            probes += scratch.visited().len();
+            let wins = scratch
+                .visited()
+                .iter()
+                .all(|&w| w == v || !undecided.contains(&w) || w > v);
+            if wins {
+                winners.push(v);
+            }
+        }
+        assert!(!winners.is_empty(), "smallest orphan always wins");
+        let mut next = Vec::new();
+        for &v in &undecided {
+            if winners.contains(&v) {
+                clustering.head_of[v.index()] = v;
+                clustering.dist_to_head[v.index()] = 0;
+                let pos = clustering.heads.binary_search(&v).unwrap_err();
+                clustering.heads.insert(pos, v);
+                continue;
+            }
+            scratch.run(g, v, clustering.k);
+            probes += scratch.visited().len();
+            let best = winners
+                .iter()
+                .filter(|&&h| scratch.dist(h) != adhoc_graph::bfs::UNREACHED)
+                .map(|&h| (scratch.dist(h), h))
+                .min();
+            match best {
+                Some((d, h)) => {
+                    clustering.head_of[v.index()] = h;
+                    clustering.dist_to_head[v.index()] = d;
+                }
+                None => next.push(v),
+            }
+        }
+        undecided = next;
+        elected.extend(winners);
+    }
+    (elected, probes)
+}
+
+/// Finds members whose ≤k-hop connection to their head broke when
+/// `departed` left.
+///
+/// Only nodes within `k` hops of `departed` *before* the departure can
+/// be affected (any head-path through `departed` gives its owner
+/// `d(owner, departed) < k`), and crucially the affected members can
+/// belong to **any** cluster, not just the departed node's — its
+/// radio links may have carried other clusters' head-paths. The check
+/// is therefore over the pre-departure k-ball, which keeps it local.
+pub(crate) fn broken_mates(
+    old_graph: &Graph,
+    residual: &Graph,
+    clustering: &Clustering,
+    departed: NodeId,
+) -> Vec<NodeId> {
+    let mut ball = BfsScratch::new(old_graph.len());
+    ball.run(old_graph, departed, clustering.k);
+    let candidates: Vec<NodeId> = ball
+        .visited()
+        .iter()
+        .copied()
+        .filter(|&v| v != departed && !clustering.is_head(v))
+        .collect();
+    let mut scratch = BfsScratch::new(residual.len());
+    let mut reach_cache: std::collections::BTreeMap<NodeId, Vec<bool>> = Default::default();
+    let mut broken = Vec::new();
+    for v in candidates {
+        let h = clustering.head_of(v);
+        if h == GONE || h == departed {
+            continue;
+        }
+        let reach = reach_cache.entry(h).or_insert_with(|| {
+            scratch.run(residual, h, clustering.k);
+            let mut ok = vec![false; residual.len()];
+            for &w in scratch.visited() {
+                ok[w.index()] = true;
+            }
+            ok
+        });
+        if !reach[v.index()] {
+            broken.push(v);
+        }
+    }
+    broken.sort_unstable();
+    broken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_cluster::pipeline::Algorithm;
+    use adhoc_graph::gen::{self, GeometricConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geometric(seed: u64, n: usize, d: f64) -> gen::GeometricNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::geometric(&GeometricConfig::new(n, 100.0, d), &mut rng)
+    }
+
+    /// The engine's maintained evaluation equals a from-scratch
+    /// `run_all` on the current graph after every kind of event.
+    fn assert_engine_consistent(engine: &ChurnEngine, ctx: &str) {
+        let fresh = pipeline::run_all(engine.graph(), &engine.clustering);
+        let a = engine.evaluation();
+        assert_eq!(
+            a.nc_graph.neighbor_sets, fresh.nc_graph.neighbor_sets,
+            "{ctx}: nc sets"
+        );
+        for (l, r) in a.nc_graph.links().zip(fresh.nc_graph.links()) {
+            assert_eq!(l.path, r.path, "{ctx}: nc path");
+        }
+        for alg in Algorithm::ALL {
+            assert_eq!(a.of(alg).selection, fresh.of(alg).selection, "{ctx}: {alg}");
+        }
+    }
+
+    #[test]
+    fn bystander_departure_is_free() {
+        let g = gen::star(6);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        let r = e.depart(NodeId(3));
+        assert_eq!(r.level, RepairLevel::None);
+        assert_eq!(r.cost, 0);
+        assert_eq!(r.orphans, 0);
+        assert!(r.valid);
+        assert!(e.is_departed(NodeId(3)));
+        assert_engine_consistent(&e, "bystander departure");
+    }
+
+    #[test]
+    fn gateway_departure_switches_bridge() {
+        // Two clusters joined by two parallel 2-hop bridges: losing
+        // one gateway must switch to the other bridge.
+        let g = Graph::from_edges(4, &[(0, 2), (2, 1), (0, 3), (3, 1)]);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcMesh));
+        assert_eq!(e.cds.gateways, vec![NodeId(2)]);
+        let r = e.depart(NodeId(2));
+        assert_eq!(r.level, RepairLevel::Gateways);
+        assert_eq!(e.cds.gateways, vec![NodeId(3)]);
+        assert!(r.valid);
+        assert_engine_consistent(&e, "gateway departure");
+    }
+
+    #[test]
+    fn head_departure_reaffiliates_members() {
+        // Path 0-1-2-3-4, k=1: heads 0,2,4 (node 1 joins the lower-ID
+        // head 0). Remove head 2: its one member 3 must re-join 4.
+        let g = gen::path(5);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        let r = e.depart(NodeId(2));
+        assert_eq!(r.level, RepairLevel::Full);
+        assert_eq!(r.orphans, 1);
+        assert!(!e.clustering.heads.contains(&NodeId(2)));
+        assert_eq!(e.clustering.head_of(NodeId(1)), NodeId(0));
+        assert_eq!(e.clustering.head_of(NodeId(3)), NodeId(4));
+        // Removing the middle of a path disconnects the survivors.
+        assert!(!r.valid);
+        assert_engine_consistent(&e, "head departure");
+    }
+
+    #[test]
+    fn head_departure_can_elect_new_heads() {
+        // Star head 0 with leaves (k=1): orphaned leaves have no
+        // surviving head in range and each elects itself (isolated).
+        let g = gen::star(5);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        let r = e.depart(NodeId(0));
+        assert_eq!(r.level, RepairLevel::Full);
+        assert_eq!(
+            e.clustering.heads,
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_engine_consistent(&e, "head departure with election");
+    }
+
+    #[test]
+    fn departure_chain_stays_consistent() {
+        let net = geometric(77, 60, 8.0);
+        let mut e = ChurnEngine::build(&net.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+        for uid in [5u32, 20, 40, 11, 33] {
+            let r = e.depart(NodeId(uid));
+            assert!(r.valid || !e.alive_connected());
+            assert_engine_consistent(&e, &format!("chain departure {uid}"));
+        }
+    }
+
+    #[test]
+    fn stranded_departure_orphan_elects_locally() {
+        // 0-1-2 with k=1: heads {0, 2}, 1 affiliated to 0. Removing
+        // edges one at a time: departure of head 0 leaves 1 next to
+        // head 2 — then departure of 2 strands 1, which elects itself.
+        let g = gen::path(3);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        e.depart(NodeId(0));
+        assert_eq!(e.clustering.head_of(NodeId(1)), NodeId(2));
+        let r = e.depart(NodeId(2));
+        assert_eq!(r.level, RepairLevel::Full);
+        assert_eq!(e.clustering.heads, vec![NodeId(1)]);
+        assert_engine_consistent(&e, "stranded election");
+    }
+
+    #[test]
+    fn movement_steps_track_run_all() {
+        use crate::mobility::{MobileNetwork, WaypointConfig};
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = geometric(9, 80, 8.0);
+        let cfg = WaypointConfig {
+            side: 100.0,
+            min_speed: 0.3,
+            max_speed: 1.5,
+            pause: 1.0,
+        };
+        let model = crate::mobility::RandomWaypoint::new(80, cfg, &mut rng);
+        let mut mobile = MobileNetwork::with_model(net.positions.clone(), net.range, model);
+        let mut e =
+            ChurnEngine::build(mobile.graph(), MovementConfig::strict(2, Algorithm::AcLmst));
+        for step in 0..25 {
+            let delta = mobile.step(1.0, &mut rng);
+            let r = e.step_delta(&delta);
+            assert!(r.dirty_heads <= e.clustering.heads.len());
+            assert_engine_consistent(&e, &format!("movement step {step}"));
+        }
+    }
+
+    #[test]
+    fn step_snapshot_and_step_delta_agree() {
+        let net = geometric(13, 50, 8.0);
+        let mut g = net.graph.clone();
+        let cfg = MovementConfig::strict(2, Algorithm::AcLmst);
+        let mut by_snapshot = ChurnEngine::build(&g, cfg);
+        let mut by_delta = ChurnEngine::build(&g, cfg);
+        let mut delta = TopologyDelta::new();
+        g.remove_edge(NodeId(0), g.neighbors(NodeId(0))[0]);
+        delta.push_removed(NodeId(0), by_delta.graph().neighbors(NodeId(0))[0]);
+        if !g.has_edge(NodeId(3), NodeId(40)) {
+            g.add_edge(NodeId(3), NodeId(40));
+            delta.push_added(NodeId(3), NodeId(40));
+        }
+        delta.normalize();
+        let ra = by_snapshot.step(&g);
+        let rb = by_delta.step_delta(&delta);
+        assert_eq!(ra.level, rb.level);
+        assert_eq!(ra.cost, rb.cost);
+        assert_eq!(by_snapshot.clustering.head_of, by_delta.clustering.head_of);
+        assert_eq!(by_snapshot.cds, by_delta.cds);
+    }
+}

@@ -17,12 +17,18 @@
 //! * [`mac`] — a contention MAC (slotted CSMA, receiver-side
 //!   collisions) for ablating the paper's ideal-MAC assumption.
 //! * [`mobility`] — mobility models (random waypoint, random
-//!   direction, Gauss-Markov) and topology rebuilds.
+//!   direction, Gauss-Markov) over an incrementally maintained
+//!   spatial-grid topology that reports per-step edge deltas.
+//! * [`churn`] — the unified incremental maintenance engine: topology
+//!   deltas flow through dirty-head label repair and
+//!   `pipeline::update_all`, with departures and movement steps as two
+//!   faces of the same delta workload.
 //! * [`maintenance`] — the §3.3 local-fix rules for node
 //!   disappearance (nothing / local gateway re-selection / cluster
-//!   re-election).
+//!   re-election), built on the shared repair primitives of [`churn`].
 //! * [`movement`] — the movement-sensitive maintenance policy of the
-//!   paper's §5 future work: cheapest-sufficient repairs under motion.
+//!   paper's §5 future work: cheapest-sufficient repairs under motion
+//!   (the [`churn::ChurnEngine`] behind its historical name).
 //! * [`energy`] — a transmission energy model and clusterhead rotation
 //!   with residual-energy priority.
 //!
@@ -43,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod churn;
 pub mod energy;
 pub mod engine;
 pub mod mac;

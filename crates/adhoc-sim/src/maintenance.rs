@@ -21,13 +21,19 @@
 //! re-check the departed node's pre-departure k-ball (still a local
 //! operation) and escalate to re-affiliation when needed
 //! (`RepairReport::escalated`).
+//!
+//! This module is the **stateless** §3.3 reference implementation; its
+//! repair primitives (orphan re-join, local lowest-ID election, broken
+//! mate detection) are shared with — and live in — the stateful
+//! incremental engine of [`crate::churn`], where a departure is
+//! processed as just another topology delta with warm label state.
 
+use crate::churn;
 use adhoc_cluster::cds::Cds;
 use adhoc_cluster::clustering::Clustering;
-use adhoc_cluster::gateway::{self, GatewaySelection};
-use adhoc_cluster::pipeline::Algorithm;
-use adhoc_cluster::virtual_graph::VirtualGraph;
-use adhoc_graph::bfs::{BfsScratch, UNREACHED};
+use adhoc_cluster::gateway::GatewaySelection;
+use adhoc_cluster::pipeline::{self, Algorithm};
+use adhoc_graph::bfs::BfsScratch;
 use adhoc_graph::connectivity;
 use adhoc_graph::graph::{Graph, NodeId};
 
@@ -78,7 +84,7 @@ pub struct RepairReport {
     pub residual_connected: bool,
 }
 
-const GONE: NodeId = NodeId(u32::MAX);
+use crate::churn::GONE;
 
 /// Applies the §3.3 rule for the departure of `u`.
 ///
@@ -138,48 +144,15 @@ fn alive_connected(residual: &Graph, clustering: &Clustering, departed: NodeId) 
     connectivity::is_subset_connected(residual, &alive)
 }
 
-/// Finds members whose ≤k-hop connection to their head broke when
-/// `departed` left.
-///
-/// Only nodes within `k` hops of `departed` *before* the departure can
-/// be affected (any head-path through `departed` gives its owner
-/// `d(owner, departed) < k`), and crucially the affected members can
-/// belong to **any** cluster, not just the departed node's — its
-/// radio links may have carried other clusters' head-paths. The check
-/// is therefore over the pre-departure k-ball, which keeps it local.
+/// Members whose ≤k-hop head path broke when `departed` left — the
+/// shared k-ball-local detection of [`crate::churn::broken_mates`].
 fn broken_mates(
     old_graph: &Graph,
     residual: &Graph,
     clustering: &Clustering,
     departed: NodeId,
 ) -> Vec<NodeId> {
-    let mut ball = BfsScratch::new(old_graph.len());
-    ball.run(old_graph, departed, clustering.k);
-    let candidates: Vec<NodeId> = ball
-        .visited()
-        .iter()
-        .copied()
-        .filter(|&v| v != departed && !clustering.is_head(v))
-        .collect();
-    let mut scratch = BfsScratch::new(residual.len());
-    let mut reach_cache: std::collections::BTreeMap<NodeId, Vec<bool>> = Default::default();
-    let mut broken = Vec::new();
-    for v in candidates {
-        let h = clustering.head_of(v);
-        let reach = reach_cache.entry(h).or_insert_with(|| {
-            scratch.run(residual, h, clustering.k);
-            let mut ok = vec![false; residual.len()];
-            for &w in scratch.visited() {
-                ok[w.index()] = true;
-            }
-            ok
-        });
-        if !reach[v.index()] {
-            broken.push(v);
-        }
-    }
-    broken.sort_unstable();
-    broken
+    churn::broken_mates(old_graph, residual, clustering, departed)
 }
 
 fn strip_departed(clustering: &Clustering, departed: NodeId) -> Clustering {
@@ -191,75 +164,26 @@ fn strip_departed(clustering: &Clustering, departed: NodeId) -> Clustering {
 
 /// Re-affiliates `orphans` (members that lost their head or their
 /// ≤k-hop path): each joins the nearest surviving head within k hops
-/// (ID tie-break); those with none elect heads among themselves with
-/// iterative lowest-ID contests restricted to orphans.
+/// (ID tie-break, [`churn::rejoin_one`]); those with none elect heads
+/// among themselves with iterative lowest-ID contests restricted to
+/// orphans ([`churn::elect_orphans`]).
 ///
 /// Returns the set of nodes whose state changed.
 fn reaffiliate(residual: &Graph, clustering: &mut Clustering, orphans: &[NodeId]) -> Vec<NodeId> {
-    let k = clustering.k;
     let mut touched: Vec<NodeId> = orphans.to_vec();
     let mut undecided: Vec<NodeId> = Vec::new();
     let mut scratch = BfsScratch::new(residual.len());
 
     // Try joining surviving clusters first (the cheap path).
     for &v in orphans {
-        scratch.run(residual, v, k);
-        let best = scratch
-            .visited()
-            .iter()
-            .filter(|&&h| clustering.is_head(h) && h != v)
-            .map(|&h| (scratch.dist(h), h))
-            .min();
-        match best {
-            Some((d, h)) => {
-                clustering.head_of[v.index()] = h;
-                clustering.dist_to_head[v.index()] = d;
-            }
-            None => undecided.push(v),
+        let (_, joined) = churn::rejoin_one(residual, clustering, v, &mut scratch);
+        if !joined {
+            undecided.push(v);
         }
     }
-
     // Remaining orphans: local lowest-ID election among themselves.
-    while !undecided.is_empty() {
-        undecided.sort_unstable();
-        let mut winners = Vec::new();
-        for &v in &undecided {
-            scratch.run(residual, v, k);
-            let wins = scratch
-                .visited()
-                .iter()
-                .all(|&w| w == v || !undecided.contains(&w) || w > v);
-            if wins {
-                winners.push(v);
-            }
-        }
-        assert!(!winners.is_empty(), "smallest orphan always wins");
-        let mut next = Vec::new();
-        for &v in &undecided {
-            if winners.contains(&v) {
-                clustering.head_of[v.index()] = v;
-                clustering.dist_to_head[v.index()] = 0;
-                let pos = clustering.heads.binary_search(&v).unwrap_err();
-                clustering.heads.insert(pos, v);
-                continue;
-            }
-            scratch.run(residual, v, k);
-            let best = winners
-                .iter()
-                .filter(|&&h| scratch.dist(h) != UNREACHED)
-                .map(|&h| (scratch.dist(h), h))
-                .min();
-            match best {
-                Some((d, h)) => {
-                    clustering.head_of[v.index()] = h;
-                    clustering.dist_to_head[v.index()] = d;
-                }
-                None => next.push(v),
-            }
-        }
-        undecided = next;
-        touched.extend(winners);
-    }
+    let (winners, _) = churn::elect_orphans(residual, clustering, undecided, &mut scratch);
+    touched.extend(winners);
     touched.sort_unstable();
     touched.dedup();
     touched
@@ -267,6 +191,9 @@ fn reaffiliate(residual: &Graph, clustering: &mut Clustering, orphans: &[NodeId]
 
 /// Re-runs the gateway phase on the residual graph for the (possibly
 /// repaired) clustering, excluding the departed node from any path.
+/// One `pipeline::run_on` call — the same entry point every other
+/// consumer uses (the per-algorithm dispatch used to be duplicated
+/// here).
 fn rerun_gateways(
     residual: &Graph,
     clustering: &Clustering,
@@ -277,18 +204,7 @@ fn rerun_gateways(
     // the standard pipeline applies, on a clustering that no longer
     // contains it.
     let pruned = prune_clustering_for_pipeline(clustering, departed);
-    match algorithm {
-        Algorithm::GMst => gateway::gmst(residual, &pruned),
-        _ => {
-            let rule = algorithm.neighbor_rule().expect("localized");
-            let vg = VirtualGraph::build(residual, &pruned, rule);
-            match algorithm {
-                Algorithm::NcMesh | Algorithm::AcMesh => gateway::mesh(&vg, &pruned),
-                Algorithm::NcLmst | Algorithm::AcLmst => gateway::lmstga(&vg, &pruned),
-                Algorithm::GMst => unreachable!(),
-            }
-        }
-    }
+    pipeline::run_on(residual, algorithm, &pruned).selection
 }
 
 /// The pipeline helpers iterate `head_of` densely, so give the

@@ -18,10 +18,12 @@
 //! All models preserve the invariant that positions stay inside the
 //! deployment square.
 
-use adhoc_graph::gen;
+use adhoc_graph::gen::SpatialGrid;
 use adhoc_graph::geom::Point;
 use adhoc_graph::graph::Graph;
 use rand::Rng;
+
+pub use adhoc_graph::delta::TopologyDelta;
 
 /// A mobility process: advances node positions by `dt` time units.
 pub trait Mobility {
@@ -375,50 +377,29 @@ impl Mobility for GaussMarkov {
     }
 }
 
-/// Difference between two topologies built from successive position
-/// snapshots.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct TopologyDelta {
-    /// Edges present after but not before.
-    pub added: usize,
-    /// Edges present before but not after.
-    pub removed: usize,
-}
-
-impl TopologyDelta {
-    /// Total churn (added + removed).
-    pub fn churn(&self) -> usize {
-        self.added + self.removed
-    }
-}
-
-/// Compares two unit-disk snapshots edge by edge.
+/// Compares two unit-disk snapshots edge by edge (convenience alias of
+/// [`TopologyDelta::between`], kept for callers that only hold
+/// snapshots; [`MobileNetwork::step`] produces the delta incrementally
+/// without any diffing).
 pub fn topology_delta(before: &Graph, after: &Graph) -> TopologyDelta {
-    let mut delta = TopologyDelta::default();
-    for (u, v) in before.edges() {
-        if !after.has_edge(u, v) {
-            delta.removed += 1;
-        }
-    }
-    for (u, v) in after.edges() {
-        if !before.has_edge(u, v) {
-            delta.added += 1;
-        }
-    }
-    delta
+    TopologyDelta::between(before, after)
 }
 
 /// A mobile network: positions, a fixed transmission range, and the
 /// induced unit-disk topology, advanced by a [`Mobility`] model
 /// (random waypoint by default).
+///
+/// The topology lives in a [`SpatialGrid`], so each [`Self::step`]
+/// updates the adjacency **incrementally** from the moved positions
+/// (`O(moved · local density)`) and returns the exact edge churn as a
+/// [`TopologyDelta`] — the input the incremental maintenance engine
+/// (`adhoc_sim::churn`) consumes.
 #[derive(Clone, Debug)]
 pub struct MobileNetwork<M: Mobility = RandomWaypoint> {
-    /// Current node positions.
-    pub positions: Vec<Point>,
-    /// Common transmission range.
-    pub range: f64,
-    /// Current connectivity graph.
-    pub graph: Graph,
+    grid: SpatialGrid,
+    /// Position scratch the mobility model advances each step (the
+    /// grid owns the committed positions).
+    next_positions: Vec<Point>,
     model: M,
 }
 
@@ -438,29 +419,44 @@ impl MobileNetwork<RandomWaypoint> {
 impl<M: Mobility> MobileNetwork<M> {
     /// Wraps an initial deployment in an arbitrary mobility model.
     pub fn with_model(positions: Vec<Point>, range: f64, model: M) -> Self {
-        let graph = gen::unit_disk_graph(&positions, range);
         MobileNetwork {
-            positions,
-            range,
-            graph,
+            next_positions: positions.clone(),
+            grid: SpatialGrid::build(&positions, range),
             model,
         }
     }
 
-    /// Moves every node by `dt`, rebuilds the topology, and reports the
-    /// edge churn.
+    /// Current connectivity graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        self.grid.graph()
+    }
+
+    /// Current node positions.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        self.grid.positions()
+    }
+
+    /// Common transmission range.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.grid.range()
+    }
+
+    /// Moves every node by `dt`, updates the topology incrementally,
+    /// and reports the exact edge churn.
     pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) -> TopologyDelta {
-        self.model.advance(&mut self.positions, dt, rng);
-        let new_graph = gen::unit_disk_graph(&self.positions, self.range);
-        let delta = topology_delta(&self.graph, &new_graph);
-        self.graph = new_graph;
-        delta
+        self.next_positions.copy_from_slice(self.grid.positions());
+        self.model.advance(&mut self.next_positions, dt, rng);
+        self.grid.update(&self.next_positions)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adhoc_graph::gen;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -537,18 +533,41 @@ mod tests {
 
     #[test]
     fn topology_delta_counts() {
+        use adhoc_graph::graph::NodeId;
         let a = Graph::from_edges(4, &[(0, 1), (1, 2)]);
         let b = Graph::from_edges(4, &[(1, 2), (2, 3)]);
         let d = topology_delta(&a, &b);
-        assert_eq!(
-            d,
-            TopologyDelta {
-                added: 1,
-                removed: 1
-            }
-        );
+        assert_eq!(d.added, vec![(NodeId(2), NodeId(3))]);
+        assert_eq!(d.removed, vec![(NodeId(0), NodeId(1))]);
         assert_eq!(d.churn(), 2);
         assert_eq!(topology_delta(&a, &a).churn(), 0);
+    }
+
+    /// The incrementally maintained mobile topology equals a from-
+    /// scratch unit-disk rebuild after every step, and the reported
+    /// delta is exactly the edge difference.
+    #[test]
+    fn mobile_network_topology_matches_rebuild() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let positions: Vec<Point> = (0..60)
+            .map(|_| Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0))
+            .collect();
+        let mut net = MobileNetwork::new(
+            positions,
+            20.0,
+            WaypointConfig::default_for_side(100.0),
+            &mut rng,
+        );
+        for _ in 0..15 {
+            let before = net.graph().clone();
+            let delta = net.step(1.0, &mut rng);
+            let oracle = gen::unit_disk_graph(net.positions(), net.range());
+            assert_eq!(
+                net.graph().edges().collect::<Vec<_>>(),
+                oracle.edges().collect::<Vec<_>>()
+            );
+            assert_eq!(delta, topology_delta(&before, &oracle));
+        }
     }
 
     #[test]
@@ -712,7 +731,7 @@ mod tests {
             churn += net.step(5.0, &mut rng).churn();
         }
         assert!(churn > 0);
-        net.graph.check_invariants().unwrap();
+        net.graph().check_invariants().unwrap();
 
         let model = GaussMarkov::new(30, GaussMarkovConfig::default_for_side(100.0), &mut rng);
         let mut net = MobileNetwork::with_model(positions, 25.0, model);
@@ -721,7 +740,7 @@ mod tests {
             churn += net.step(5.0, &mut rng).churn();
         }
         assert!(churn > 0);
-        net.graph.check_invariants().unwrap();
+        net.graph().check_invariants().unwrap();
     }
 
     #[test]
@@ -757,6 +776,6 @@ mod tests {
             total_churn += net.step(5.0, &mut rng).churn();
         }
         assert!(total_churn > 0, "forty mobile nodes must churn some edges");
-        net.graph.check_invariants().unwrap();
+        net.graph().check_invariants().unwrap();
     }
 }

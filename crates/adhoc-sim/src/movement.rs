@@ -30,6 +30,14 @@
 //! rebuild-every-step baseline quantitatively (`bin/movement` in
 //! `adhoc-bench` regenerates that comparison).
 //!
+//! The engine behind this policy is the unified incremental
+//! maintenance stack of [`crate::churn`]: a movement step is a
+//! [`TopologyDelta`](adhoc_graph::delta::TopologyDelta), only the
+//! clusterheads whose `2k+1` ball the delta touched are re-swept, and
+//! the evaluation refresh reuses every clean head's labels and
+//! canonical paths (`pipeline::update_all`). [`MaintainedCds`] is that
+//! engine under its historical name.
+//!
 //! ```
 //! use adhoc_sim::movement::{MaintainedCds, MovementConfig, RepairLevel};
 //! use adhoc_cluster::pipeline::Algorithm;
@@ -43,12 +51,12 @@
 //! assert_eq!(report.cost, 0);
 //! ```
 
-use adhoc_cluster::cds::Cds;
-use adhoc_cluster::clustering::Clustering;
-use adhoc_cluster::pipeline::{self, Algorithm};
-use adhoc_graph::bfs::{Adjacency, BfsScratch, UNREACHED};
-use adhoc_graph::connectivity;
-use adhoc_graph::graph::{Graph, NodeId};
+use adhoc_cluster::pipeline::Algorithm;
+
+/// The movement-sensitive maintenance engine — the
+/// [`ChurnEngine`](crate::churn::ChurnEngine) under the name this
+/// module has always exported.
+pub use crate::churn::ChurnEngine as MaintainedCds;
 
 /// Tuning knobs of the movement-sensitive policy.
 #[derive(Clone, Copy, Debug)]
@@ -127,185 +135,23 @@ pub struct StepReport {
     pub merged_head_pairs: usize,
     /// Cost in node-rounds (see module docs).
     pub cost: usize,
-    /// Whether the post-repair structure verifies as a k-hop CDS
-    /// (false only when the network itself is disconnected).
+    /// Whether the post-repair structure verifies as a k-hop CDS over
+    /// the surviving nodes (false only when the network itself is
+    /// disconnected).
     pub valid: bool,
-}
-
-/// A connected k-hop clustering kept alive under topology change.
-#[derive(Clone, Debug)]
-pub struct MaintainedCds {
-    cfg: MovementConfig,
-    /// Current clustering (heads + affiliations).
-    pub clustering: Clustering,
-    /// Current CDS (heads + gateways).
-    pub cds: Cds,
-}
-
-impl MaintainedCds {
-    /// Builds the initial structure on `g` (full pipeline run).
-    pub fn build(g: &Graph, cfg: MovementConfig) -> Self {
-        let out = pipeline::run(g, cfg.algorithm, &pipeline::PipelineConfig::new(cfg.k));
-        MaintainedCds {
-            cfg,
-            clustering: out.clustering,
-            cds: out.cds,
-        }
-    }
-
-    /// The configured policy.
-    pub fn config(&self) -> &MovementConfig {
-        &self.cfg
-    }
-
-    /// Reconciles the structure with a new topology snapshot, choosing
-    /// the cheapest sufficient repair. Returns what was done.
-    pub fn step(&mut self, g: &Graph) -> StepReport {
-        let n = g.node_count();
-        let k = self.cfg.k;
-        let mut scratch = BfsScratch::new(n);
-
-        // Distances from every head, bounded k: detects orphans, and
-        // (bounded merge_distance) head merges. These sweeps are the
-        // policy's standing "verification" cost; in a distributed
-        // realization they ride on the beacons the protocol already
-        // sends, so they are not charged.
-        let mut dist_to_own = vec![UNREACHED; n];
-        let mut merged_head_pairs = 0usize;
-        for &h in &self.clustering.heads {
-            scratch.run(g, h, k);
-            for &v in scratch.visited() {
-                if self.clustering.head_of(v) == h {
-                    dist_to_own[v.index()] = scratch.dist(v);
-                }
-                if v != h
-                    && self.clustering.is_head(v)
-                    && h < v
-                    && scratch.dist(v) <= self.cfg.merge_distance
-                {
-                    merged_head_pairs += 1;
-                }
-            }
-        }
-        let orphans: Vec<NodeId> = (0..n as u32)
-            .map(NodeId)
-            .filter(|&v| dist_to_own[v.index()] == UNREACHED)
-            .collect();
-
-        if merged_head_pairs > 0 {
-            return self.full_rebuild(g, orphans.len(), merged_head_pairs);
-        }
-
-        let mut level = RepairLevel::None;
-        let mut cost = 0usize;
-
-        if !orphans.is_empty() {
-            // Re-affiliate each orphan to the nearest head within k
-            // hops (distance, then head ID — the deterministic policy
-            // the clustering itself uses).
-            level = RepairLevel::Reaffiliate;
-            for &v in &orphans {
-                scratch.run(g, v, k);
-                cost += scratch.visited().len();
-                let new_head = scratch
-                    .visited()
-                    .iter()
-                    .filter(|&&w| self.clustering.is_head(w))
-                    .copied()
-                    .min_by_key(|&w| (scratch.dist(w), w));
-                match new_head {
-                    Some(h) => {
-                        let d = scratch.dist(h);
-                        self.clustering.head_of[v.index()] = h;
-                        self.clustering.dist_to_head[v.index()] = d;
-                    }
-                    None => {
-                        // Coverage loss: least-cluster-change says this
-                        // is the moment to re-elect.
-                        return self.full_rebuild(g, orphans.len(), 0);
-                    }
-                }
-            }
-            // Refresh surviving members' recorded distances (cheap
-            // bookkeeping; already computed above).
-            for (v, &d) in dist_to_own.iter().enumerate() {
-                if d != UNREACHED {
-                    self.clustering.dist_to_head[v] = d;
-                }
-            }
-        } else {
-            self.clustering.dist_to_head.copy_from_slice(&dist_to_own);
-        }
-
-        // Backbone check: the CDS must still induce a connected
-        // subgraph. (Domination holds by construction now.)
-        if !connectivity::is_subset_connected(g, &self.cds.nodes()) {
-            level = level.max(RepairLevel::Gateways);
-            let out = pipeline::run_on(g, self.cfg.algorithm, &self.clustering);
-            self.cds = out.cds;
-            // Every head re-collects its 2k+1 ball.
-            cost += self.information_cost(g, &mut scratch);
-        }
-
-        let valid = self.cds.verify(g, k).is_ok();
-        if !valid && connectivity::is_connected(g) {
-            // Gateway repair on a connected graph must succeed; if it
-            // somehow did not, escalate.
-            return self.full_rebuild(g, orphans.len(), 0);
-        }
-        StepReport {
-            level,
-            orphans: orphans.len(),
-            merged_head_pairs: 0,
-            cost,
-            valid,
-        }
-    }
-
-    /// Charged cost of the gateway phase: every head's `2k+1`-hop ball.
-    fn information_cost(&self, g: &Graph, scratch: &mut BfsScratch) -> usize {
-        self.clustering
-            .heads
-            .iter()
-            .map(|&h| {
-                scratch.run(g, h, 2 * self.cfg.k + 1);
-                scratch.visited().len()
-            })
-            .sum()
-    }
-
-    fn full_rebuild(&mut self, g: &Graph, orphans: usize, merged: usize) -> StepReport {
-        let out = pipeline::run(
-            g,
-            self.cfg.algorithm,
-            &pipeline::PipelineConfig::new(self.cfg.k),
-        );
-        self.clustering = out.clustering;
-        self.cds = out.cds;
-        let mut scratch = BfsScratch::new(g.node_count());
-        let cost = g.node_count() + self.information_cost(g, &mut scratch);
-        StepReport {
-            level: RepairLevel::Full,
-            orphans,
-            merged_head_pairs: merged,
-            cost,
-            valid: self.cds.verify(g, self.cfg.k).is_ok(),
-        }
-    }
-
-    /// The cost the rebuild-every-step baseline would pay on `g` (used
-    /// by the comparison experiment).
-    pub fn rebuild_cost(&self, g: &Graph) -> usize {
-        let mut scratch = BfsScratch::new(g.node_count());
-        g.node_count() + self.information_cost(g, &mut scratch)
-    }
+    /// Clusterheads whose `2k+1` ball the step's topology delta
+    /// touched — the heads the incremental engine re-swept (equals the
+    /// head count when the engine fell back to a full evaluation).
+    pub dirty_heads: usize,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mobility::{MobileNetwork, WaypointConfig};
+    use adhoc_graph::connectivity;
     use adhoc_graph::gen::{self, GeometricConfig};
+    use adhoc_graph::graph::{Graph, NodeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -338,18 +184,18 @@ mod tests {
         let model = crate::mobility::RandomWaypoint::new(100, cfg, &mut rng);
         let mut mobile = MobileNetwork::with_model(net.positions.clone(), net.range, model);
         let mut m =
-            MaintainedCds::build(&mobile.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+            MaintainedCds::build(mobile.graph(), MovementConfig::strict(2, Algorithm::AcLmst));
         let mut seen_nontrivial = false;
         for _ in 0..40 {
             mobile.step(1.0, &mut rng);
-            let r = m.step(&mobile.graph);
+            let r = m.step(mobile.graph());
             if r.level != RepairLevel::None {
                 seen_nontrivial = true;
             }
-            if connectivity::is_connected(&mobile.graph) {
+            if connectivity::is_connected(mobile.graph()) {
                 assert!(r.valid, "maintained CDS invalid on a connected graph");
-                m.cds.verify(&mobile.graph, 2).unwrap();
-                m.clustering.verify_coverage(&mobile.graph).unwrap();
+                m.cds.verify(mobile.graph(), 2).unwrap();
+                m.clustering.verify_coverage(mobile.graph()).unwrap();
             }
         }
         assert!(seen_nontrivial, "40 mobile steps should need some repair");
@@ -459,13 +305,13 @@ mod tests {
         let model = crate::mobility::RandomWaypoint::new(100, cfg, &mut rng);
         let mut mobile = MobileNetwork::with_model(net.positions.clone(), net.range, model);
         let mut m =
-            MaintainedCds::build(&mobile.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+            MaintainedCds::build(mobile.graph(), MovementConfig::strict(2, Algorithm::AcLmst));
         let mut policy_cost = 0usize;
         let mut rebuild_cost = 0usize;
         for _ in 0..30 {
             mobile.step(1.0, &mut rng);
-            rebuild_cost += m.rebuild_cost(&mobile.graph);
-            policy_cost += m.step(&mobile.graph).cost;
+            rebuild_cost += m.rebuild_cost(mobile.graph());
+            policy_cost += m.step(mobile.graph()).cost;
         }
         assert!(
             policy_cost < rebuild_cost / 2,

@@ -10,7 +10,8 @@ use adhoc_graph::graph::{Graph, NodeId};
 use adhoc_sim::broadcast::Strategy as FwdStrategy;
 use adhoc_sim::mac::{simulate_with_mac, MacConfig};
 use adhoc_sim::mobility::{
-    GaussMarkov, GaussMarkovConfig, Mobility, RandomDirection, DirectionConfig,
+    DirectionConfig, GaussMarkov, GaussMarkovConfig, Mobility, RandomDirection, RandomWaypoint,
+    WaypointConfig,
 };
 use adhoc_sim::movement::{MaintainedCds, MovementConfig, RepairLevel};
 use proptest::prelude::*;
@@ -168,6 +169,67 @@ proptest! {
             for p in positions.iter().chain(&gm_positions) {
                 prop_assert!(p.x >= 0.0 && p.x <= side);
                 prop_assert!(p.y >= 0.0 && p.y <= side);
+            }
+        }
+    }
+
+    /// All three models keep every position inside the deployment
+    /// square under *long* runs and edge-case step sizes — `dt = 0`
+    /// (a beacon fires with no time passing) and very large `dt`
+    /// (hundreds of leg/waypoint renewals in one call). Random
+    /// waypoint is included here: its positions interpolate toward
+    /// in-square targets, and this pins that no renewal overshoots.
+    #[test]
+    fn mobility_models_bounded_under_long_runs_and_extreme_dt(
+        seed in 0u64..300,
+        side in 20.0f64..120.0,
+        extreme in 150.0f64..600.0,
+    ) {
+        let n = 10;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start: Vec<Point> = (0..n)
+            .map(|i| Point::new((i as f64 * 11.17) % side, (i as f64 * 5.3) % side))
+            .collect();
+        let mut wp = RandomWaypoint::new(
+            n,
+            WaypointConfig { side, min_speed: 0.5, max_speed: 6.0, pause: 0.3 },
+            &mut rng,
+        );
+        let mut dir = RandomDirection::new(n, DirectionConfig {
+            side,
+            min_speed: 0.5,
+            max_speed: 6.0,
+            min_leg: 0.5,
+            max_leg: 4.0,
+        }, &mut rng);
+        let mut gm = GaussMarkov::new(n, GaussMarkovConfig::default_for_side(side), &mut rng);
+        let mut wp_pos = start.clone();
+        let mut dir_pos = start.clone();
+        let mut gm_pos = start;
+        // dt = 0 must be a universal no-op.
+        let frozen = (wp_pos.clone(), dir_pos.clone(), gm_pos.clone());
+        wp.advance(&mut wp_pos, 0.0, &mut rng);
+        dir.advance(&mut dir_pos, 0.0, &mut rng);
+        gm.advance(&mut gm_pos, 0.0, &mut rng);
+        prop_assert_eq!(&frozen.0, &wp_pos);
+        prop_assert_eq!(&frozen.1, &dir_pos);
+        prop_assert_eq!(&frozen.2, &gm_pos);
+        // A long run of unit steps followed by one extreme step.
+        for step in 0..80 {
+            let dt = if step == 79 { extreme } else { 1.0 };
+            wp.advance(&mut wp_pos, dt, &mut rng);
+            dir.advance(&mut dir_pos, dt, &mut rng);
+            gm.advance(&mut gm_pos, dt, &mut rng);
+            for (name, positions) in
+                [("waypoint", &wp_pos), ("direction", &dir_pos), ("gauss-markov", &gm_pos)]
+            {
+                for p in positions.iter() {
+                    prop_assert!(
+                        p.x >= 0.0 && p.x <= side && p.y >= 0.0 && p.y <= side,
+                        "{} escaped to ({}, {}) at dt {}, side {}",
+                        name, p.x, p.y, dt, side
+                    );
+                }
             }
         }
     }

@@ -9,6 +9,7 @@
 //! khop info --input net.txt                            topology metrics
 //! khop exact [--n 24 --d 5 --seed 7] --k 1             exact optimum + ratios
 //! khop maintain --n 100 --k 2 --steps 50 --speed 1.0   movement-sensitive repair
+//! khop churn --n 200 --k 2 --steps 40 --movers 10      incremental delta engine vs rebuild
 //! khop mac  [--n 120 --d 10] --k 1 --cw 8              broadcast under CSMA
 //! ```
 
@@ -66,8 +67,9 @@ impl Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("khop: {msg}");
-    eprintln!("usage: khop <gen|run|dist|info|exact|maintain|mac>");
+    eprintln!("usage: khop <gen|run|dist|info|exact|maintain|churn|mac>");
     eprintln!("            [--n N] [--d D] [--k K] [--seed S] [--steps T] [--cw W]");
+    eprintln!("            [--movers M] [--speed V]");
     eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst|all]");
     eprintln!("            [--input FILE] [--out FILE] [--json]");
     exit(2)
@@ -301,14 +303,16 @@ fn cmd_maintain(args: &Args) {
     };
     let model = mobility::RandomWaypoint::new(n, wp, &mut rng);
     let mut mobile = MobileNetwork::with_model(base.positions.clone(), base.range, model);
-    let mut m = MaintainedCds::build(&mobile.graph, MovementConfig::strict(k, Algorithm::AcLmst));
+    let mut m = MaintainedCds::build(mobile.graph(), MovementConfig::strict(k, Algorithm::AcLmst));
     println!("step | level       | orphans | cost | CDS | valid");
     let mut total_cost = 0usize;
     let mut total_rebuild = 0usize;
     for step in 0..steps {
-        mobile.step(1.0, &mut rng);
-        total_rebuild += m.rebuild_cost(&mobile.graph);
-        let r = m.step(&mobile.graph);
+        // Feed the exact edge delta the grid produced — no snapshot
+        // clone + re-diff on the engine side.
+        let delta = mobile.step(1.0, &mut rng);
+        total_rebuild += m.rebuild_cost(mobile.graph());
+        let r = m.step_delta(&delta);
         total_cost += r.cost;
         if r.level != RepairLevel::None || args.has("verbose") {
             println!(
@@ -325,6 +329,119 @@ fn cmd_maintain(args: &Args) {
         "\ntotal maintenance cost {total_cost} node-rounds vs {} for rebuild-every-step ({:.0}% saved)",
         total_rebuild,
         100.0 * (1.0 - total_cost as f64 / total_rebuild.max(1) as f64)
+    );
+}
+
+/// `khop churn`: the incremental delta engine against
+/// rebuild-every-step on one mobile trajectory (a CLI-sized slice of
+/// `adhoc-bench`'s `churn` bin; `--movers` nodes drift, the rest are a
+/// static field).
+fn cmd_churn(args: &Args) {
+    use std::time::Instant;
+    let n: usize = args.get("n", 200);
+    let d: f64 = args.get("d", 6.0);
+    let k: u32 = args.get("k", 2);
+    let seed: u64 = args.get("seed", 1);
+    let steps: usize = args.get("steps", 40);
+    let movers: usize = args.get("movers", 10.min(n));
+    let speed: f64 = args.get("speed", 2.0);
+    if k == 0 {
+        die("--k must be at least 1");
+    }
+    if movers == 0 || movers > n {
+        die(&format!("--movers must be in 1..={n} (got {movers})"));
+    }
+    if speed <= 0.0 || speed.is_nan() || !speed.is_finite() {
+        die(&format!("--speed must be a positive number (got {speed})"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = gen::geometric(&gen::GeometricConfig::new(n, 100.0, d), &mut rng);
+
+    // Trajectory: `movers` random-waypoint nodes over a static field.
+    let mut model = mobility::RandomWaypoint::new(
+        movers,
+        WaypointConfig {
+            side: 100.0,
+            min_speed: (speed * 0.3).max(1e-6),
+            max_speed: speed,
+            pause: 2.0,
+        },
+        &mut rng,
+    );
+    let mut pos = base.positions.clone();
+    let mut mover_pos: Vec<Point> = pos[..movers].to_vec();
+    let mut snapshots = vec![pos.clone()];
+    for _ in 0..steps {
+        use adhoc_sim::mobility::Mobility;
+        model.advance(&mut mover_pos, 0.25, &mut rng);
+        pos[..movers].copy_from_slice(&mover_pos);
+        snapshots.push(pos.clone());
+    }
+
+    // Incremental arm — recording pass first (untimed: clustering
+    // clones and level accounting must not pollute the timing), then a
+    // bare timed replay of the identical deterministic inputs.
+    let policy = MovementConfig::tolerant(k, Algorithm::AcLmst, 1);
+    let mut clusterings = Vec::with_capacity(steps);
+    let mut levels: BTreeMap<&str, usize> = BTreeMap::new();
+    let (mut churn_edges, mut dirty, mut head_steps, mut cost) = (0usize, 0usize, 0usize, 0usize);
+    {
+        let mut grid = SpatialGrid::build(&snapshots[0], base.range);
+        let mut engine = ChurnEngine::build(grid.graph(), policy);
+        for snapshot in &snapshots[1..] {
+            let delta = grid.update(snapshot);
+            churn_edges += delta.churn();
+            let r = engine.step_delta(&delta);
+            *levels.entry(r.level.name()).or_default() += 1;
+            dirty += r.dirty_heads;
+            head_steps += engine.clustering.heads.len();
+            cost += r.cost;
+            clusterings.push(engine.clustering.clone());
+        }
+    }
+    let mut grid = SpatialGrid::build(&snapshots[0], base.range);
+    let mut engine = ChurnEngine::build(grid.graph(), policy);
+    let t = Instant::now();
+    for snapshot in &snapshots[1..] {
+        let delta = grid.update(snapshot);
+        engine.step_delta(&delta);
+    }
+    let inc = t.elapsed().as_secs_f64();
+    std::hint::black_box(engine.evaluation());
+
+    // Rebuild-every-step arm on the same clustering sequence.
+    let mut scratch = EvalScratch::new();
+    let t = Instant::now();
+    for (snapshot, clustering) in snapshots[1..].iter().zip(&clusterings) {
+        let g = gen::unit_disk_graph(snapshot, base.range);
+        let eval = pipeline::run_all_with(&g, clustering, &mut scratch);
+        std::hint::black_box(eval.of(Algorithm::AcLmst).cds.size());
+    }
+    let reb = t.elapsed().as_secs_f64();
+
+    println!(
+        "{n} nodes (k={k}), {movers} mobile, {steps} beacon steps: \
+         {:.1} edges churned/step",
+        churn_edges as f64 / steps as f64
+    );
+    println!(
+        "repair levels: {}",
+        levels
+            .iter()
+            .map(|(l, c)| format!("{l}×{c}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "dirty heads: {:.1}% of {} head-steps | maintenance cost {cost} node-rounds",
+        100.0 * dirty as f64 / head_steps.max(1) as f64,
+        head_steps
+    );
+    println!(
+        "incremental {:.2} ms/step vs rebuild-every-step {:.2} ms/step ({:.2}x)",
+        1e3 * inc / steps as f64,
+        1e3 * reb / steps as f64,
+        reb / inc.max(1e-12)
     );
 }
 
@@ -375,6 +492,7 @@ fn main() {
         "info" => cmd_info(&args),
         "exact" => cmd_exact(&args),
         "maintain" => cmd_maintain(&args),
+        "churn" => cmd_churn(&args),
         "mac" => cmd_mac(&args),
         other => die(&format!("unknown command {other}")),
     }

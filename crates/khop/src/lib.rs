@@ -44,11 +44,13 @@ pub mod prelude {
     pub use adhoc_cluster::wulou;
     pub use adhoc_graph::bfs;
     pub use adhoc_graph::connectivity;
-    pub use adhoc_graph::gen;
+    pub use adhoc_graph::delta::TopologyDelta;
+    pub use adhoc_graph::gen::{self, SpatialGrid};
     pub use adhoc_graph::geom::Point;
     pub use adhoc_graph::graph::{Graph, NodeId};
     pub use adhoc_graph::labels::HeadLabels;
     pub use adhoc_sim::broadcast::{self, BroadcastReport, Strategy as BroadcastStrategy};
+    pub use adhoc_sim::churn::{self, ChurnEngine};
     pub use adhoc_sim::energy::{self, EnergyModel, RotationPolicy};
     pub use adhoc_sim::mac::{self, MacConfig, MacReport};
     pub use adhoc_sim::maintenance::{self, RepairReport, Role};

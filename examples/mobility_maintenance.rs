@@ -22,15 +22,15 @@ fn main() {
     println!("epoch | churn | heads | gateways | CDS | note");
     for epoch in 0..10 {
         let delta = mobile.step(2.0, &mut rng);
-        if !connectivity::is_connected(&mobile.graph) {
+        if !connectivity::is_connected(mobile.graph()) {
             println!(
                 "{epoch:>5} | {:>5} | network disconnected, skipping epoch",
                 delta.churn()
             );
             continue;
         }
-        let out = pipeline::run(&mobile.graph, Algorithm::AcLmst, &PipelineConfig::new(k));
-        out.cds.verify(&mobile.graph, k).expect("valid CDS");
+        let out = pipeline::run(mobile.graph(), Algorithm::AcLmst, &PipelineConfig::new(k));
+        out.cds.verify(mobile.graph(), k).expect("valid CDS");
         println!(
             "{epoch:>5} | {:>5} | {:>5} | {:>8} | {:>3} | rebuilt after movement",
             delta.churn(),
@@ -41,22 +41,22 @@ fn main() {
 
         // A random node switches off: apply the paper's local fix and
         // report how local it actually was.
-        let victim = NodeId(rng.gen_range(0..mobile.graph.len() as u32));
+        let victim = NodeId(rng.gen_range(0..mobile.graph().len() as u32));
         let report = maintenance::handle_departure(
-            &mobile.graph,
+            mobile.graph(),
             &out.clustering,
             &out.selection,
             Algorithm::AcLmst,
             victim,
         );
-        let mut residual = mobile.graph.clone();
+        let mut residual = mobile.graph().clone();
         residual.isolate(victim);
         let ok = maintenance::repaired_structures_valid(&residual, &report, &[victim]);
         println!(
             "      |       | node {victim} ({:?}) left: touched {} of {} nodes, escalated={}, valid={}",
             report.role,
             report.touched.len(),
-            mobile.graph.len(),
+            mobile.graph().len(),
             report.escalated,
             ok,
         );

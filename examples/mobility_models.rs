@@ -13,7 +13,7 @@ fn drive<M: Mobility>(name: &str, mut net: MobileNetwork<M>, rng: &mut StdRng) {
     let mut head_counts = Vec::new();
     for _ in 0..15 {
         total_churn += net.step(1.0, rng).churn();
-        let c = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+        let c = clustering::cluster(net.graph(), k, &LowestId, MemberPolicy::IdBased);
         head_counts.push(c.head_count());
     }
     let mean_heads = head_counts.iter().sum::<usize>() as f64 / head_counts.len() as f64;

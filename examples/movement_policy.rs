@@ -22,7 +22,7 @@ fn main() {
     let model = mobility::RandomWaypoint::new(n, wp, &mut rng);
     let mut mobile = MobileNetwork::with_model(base.positions.clone(), base.range, model);
     let mut maintained =
-        MaintainedCds::build(&mobile.graph, MovementConfig::strict(k, Algorithm::AcLmst));
+        MaintainedCds::build(mobile.graph(), MovementConfig::strict(k, Algorithm::AcLmst));
     println!(
         "initial structure: {} heads + {} gateways = CDS {}\n",
         maintained.cds.heads.len(),
@@ -35,8 +35,8 @@ fn main() {
     let mut total_rebuild = 0usize;
     for step in 0..30 {
         let delta = mobile.step(1.0, &mut rng);
-        total_rebuild += maintained.rebuild_cost(&mobile.graph);
-        let r = maintained.step(&mobile.graph);
+        total_rebuild += maintained.rebuild_cost(mobile.graph());
+        let r = maintained.step(mobile.graph());
         total_cost += r.cost;
         println!(
             "{step:>4} | {:>10} | {:<11} | {:>7} | {:>4} | {:>3} | {:>5.0}%",
@@ -49,8 +49,8 @@ fn main() {
         );
         // Every repair leaves a verifiable k-hop CDS whenever the
         // network itself is connected.
-        if connectivity::is_connected(&mobile.graph) {
-            maintained.cds.verify(&mobile.graph, k).unwrap();
+        if connectivity::is_connected(mobile.graph()) {
+            maintained.cds.verify(mobile.graph(), k).unwrap();
         }
     }
     println!(

@@ -140,11 +140,11 @@ fn mobility_epochs_keep_structures_buildable() {
     let mut built = 0;
     for _ in 0..15 {
         mobile.step(1.0, &mut rng);
-        if !connectivity::is_connected(&mobile.graph) {
+        if !connectivity::is_connected(mobile.graph()) {
             continue;
         }
-        let out = pipeline::run(&mobile.graph, Algorithm::AcLmst, &PipelineConfig::new(2));
-        out.cds.verify(&mobile.graph, 2).unwrap();
+        let out = pipeline::run(mobile.graph(), Algorithm::AcLmst, &PipelineConfig::new(2));
+        out.cds.verify(mobile.graph(), 2).unwrap();
         built += 1;
     }
     assert!(built > 0, "some epochs must yield a connected network");
@@ -293,16 +293,16 @@ fn movement_policy_matches_scratch_rebuild_quality() {
     let model = mobility::RandomWaypoint::new(90, wp, &mut rng);
     let mut mobile = MobileNetwork::with_model(base.positions.clone(), base.range, model);
     let mut maintained = MaintainedCds::build(
-        &mobile.graph,
+        mobile.graph(),
         MovementConfig::strict(2, Algorithm::AcLmst),
     );
     for _ in 0..25 {
         mobile.step(1.0, &mut rng);
-        maintained.step(&mobile.graph);
-        if !connectivity::is_connected(&mobile.graph) {
+        maintained.step(mobile.graph());
+        if !connectivity::is_connected(mobile.graph()) {
             continue;
         }
-        let scratch = pipeline::run(&mobile.graph, Algorithm::AcLmst, &PipelineConfig::new(2));
+        let scratch = pipeline::run(mobile.graph(), Algorithm::AcLmst, &PipelineConfig::new(2));
         assert!(
             maintained.cds.size() <= 2 * scratch.cds.size() + 2,
             "maintained CDS {} vs scratch {}",
