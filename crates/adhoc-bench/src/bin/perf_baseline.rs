@@ -1,8 +1,8 @@
 //! `perf_baseline` — wall-clock trajectory of the evaluation engine.
 //!
 //! Times the per-replicate evaluation phase (all five algorithms on a
-//! shared clustering) over a small fixed grid, three ways, on
-//! identical pre-generated inputs:
+//! shared clustering) over a small fixed grid, on identical
+//! pre-generated inputs:
 //!
 //! * **seed** — a faithful reimplementation of the pre-refactor
 //!   dataflow this PR replaced (per-algorithm `BTreeMap` virtual
@@ -11,28 +11,40 @@
 //!   MSTs, complete-link G-MST) — the "before" of the before/after
 //!   record;
 //! * **run_on** — five independent `pipeline::run_on` calls through
-//!   today's label-backed builders (the compatibility wrapper); and
+//!   today's label-backed builders (the compatibility wrapper);
 //! * **engine** — one `pipeline::run_all_with` call with a warm
-//!   per-thread scratch (the single-sweep engine the harness uses).
+//!   per-thread scratch on **dense** labels (the flat `h × n` arena);
+//!   and
+//! * **engine-sparse** — the same call on the **sparse ball-indexed**
+//!   label layout, recorded alongside so the dense-vs-sparse tradeoff
+//!   (time *and* `memory_bytes`) is a committed measurement per cell.
 //!
-//! All three arms must produce identical metrics (checksummed), so the
-//! seed arm doubles as a behavioral regression check of the refactor.
+//! All arms must produce identical metrics (checksummed), so the seed
+//! arm doubles as a behavioral regression check of the refactor and
+//! the sparse arm as one of the layout.
+//!
+//! `--large` extends the grid with engine-only cells at
+//! `N ∈ {10⁴, 5·10⁴, 10⁵}` (fixed density, one replicate; the seed
+//! and `run_on` arms would take hours there and measure nothing new).
+//! These are the scales where the dense arena hits gigabytes and the
+//! sparse layout is mandatory — the record closes the ROADMAP's
+//! dense-vs-sparse decision with data.
 //!
 //! Writes `results/BENCH_pipeline.json` (override the directory with
 //! `KHOP_RESULTS_DIR`) with per-cell wall-clock, replicates/sec,
-//! speedups, and the warm label arena's heap footprint
-//! (`labels_memory_bytes`, the ROADMAP's dense-layout memory probe),
-//! stamped with `git describe`, then reads the file back and
-//! re-parses it so CI catches a malformed dump immediately. Subsequent
-//! PRs compare their numbers against the committed file to keep a perf
-//! trajectory.
+//! speedups, and both layouts' label-arena heap footprints, stamped
+//! with `git describe`, then reads the file back and re-parses it so
+//! CI catches a malformed dump immediately. The run **fails** if the
+//! sparse footprint is not strictly below the dense one on the largest
+//! cell that measured both — the memory-regression guard CI rides on.
 //!
-//! `--quick` shrinks the grid to seconds for CI.
+//! `--quick` shrinks the grid to seconds for CI (one full-arms cell
+//! plus one engine-only cell big enough for the memory guard to bite).
 
 use adhoc_bench::harness::CellConfig;
 use adhoc_bench::{quick_mode, results_dir};
 use adhoc_cluster::clustering::{self, Clustering, MemberPolicy};
-use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
+use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch, LabelMode};
 use adhoc_cluster::priority::LowestId;
 use adhoc_graph::gen::{self, GeometricConfig};
 use adhoc_graph::Csr;
@@ -249,53 +261,76 @@ struct Cell {
     d: f64,
     k: u32,
     reps: usize,
+    /// Timed rounds after the warmup pass (min is reported).
+    rounds: u32,
+    /// Whether the seed and `run_on` arms run (the `--large` cells are
+    /// engine-only: both legacy arms are quadratic-plus at those sizes
+    /// and the dense-vs-sparse question is about the engine).
+    full_arms: bool,
 }
 
-fn grid() -> Vec<Cell> {
-    if quick_mode() {
-        vec![Cell {
-            n: 60,
-            d: 6.0,
-            k: 2,
-            reps: 4,
-        }]
-    } else {
-        vec![
-            Cell {
-                n: 100,
-                d: 6.0,
-                k: 2,
-                reps: 30,
-            },
-            Cell {
-                n: 200,
-                d: 6.0,
-                k: 2,
-                reps: 30,
-            },
-            Cell {
-                n: 200,
-                d: 6.0,
-                k: 4,
-                reps: 30,
-            },
-            Cell {
-                n: 100,
-                d: 10.0,
-                k: 3,
-                reps: 30,
-            },
-            Cell {
-                n: 200,
-                d: 10.0,
-                k: 3,
-                reps: 30,
-            },
-        ]
+impl Cell {
+    fn full(n: usize, d: f64, k: u32, reps: usize) -> Cell {
+        // 11 timed rounds: these cells finish a pass in single-digit
+        // milliseconds, so the min-estimator needs a few more samples
+        // than the big cells to shake scheduler noise out of the
+        // dense-vs-sparse ratio.
+        Cell {
+            n,
+            d,
+            k,
+            reps,
+            rounds: 11,
+            full_arms: true,
+        }
+    }
+
+    fn engine_only(n: usize, d: f64, k: u32, reps: usize, rounds: u32) -> Cell {
+        Cell {
+            n,
+            d,
+            k,
+            reps,
+            rounds,
+            full_arms: false,
+        }
     }
 }
 
-/// Deterministic inputs shared by both timed variants.
+/// Whether `--large` was passed: adds the `N ∈ {10⁴, 5·10⁴, 10⁵}`
+/// engine-only scaling cells.
+fn large_mode() -> bool {
+    std::env::args().any(|a| a == "--large")
+}
+
+fn grid() -> Vec<Cell> {
+    let mut cells = if quick_mode() {
+        // The engine-only n = 2000 cell exists so the sparse-below-
+        // dense memory guard runs on a size where sparse actually wins
+        // (tiny graphs favor the flat arena).
+        vec![
+            Cell::full(60, 6.0, 2, 4),
+            Cell::engine_only(2000, 6.0, 2, 2, 2),
+        ]
+    } else {
+        vec![
+            Cell::full(100, 6.0, 2, 30),
+            Cell::full(200, 6.0, 2, 30),
+            Cell::full(200, 6.0, 4, 30),
+            Cell::full(100, 10.0, 3, 30),
+            Cell::full(200, 10.0, 3, 30),
+            Cell::engine_only(2000, 6.0, 2, 4, 3),
+        ]
+    };
+    if large_mode() {
+        cells.push(Cell::engine_only(10_000, 6.0, 2, 1, 2));
+        cells.push(Cell::engine_only(50_000, 6.0, 2, 1, 2));
+        cells.push(Cell::engine_only(100_000, 6.0, 2, 1, 2));
+    }
+    cells
+}
+
+/// Deterministic inputs shared by all timed arms.
 fn make_inputs(cell: &Cell) -> Vec<(Csr, Clustering)> {
     let cfg = CellConfig::paper(cell.n, cell.d, cell.k);
     (0..cell.reps)
@@ -310,7 +345,9 @@ fn make_inputs(cell: &Cell) -> Vec<(Csr, Clustering)> {
                 .wrapping_add(u64::from(cell.k) << 16)
                 .wrapping_add(i as u64);
             let mut rng = StdRng::seed_from_u64(seed ^ cell.d.to_bits());
-            let net = gen::geometric(&GeometricConfig::new(cell.n, 100.0, cell.d), &mut rng);
+            // `at_scale`: the large cells drop the connected-sample
+            // requirement (almost surely unmeetable at fixed density).
+            let net = gen::geometric(&GeometricConfig::at_scale(cell.n, 100.0, cell.d), &mut rng);
             let csr = Csr::from_graph(&net.graph);
             let clustering = clustering::cluster(&csr, cell.k, &LowestId, MemberPolicy::IdBased);
             (csr, clustering)
@@ -335,145 +372,275 @@ fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// One untimed warmup pass plus `rounds` timed passes; returns the
+/// *fastest* round and the (round-invariant) checksum. Min-time is the
+/// standard estimator on noisy shared machines — scheduler preemption
+/// only ever inflates a round, so the minimum is the most reproducible
+/// approximation of the true cost.
+fn time_arm(rounds: u32, mut pass: impl FnMut() -> u64) -> (f64, u64) {
+    let mut secs = f64::INFINITY;
+    let mut sum = 0u64;
+    for round in 0..=rounds {
+        let t = Instant::now();
+        sum = pass();
+        if round > 0 {
+            secs = secs.min(t.elapsed().as_secs_f64());
+        }
+    }
+    (secs, sum)
+}
+
+/// Times the engine over `inputs` with the given warm scratch:
+/// returns (fastest round, metrics checksum, final arena bytes).
+fn engine_arm(
+    inputs: &[(Csr, Clustering)],
+    rounds: u32,
+    mut scratch: EvalScratch,
+) -> (f64, u64, usize) {
+    let (secs, sum) = time_arm(rounds, || {
+        let mut sum = 0u64;
+        for (csr, clustering) in inputs {
+            let eval = pipeline::run_all_with(csr, clustering, &mut scratch);
+            for alg in Algorithm::ALL {
+                let out = eval.of(alg);
+                checksum(
+                    &mut sum,
+                    clustering.head_count(),
+                    out.selection.gateways.len(),
+                    out.cds.size(),
+                );
+            }
+        }
+        sum
+    });
+    // Scratch is dropped here: the 10⁵ dense arena is gigabytes.
+    (secs, sum, scratch.labels_memory_bytes())
+}
+
+/// Ceiling on the projected dense arena (`h·n·4` bytes) above which
+/// the dense arm is skipped instead of risking an OOM kill before the
+/// sparse measurement runs. 8 GiB covers the committed `--large` grid
+/// (≈ 5.1 GB at `N = 10⁵`); override with `KHOP_DENSE_BYTES_CAP`.
+fn dense_bytes_cap() -> usize {
+    std::env::var("KHOP_DENSE_BYTES_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8 << 30)
+}
+
 fn main() {
-    // Each arm runs one untimed warmup pass plus `ROUNDS` timed passes
-    // over the same inputs; the *fastest* round is reported. Min-time
-    // is the standard estimator on noisy shared machines — scheduler
-    // preemption only ever inflates a round, so the minimum is the
-    // most reproducible approximation of the true cost.
-    const ROUNDS: u32 = 7;
     let mut cells = Vec::new();
+    // Largest cell with both layouts measured drives the memory guard.
+    let mut guard: Option<(usize, usize, usize)> = None; // (n, dense, sparse)
     for cell in grid() {
         let inputs = make_inputs(&cell);
         let total_reps = cell.reps as f64;
-
-        // Pre-refactor dataflow, reproduced from the seed sources.
-        let mut seed_sum = 0u64;
-        let mut seed_secs = f64::INFINITY;
-        for round in 0..=ROUNDS {
-            seed_sum = 0;
-            let t = Instant::now();
-            for (csr, clustering) in &inputs {
-                for alg in Algorithm::ALL {
-                    let sel = seed::evaluate(csr, clustering, alg);
-                    checksum(
-                        &mut seed_sum,
-                        clustering.head_count(),
-                        sel.gateways.len(),
-                        clustering.head_count() + sel.gateways.len(),
-                    );
-                }
-            }
-            if round > 0 {
-                seed_secs = seed_secs.min(t.elapsed().as_secs_f64());
-            }
+        let max_heads = inputs
+            .iter()
+            .map(|(_, c)| c.head_count())
+            .max()
+            .unwrap_or(0);
+        let projected_dense = max_heads * cell.n * 4;
+        if projected_dense > dense_bytes_cap() {
+            println!(
+                "n={:<6} d={:<4} k={}  dense arm skipped: projected arena {projected_dense} B over the {} B cap (KHOP_DENSE_BYTES_CAP)",
+                cell.n,
+                cell.d,
+                cell.k,
+                dense_bytes_cap(),
+            );
+            let (engine_sparse_secs, _, sparse_labels_memory_bytes) =
+                engine_arm(&inputs, cell.rounds, EvalScratch::with_mode(LabelMode::Sparse));
+            cells.push(json!({
+                "n": cell.n,
+                "d": cell.d,
+                "k": cell.k,
+                "reps": cell.reps,
+                "engine_sparse_secs": engine_sparse_secs,
+                "sparse_labels_memory_bytes": sparse_labels_memory_bytes,
+                "dense_projected_bytes": projected_dense,
+            }));
+            continue;
         }
 
-        // Today's per-algorithm compatibility wrapper.
-        let mut run_on_sum = 0u64;
-        let mut run_on_secs = f64::INFINITY;
-        for round in 0..=ROUNDS {
-            run_on_sum = 0;
-            let t = Instant::now();
-            for (csr, clustering) in &inputs {
-                for alg in Algorithm::ALL {
-                    let out = pipeline::run_on(csr, alg, clustering);
-                    checksum(
-                        &mut run_on_sum,
-                        clustering.head_count(),
-                        out.selection.gateways.len(),
-                        out.cds.size(),
-                    );
-                }
-            }
-            if round > 0 {
-                run_on_secs = run_on_secs.min(t.elapsed().as_secs_f64());
-            }
-        }
-
-        // Single-sweep engine with a warm scratch.
-        let mut engine_sum = 0u64;
-        let mut engine_secs = f64::INFINITY;
-        let mut scratch = EvalScratch::new();
-        for round in 0..=ROUNDS {
-            engine_sum = 0;
-            let t = Instant::now();
-            for (csr, clustering) in &inputs {
-                let eval = pipeline::run_all_with(csr, clustering, &mut scratch);
-                for alg in Algorithm::ALL {
-                    let out = eval.of(alg);
-                    checksum(
-                        &mut engine_sum,
-                        clustering.head_count(),
-                        out.selection.gateways.len(),
-                        out.cds.size(),
-                    );
-                }
-            }
-            if round > 0 {
-                engine_secs = engine_secs.min(t.elapsed().as_secs_f64());
-            }
-        }
-
+        // Single-sweep engine with a warm scratch — dense layout,
+        // then the same engine on the sparse ball-indexed layout.
+        let (engine_secs, engine_sum, labels_memory_bytes) =
+            engine_arm(&inputs, cell.rounds, EvalScratch::with_mode(LabelMode::Dense));
+        let (engine_sparse_secs, sparse_sum, sparse_labels_memory_bytes) =
+            engine_arm(&inputs, cell.rounds, EvalScratch::with_mode(LabelMode::Sparse));
         assert_eq!(
-            seed_sum, engine_sum,
-            "engine and seed metrics diverged on n={} d={} k={}",
+            sparse_sum, engine_sum,
+            "sparse and dense layouts diverged on n={} d={} k={}",
             cell.n, cell.d, cell.k
         );
-        assert_eq!(run_on_sum, engine_sum, "engine and run_on metrics diverged");
+        guard = match guard {
+            Some((n, _, _)) if n >= cell.n => guard,
+            _ => Some((cell.n, labels_memory_bytes, sparse_labels_memory_bytes)),
+        };
 
-        // Arena footprint of the warm label scratch for this cell — the
-        // ROADMAP's dense-vs-sparse layout decision is data-driven off
-        // this (dominant term: heads × n × 4 bytes per worker thread).
-        let labels_memory_bytes = scratch.labels_memory_bytes();
+        // Legacy arms: the pre-refactor dataflow and the per-algorithm
+        // wrapper (skipped on the `--large` scaling cells).
+        let legacy = cell.full_arms.then(|| {
+            let (seed_secs, seed_sum) = time_arm(cell.rounds, || {
+                let mut sum = 0u64;
+                for (csr, clustering) in &inputs {
+                    for alg in Algorithm::ALL {
+                        let sel = seed::evaluate(csr, clustering, alg);
+                        checksum(
+                            &mut sum,
+                            clustering.head_count(),
+                            sel.gateways.len(),
+                            clustering.head_count() + sel.gateways.len(),
+                        );
+                    }
+                }
+                sum
+            });
+            let (run_on_secs, run_on_sum) = time_arm(cell.rounds, || {
+                let mut sum = 0u64;
+                for (csr, clustering) in &inputs {
+                    for alg in Algorithm::ALL {
+                        let out = pipeline::run_on(csr, alg, clustering);
+                        checksum(
+                            &mut sum,
+                            clustering.head_count(),
+                            out.selection.gateways.len(),
+                            out.cds.size(),
+                        );
+                    }
+                }
+                sum
+            });
+            assert_eq!(
+                seed_sum, engine_sum,
+                "engine and seed metrics diverged on n={} d={} k={}",
+                cell.n, cell.d, cell.k
+            );
+            assert_eq!(run_on_sum, engine_sum, "engine and run_on metrics diverged");
+            (seed_secs, run_on_secs)
+        });
 
-        let speedup = seed_secs / engine_secs.max(1e-12);
-        println!(
-            "n={:<4} d={:<4} k={}  reps={:<3} seed {:>8.0} rps | run_on {:>8.0} rps | engine {:>8.0} rps | {:>5.2}x vs seed",
-            cell.n,
-            cell.d,
-            cell.k,
-            cell.reps,
-            total_reps / seed_secs,
-            total_reps / run_on_secs,
-            total_reps / engine_secs,
-            speedup
-        );
-        cells.push(json!({
+        let sparse_over_dense_time = engine_sparse_secs / engine_secs.max(1e-12);
+        let sparse_over_dense_memory =
+            sparse_labels_memory_bytes as f64 / labels_memory_bytes.max(1) as f64;
+        let mut row = json!({
             "n": cell.n,
             "d": cell.d,
             "k": cell.k,
             "reps": cell.reps,
-            "seed_secs": seed_secs,
-            "run_on_secs": run_on_secs,
             "engine_secs": engine_secs,
-            "seed_replicates_per_sec": total_reps / seed_secs,
-            "run_on_replicates_per_sec": total_reps / run_on_secs,
+            "engine_sparse_secs": engine_sparse_secs,
             "engine_replicates_per_sec": total_reps / engine_secs,
-            "speedup_vs_seed": speedup,
-            "speedup_vs_run_on": run_on_secs / engine_secs.max(1e-12),
+            "engine_sparse_replicates_per_sec": total_reps / engine_sparse_secs,
+            "sparse_over_dense_time": sparse_over_dense_time,
             "labels_memory_bytes": labels_memory_bytes,
-        }));
+            "sparse_labels_memory_bytes": sparse_labels_memory_bytes,
+            "sparse_over_dense_memory": sparse_over_dense_memory,
+        });
+        if let Some((seed_secs, run_on_secs)) = legacy {
+            let speedup = seed_secs / engine_secs.max(1e-12);
+            println!(
+                "n={:<6} d={:<4} k={}  reps={:<3} seed {:>8.0} rps | run_on {:>8.0} rps | engine {:>8.0} rps | {:>5.2}x vs seed | sparse {:.2}x time, {:.1}% mem",
+                cell.n,
+                cell.d,
+                cell.k,
+                cell.reps,
+                total_reps / seed_secs,
+                total_reps / run_on_secs,
+                total_reps / engine_secs,
+                speedup,
+                sparse_over_dense_time,
+                100.0 * sparse_over_dense_memory,
+            );
+            let extra = json!({
+                "seed_secs": seed_secs,
+                "run_on_secs": run_on_secs,
+                "seed_replicates_per_sec": total_reps / seed_secs,
+                "run_on_replicates_per_sec": total_reps / run_on_secs,
+                "speedup_vs_seed": speedup,
+                "speedup_vs_run_on": run_on_secs / engine_secs.max(1e-12),
+            });
+            if let (Value::Object(row_map), Value::Object(extra_map)) = (&mut row, extra) {
+                row_map.extend(extra_map);
+            }
+        } else {
+            println!(
+                "n={:<6} d={:<4} k={}  reps={:<3} engine dense {:>8.3}s ({} B) | sparse {:>8.3}s ({} B) | sparse {:.2}x time, {:.1}% mem",
+                cell.n,
+                cell.d,
+                cell.k,
+                cell.reps,
+                engine_secs,
+                labels_memory_bytes,
+                engine_sparse_secs,
+                sparse_labels_memory_bytes,
+                sparse_over_dense_time,
+                100.0 * sparse_over_dense_memory,
+            );
+        }
+        cells.push(row);
     }
 
-    let geomean = (cells
-        .iter()
-        .map(|c| {
-            c["speedup_vs_seed"]
-                .as_f64()
-                .expect("speedup is a number")
-                .ln()
-        })
-        .sum::<f64>()
-        / cells.len() as f64)
-        .exp();
+    let geomean_of = |values: Vec<f64>| -> Option<f64> {
+        if values.is_empty() {
+            None
+        } else {
+            Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
+        }
+    };
+    let geomean = geomean_of(
+        cells
+            .iter()
+            .filter_map(|c| c["speedup_vs_seed"].as_f64())
+            .collect(),
+    )
+    .expect("at least one full-arms cell");
     println!("geometric-mean evaluation speedup vs seed: {geomean:.2}x");
+    // Paper-scale cells only (N ≤ 2000): the acceptance bound on the
+    // sparse layout's wall-clock overhead where dense is the right
+    // default.
+    let geomean_sparse = geomean_of(
+        cells
+            .iter()
+            .filter(|c| c["n"].as_u64().expect("n") <= 2000)
+            .filter_map(|c| c["sparse_over_dense_time"].as_f64())
+            .collect(),
+    )
+    .expect("at least one small cell");
+    println!(
+        "geometric-mean sparse/dense engine time on N <= 2000 cells: {geomean_sparse:.3}x"
+    );
+
+    // Memory-regression guard (CI rides on the --quick run): on the
+    // largest dual-measured cell, the sparse layout must be strictly
+    // smaller than the dense arena, or the layout has regressed to
+    // pointlessness. Tiny cells are exempt — the flat arena is
+    // legitimately smaller below ~1000 nodes, which is the auto
+    // heuristic's whole point — so the guard only bites when a cell
+    // at scale measured both layouts (always true for the standard
+    // grids; only a pathological KHOP_DENSE_BYTES_CAP removes them).
+    match guard {
+        Some((guard_n, guard_dense, guard_sparse)) if guard_n >= 1000 => {
+            assert!(
+                guard_sparse < guard_dense,
+                "sparse labels ({guard_sparse} B) not strictly below dense ({guard_dense} B) on the largest cell (n={guard_n})"
+            );
+            println!(
+                "memory guard: n={guard_n} sparse {guard_sparse} B < dense {guard_dense} B ({:.1}%)",
+                100.0 * guard_sparse as f64 / guard_dense as f64
+            );
+        }
+        _ => println!("memory guard: skipped (no dual-measured cell with n >= 1000)"),
+    }
 
     let doc = json!({
-        "schema": "khop-perf-baseline/v1",
+        "schema": "khop-perf-baseline/v2",
         "git": git_describe(),
         "quick": quick_mode(),
+        "large": large_mode(),
         "geomean_speedup_vs_seed": geomean,
+        "geomean_sparse_over_dense_time_small_n": geomean_sparse,
         "cells": cells,
     });
 
@@ -492,7 +659,7 @@ fn main() {
     // serialization bug fails loudly (this is the CI check).
     let raw = std::fs::read_to_string(&path).expect("read back BENCH_pipeline.json");
     let parsed: Value = serde_json::from_str(&raw).expect("BENCH_pipeline.json must parse");
-    assert_eq!(parsed["schema"], "khop-perf-baseline/v1");
+    assert_eq!(parsed["schema"], "khop-perf-baseline/v2");
     assert!(
         !parsed["cells"].as_array().expect("cells array").is_empty(),
         "baseline must contain at least one cell"

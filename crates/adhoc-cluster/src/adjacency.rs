@@ -16,7 +16,7 @@
 use crate::clustering::Clustering;
 use adhoc_graph::bfs::Adjacency;
 use adhoc_graph::graph::NodeId;
-use adhoc_graph::labels::HeadLabels;
+use adhoc_graph::labels::{HeadLabels, LabelStore};
 use std::collections::BTreeMap;
 
 /// Which neighbor clusterhead selection rule to apply.
@@ -100,7 +100,7 @@ pub fn neighbor_clusterheads<G: Adjacency>(
     match rule {
         NeighborRule::All2kPlus1 => {
             let bound = 2 * clustering.k + 1;
-            let labels = HeadLabels::build(g, &clustering.heads, bound);
+            let labels = LabelStore::Dense(HeadLabels::build(g, &clustering.heads, bound));
             nc_from_labels(clustering, &labels)
         }
         NeighborRule::Adjacent => adjacent_heads(g, clustering),
@@ -109,13 +109,17 @@ pub fn neighbor_clusterheads<G: Adjacency>(
 
 /// NC rule read off precomputed head labels: head `o` is selected by
 /// `h` iff `dist(h, o) <= 2k+1`. No graph traversal happens here — the
-/// evaluation engine shares one [`HeadLabels`] build across the NC
-/// relation, both virtual graphs, and G-MST.
+/// evaluation engine shares one [`LabelStore`] build across the NC
+/// relation, both virtual graphs, and G-MST. Each row comes from
+/// [`LabelStore::heads_within`], which the dense layout answers by
+/// probing every head (`O(h)` per row) and the sparse layout by
+/// scanning the head's ball (`O(ball)` per row — asymptotically
+/// cheaper at scale).
 ///
 /// # Panics
 /// Panics if `labels` was built from a different head set or with a
 /// bound below `2k+1`.
-pub fn nc_from_labels(clustering: &Clustering, labels: &HeadLabels) -> NeighborSets {
+pub fn nc_from_labels(clustering: &Clustering, labels: &LabelStore) -> NeighborSets {
     let bound = 2 * clustering.k + 1;
     assert!(
         labels.bound() >= bound,
@@ -125,14 +129,8 @@ pub fn nc_from_labels(clustering: &Clustering, labels: &HeadLabels) -> NeighborS
     assert_eq!(labels.heads(), &clustering.heads[..], "head set mismatch");
     let mut sets: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
     for (slot, &h) in clustering.heads.iter().enumerate() {
-        // `heads` is ascending, so the filtered list is already sorted.
-        let near: Vec<NodeId> = clustering
-            .heads
-            .iter()
-            .copied()
-            .filter(|&o| o != h && labels.dist(slot, o) <= bound)
-            .collect();
-        sets.insert(h, near);
+        // `heads` is ascending, so both layouts yield sorted rows.
+        sets.insert(h, labels.heads_within(slot, bound));
     }
     NeighborSets { sets }
 }
@@ -150,7 +148,7 @@ pub fn nc_from_labels(clustering: &Clustering, labels: &HeadLabels) -> NeighborS
 /// head set.
 pub fn nc_from_labels_patched(
     clustering: &Clustering,
-    labels: &HeadLabels,
+    labels: &LabelStore,
     prev: &NeighborSets,
     dirty: &[usize],
 ) -> NeighborSets {
@@ -173,13 +171,7 @@ pub fn nc_from_labels_patched(
     // are stable and only dirty ones need touching.
     for &slot in dirty {
         let h = clustering.heads[slot];
-        let near: Vec<NodeId> = clustering
-            .heads
-            .iter()
-            .copied()
-            .filter(|&o| o != h && labels.dist(slot, o) <= bound)
-            .collect();
-        sets.insert(h, near);
+        sets.insert(h, labels.heads_within(slot, bound));
     }
     NeighborSets { sets }
 }

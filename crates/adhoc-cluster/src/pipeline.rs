@@ -6,7 +6,7 @@
 //! * [`run_on`] — evaluate **one** algorithm on a shared clustering
 //!   (the original API, kept as a thin compatible wrapper).
 //! * [`run_all`] — the single-sweep evaluation engine: evaluate **all
-//!   five** algorithms from one [`HeadLabels`] build (one BFS per
+//!   five** algorithms from one [`LabelStore`] build (one BFS per
 //!   clusterhead) and one NC virtual graph; the AC graph is derived by
 //!   filtering NC links against the adjacency relation (A-NCR ⊆ NC,
 //!   Theorem 1), and G-MST reads the same unbounded labels. This is
@@ -30,9 +30,10 @@ use crate::priority::LowestId;
 use crate::virtual_graph::VirtualGraph;
 use adhoc_graph::bfs::Adjacency;
 use adhoc_graph::delta::TopologyDelta;
-use adhoc_graph::labels::HeadLabels;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+pub use adhoc_graph::labels::{LabelMode, LabelStore};
 
 /// The five gateway-construction algorithms compared in §4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -141,14 +142,39 @@ pub fn run_on<G: Adjacency>(
     algorithm: Algorithm,
     clustering: &Clustering,
 ) -> PipelineOutput {
+    run_on_with(g, algorithm, clustering, &mut EvalScratch::with_mode(LabelMode::Dense))
+}
+
+/// As [`run_on`], reusing `scratch` — and with it the scratch's label
+/// layout policy, which is how `khop run --labels …` evaluates a
+/// single algorithm under the sparse layout without paying for the
+/// other four. Output is bit-identical across layouts (pinned by the
+/// `label_equivalence` proptests). G-MST ignores the scratch: the
+/// centralized baseline reads unbounded head-to-head distances, not
+/// the localized `2k+1` store.
+pub fn run_on_with<G: Adjacency>(
+    g: &G,
+    algorithm: Algorithm,
+    clustering: &Clustering,
+    scratch: &mut EvalScratch,
+) -> PipelineOutput {
     let (virtual_graph, selection) = match algorithm {
         Algorithm::GMst => (None, gateway::gmst(g, clustering)),
         _ => {
+            let bound = 2 * clustering.k + 1;
+            scratch.ensure_layout(g.node_count(), clustering.heads.len());
+            scratch.labels.rebuild(g, &clustering.heads, bound);
             let rule = algorithm.neighbor_rule().expect("localized algorithm");
-            let vg = VirtualGraph::build(g, clustering, rule);
+            let sets = match rule {
+                NeighborRule::All2kPlus1 => adjacency::nc_from_labels(clustering, &scratch.labels),
+                NeighborRule::Adjacent => adjacency::neighbor_clusterheads(g, clustering, rule),
+            };
+            let vg = VirtualGraph::from_labels(g, clustering, sets, &scratch.labels);
             let sel = match algorithm {
                 Algorithm::NcMesh | Algorithm::AcMesh => gateway::mesh(&vg, clustering),
-                Algorithm::NcLmst | Algorithm::AcLmst => gateway::lmstga(&vg, clustering),
+                Algorithm::NcLmst | Algorithm::AcLmst => {
+                    gateway::lmstga_with(&mut scratch.lmstga, &vg, clustering)
+                }
                 Algorithm::GMst => unreachable!(),
             };
             (Some(vg), sel)
@@ -166,30 +192,67 @@ pub fn run_on<G: Adjacency>(
 /// Reusable per-worker state of the evaluation engine: the head-label
 /// arena persists across replicates within a thread, so a warm worker
 /// pays no per-replicate allocation for the label sweep.
+///
+/// The arena lives behind a [`LabelStore`] in one of two layouts — the
+/// dense `heads × n` distance matrix or the sparse ball-indexed rows —
+/// selected by the scratch's [`LabelMode`]. The default `Auto` mode
+/// keeps paper-scale grids on the dense layout and switches to sparse
+/// once the projected flat arena would exceed
+/// [`adhoc_graph::labels::AUTO_SPARSE_THRESHOLD_BYTES`] (the regime
+/// where `O(h · n)` memory, not time, caps scale). Every product is
+/// bit-for-bit identical across layouts (pinned by the
+/// `label_equivalence` proptests).
 #[derive(Debug, Default)]
 pub struct EvalScratch {
-    labels: HeadLabels,
+    labels: LabelStore,
+    mode: LabelMode,
     lmstga: gateway::LmstgaScratch,
 }
 
 impl EvalScratch {
-    /// Fresh scratch; buffers grow on first use and are then reused.
+    /// Fresh scratch in [`LabelMode::Auto`]; buffers grow on first use
+    /// and are then reused.
     pub fn new() -> Self {
         EvalScratch::default()
+    }
+
+    /// Fresh scratch with an explicit label layout policy.
+    pub fn with_mode(mode: LabelMode) -> Self {
+        EvalScratch {
+            labels: LabelStore::for_mode(mode, 0, 0),
+            mode,
+            lmstga: gateway::LmstgaScratch::default(),
+        }
+    }
+
+    /// The configured label layout policy.
+    pub fn mode(&self) -> LabelMode {
+        self.mode
     }
 
     /// The head-label arena of the last [`run_all_with`] /
     /// [`update_all`] call. Maintenance policies read distances off it
     /// (orphan and head-merge detection) instead of re-running BFS.
-    pub fn labels(&self) -> &HeadLabels {
+    pub fn labels(&self) -> &LabelStore {
         &self.labels
     }
 
-    /// Heap bytes currently held by the label arena (the
-    /// `O(heads × n)` dense layout the ROADMAP's sparse-layout decision
-    /// needs numbers on; recorded per grid cell by `perf_baseline`).
+    /// Heap bytes currently held by the label arena — `O(heads × n)`
+    /// dense, `O(Σ ball sizes + n)` sparse. Recorded per grid cell by
+    /// `perf_baseline` (both layouts), which is the data the ROADMAP's
+    /// dense-vs-sparse decision closed on.
     pub fn labels_memory_bytes(&self) -> usize {
         self.labels.memory_bytes()
+    }
+
+    /// Swaps in the layout the mode wants for an upcoming build over
+    /// `heads` sources on an `n`-node graph. A swap drops the warm
+    /// arena (forcing the rebuild the caller is about to do anyway);
+    /// with a stable `(n, heads)` the layout never flaps.
+    fn ensure_layout(&mut self, n: usize, heads: usize) {
+        if self.mode.wants_sparse(n, heads) != self.labels.is_sparse() {
+            self.labels = LabelStore::for_mode(self.mode, n, heads);
+        }
     }
 }
 
@@ -247,6 +310,7 @@ pub fn run_all_with<G: Adjacency>(
     // [`gateway::gmst_via_nc`] — even the global MST baseline, so no
     // unbounded traversal happens on the hot path at all.
     let bound = 2 * clustering.k + 1;
+    scratch.ensure_layout(g.node_count(), clustering.heads.len());
     scratch.labels.rebuild(g, &clustering.heads, bound);
     let labels = &scratch.labels;
 
@@ -263,7 +327,7 @@ pub fn run_all_with<G: Adjacency>(
 fn eval_from_nc<G: Adjacency>(
     g: &G,
     clustering: &Clustering,
-    labels: &HeadLabels,
+    labels: &LabelStore,
     nc_graph: VirtualGraph,
     lmstga: &mut gateway::LmstgaScratch,
 ) -> EvaluationOutput {
@@ -390,6 +454,10 @@ pub fn advance_labels<G: Adjacency>(
     scratch: &mut EvalScratch,
 ) -> LabelAdvance {
     let bound = 2 * clustering.k + 1;
+    // A layout switch (auto heuristic crossing its threshold) empties
+    // the store, which the compatibility test below turns into the
+    // full rebuild such a switch requires anyway.
+    scratch.ensure_layout(g.node_count(), clustering.heads.len());
     let compatible = scratch.labels.heads() == &clustering.heads[..]
         && scratch.labels.bound() == bound
         && scratch.labels.node_count() == g.node_count();
@@ -485,7 +553,7 @@ pub fn update_all_after<G: Adjacency>(
 /// The refresh touches only what the delta can have changed:
 ///
 /// 1. labels — one bounded BFS per **dirty** head
-///    ([`HeadLabels::apply_delta`]); clean rows are reused;
+///    ([`LabelStore::apply_delta`]); clean rows are reused;
 /// 2. NC relation — dirty rows re-derived, clean rows copied
 ///    ([`adjacency::nc_from_labels_patched`]);
 /// 3. NC links — canonical paths re-walked only for pairs owned by a
@@ -511,6 +579,7 @@ pub fn update_all<G: Adjacency>(
         advance_labels(g, clustering, delta, scratch)
     } else {
         let bound = 2 * clustering.k + 1;
+        scratch.ensure_layout(g.node_count(), clustering.heads.len());
         scratch.labels.rebuild(g, &clustering.heads, bound);
         LabelAdvance::Rebuilt
     };
@@ -697,6 +766,76 @@ mod tests {
         assert!(report.rebuilt);
         assert_eq!(report.dirty_fraction(), 1.0);
         assert_evals_equal(&next, &run_all(&g, &clustering), "fallback");
+    }
+
+    /// The auto heuristic picks sparse above the projected-bytes
+    /// threshold and dense below — and an explicit mode overrides it.
+    #[test]
+    fn auto_mode_picks_layout_by_projected_arena() {
+        // path(3200) with k=1 elects a head every other node: 1600
+        // heads × 3200 nodes × 4 B ≈ 20.5 MB > the 16 MiB threshold.
+        let big = gen::path(3200);
+        let big_clustering =
+            crate::clustering::cluster(&big, 1, &LowestId, MemberPolicy::IdBased);
+        assert!(big_clustering.heads.len() * big.len() * 4 > 16 << 20);
+        let mut auto = EvalScratch::new();
+        assert_eq!(auto.mode(), LabelMode::Auto);
+        run_all_with(&big, &big_clustering, &mut auto);
+        assert!(auto.labels().is_sparse(), "large arena must go sparse");
+
+        // A small graph through the same scratch switches back.
+        let small = gen::path(40);
+        let small_clustering =
+            crate::clustering::cluster(&small, 1, &LowestId, MemberPolicy::IdBased);
+        run_all_with(&small, &small_clustering, &mut auto);
+        assert!(!auto.labels().is_sparse(), "small arena stays dense");
+
+        // Explicit overrides ignore the projection.
+        let mut forced_sparse = EvalScratch::with_mode(LabelMode::Sparse);
+        run_all_with(&small, &small_clustering, &mut forced_sparse);
+        assert!(forced_sparse.labels().is_sparse());
+        let mut forced_dense = EvalScratch::with_mode(LabelMode::Dense);
+        run_all_with(&big, &big_clustering, &mut forced_dense);
+        assert!(!forced_dense.labels().is_sparse());
+        assert!(
+            forced_sparse.labels_memory_bytes() > 0
+                && forced_dense.labels_memory_bytes() > 0
+        );
+    }
+
+    /// A sparse-mode scratch drives the full engine — run_all and a
+    /// delta chain — to the same outputs as a dense one.
+    #[test]
+    fn sparse_scratch_matches_dense_through_updates() {
+        use adhoc_graph::graph::NodeId;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(505);
+        let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+        let mut g = net.graph.clone();
+        let clustering = crate::clustering::cluster(&g, 2, &LowestId, MemberPolicy::IdBased);
+        let mut dense = EvalScratch::with_mode(LabelMode::Dense);
+        let mut sparse = EvalScratch::with_mode(LabelMode::Sparse);
+        let mut prev_d = run_all_with(&g, &clustering, &mut dense);
+        let mut prev_s = run_all_with(&g, &clustering, &mut sparse);
+        assert_evals_equal(&prev_d, &prev_s, "cold");
+        for step in 0..8 {
+            let mut delta = adhoc_graph::delta::TopologyDelta::new();
+            for _ in 0..rng.gen_range(1..4) {
+                let a = NodeId(rng.gen_range(0..80u32));
+                let b = NodeId(rng.gen_range(0..80u32));
+                if a != b && !g.has_edge(a, b) {
+                    g.add_edge(a, b);
+                    delta.push_added(a, b);
+                }
+            }
+            delta.normalize();
+            let (next_d, rd) = update_all(&g, &clustering, &delta, &prev_d, &mut dense);
+            let (next_s, rs) = update_all(&g, &clustering, &delta, &prev_s, &mut sparse);
+            assert_eq!(rd, rs, "step {step}: reports");
+            assert_evals_equal(&next_d, &next_s, &format!("step {step}"));
+            prev_d = next_d;
+            prev_s = next_s;
+        }
     }
 
     /// An empty delta is a no-op refresh with zero dirty heads.

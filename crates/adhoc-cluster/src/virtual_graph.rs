@@ -25,7 +25,7 @@ use crate::adjacency::{self, NeighborRule, NeighborSets};
 use crate::clustering::Clustering;
 use adhoc_graph::bfs::{self, Adjacency};
 use adhoc_graph::graph::NodeId;
-use adhoc_graph::labels::HeadLabels;
+use adhoc_graph::labels::{HeadLabels, LabelStore};
 use adhoc_graph::lmst::TieWeight;
 use adhoc_graph::paths;
 
@@ -220,7 +220,7 @@ impl VirtualGraph {
     /// ([`HeadLabels`]) and derives everything from the labels.
     pub fn build<G: Adjacency>(g: &G, clustering: &Clustering, rule: NeighborRule) -> Self {
         let bound = 2 * clustering.k + 1;
-        let labels = HeadLabels::build(g, &clustering.heads, bound);
+        let labels = LabelStore::Dense(HeadLabels::build(g, &clustering.heads, bound));
         let neighbor_sets = match rule {
             NeighborRule::All2kPlus1 => adjacency::nc_from_labels(clustering, &labels),
             NeighborRule::Adjacent => adjacency::neighbor_clusterheads(g, clustering, rule),
@@ -229,8 +229,9 @@ impl VirtualGraph {
     }
 
     /// Builds the virtual graph for an already-computed neighbor
-    /// relation from shared head labels (no graph traversal beyond the
-    /// canonical label walks).
+    /// relation from shared head labels — dense or sparse, the walks
+    /// only need [`DistLabels`](adhoc_graph::bfs::DistLabels) row views
+    /// (no graph traversal beyond the canonical label walks).
     ///
     /// # Panics
     /// Panics if `labels` lacks a selected head or was built with a
@@ -239,7 +240,7 @@ impl VirtualGraph {
         g: &G,
         clustering: &Clustering,
         neighbor_sets: NeighborSets,
-        labels: &HeadLabels,
+        labels: &LabelStore,
     ) -> Self {
         assert!(
             labels.bound() > 2 * clustering.k,
@@ -268,7 +269,7 @@ impl VirtualGraph {
     }
 
     /// As [`Self::from_labels`], but after an **incremental** label
-    /// update ([`HeadLabels::apply_delta`]): links owned by a clean
+    /// update ([`LabelStore::apply_delta`]): links owned by a clean
     /// larger endpoint are copied byte-for-byte from `prev` (the
     /// canonical walk reads only that endpoint's distance row and the
     /// adjacency of nodes inside its ball, both provably untouched when
@@ -284,7 +285,7 @@ impl VirtualGraph {
         g: &G,
         clustering: &Clustering,
         neighbor_sets: NeighborSets,
-        labels: &HeadLabels,
+        labels: &LabelStore,
         prev: &VirtualGraph,
         dirty_slots: &[bool],
     ) -> Self {

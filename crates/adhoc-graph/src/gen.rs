@@ -39,6 +39,13 @@ pub struct GeometricConfig {
     pub max_attempts: usize,
 }
 
+/// Node count above which [`GeometricConfig::at_scale`] stops
+/// requiring a connected sample: at fixed density, large random
+/// geometric graphs are almost surely disconnected, so insisting
+/// would resample until the attempt cap panics. Every pipeline phase
+/// is well-defined per component.
+pub const CONNECTED_SAMPLING_LIMIT: usize = 1000;
+
 impl GeometricConfig {
     /// Convenience constructor for the paper's parameters.
     pub fn new(n: usize, side: f64, target_degree: f64) -> Self {
@@ -50,6 +57,17 @@ impl GeometricConfig {
             calibration_rounds: 3,
             max_attempts: 10_000,
         }
+    }
+
+    /// As [`Self::new`], with the workspace's large-`N` sampling
+    /// convention applied: connectivity is only required below
+    /// [`CONNECTED_SAMPLING_LIMIT`] nodes. The scaling benches and the
+    /// CLI use this so `N ∈ 10⁴..10⁵` instances generate instead of
+    /// resampling forever.
+    pub fn at_scale(n: usize, side: f64, target_degree: f64) -> Self {
+        let mut cfg = Self::new(n, side, target_degree);
+        cfg.require_connected = n < CONNECTED_SAMPLING_LIMIT;
+        cfg
     }
 }
 

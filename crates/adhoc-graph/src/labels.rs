@@ -344,6 +344,21 @@ impl HeadLabels {
         self.dist(slot, b)
     }
 
+    /// The *other* labeled heads within `bound` hops of the head in
+    /// `slot`, in head-list order (ascending when the labels were built
+    /// from a sorted head list, as the pipeline always does). This is
+    /// the NC-relation row the adjacency layer reads; the sparse layout
+    /// answers it from the ball instead of probing every head, so the
+    /// shared derivation goes through [`LabelStore::heads_within`].
+    pub fn heads_within(&self, slot: usize, bound: u32) -> Vec<NodeId> {
+        let h = self.heads[slot];
+        self.heads
+            .iter()
+            .copied()
+            .filter(|&o| o != h && self.dist(slot, o) <= bound)
+            .collect()
+    }
+
     /// The ball of the head in `slot`: every node within the bound, in
     /// BFS discovery order (the head itself first).
     pub fn ball(&self, slot: usize) -> &[NodeId] {
@@ -374,6 +389,659 @@ impl DistLabels for HeadRow<'_> {
     #[inline]
     fn dist(&self, v: NodeId) -> u32 {
         self.dist[v.index()]
+    }
+}
+
+/// Empty bucket marker of the per-row open-addressed tables
+/// (`u32::MAX` is never a real node ID — it is the crate-wide
+/// sentinel).
+const EMPTY: u32 = u32::MAX;
+
+/// Fibonacci-hash bucket of `v` in a power-of-two table of `mask + 1`
+/// slots.
+#[inline]
+fn bucket(v: NodeId, mask: usize) -> usize {
+    (((u64::from(v.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & mask
+}
+
+/// Hop-distance labels in the **sparse ball-indexed** layout: instead
+/// of a dense `heads × n` arena, each head's row stores only its
+/// bounded ball — the nodes the BFS actually reached — paired with a
+/// per-row open-addressed `(node, dist)` table. Lookups cost `O(1)`
+/// expected (one multiply plus a short linear probe at ≤ 50% load),
+/// and total memory is `O(Σ ball sizes)` instead of `O(h · n)`, which
+/// is what makes `N ≫ 10⁴` feasible (the ROADMAP's dense-layout probe
+/// extrapolates the flat arena to ~10 GB/thread at `N = 10⁵`).
+///
+/// Per row, two structures share slot boundaries:
+///
+/// ```text
+/// balls:      [ head0 ball, discovery order | head1 ball | ...   ]
+/// hash_keys:  [ head0 table (2·ball rounded | head1 table | ...  ]
+/// hash_dist:  [   up to a power of two)     |             | ...  ]
+/// ```
+///
+/// The discovery-order `balls` list is kept verbatim (it is the BFS
+/// queue during a build, and [`Self::ball`] must agree bit-for-bit
+/// with [`HeadLabels::ball`] for the incremental engine's equivalence
+/// contract); the hash table answers random [`Self::dist`] queries.
+/// One `n`-sized scratch row (touched-entry reset) is shared by every
+/// head's BFS, so the only per-head state is the ball itself.
+///
+/// Supported operations mirror [`HeadLabels`] except the
+/// `rebuild_reaching_heads` early-stop variant, which only the
+/// centralized G-MST fallback uses (and that path keeps the dense
+/// layout — it is off the hot path by construction).
+#[derive(Clone, Debug, Default)]
+pub struct SparseHeadLabels {
+    /// Node count of the graph of the last build.
+    n: usize,
+    /// Hop bound of the last build (`u32::MAX` = unbounded).
+    bound: u32,
+    /// The sources, in the order given to the last build.
+    heads: Vec<NodeId>,
+    /// Node-indexed inverse of `heads` (`NO_SLOT` for non-heads).
+    slot_of: Vec<u32>,
+    /// Concatenated per-head balls in BFS discovery order (doubles as
+    /// the BFS queue during a build).
+    balls: Vec<NodeId>,
+    /// `heads.len() + 1` offsets into `balls`.
+    ball_offsets: Vec<u32>,
+    /// Concatenated per-row open-addressed tables: node keys
+    /// ([`EMPTY`] marks a free bucket) ...
+    hash_keys: Vec<u32>,
+    /// ... and the distance stored under each key.
+    hash_dist: Vec<u32>,
+    /// `heads.len() + 1` offsets into `hash_keys` / `hash_dist`; each
+    /// row's table capacity is a power of two.
+    hash_offsets: Vec<u32>,
+    /// Shared BFS distance scratch (`n`-sized, all-`UNREACHED` between
+    /// sweeps; touched-entry reset via the ball just built).
+    scratch_dist: Vec<u32>,
+    /// Previous arenas while [`Self::apply_delta`] writes the new
+    /// concatenated lists (kept so incremental steps allocate nothing
+    /// once warm).
+    prev_balls: Vec<NodeId>,
+    prev_offsets: Vec<u32>,
+    prev_hash_keys: Vec<u32>,
+    prev_hash_dist: Vec<u32>,
+    prev_hash_offsets: Vec<u32>,
+}
+
+impl SparseHeadLabels {
+    /// Builds labels from scratch: one BFS per head, exploring to
+    /// `bound` hops (`u32::MAX` = whole component).
+    pub fn build<G: Adjacency>(g: &G, heads: &[NodeId], bound: u32) -> Self {
+        let mut labels = SparseHeadLabels::default();
+        labels.rebuild(g, heads, bound);
+        labels
+    }
+
+    /// Rebuilds the labels for a (possibly different) graph and head
+    /// set, reusing every allocation.
+    pub fn rebuild<G: Adjacency>(&mut self, g: &G, heads: &[NodeId], bound: u32) {
+        for &h in &self.heads {
+            if h.index() < self.slot_of.len() {
+                self.slot_of[h.index()] = NO_SLOT;
+            }
+        }
+        self.balls.clear();
+        self.ball_offsets.clear();
+        self.hash_keys.clear();
+        self.hash_dist.clear();
+        self.hash_offsets.clear();
+
+        self.n = g.node_count();
+        self.bound = bound;
+        self.heads.clear();
+        self.heads.extend_from_slice(heads);
+        if self.slot_of.len() < self.n {
+            self.slot_of.resize(self.n, NO_SLOT);
+        }
+        if self.scratch_dist.len() < self.n {
+            self.scratch_dist.resize(self.n, UNREACHED);
+        }
+        for (slot, &h) in self.heads.iter().enumerate() {
+            debug_assert_eq!(self.slot_of[h.index()], NO_SLOT, "duplicate head {h:?}");
+            self.slot_of[h.index()] = slot as u32;
+        }
+
+        self.ball_offsets.push(0);
+        self.hash_offsets.push(0);
+        for slot in 0..self.heads.len() {
+            self.sweep_head(g, slot);
+            self.ball_offsets.push(self.balls.len() as u32);
+            self.hash_offsets.push(self.hash_keys.len() as u32);
+        }
+    }
+
+    /// Runs one head's bounded BFS through the shared scratch row,
+    /// appends its ball (discovery order) and open-addressed lookup
+    /// table, and leaves the scratch all-`UNREACHED` again.
+    fn sweep_head<G: Adjacency>(&mut self, g: &G, slot: usize) {
+        let h = self.heads[slot];
+        let start = self.balls.len();
+        self.scratch_dist[h.index()] = 0;
+        self.balls.push(h);
+        let mut qi = start;
+        while qi < self.balls.len() {
+            let u = self.balls[qi];
+            qi += 1;
+            let du = self.scratch_dist[u.index()];
+            if du == self.bound {
+                continue;
+            }
+            for &v in g.adj(u) {
+                if self.scratch_dist[v.index()] == UNREACHED {
+                    self.scratch_dist[v.index()] = du + 1;
+                    self.balls.push(v);
+                }
+            }
+        }
+        // The row's lookup table: ≤ 50% load, power-of-two capacity,
+        // linear probing. Insertion order is irrelevant to lookups, so
+        // the ball goes in as discovered — no sort anywhere.
+        let ball_len = self.balls.len() - start;
+        let cap = (ball_len * 2).next_power_of_two();
+        let mask = cap - 1;
+        let base = self.hash_keys.len();
+        self.hash_keys.resize(base + cap, EMPTY);
+        self.hash_dist.resize(base + cap, UNREACHED);
+        for i in start..self.balls.len() {
+            let v = self.balls[i];
+            let mut b = bucket(v, mask);
+            while self.hash_keys[base + b] != EMPTY {
+                b = (b + 1) & mask;
+            }
+            self.hash_keys[base + b] = v.0;
+            self.hash_dist[base + b] = self.scratch_dist[v.index()];
+        }
+        // Touched-entry reset: the scratch is clean for the next head.
+        for i in start..self.balls.len() {
+            let v = self.balls[i];
+            self.scratch_dist[v.index()] = UNREACHED;
+        }
+    }
+
+    /// The slots (ascending) whose labels a topology delta can have
+    /// changed — same soundness argument as
+    /// [`HeadLabels::dirty_slots`]: a row changes only if a changed
+    /// edge has an endpoint inside that head's **old** ball.
+    ///
+    /// # Panics
+    /// Panics on deltas whose endpoints exceed the labeled node count.
+    pub fn dirty_slots(&self, delta: &TopologyDelta) -> Vec<usize> {
+        for v in delta.endpoints() {
+            assert!(v.index() < self.n, "delta endpoint {v:?} beyond labeled nodes");
+        }
+        let mut dirty = Vec::new();
+        for slot in 0..self.heads.len() {
+            let row = self.row(slot);
+            if delta.endpoints().any(|v| row.dist(v) != UNREACHED) {
+                dirty.push(slot);
+            }
+        }
+        dirty
+    }
+
+    /// Re-labels exactly the `dirty` slots (from [`Self::dirty_slots`])
+    /// against the post-delta graph `g`: clean rows are copied
+    /// byte-for-byte (ball, index, distances), dirty rows re-run their
+    /// bounded BFS. The result is identical to a full [`Self::rebuild`]
+    /// on `g` (pinned by tests).
+    ///
+    /// # Panics
+    /// Panics if `g`'s node count differs from the labeled one, or if
+    /// `dirty` is not ascending and in range.
+    pub fn apply_delta<G: Adjacency>(&mut self, g: &G, dirty: &[usize]) {
+        assert_eq!(g.node_count(), self.n, "deltas keep the node set");
+        debug_assert!(
+            dirty.windows(2).all(|w| w[0] < w[1]),
+            "dirty slots must be ascending and unique"
+        );
+        if dirty.is_empty() {
+            return;
+        }
+        for &slot in dirty {
+            assert!(slot < self.heads.len(), "dirty slot out of range");
+        }
+        std::mem::swap(&mut self.balls, &mut self.prev_balls);
+        std::mem::swap(&mut self.ball_offsets, &mut self.prev_offsets);
+        std::mem::swap(&mut self.hash_keys, &mut self.prev_hash_keys);
+        std::mem::swap(&mut self.hash_dist, &mut self.prev_hash_dist);
+        std::mem::swap(&mut self.hash_offsets, &mut self.prev_hash_offsets);
+        self.balls.clear();
+        self.ball_offsets.clear();
+        self.hash_keys.clear();
+        self.hash_dist.clear();
+        self.hash_offsets.clear();
+        self.ball_offsets.push(0);
+        self.hash_offsets.push(0);
+        let mut next_dirty = 0usize;
+        for slot in 0..self.heads.len() {
+            if next_dirty < dirty.len() && dirty[next_dirty] == slot {
+                next_dirty += 1;
+                self.sweep_head(g, slot);
+            } else {
+                let (lo, hi) = (
+                    self.prev_offsets[slot] as usize,
+                    self.prev_offsets[slot + 1] as usize,
+                );
+                self.balls.extend_from_slice(&self.prev_balls[lo..hi]);
+                let (hlo, hhi) = (
+                    self.prev_hash_offsets[slot] as usize,
+                    self.prev_hash_offsets[slot + 1] as usize,
+                );
+                self.hash_keys.extend_from_slice(&self.prev_hash_keys[hlo..hhi]);
+                self.hash_dist.extend_from_slice(&self.prev_hash_dist[hlo..hhi]);
+            }
+            self.ball_offsets.push(self.balls.len() as u32);
+            self.hash_offsets.push(self.hash_keys.len() as u32);
+        }
+    }
+
+    /// Bytes of heap memory the label arenas currently hold (capacity,
+    /// not logical size). The dominant terms are the ball list and the
+    /// per-row tables (4 + ~16–32 bytes per ball entry at ≤ 50% load,
+    /// plus their warm `prev` copies) and the two `n`-sized node maps
+    /// — `O(Σ ball sizes + n)`, versus the dense layout's `O(h · n)`.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.balls.capacity() + self.prev_balls.capacity() + self.heads.capacity())
+            * size_of::<NodeId>()
+            + (self.hash_keys.capacity()
+                + self.prev_hash_keys.capacity()
+                + self.hash_dist.capacity()
+                + self.prev_hash_dist.capacity()
+                + self.hash_offsets.capacity()
+                + self.prev_hash_offsets.capacity()
+                + self.ball_offsets.capacity()
+                + self.prev_offsets.capacity()
+                + self.scratch_dist.capacity()
+                + self.slot_of.capacity())
+                * size_of::<u32>()
+    }
+
+    /// The heads the labels were built from, in slot order.
+    #[inline]
+    pub fn heads(&self) -> &[NodeId] {
+        &self.heads
+    }
+
+    /// The hop bound of the last build (`u32::MAX` = unbounded).
+    #[inline]
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Node count of the graph of the last build.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The slot of `head`, or `None` if it is not a labeled source.
+    #[inline]
+    pub fn slot(&self, head: NodeId) -> Option<usize> {
+        match self.slot_of.get(head.index()) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Hop distance from the head in `slot` to `v` (`UNREACHED` if `v`
+    /// is outside the head's ball). One multiply plus a short linear
+    /// probe of the row's table — `O(1)` expected, like the dense
+    /// layout, just through one more indirection.
+    #[inline]
+    pub fn dist(&self, slot: usize, v: NodeId) -> u32 {
+        self.row(slot).dist(v)
+    }
+
+    /// Hop distance between two labeled heads (`UNREACHED` if beyond
+    /// the bound or disconnected).
+    ///
+    /// # Panics
+    /// Panics if `a` is not a labeled head.
+    pub fn head_dist(&self, a: NodeId, b: NodeId) -> u32 {
+        let slot = self
+            .slot(a)
+            .unwrap_or_else(|| panic!("{a:?} is not a labeled head"));
+        self.dist(slot, b)
+    }
+
+    /// The *other* labeled heads within `bound` hops of the head in
+    /// `slot`, ascending by ID (requires an ascending head list, which
+    /// the pipeline always supplies). Scans whichever side is smaller:
+    /// the head list (like the dense layout, already sorted) or the
+    /// head's ball (`O(ball)` — the reason the NC relation gets
+    /// *cheaper* under this layout once `h ≫ ball`, which is exactly
+    /// the large-`N` regime).
+    pub fn heads_within(&self, slot: usize, bound: u32) -> Vec<NodeId> {
+        let h = self.heads[slot];
+        let row = self.row(slot);
+        let ball = {
+            let (lo, hi) = (
+                self.ball_offsets[slot] as usize,
+                self.ball_offsets[slot + 1] as usize,
+            );
+            &self.balls[lo..hi]
+        };
+        if self.heads.len() <= ball.len() {
+            self.heads
+                .iter()
+                .copied()
+                .filter(|&o| o != h && row.dist(o) <= bound)
+                .collect()
+        } else {
+            let mut near: Vec<NodeId> = ball
+                .iter()
+                .copied()
+                .filter(|&v| v != h && self.slot_of[v.index()] != NO_SLOT && row.dist(v) <= bound)
+                .collect();
+            near.sort_unstable();
+            near
+        }
+    }
+
+    /// The ball of the head in `slot`: every node within the bound, in
+    /// BFS discovery order (the head itself first) — bit-identical to
+    /// what [`HeadLabels::ball`] yields for the same build.
+    pub fn ball(&self, slot: usize) -> &[NodeId] {
+        let (lo, hi) = (
+            self.ball_offsets[slot] as usize,
+            self.ball_offsets[slot + 1] as usize,
+        );
+        &self.balls[lo..hi]
+    }
+
+    /// The distance row of `slot` as a [`DistLabels`] view, usable with
+    /// [`crate::bfs::lexico_path_from_labels`].
+    #[inline]
+    pub fn row(&self, slot: usize) -> SparseRow<'_> {
+        let lo = self.hash_offsets[slot] as usize;
+        let hi = self.hash_offsets[slot + 1] as usize;
+        SparseRow {
+            keys: &self.hash_keys[lo..hi],
+            dist: &self.hash_dist[lo..hi],
+        }
+    }
+}
+
+/// One sparse head's distance row (a borrowed [`DistLabels`] view over
+/// the row's open-addressed table).
+#[derive(Clone, Copy, Debug)]
+pub struct SparseRow<'a> {
+    keys: &'a [u32],
+    dist: &'a [u32],
+}
+
+impl DistLabels for SparseRow<'_> {
+    #[inline]
+    fn dist(&self, v: NodeId) -> u32 {
+        let mask = self.keys.len() - 1;
+        let mut b = bucket(v, mask);
+        loop {
+            let k = self.keys[b];
+            if k == v.0 {
+                return self.dist[b];
+            }
+            if k == EMPTY {
+                return UNREACHED;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+}
+
+/// Projected dense-arena size (`heads × n × 4` bytes) above which
+/// [`LabelMode::Auto`] switches a build to the sparse layout. 16 MiB
+/// keeps the paper-scale grids (`N ≤ 2000`, where the flat arena is at
+/// most a few MB and its `O(1)` lookups win) on the dense layout while
+/// every `N ≥ 10⁴` cell at default density lands on sparse.
+pub const AUTO_SPARSE_THRESHOLD_BYTES: usize = 16 << 20;
+
+/// Which label layout an evaluation scratch should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LabelMode {
+    /// Always the flat `heads × n` arena ([`HeadLabels`]).
+    Dense,
+    /// Always the ball-indexed layout ([`SparseHeadLabels`]).
+    Sparse,
+    /// Decide per build: sparse once the projected dense arena
+    /// (`heads · n · 4` bytes) exceeds
+    /// [`AUTO_SPARSE_THRESHOLD_BYTES`].
+    #[default]
+    Auto,
+}
+
+impl LabelMode {
+    /// Whether a build over `heads` sources on an `n`-node graph
+    /// should use the sparse layout under this mode.
+    pub fn wants_sparse(self, n: usize, heads: usize) -> bool {
+        match self {
+            LabelMode::Dense => false,
+            LabelMode::Sparse => true,
+            LabelMode::Auto => {
+                heads.saturating_mul(n).saturating_mul(4) > AUTO_SPARSE_THRESHOLD_BYTES
+            }
+        }
+    }
+
+    /// Display name (`dense` / `sparse` / `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LabelMode::Dense => "dense",
+            LabelMode::Sparse => "sparse",
+            LabelMode::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for LabelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "dense" => Ok(LabelMode::Dense),
+            "sparse" => Ok(LabelMode::Sparse),
+            "auto" => Ok(LabelMode::Auto),
+            other => Err(format!("unknown label layout {other} (dense|sparse|auto)")),
+        }
+    }
+}
+
+/// A head-label arena in either layout, presenting one API so every
+/// consumer — the NC relation, the virtual-graph builders, the
+/// incremental churn engine — runs unmodified off dense or sparse
+/// storage. The evaluation scratch owns one of these and picks the
+/// variant per [`LabelMode`].
+#[derive(Clone, Debug)]
+pub enum LabelStore {
+    /// Flat `heads × n` distance arena — direct-indexed lookups,
+    /// `O(h · n)` memory.
+    Dense(HeadLabels),
+    /// Ball-indexed rows — `O(1)` expected hash lookups, `O(Σ ball
+    /// sizes)` memory.
+    Sparse(SparseHeadLabels),
+}
+
+impl Default for LabelStore {
+    fn default() -> Self {
+        LabelStore::Dense(HeadLabels::default())
+    }
+}
+
+impl LabelStore {
+    /// An empty dense store.
+    pub fn dense() -> Self {
+        LabelStore::Dense(HeadLabels::default())
+    }
+
+    /// An empty sparse store.
+    pub fn sparse() -> Self {
+        LabelStore::Sparse(SparseHeadLabels::default())
+    }
+
+    /// An empty store in the layout `mode` selects for an `n`-node
+    /// graph with `heads` sources.
+    pub fn for_mode(mode: LabelMode, n: usize, heads: usize) -> Self {
+        if mode.wants_sparse(n, heads) {
+            LabelStore::sparse()
+        } else {
+            LabelStore::dense()
+        }
+    }
+
+    /// Whether this store uses the sparse layout.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, LabelStore::Sparse(_))
+    }
+
+    /// Display name of the active layout (`dense` / `sparse`).
+    pub fn layout_name(&self) -> &'static str {
+        match self {
+            LabelStore::Dense(_) => "dense",
+            LabelStore::Sparse(_) => "sparse",
+        }
+    }
+
+    /// Rebuilds the labels for a (possibly different) graph and head
+    /// set, reusing every allocation of the active layout.
+    pub fn rebuild<G: Adjacency>(&mut self, g: &G, heads: &[NodeId], bound: u32) {
+        match self {
+            LabelStore::Dense(l) => l.rebuild(g, heads, bound),
+            LabelStore::Sparse(l) => l.rebuild(g, heads, bound),
+        }
+    }
+
+    /// See [`HeadLabels::dirty_slots`] / [`SparseHeadLabels::dirty_slots`].
+    pub fn dirty_slots(&self, delta: &TopologyDelta) -> Vec<usize> {
+        match self {
+            LabelStore::Dense(l) => l.dirty_slots(delta),
+            LabelStore::Sparse(l) => l.dirty_slots(delta),
+        }
+    }
+
+    /// See [`HeadLabels::apply_delta`] / [`SparseHeadLabels::apply_delta`].
+    pub fn apply_delta<G: Adjacency>(&mut self, g: &G, dirty: &[usize]) {
+        match self {
+            LabelStore::Dense(l) => l.apply_delta(g, dirty),
+            LabelStore::Sparse(l) => l.apply_delta(g, dirty),
+        }
+    }
+
+    /// Bytes of heap memory the active layout currently holds.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            LabelStore::Dense(l) => l.memory_bytes(),
+            LabelStore::Sparse(l) => l.memory_bytes(),
+        }
+    }
+
+    /// The heads the labels were built from, in slot order.
+    #[inline]
+    pub fn heads(&self) -> &[NodeId] {
+        match self {
+            LabelStore::Dense(l) => l.heads(),
+            LabelStore::Sparse(l) => l.heads(),
+        }
+    }
+
+    /// The hop bound of the last build (`u32::MAX` = unbounded).
+    #[inline]
+    pub fn bound(&self) -> u32 {
+        match self {
+            LabelStore::Dense(l) => l.bound(),
+            LabelStore::Sparse(l) => l.bound(),
+        }
+    }
+
+    /// Node count of the graph of the last build.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        match self {
+            LabelStore::Dense(l) => l.node_count(),
+            LabelStore::Sparse(l) => l.node_count(),
+        }
+    }
+
+    /// The slot of `head`, or `None` if it is not a labeled source.
+    #[inline]
+    pub fn slot(&self, head: NodeId) -> Option<usize> {
+        match self {
+            LabelStore::Dense(l) => l.slot(head),
+            LabelStore::Sparse(l) => l.slot(head),
+        }
+    }
+
+    /// Hop distance from the head in `slot` to `v` (`UNREACHED` if `v`
+    /// is outside the head's ball).
+    #[inline]
+    pub fn dist(&self, slot: usize, v: NodeId) -> u32 {
+        match self {
+            LabelStore::Dense(l) => l.dist(slot, v),
+            LabelStore::Sparse(l) => l.dist(slot, v),
+        }
+    }
+
+    /// Hop distance between two labeled heads.
+    ///
+    /// # Panics
+    /// Panics if `a` is not a labeled head.
+    pub fn head_dist(&self, a: NodeId, b: NodeId) -> u32 {
+        match self {
+            LabelStore::Dense(l) => l.head_dist(a, b),
+            LabelStore::Sparse(l) => l.head_dist(a, b),
+        }
+    }
+
+    /// The *other* labeled heads within `bound` hops of the head in
+    /// `slot`, ascending (both layouts agree when the labels were
+    /// built from an ascending head list, as the pipeline always
+    /// does).
+    pub fn heads_within(&self, slot: usize, bound: u32) -> Vec<NodeId> {
+        match self {
+            LabelStore::Dense(l) => l.heads_within(slot, bound),
+            LabelStore::Sparse(l) => l.heads_within(slot, bound),
+        }
+    }
+
+    /// The ball of the head in `slot`, in BFS discovery order —
+    /// bit-identical across layouts for the same build.
+    pub fn ball(&self, slot: usize) -> &[NodeId] {
+        match self {
+            LabelStore::Dense(l) => l.ball(slot),
+            LabelStore::Sparse(l) => l.ball(slot),
+        }
+    }
+
+    /// The distance row of `slot` as a [`DistLabels`] view.
+    #[inline]
+    pub fn row(&self, slot: usize) -> LabelRow<'_> {
+        match self {
+            LabelStore::Dense(l) => LabelRow::Dense(l.row(slot)),
+            LabelStore::Sparse(l) => LabelRow::Sparse(l.row(slot)),
+        }
+    }
+}
+
+/// One head's distance row from a [`LabelStore`], in either layout.
+#[derive(Clone, Copy, Debug)]
+pub enum LabelRow<'a> {
+    /// Borrowed dense row (direct-indexed lookups).
+    Dense(HeadRow<'a>),
+    /// Borrowed sparse row (`O(1)` expected hash lookups).
+    Sparse(SparseRow<'a>),
+}
+
+impl DistLabels for LabelRow<'_> {
+    #[inline]
+    fn dist(&self, v: NodeId) -> u32 {
+        match self {
+            LabelRow::Dense(r) => r.dist(v),
+            LabelRow::Sparse(r) => r.dist(v),
+        }
     }
 }
 
@@ -615,5 +1283,186 @@ mod tests {
         let labels = HeadLabels::build(&g, &[NodeId(0), NodeId(2)], u32::MAX);
         assert_eq!(labels.head_dist(NodeId(0), NodeId(2)), UNREACHED);
         assert_eq!(labels.dist(0, NodeId(1)), 1);
+    }
+
+    /// Every queryable surface of the two layouts must agree
+    /// bit-for-bit on the same build.
+    fn assert_layouts_agree(g: &Graph, heads: &[NodeId], bound: u32) {
+        let dense = HeadLabels::build(g, heads, bound);
+        let sparse = SparseHeadLabels::build(g, heads, bound);
+        assert_eq!(dense.heads(), sparse.heads());
+        assert_eq!(dense.bound(), sparse.bound());
+        assert_eq!(dense.node_count(), sparse.node_count());
+        for (slot, &h) in heads.iter().enumerate() {
+            assert_eq!(dense.slot(h), sparse.slot(h));
+            assert_eq!(dense.ball(slot), sparse.ball(slot), "ball of {h:?}");
+            for v in g.nodes() {
+                assert_eq!(
+                    dense.dist(slot, v),
+                    sparse.dist(slot, v),
+                    "dist {h:?} -> {v:?}"
+                );
+            }
+            for b in [1, bound.min(7), bound] {
+                assert_eq!(
+                    dense.heads_within(slot, b),
+                    sparse.heads_within(slot, b),
+                    "heads_within({h:?}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = gen::geometric(&gen::GeometricConfig::new(60, 100.0, 6.0), &mut rng);
+        let heads = vec![NodeId(0), NodeId(7), NodeId(33)];
+        for bound in [1, 3, u32::MAX] {
+            assert_layouts_agree(&net.graph, &heads, bound);
+        }
+    }
+
+    #[test]
+    fn sparse_rebuild_resets_across_graphs_of_different_size() {
+        let big = gen::path(12);
+        let small = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut labels =
+            SparseHeadLabels::build(&big, &[NodeId(0), NodeId(6), NodeId(11)], u32::MAX);
+        labels.rebuild(&small, &[NodeId(2)], 1);
+        assert_eq!(labels.heads(), &[NodeId(2)]);
+        assert_eq!(labels.slot(NodeId(0)), None, "old head slots reset");
+        assert_eq!(labels.dist(0, NodeId(3)), 1);
+        assert_eq!(labels.dist(0, NodeId(0)), UNREACHED);
+        labels.rebuild(&big, &[NodeId(3), NodeId(9)], 3);
+        assert_layouts_agree(&big, &[NodeId(3), NodeId(9)], 3);
+    }
+
+    #[test]
+    fn sparse_row_drives_lexico_paths() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let labels = SparseHeadLabels::build(&g, &[NodeId(3)], u32::MAX);
+        let p = bfs::lexico_path_from_labels(&g, NodeId(0), NodeId(3), &labels.row(0)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    /// Sparse delta repair reproduces a full sparse rebuild — and the
+    /// dense one — bit-for-bit across a random flip sequence.
+    #[test]
+    fn sparse_apply_delta_matches_full_rebuild() {
+        use crate::delta::TopologyDelta;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for bound in [2u32, 5, u32::MAX] {
+            let net = gen::geometric(&gen::GeometricConfig::new(70, 100.0, 6.0), &mut rng);
+            let mut g = net.graph.clone();
+            let heads = vec![NodeId(0), NodeId(9), NodeId(25), NodeId(48), NodeId(69)];
+            let mut sparse = SparseHeadLabels::build(&g, &heads, bound);
+            let mut dense = HeadLabels::build(&g, &heads, bound);
+            for _ in 0..15 {
+                let mut delta = TopologyDelta::new();
+                for _ in 0..rng.gen_range(1..6) {
+                    let a = NodeId(rng.gen_range(0..70u32));
+                    let b = NodeId(rng.gen_range(0..70u32));
+                    if a == b {
+                        continue;
+                    }
+                    if g.has_edge(a, b) {
+                        g.remove_edge(a, b);
+                        delta.push_removed(a, b);
+                    } else {
+                        g.add_edge(a, b);
+                        delta.push_added(a, b);
+                    }
+                }
+                delta.normalize();
+                let dirty = sparse.dirty_slots(&delta);
+                assert_eq!(dirty, dense.dirty_slots(&delta), "dirty sets differ");
+                sparse.apply_delta(&g, &dirty);
+                dense.apply_delta(&g, &dirty);
+                let fresh = SparseHeadLabels::build(&g, &heads, bound);
+                for (slot, &h) in heads.iter().enumerate() {
+                    assert_eq!(sparse.ball(slot), fresh.ball(slot), "ball {h:?}");
+                    for v in g.nodes() {
+                        assert_eq!(
+                            sparse.dist(slot, v),
+                            dense.dist(slot, v),
+                            "bound {bound} head {h:?} node {v:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_memory_is_below_dense_at_scale() {
+        // A long path with many heads: the dense arena is h·n·4 bytes,
+        // the sparse one O(Σ balls) — at n = 4000 with 1000 heads of
+        // bound 3 the gap is enormous.
+        let g = gen::path(4000);
+        let heads: Vec<NodeId> = (0..1000).map(|i| NodeId(i * 4)).collect();
+        let dense = HeadLabels::build(&g, &heads, 3);
+        let sparse = SparseHeadLabels::build(&g, &heads, 3);
+        assert!(
+            sparse.memory_bytes() * 4 < dense.memory_bytes(),
+            "sparse {} vs dense {}",
+            sparse.memory_bytes(),
+            dense.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn label_store_dispatches_both_layouts() {
+        let g = gen::path(9);
+        let heads = vec![NodeId(0), NodeId(4), NodeId(8)];
+        for mut store in [LabelStore::dense(), LabelStore::sparse()] {
+            store.rebuild(&g, &heads, 3);
+            assert_eq!(store.heads(), &heads[..]);
+            assert_eq!(store.bound(), 3);
+            assert_eq!(store.node_count(), 9);
+            assert_eq!(store.slot(NodeId(4)), Some(1));
+            assert_eq!(store.dist(0, NodeId(3)), 3);
+            assert_eq!(store.dist(0, NodeId(4)), UNREACHED);
+            assert_eq!(store.head_dist(NodeId(4), NodeId(8)), UNREACHED);
+            assert_eq!(store.heads_within(1, 3), Vec::<NodeId>::new());
+            assert_eq!(store.ball(1).first(), Some(&NodeId(4)));
+            let p =
+                bfs::lexico_path_from_labels(&g, NodeId(2), NodeId(0), &store.row(0)).unwrap();
+            assert_eq!(p.len(), 3);
+        }
+        assert!(!LabelStore::dense().is_sparse());
+        assert!(LabelStore::sparse().is_sparse());
+        assert_eq!(LabelStore::dense().layout_name(), "dense");
+        assert_eq!(LabelStore::sparse().layout_name(), "sparse");
+        assert_eq!(LabelStore::default().layout_name(), "dense");
+    }
+
+    #[test]
+    fn label_mode_heuristic_and_parsing() {
+        // 16 MiB threshold: h·n·4 strictly above it wants sparse.
+        let just_above = (AUTO_SPARSE_THRESHOLD_BYTES / 4) + 1;
+        assert!(LabelMode::Auto.wants_sparse(just_above, 1));
+        assert!(!LabelMode::Auto.wants_sparse(AUTO_SPARSE_THRESHOLD_BYTES / 4, 1));
+        assert!(!LabelMode::Auto.wants_sparse(2000, 500), "paper scale stays dense");
+        assert!(LabelMode::Auto.wants_sparse(10_000, 2000), "N=1e4 goes sparse");
+        assert!(LabelMode::Sparse.wants_sparse(4, 1));
+        assert!(!LabelMode::Dense.wants_sparse(usize::MAX / 8, 2));
+        assert_eq!("dense".parse::<LabelMode>().unwrap(), LabelMode::Dense);
+        assert_eq!("Sparse".parse::<LabelMode>().unwrap(), LabelMode::Sparse);
+        assert_eq!("AUTO".parse::<LabelMode>().unwrap(), LabelMode::Auto);
+        assert!("flat".parse::<LabelMode>().is_err());
+        assert_eq!(LabelMode::Auto.name(), "auto");
+        assert_eq!(LabelMode::Dense.name(), "dense");
+        assert_eq!(LabelMode::Sparse.name(), "sparse");
+        assert_eq!(
+            LabelStore::for_mode(LabelMode::Auto, 10_000, 2000).layout_name(),
+            "sparse"
+        );
+        assert_eq!(
+            LabelStore::for_mode(LabelMode::Auto, 200, 50).layout_name(),
+            "dense"
+        );
     }
 }

@@ -17,10 +17,12 @@
 //! * [`bfs`] — breadth-first search: full and hop-bounded distances,
 //!   k-hop neighborhoods, reusable scratch buffers, canonical
 //!   (lexicographically smallest) shortest paths.
-//! * [`labels`] — [`HeadLabels`]: one bounded BFS per clusterhead with
-//!   all distance labels in a flat reusable arena, the single-sweep
+//! * [`labels`] — per-clusterhead distance labels, the single-sweep
 //!   substrate of the evaluation engine (`adhoc-cluster::pipeline`'s
-//!   `run_all`).
+//!   `run_all`): the dense flat-arena [`HeadLabels`], the ball-indexed
+//!   [`labels::SparseHeadLabels`] for large `N`, and the
+//!   [`labels::LabelStore`] facade that lets every consumer run off
+//!   either layout.
 //! * [`mst`] — Kruskal and Prim minimum spanning trees over abstract
 //!   weights, and [`unionfind::UnionFind`].
 //! * [`lmst`] — the Li/Hou/Sha local minimum spanning tree rule, both in
@@ -66,4 +68,4 @@ pub use csr::Csr;
 pub use delta::TopologyDelta;
 pub use geom::Point;
 pub use graph::{Graph, NodeId};
-pub use labels::HeadLabels;
+pub use labels::{HeadLabels, LabelMode, LabelStore, SparseHeadLabels};

@@ -5,6 +5,7 @@
 //! khop gen  --n 100 --d 6 --seed 7 --out net.txt      generate a network file
 //! khop run  [--input net.txt | --n 100 --d 6 --seed 7] --k 2 --alg ac-lmst [--json]
 //! khop run  --alg all ...                              all five algorithms, one engine sweep
+//! khop run  --labels sparse ...                        force a label layout (dense|sparse|auto)
 //! khop dist [--input net.txt | --n ... ] --k 2 --alg ac-lmst    distributed run + stats
 //! khop info --input net.txt                            topology metrics
 //! khop exact [--n 24 --d 5 --seed 7] --k 1             exact optimum + ratios
@@ -71,6 +72,7 @@ fn die(msg: &str) -> ! {
     eprintln!("            [--n N] [--d D] [--k K] [--seed S] [--steps T] [--cw W]");
     eprintln!("            [--movers M] [--speed V]");
     eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst|all]");
+    eprintln!("            [--labels dense|sparse|auto]");
     eprintln!("            [--input FILE] [--out FILE] [--json]");
     exit(2)
 }
@@ -97,7 +99,7 @@ fn obtain_graph(args: &Args) -> Graph {
         let d: f64 = args.get("d", 6.0);
         let seed: u64 = args.get("seed", 1);
         let mut rng = StdRng::seed_from_u64(seed);
-        gen::geometric(&gen::GeometricConfig::new(n, 100.0, d), &mut rng).graph
+        gen::geometric(&gen::GeometricConfig::at_scale(n, 100.0, d), &mut rng).graph
     }
 }
 
@@ -107,7 +109,7 @@ fn cmd_gen(args: &Args) {
     let seed: u64 = args.get("seed", 1);
     let out = args.opt("out").unwrap_or("network.txt");
     let mut rng = StdRng::seed_from_u64(seed);
-    let net = gen::geometric(&gen::GeometricConfig::new(n, 100.0, d), &mut rng);
+    let net = gen::geometric(&gen::GeometricConfig::at_scale(n, 100.0, d), &mut rng);
     adhoc_graph::io::save(&PathBuf::from(out), &net.graph, Some(&net.positions))
         .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     println!(
@@ -119,16 +121,37 @@ fn cmd_gen(args: &Args) {
     );
 }
 
+/// The `--labels {dense,sparse,auto}` layout policy (default `auto`).
+fn parse_labels(args: &Args) -> LabelMode {
+    args.get("labels", LabelMode::Auto)
+}
+
+/// Theorem 2's verifier assumes a connected network; on a
+/// disconnected instance (legal at large N and fixed density) the CDS
+/// is per-component and the global check would always reject. Returns
+/// whether verification can run, warning loudly when it cannot.
+fn warn_if_unverifiable(g: &Graph) -> bool {
+    let connected = connectivity::is_connected(g);
+    if !connected {
+        eprintln!("khop: input network is disconnected — structures are per-component, CDS verification skipped");
+    }
+    connected
+}
+
 /// `khop run --alg all`: evaluate all five algorithms through the
 /// single-sweep engine (`pipeline::run_all`) on one shared clustering.
-fn cmd_run_all(g: &Graph, k: u32, json: bool) {
+fn cmd_run_all(g: &Graph, k: u32, labels: LabelMode, json: bool) {
     let clustering = clustering::cluster(g, k, &LowestId, MemberPolicy::IdBased);
-    let eval = pipeline::run_all(g, &clustering);
+    let mut scratch = EvalScratch::with_mode(labels);
+    let eval = pipeline::run_all_with(g, &clustering, &mut scratch);
+    let verify = warn_if_unverifiable(g);
     let mut rows = Vec::new();
     for alg in Algorithm::ALL {
         let out = eval.of(alg);
-        if let Err(e) = out.cds.verify(g, k) {
-            die(&format!("{} produced an invalid CDS: {e}", alg.name()));
+        if verify {
+            if let Err(e) = out.cds.verify(g, k) {
+                die(&format!("{} produced an invalid CDS: {e}", alg.name()));
+            }
         }
         rows.push((alg, out));
     }
@@ -154,6 +177,8 @@ fn cmd_run_all(g: &Graph, k: u32, json: bool) {
                 "edges": g.edge_count(),
                 "clusterheads": clustering.heads,
                 "rounds": clustering.rounds,
+                "labels_layout": scratch.labels().layout_name(),
+                "labels_memory_bytes": scratch.labels_memory_bytes(),
                 "algorithms": algorithms,
             })
         );
@@ -172,46 +197,68 @@ fn cmd_run_all(g: &Graph, k: u32, json: bool) {
                 out.cds.size()
             );
         }
+        println!(
+            "labels: {} layout ({} bytes)",
+            scratch.labels().layout_name(),
+            scratch.labels_memory_bytes()
+        );
     }
 }
 
 fn cmd_run(args: &Args) {
     let g = obtain_graph(args);
     let k: u32 = args.get("k", 2);
+    let labels = parse_labels(args);
     let alg_name = args.opt("alg").unwrap_or("ac-lmst");
     if alg_name.eq_ignore_ascii_case("all") {
-        cmd_run_all(&g, k, args.has("json"));
+        cmd_run_all(&g, k, labels, args.has("json"));
         return;
     }
     let alg = parse_alg(alg_name);
-    let out = pipeline::run(&g, alg, &PipelineConfig::new(k));
-    if let Err(e) = out.cds.verify(&g, k) {
-        die(&format!("produced an invalid CDS: {e}"));
+    // Only the requested algorithm's phases run here (the shared
+    // engine sweep is `--alg all`'s job); the scratch carries the
+    // chosen label layout, and G-MST — the centralized baseline —
+    // ignores it.
+    let clustering = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+    let mut scratch = EvalScratch::with_mode(labels);
+    let out = pipeline::run_on_with(&g, alg, &clustering, &mut scratch);
+    let labels_info = (alg != Algorithm::GMst)
+        .then(|| (scratch.labels().layout_name(), scratch.labels_memory_bytes()));
+    if warn_if_unverifiable(&g) {
+        if let Err(e) = out.cds.verify(&g, k) {
+            die(&format!("produced an invalid CDS: {e}"));
+        }
     }
     if args.has("json") {
-        println!(
-            "{}",
-            serde_json::json!({
-                "algorithm": alg.name(),
-                "k": k,
-                "nodes": g.len(),
-                "edges": g.edge_count(),
-                "clusterheads": out.clustering.heads,
-                "gateways": out.selection.gateways,
-                "cds_size": out.cds.size(),
-                "links_used": out.selection.links_used,
-                "rounds": out.clustering.rounds,
-            })
-        );
+        let mut doc = serde_json::json!({
+            "algorithm": alg.name(),
+            "k": k,
+            "nodes": g.len(),
+            "edges": g.edge_count(),
+            "clusterheads": clustering.heads,
+            "gateways": out.selection.gateways,
+            "cds_size": out.cds.size(),
+            "links_used": out.selection.links_used,
+            "rounds": clustering.rounds,
+        });
+        if let (serde_json::Value::Object(map), Some((layout, bytes))) = (&mut doc, labels_info)
+        {
+            map.push(("labels_layout".into(), serde_json::json!(layout)));
+            map.push(("labels_memory_bytes".into(), serde_json::json!(bytes)));
+        }
+        println!("{doc}");
     } else {
         println!(
             "{} on {} nodes (k={k}): {} heads, {} gateways, CDS {}",
             alg.name(),
             g.len(),
-            out.clustering.head_count(),
+            clustering.head_count(),
             out.selection.gateways.len(),
             out.cds.size()
         );
+        if let Some((layout, bytes)) = labels_info {
+            println!("labels: {layout} layout ({bytes} bytes)");
+        }
     }
 }
 
@@ -345,6 +392,7 @@ fn cmd_churn(args: &Args) {
     let steps: usize = args.get("steps", 40);
     let movers: usize = args.get("movers", 10.min(n));
     let speed: f64 = args.get("speed", 2.0);
+    let labels = parse_labels(args);
     if k == 0 {
         die("--k must be at least 1");
     }
@@ -387,7 +435,7 @@ fn cmd_churn(args: &Args) {
     let (mut churn_edges, mut dirty, mut head_steps, mut cost) = (0usize, 0usize, 0usize, 0usize);
     {
         let mut grid = SpatialGrid::build(&snapshots[0], base.range);
-        let mut engine = ChurnEngine::build(grid.graph(), policy);
+        let mut engine = ChurnEngine::build_with_labels(grid.graph(), policy, labels);
         for snapshot in &snapshots[1..] {
             let delta = grid.update(snapshot);
             churn_edges += delta.churn();
@@ -400,7 +448,7 @@ fn cmd_churn(args: &Args) {
         }
     }
     let mut grid = SpatialGrid::build(&snapshots[0], base.range);
-    let mut engine = ChurnEngine::build(grid.graph(), policy);
+    let mut engine = ChurnEngine::build_with_labels(grid.graph(), policy, labels);
     let t = Instant::now();
     for snapshot in &snapshots[1..] {
         let delta = grid.update(snapshot);
@@ -408,9 +456,14 @@ fn cmd_churn(args: &Args) {
     }
     let inc = t.elapsed().as_secs_f64();
     std::hint::black_box(engine.evaluation());
+    let (layout, labels_bytes) = (
+        engine.labels().layout_name(),
+        engine.labels().memory_bytes(),
+    );
 
-    // Rebuild-every-step arm on the same clustering sequence.
-    let mut scratch = EvalScratch::new();
+    // Rebuild-every-step arm on the same clustering sequence, under
+    // the same label layout policy.
+    let mut scratch = EvalScratch::with_mode(labels);
     let t = Instant::now();
     for (snapshot, clustering) in snapshots[1..].iter().zip(&clusterings) {
         let g = gen::unit_disk_graph(snapshot, base.range);
@@ -443,6 +496,7 @@ fn cmd_churn(args: &Args) {
         1e3 * reb / steps as f64,
         reb / inc.max(1e-12)
     );
+    println!("labels: {layout} layout ({labels_bytes} bytes)");
 }
 
 fn cmd_mac(args: &Args) {

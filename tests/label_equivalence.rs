@@ -1,0 +1,145 @@
+//! Dense ≡ sparse label-layout equivalence: the sparse ball-indexed
+//! layout must be a pure memory optimization. For every product the
+//! pipeline derives from head labels — the label rows and balls
+//! themselves, the NC and AC neighbor relations, every canonical link
+//! path, all five gateway selections and CDSs — a sparse-backed
+//! [`EvalScratch`] has to reproduce the dense-backed one
+//! **bit-for-bit**, both through cold `pipeline::run_all` builds and
+//! through delta-driven `pipeline::update_all` sequences, for
+//! k ∈ 1..=4.
+//!
+//! This is the contract that lets the auto heuristic switch layouts by
+//! projected arena size without anything downstream noticing.
+
+use khop::prelude::*;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Full bit-for-bit comparison of two evaluations plus the label
+/// arenas they were derived from.
+fn assert_equal_products(
+    g: &Graph,
+    dense: &EvaluationOutput,
+    sparse: &EvaluationOutput,
+    dense_scratch: &EvalScratch,
+    sparse_scratch: &EvalScratch,
+    ctx: &str,
+) {
+    let dl = dense_scratch.labels();
+    let sl = sparse_scratch.labels();
+    assert!(!dl.is_sparse() && sl.is_sparse(), "{ctx}: layout mixup");
+    assert_eq!(dl.heads(), sl.heads(), "{ctx}: label heads");
+    assert_eq!(dl.bound(), sl.bound(), "{ctx}: label bound");
+    for slot in 0..dl.heads().len() {
+        assert_eq!(dl.ball(slot), sl.ball(slot), "{ctx}: ball of slot {slot}");
+        for v in g.nodes() {
+            assert_eq!(
+                dl.dist(slot, v),
+                sl.dist(slot, v),
+                "{ctx}: dist slot {slot} node {v:?}"
+            );
+        }
+    }
+
+    assert_eq!(
+        dense.clustering.head_of, sparse.clustering.head_of,
+        "{ctx}: clustering"
+    );
+    for (d, s, name) in [
+        (&dense.nc_graph, &sparse.nc_graph, "nc"),
+        (&dense.ac_graph, &sparse.ac_graph, "ac"),
+    ] {
+        assert_eq!(d.neighbor_sets, s.neighbor_sets, "{ctx}: {name} relation");
+        assert_eq!(d.link_count(), s.link_count(), "{ctx}: {name} link count");
+        for (dl, sl) in d.links().zip(s.links()) {
+            assert_eq!((dl.a, dl.b), (sl.a, sl.b), "{ctx}: {name} pair");
+            assert_eq!(dl.path, sl.path, "{ctx}: {name} path {:?}-{:?}", dl.a, dl.b);
+        }
+    }
+    for alg in Algorithm::ALL {
+        assert_eq!(
+            dense.of(alg).selection,
+            sparse.of(alg).selection,
+            "{ctx}: {alg} selection"
+        );
+        assert_eq!(dense.of(alg).cds, sparse.of(alg).cds, "{ctx}: {alg} cds");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cold builds agree across layouts on random geometric graphs.
+    #[test]
+    fn run_all_dense_equals_sparse(
+        seed in 0u64..1_000_000,
+        n in 40usize..=110,
+        k in 1u32..=4,
+        denser in 0u32..2,
+    ) {
+        let d = if denser == 1 { 10.0 } else { 6.0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = gen::geometric(&gen::GeometricConfig::new(n, 100.0, d), &mut rng);
+        let c = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+        let mut ds = EvalScratch::with_mode(LabelMode::Dense);
+        let mut ss = EvalScratch::with_mode(LabelMode::Sparse);
+        let dense = pipeline::run_all_with(&net.graph, &c, &mut ds);
+        let sparse = pipeline::run_all_with(&net.graph, &c, &mut ss);
+        assert_equal_products(&net.graph, &dense, &sparse, &ds, &ss, "cold");
+    }
+
+    /// Chained deltas through `update_all` keep the layouts in
+    /// lockstep — dirty sets, patched relations, copied paths, and the
+    /// incremental-vs-rebuilt decision all included — and both equal a
+    /// cold rebuild.
+    #[test]
+    fn update_all_chain_dense_equals_sparse(
+        seed in 0u64..1_000_000,
+        k in 1u32..=4,
+    ) {
+        let n = 80usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = gen::geometric(&gen::GeometricConfig::new(n, 100.0, 6.0), &mut rng);
+        let mut g = net.graph.clone();
+        let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+        let mut ds = EvalScratch::with_mode(LabelMode::Dense);
+        let mut ss = EvalScratch::with_mode(LabelMode::Sparse);
+        let mut prev_d = pipeline::run_all_with(&g, &c, &mut ds);
+        let mut prev_s = pipeline::run_all_with(&g, &c, &mut ss);
+        let mut extras: Vec<(NodeId, NodeId)> = Vec::new();
+        for step in 0..10 {
+            let mut delta = TopologyDelta::new();
+            if step % 3 == 2 && !extras.is_empty() {
+                for _ in 0..rng.gen_range(1..=extras.len()) {
+                    let (a, b) = extras.swap_remove(rng.gen_range(0..extras.len()));
+                    g.remove_edge(a, b);
+                    delta.push_removed(a, b);
+                }
+            } else {
+                for _ in 0..rng.gen_range(1..5) {
+                    let a = NodeId(rng.gen_range(0..n as u32));
+                    let b = NodeId(rng.gen_range(0..n as u32));
+                    if a != b && !g.has_edge(a, b) {
+                        g.add_edge(a, b);
+                        delta.push_added(a, b);
+                        extras.push(if a < b { (a, b) } else { (b, a) });
+                    }
+                }
+            }
+            delta.normalize();
+            let (next_d, rd) = pipeline::update_all(&g, &c, &delta, &prev_d, &mut ds);
+            let (next_s, rs) = pipeline::update_all(&g, &c, &delta, &prev_s, &mut ss);
+            prop_assert_eq!(rd, rs, "step {} reports diverged", step);
+            assert_equal_products(&g, &next_d, &next_s, &ds, &ss, &format!("step {step}"));
+            let cold = pipeline::run_all(&g, &c);
+            for alg in Algorithm::ALL {
+                prop_assert_eq!(
+                    &next_s.of(alg).selection, &cold.of(alg).selection,
+                    "step {} {} sparse != cold", step, alg
+                );
+            }
+            prev_d = next_d;
+            prev_s = next_s;
+        }
+    }
+}
