@@ -1,14 +1,19 @@
 //! Hierarchical routing experiment (the §1 routing motivation):
 //! path stretch and routing-table sizes of cluster-based routing over
-//! the connected k-hop clustering, versus flat shortest-path routing.
+//! the connected k-hop clustering, versus flat shortest-path routing —
+//! now with the walk-shortcut ablation (raw concatenated walks vs the
+//! first-pass-through-`v` shortcut the module always promised).
 //!
 //! Usage: `cargo run --release -p adhoc-bench --bin routing [--quick]`
+//!
+//! Throughput of the serving layer is the `routing_serve` bin's job;
+//! this one measures route *quality* and table sizes.
 
 use adhoc_bench::quick_mode;
 use adhoc_bench::stats::summarize;
 use adhoc_cluster::clustering::{cluster, MemberPolicy};
 use adhoc_cluster::priority::LowestId;
-use adhoc_cluster::routing::{self, ClusterRouter};
+use adhoc_cluster::routing::{self, ClusterRouter, LegacyScratch};
 use adhoc_graph::bfs;
 use adhoc_graph::gen::{self, GeometricConfig};
 use adhoc_graph::graph::NodeId;
@@ -19,23 +24,29 @@ fn main() {
     let reps = if quick_mode() { 3 } else { 20 };
     let pairs_per_rep = 40;
     println!(
-        "{:>4} {:>3} {:>9} {:>9} {:>10} {:>10} {:>10}",
-        "N", "k", "stretch", "worst", "head-tbl", "member-tbl", "flat-tbl"
+        "{:>4} {:>3} {:>9} {:>9} {:>9} {:>9} {:>22} {:>10}",
+        "N", "k", "stretch", "raw", "worst", "head-tbl", "member-tbl min/mean/max", "flat-tbl"
     );
     for n in [100usize, 200] {
         for k in [1u32, 2, 3] {
             let mut stretches = Vec::new();
+            let mut raw_stretches = Vec::new();
             let mut worsts = Vec::new();
             let mut head_tbl = Vec::new();
-            let mut member_tbl = Vec::new();
+            let mut member_mean = Vec::new();
+            let mut member_min = usize::MAX;
+            let mut member_max = 0usize;
             for rep in 0..reps {
                 let mut rng = StdRng::seed_from_u64(0x707E + rep as u64 * 17 + n as u64);
                 let net = gen::geometric(&GeometricConfig::new(n, 100.0, 6.0), &mut rng);
                 let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
                 let router = ClusterRouter::build(&net.graph, &c);
-                let stats = router.table_stats(n, net.graph.average_degree());
+                let stats = router.table_stats(&net.graph);
                 head_tbl.push(stats.head_entries as f64);
-                member_tbl.push(stats.member_entries as f64);
+                member_mean.push(stats.member_mean);
+                member_min = member_min.min(stats.member_min);
+                member_max = member_max.max(stats.member_max);
+                let mut scratch = LegacyScratch::new();
                 let mut worst = 1.0f64;
                 for _ in 0..pairs_per_rep {
                     let u = NodeId(rng.gen_range(0..n as u32));
@@ -43,24 +54,35 @@ fn main() {
                     if u == v {
                         continue;
                     }
-                    let walk = router.route(&net.graph, u, v);
+                    let raw = router
+                        .route_raw_with(&net.graph, u, v, &mut scratch)
+                        .expect("connected network");
+                    let mut walk = raw.clone();
+                    adhoc_graph::paths::shortcut_walk(&mut walk, v);
                     assert!(routing::is_valid_walk(&net.graph, &walk));
                     let d = bfs::distances(&net.graph, u)[v.index()];
                     let s = f64::from(routing::walk_hops(&walk)) / f64::from(d);
                     stretches.push(s);
+                    raw_stretches.push(f64::from(routing::walk_hops(&raw)) / f64::from(d));
                     worst = worst.max(s);
                 }
                 worsts.push(worst);
             }
             println!(
-                "{n:>4} {k:>3} {:>9.3} {:>9.2} {:>10.1} {:>10.1} {:>10}",
+                "{n:>4} {k:>3} {:>9.3} {:>9.3} {:>9.2} {:>9.1} {:>8}/{:>5.1}/{:>5} {:>10}",
                 summarize(&stretches).mean,
+                summarize(&raw_stretches).mean,
                 summarize(&worsts).mean,
                 summarize(&head_tbl).mean,
-                summarize(&member_tbl).mean,
+                member_min,
+                summarize(&member_mean).mean,
+                member_max,
                 n - 1
             );
         }
     }
-    println!("\nstretch = routed hops / shortest hops; tables in entries per node");
+    println!(
+        "\nstretch = routed hops / shortest hops (raw = before the \
+         first-pass-through-target shortcut); tables in entries per node"
+    );
 }

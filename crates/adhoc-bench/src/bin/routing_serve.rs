@@ -1,0 +1,376 @@
+//! `routing_serve` — throughput of the route-serving subsystem:
+//! compiled [`RoutePlan`] serving (single- and multi-worker) versus
+//! the legacy per-query-BFS router, on **identical query batches with
+//! checksummed-equal walks**.
+//!
+//! Arms, per cell (one cell = network × k × algorithm backbone):
+//!
+//! * **bfs** — the seed-era [`ClusterRouter`]: every query resolves
+//!   its ascent and descent with a bounded BFS (scratch threaded, no
+//!   per-query scratch allocation — the repaired baseline, not a
+//!   strawman), routing over exactly the same backbone link set;
+//! * **plan** — the compiled plan through a single-worker
+//!   [`QueryEngine`]: zero per-query BFS, `O(route length)` pointer
+//!   chasing;
+//! * **plan×W** — the same plan through `std::thread::scope` workers
+//!   (`W = max(2, available_parallelism)`).
+//!
+//! Every arm folds per-walk checksums in pair order; the fold must
+//! collide across arms — byte-identical walks are the precondition for
+//! comparing their throughput at all. The run **fails** if the
+//! compiled plan is not strictly faster than per-query BFS on the
+//! largest cell (the CI gate, `--quick` included), and the full run
+//! additionally requires ≥ 5× there (the committed record's claim).
+//!
+//! The grid covers all five algorithms × k ∈ 1..=4 at N = 600 under a
+//! uniform mix; the largest cell (N = 2400, k = 4, AC-LMST) is also
+//! measured under the hotspot and locality-biased mixes. Writes
+//! `results/BENCH_routing.json` (quick runs write
+//! `BENCH_routing_quick.json`, so CI can never clobber the committed
+//! measurement), then re-reads and re-parses it. Surfaced on the CLI
+//! as `khop route`.
+//!
+//! [`RoutePlan`]: adhoc_cluster::routing::RoutePlan
+//! [`ClusterRouter`]: adhoc_cluster::routing::ClusterRouter
+//! [`QueryEngine`]: adhoc_cluster::routing::QueryEngine
+
+use adhoc_bench::{quick_mode, results_dir};
+use adhoc_cluster::clustering::{self, MemberPolicy};
+use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
+use adhoc_cluster::priority::LowestId;
+use adhoc_cluster::routing::{
+    fold_checksums, walk_checksum, ClusterRouter, LegacyScratch, Mix, QueryEngine, RoutePlan,
+    TableStats, Workload, UNROUTABLE,
+};
+use adhoc_cluster::virtual_graph::VirtualGraph;
+use adhoc_graph::connectivity;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Times `f` (which serves one whole batch and returns its checksum):
+/// calibrates an iteration count so each timed window is long enough
+/// to trust, then takes the best window over `rounds`.
+fn best_qps<F: FnMut() -> u64>(mut f: F, queries: usize, rounds: usize) -> (f64, u64) {
+    let t = Instant::now();
+    let mut checksum = f(); // warmup + calibration
+    let once = t.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.04 / once).ceil() as usize).clamp(1, 2000);
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..iters {
+            checksum = f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    (queries as f64 / best, checksum)
+}
+
+struct CellOutcome {
+    cell: Value,
+    plan_qps: f64,
+    bfs_qps: f64,
+    scaling: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    g: &Graph,
+    net_connected: bool,
+    n: usize,
+    d: f64,
+    k: u32,
+    alg: Algorithm,
+    mix: Mix,
+    queries: usize,
+    rounds: usize,
+    workers: usize,
+    seed: u64,
+) -> CellOutcome {
+    let c = clustering::cluster(g, k, &LowestId, MemberPolicy::IdBased);
+    let mut scratch = EvalScratch::new();
+    let eval = pipeline::run_all_with(g, &c, &mut scratch);
+    let links = eval.selected_links(alg);
+
+    let t = Instant::now();
+    let plan = RoutePlan::compile(g, &c, scratch.labels(), links.iter().copied());
+    let build_secs = t.elapsed().as_secs_f64();
+
+    let bfs_router = ClusterRouter::with_graph(&c, VirtualGraph::from_links(&c.heads, links));
+
+    let workload = Workload::new(&plan);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = workload.generate(&plan, mix, queries, &mut rng);
+
+    // Reference pass: per-pair answers + the stats the record keeps.
+    let reference = QueryEngine::new(&plan).route_many(&pairs);
+    let routable = pairs.len() - reference.unreachable;
+    let mean_hops = if routable == 0 {
+        0.0
+    } else {
+        reference.total_hops as f64 / routable as f64
+    };
+
+    let (plan_qps, plan_sum) =
+        best_qps(|| QueryEngine::new(&plan).route_many(&pairs).checksum, queries, rounds);
+    let (multi_qps, multi_sum) = best_qps(
+        || QueryEngine::with_workers(&plan, workers).route_many(&pairs).checksum,
+        queries,
+        rounds,
+    );
+    let mut sums = vec![0u64; pairs.len()];
+    let (bfs_qps, bfs_sum) = best_qps(
+        || {
+            let mut scratch = LegacyScratch::new();
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                sums[i] = match bfs_router.route_with(g, u, v, &mut scratch) {
+                    Some(w) => walk_checksum(&w),
+                    None => 0,
+                };
+            }
+            fold_checksums(&sums)
+        },
+        queries,
+        rounds,
+    );
+    assert_eq!(
+        plan_sum, reference.checksum,
+        "{alg} k={k} {}: plan replay diverged",
+        mix.name()
+    );
+    assert_eq!(
+        multi_sum, plan_sum,
+        "{alg} k={k} {}: multi-worker walks diverged from single-worker",
+        mix.name()
+    );
+    assert_eq!(
+        bfs_sum, plan_sum,
+        "{alg} k={k} {}: per-query-BFS walks diverged from the compiled plan \
+         — the arms are not serving the same routes",
+        mix.name()
+    );
+
+    let tables = TableStats::measure(g, &c);
+    let speedup = plan_qps / bfs_qps.max(1e-12);
+    let scaling = multi_qps / plan_qps.max(1e-12);
+    println!(
+        "{:<8} {:>5} {:>2} {:>8} | {:>5} {:>5} | {:>9.0} {:>9.0} {:>9.0} | {:>6.2}x {:>5.2}x",
+        alg.name(),
+        n,
+        k,
+        mix.name(),
+        c.heads.len(),
+        plan.link_count(),
+        bfs_qps,
+        plan_qps,
+        multi_qps,
+        speedup,
+        scaling,
+    );
+    let cell = json!({
+        "n": n,
+        "d": d,
+        "k": k,
+        "alg": alg.name(),
+        "mix": mix.name(),
+        "connected": net_connected,
+        "heads": c.heads.len(),
+        "links": plan.link_count(),
+        "queries": queries,
+        "unreachable": reference.unreachable,
+        "mean_hops": mean_hops,
+        "build_ms": 1e3 * build_secs,
+        "plan_memory_bytes": plan.memory_bytes(),
+        "member_table_mean": tables.member_mean,
+        "head_table_entries": tables.head_entries,
+        "bfs_qps": bfs_qps,
+        "plan_qps": plan_qps,
+        "plan_qps_multi": multi_qps,
+        "workers": workers,
+        "speedup_plan_vs_bfs": speedup,
+        "multi_worker_scaling": scaling,
+        "checksum": format!("{:016x}", reference.checksum),
+    });
+    CellOutcome {
+        cell,
+        plan_qps,
+        bfs_qps,
+        scaling,
+    }
+}
+
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let quick = quick_mode();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(2, 8);
+    let d = 8.0;
+    let (grid_n, grid_ks, grid_q, largest_n, largest_k, largest_q, rounds) = if quick {
+        (240usize, vec![2u32], 1200usize, 400usize, 3u32, 2500usize, 1usize)
+    } else {
+        (600, vec![1, 2, 3, 4], 6000, 2400, 4, 12000, 3)
+    };
+    println!(
+        "route serving: compiled plan vs per-query BFS (D = {d}, {workers} workers multi-arm)"
+    );
+    println!(
+        "{:<8} {:>5} {:>2} {:>8} | {:>5} {:>5} | {:>9} {:>9} {:>9} | {:>7} {:>6}",
+        "alg", "N", "k", "mix", "heads", "links", "bfs q/s", "plan q/s", "multi q/s", "speedup", "scale"
+    );
+
+    let mut cells = Vec::new();
+
+    // Grid: all five algorithms × k at the paper-adjacent scale.
+    let mut rng = StdRng::seed_from_u64(0x5E17E ^ grid_n as u64);
+    let grid_net = gen::geometric(&GeometricConfig::at_scale(grid_n, 100.0, d), &mut rng);
+    let grid_connected = connectivity::is_connected(&grid_net.graph);
+    for &k in &grid_ks {
+        for alg in Algorithm::ALL {
+            let out = run_cell(
+                &grid_net.graph,
+                grid_connected,
+                grid_n,
+                d,
+                k,
+                alg,
+                Mix::Uniform,
+                grid_q,
+                rounds,
+                workers,
+                0xABCD ^ (u64::from(k) << 8),
+            );
+            cells.push(out.cell);
+        }
+    }
+
+    // Largest cell: biggest field, deepest clusters, all three mixes.
+    // The uniform-mix outcome is the record's headline claim and the
+    // CI gate.
+    let side = 100.0 * (largest_n as f64 / grid_n as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(0xB16CE11 ^ largest_n as u64);
+    let large_net = gen::geometric(&GeometricConfig::at_scale(largest_n, side, d), &mut rng);
+    let large_connected = connectivity::is_connected(&large_net.graph);
+    let mut headline: Option<CellOutcome> = None;
+    for mix in [
+        Mix::Uniform,
+        "hotspot".parse::<Mix>().expect("builtin mix"),
+        "local".parse::<Mix>().expect("builtin mix"),
+    ] {
+        let out = run_cell(
+            &large_net.graph,
+            large_connected,
+            largest_n,
+            d,
+            largest_k,
+            Algorithm::AcLmst,
+            mix,
+            largest_q,
+            rounds,
+            workers,
+            0xFEED ^ largest_n as u64,
+        );
+        let is_uniform = mix == Mix::Uniform;
+        cells.push(out.cell.clone());
+        if is_uniform {
+            headline = Some(out);
+        }
+    }
+    let headline = headline.expect("uniform largest cell ran");
+
+    let speedup = headline.plan_qps / headline.bfs_qps.max(1e-12);
+    let cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!(
+        "\nlargest cell (N={largest_n}, k={largest_k}, AC-LMST, uniform): \
+         compiled {speedup:.2}x per-query BFS, multi-worker scaling {:.2}x \
+         ({workers} workers on {cpus} cpu(s))",
+        headline.scaling,
+    );
+    assert!(
+        headline.plan_qps > headline.bfs_qps,
+        "compiled plan ({:.0} q/s) must beat per-query BFS ({:.0} q/s) on the largest cell",
+        headline.plan_qps,
+        headline.bfs_qps,
+    );
+    if !quick {
+        assert!(
+            speedup >= 5.0,
+            "committed record requires >= 5x on the largest cell, got {speedup:.2}x"
+        );
+    }
+    // Thread-scaling can only be demonstrated where threads can run in
+    // parallel: on a single-CPU box the ceiling is 1.0x by physics
+    // (the record then documents the overhead honestly). On multi-core
+    // hosts the gate guards against real regressions (accidental
+    // serialization or per-chunk contention would crater the ratio)
+    // with a 0.9x tolerance so an oversubscribed shared CI runner
+    // cannot flake an otherwise healthy build.
+    if cpus > 1 {
+        assert!(
+            headline.scaling > 0.9,
+            "multi-worker serving collapsed versus single-worker on {cpus} cpus: {:.2}x",
+            headline.scaling
+        );
+        if headline.scaling <= 1.0 {
+            println!(
+                "warning: multi-worker scaling {:.2}x <= 1x on {cpus} cpus — \
+                 check runner load before trusting this record",
+                headline.scaling
+            );
+        }
+    } else {
+        println!(
+            "note: single-CPU host — multi-worker scaling ceiling is 1.0x; \
+             the scaling gate binds on multi-core machines (e.g. CI runners)"
+        );
+    }
+
+    let largest_cell = json!({
+        "n": largest_n,
+        "k": largest_k,
+        "alg": Algorithm::AcLmst.name(),
+        "mix": "uniform",
+    });
+    let summary = json!({
+        "largest_cell": largest_cell,
+        "compiled_over_bfs": speedup,
+        "multi_worker_scaling": headline.scaling,
+    });
+    let doc = json!({
+        "schema": "khop-routing/v1",
+        "git": git_describe(),
+        "quick": quick,
+        "workers": workers,
+        "available_parallelism": std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        "unroutable_marker": UNROUTABLE,
+        "cells": cells,
+        "summary": summary,
+    });
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(if quick {
+        "BENCH_routing_quick.json"
+    } else {
+        "BENCH_routing.json"
+    });
+    std::fs::write(&path, format!("{doc:#}\n")).expect("write BENCH_routing.json");
+    let raw = std::fs::read_to_string(&path).expect("read back BENCH_routing.json");
+    let parsed: Value = serde_json::from_str(&raw).expect("BENCH_routing.json must parse");
+    assert_eq!(parsed["schema"], "khop-routing/v1");
+    assert!(!parsed["cells"].as_array().expect("cells").is_empty());
+    println!("wrote {}", path.display());
+}

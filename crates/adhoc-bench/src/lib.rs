@@ -27,6 +27,7 @@
 //! | `stability` | CDS churn and information staleness vs k under mobility |
 //! | `movement` | §5 movement-sensitive maintenance vs rebuild-every-step |
 //! | `churn` | incremental delta engine vs rebuild-every-step across mobility models × N (`results/BENCH_churn.json`) |
+//! | `routing_serve` | compiled route-plan serving vs per-query-BFS routing, single- and multi-worker, checksummed-equal walks (`results/BENCH_routing.json`) |
 //! | `scalability` | pipeline wall time out to N = 4000 at fixed density |
 //! | `quasi` | the Figure-5 comparison on quasi-UDG radios |
 //! | `claims_ext` | extension claims 1–5, checked programmatically |

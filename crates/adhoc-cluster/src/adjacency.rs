@@ -40,6 +40,34 @@ pub struct NeighborSets {
 }
 
 impl NeighborSets {
+    /// Builds the symmetric relation holding exactly `pairs` over the
+    /// given head set (heads with no selected partner get an empty
+    /// row). This is how a *selection*'s realized links — e.g. one
+    /// algorithm's `links_used` — are turned back into a relation, so
+    /// a backbone-restricted virtual graph can be built for routing.
+    ///
+    /// # Panics
+    /// Panics if a pair endpoint is not in `heads`.
+    pub fn from_pairs(
+        heads: &[NodeId],
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> NeighborSets {
+        let mut sets: BTreeMap<NodeId, Vec<NodeId>> =
+            heads.iter().map(|&h| (h, Vec::new())).collect();
+        for (a, b) in pairs {
+            for (x, y) in [(a, b), (b, a)] {
+                sets.get_mut(&x)
+                    .unwrap_or_else(|| panic!("{x:?} is not a head"))
+                    .push(y);
+            }
+        }
+        for row in sets.values_mut() {
+            row.sort_unstable();
+            row.dedup();
+        }
+        NeighborSets { sets }
+    }
+
     /// The sorted neighbor clusterheads of `head`.
     ///
     /// # Panics

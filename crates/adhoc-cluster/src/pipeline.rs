@@ -288,6 +288,37 @@ impl EvaluationOutput {
     pub fn of(&self, algorithm: Algorithm) -> &AlgorithmOutput {
         &self.outputs[&algorithm]
     }
+
+    /// The realized backbone of `algorithm` as path-carrying link
+    /// views: its selection's `links_used` resolved against the graph
+    /// the selection was drawn from (NC for the NC algorithms and
+    /// G-MST, AC for the AC ones). This is what the route-serving
+    /// subsystem compiles a [`RoutePlan`](crate::routing::RoutePlan)
+    /// from — routes then travel only links that algorithm's CDS
+    /// actually realizes.
+    ///
+    /// # Panics
+    /// Panics if a selected link has no path in the evaluation's
+    /// graphs. The localized algorithms select subsets of their own
+    /// graph, so this concerns only G-MST's degraded-clustering
+    /// fallback, where a link may exceed the `2k+1` label bound —
+    /// such backbones are not servable from localized state.
+    pub fn selected_links(&self, algorithm: Algorithm) -> Vec<crate::virtual_graph::LinkRef<'_>> {
+        let graph = match algorithm {
+            Algorithm::AcMesh | Algorithm::AcLmst => &self.ac_graph,
+            Algorithm::NcMesh | Algorithm::NcLmst | Algorithm::GMst => &self.nc_graph,
+        };
+        self.of(algorithm)
+            .selection
+            .links_used
+            .iter()
+            .map(|&(a, b)| {
+                graph.link(a, b).unwrap_or_else(|| {
+                    panic!("{algorithm} selected {a:?}-{b:?} outside the 2k+1 link bound")
+                })
+            })
+            .collect()
+    }
 }
 
 /// Evaluates **all five** algorithms on a shared clustering with one

@@ -1,0 +1,235 @@
+//! The concurrent route-serving engine: batched queries over a shared
+//! compiled [`RoutePlan`].
+//!
+//! A [`RoutePlan`] is immutable at serve time, so any number of
+//! workers can read it concurrently; each worker reuses one walk
+//! buffer (its scratch) and writes into a disjoint slice of the batch
+//! output. Results are **deterministic and bit-identical for every
+//! worker count** — the batch is split into contiguous chunks, each
+//! pair's answer lands at its own index, and the batch checksum folds
+//! the per-pair walk checksums in pair order after the join.
+
+use crate::routing::plan::RoutePlan;
+use adhoc_graph::graph::NodeId;
+
+/// Hop marker for pairs the backbone cannot connect.
+pub const UNROUTABLE: u32 = u32::MAX;
+
+/// One batch's answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Per pair: hop count of the served walk ([`UNROUTABLE`] when no
+    /// route exists).
+    pub hops: Vec<u32>,
+    /// Per pair: checksum of the full walk node sequence (0 for
+    /// unroutable pairs).
+    pub checksums: Vec<u64>,
+    /// Order-sensitive fold of `checksums` — the cross-arm equality
+    /// witness the benches compare.
+    pub checksum: u64,
+    /// Number of unroutable pairs.
+    pub unreachable: usize,
+    /// Sum of all hop counts (routable pairs only).
+    pub total_hops: u64,
+}
+
+/// FNV-1a over a walk's node IDs plus its length — the per-route
+/// fingerprint all serving arms (compiled single- and multi-worker,
+/// legacy per-query BFS) must agree on.
+pub fn walk_checksum(walk: &[NodeId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for &v in walk {
+        mix(u64::from(v.0));
+    }
+    mix(walk.len() as u64);
+    h
+}
+
+/// Order-sensitive fold of per-pair walk checksums into one batch
+/// checksum — shared by [`QueryEngine::route_many`] and the serving
+/// bench's per-query-BFS arm so cross-arm equality is one `u64`
+/// compare.
+pub fn fold_checksums(sums: &[u64]) -> u64 {
+    let mut checksum = 0u64;
+    for (i, &c) in sums.iter().enumerate() {
+        checksum = checksum
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(c ^ (i as u64));
+    }
+    checksum
+}
+
+/// A batched query front end over a compiled plan.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryEngine<'p> {
+    plan: &'p RoutePlan,
+    workers: usize,
+}
+
+impl<'p> QueryEngine<'p> {
+    /// Single-worker engine (queries run inline on the caller's
+    /// thread).
+    pub fn new(plan: &'p RoutePlan) -> Self {
+        QueryEngine { plan, workers: 1 }
+    }
+
+    /// Engine with `workers` scoped threads (clamped to at least 1).
+    pub fn with_workers(plan: &'p RoutePlan, workers: usize) -> Self {
+        QueryEngine {
+            plan,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serves a batch of `(source, target)` pairs, returning per-pair
+    /// hop counts and walk checksums. With more than one worker the
+    /// batch is split into contiguous chunks served by
+    /// `std::thread::scope` workers, each with its own scratch; the
+    /// result is identical to the single-worker answer.
+    pub fn route_many(&self, pairs: &[(NodeId, NodeId)]) -> BatchResult {
+        let mut hops = vec![0u32; pairs.len()];
+        let mut checksums = vec![0u64; pairs.len()];
+        if self.workers <= 1 || pairs.len() < 2 {
+            serve_chunk(self.plan, pairs, &mut hops, &mut checksums);
+        } else {
+            let workers = self.workers.min(pairs.len());
+            let chunk = pairs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut rest_pairs = pairs;
+                let mut rest_hops = &mut hops[..];
+                let mut rest_sums = &mut checksums[..];
+                while !rest_pairs.is_empty() {
+                    let take = chunk.min(rest_pairs.len());
+                    let (p, pr) = rest_pairs.split_at(take);
+                    let (h, hr) = rest_hops.split_at_mut(take);
+                    let (c, cr) = rest_sums.split_at_mut(take);
+                    rest_pairs = pr;
+                    rest_hops = hr;
+                    rest_sums = cr;
+                    let plan = self.plan;
+                    scope.spawn(move || serve_chunk(plan, p, h, c));
+                }
+            });
+        }
+        let checksum = fold_checksums(&checksums);
+        let mut unreachable = 0usize;
+        let mut total_hops = 0u64;
+        for &h in &hops {
+            if h == UNROUTABLE {
+                unreachable += 1;
+            } else {
+                total_hops += u64::from(h);
+            }
+        }
+        BatchResult {
+            hops,
+            checksums,
+            checksum,
+            unreachable,
+            total_hops,
+        }
+    }
+}
+
+/// One worker's share: serve `pairs[i]` into `hops[i]` / `sums[i]`.
+fn serve_chunk(plan: &RoutePlan, pairs: &[(NodeId, NodeId)], hops: &mut [u32], sums: &mut [u64]) {
+    let mut walk = Vec::new();
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        match plan.route_into(u, v, &mut walk) {
+            Some(h) => {
+                hops[i] = h;
+                sums[i] = walk_checksum(&walk);
+            }
+            None => {
+                hops[i] = UNROUTABLE;
+                sums[i] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster, MemberPolicy};
+    use crate::pipeline::{self, EvalScratch};
+    use crate::priority::LowestId;
+    use adhoc_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn plan_for(n: usize, k: u32, seed: u64) -> RoutePlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = gen::geometric(&gen::GeometricConfig::new(n, 100.0, 7.0), &mut rng);
+        let c = cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+        let mut scratch = EvalScratch::new();
+        let eval = pipeline::run_all_with(&net.graph, &c, &mut scratch);
+        RoutePlan::compile(&net.graph, &c, scratch.labels(), eval.ac_graph.links())
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let plan = plan_for(80, 2, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let pairs: Vec<(NodeId, NodeId)> = (0..300)
+            .map(|_| {
+                (
+                    NodeId(rng.gen_range(0..80u32)),
+                    NodeId(rng.gen_range(0..80u32)),
+                )
+            })
+            .collect();
+        let one = QueryEngine::new(&plan).route_many(&pairs);
+        for w in [2usize, 3, 7] {
+            let many = QueryEngine::with_workers(&plan, w).route_many(&pairs);
+            assert_eq!(one, many, "{w} workers diverged");
+        }
+        assert_eq!(one.unreachable, 0, "connected network routes everything");
+        assert!(one.total_hops > 0);
+    }
+
+    #[test]
+    fn batch_checksum_matches_per_route_checksums() {
+        let plan = plan_for(50, 1, 9);
+        let pairs = vec![(NodeId(0), NodeId(49)), (NodeId(3), NodeId(3))];
+        let r = QueryEngine::new(&plan).route_many(&pairs);
+        let w0 = plan.route(NodeId(0), NodeId(49)).unwrap();
+        assert_eq!(r.checksums[0], walk_checksum(&w0));
+        assert_eq!(r.hops[1], 0);
+        assert_eq!(r.checksums[1], walk_checksum(&[NodeId(3)]));
+    }
+
+    #[test]
+    fn unroutable_pairs_are_counted() {
+        use adhoc_graph::graph::Graph;
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let c = cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let mut scratch = EvalScratch::new();
+        let eval = pipeline::run_all_with(&g, &c, &mut scratch);
+        let plan = RoutePlan::compile(&g, &c, scratch.labels(), eval.ac_graph.links());
+        let r = QueryEngine::with_workers(&plan, 2)
+            .route_many(&[(NodeId(0), NodeId(3)), (NodeId(0), NodeId(1))]);
+        assert_eq!(r.hops[0], UNROUTABLE);
+        assert_eq!(r.unreachable, 1);
+        assert_eq!(r.hops[1], 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let plan = plan_for(30, 1, 11);
+        let none = QueryEngine::with_workers(&plan, 4).route_many(&[]);
+        assert!(none.hops.is_empty());
+        assert_eq!(none.checksum, 0);
+        let single = QueryEngine::with_workers(&plan, 4).route_many(&[(NodeId(1), NodeId(2))]);
+        assert_eq!(single.hops.len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared inter-head next-hop computation: all-pairs first hops over
+//! the backbone graph `G''` (heads as vertices, selected virtual links
+//! as weighted edges), used by both the compiled [`RoutePlan`] and the
+//! legacy per-query-BFS [`ClusterRouter`] so their inter-cluster
+//! decisions are identical by construction.
+//!
+//! [`RoutePlan`]: super::plan::RoutePlan
+//! [`ClusterRouter`]: super::legacy::ClusterRouter
+//!
+//! Determinism: the shortest-path parent of `t` is the **smallest-slot
+//! head** among `t`'s shortest predecessors. That choice is
+//! order-independent (every shortest predecessor of `t` settles at a
+//! strictly smaller distance, so each one gets to relax `t` exactly
+//! once regardless of heap tie-breaking), which is what lets the plan
+//! and the legacy router — and incremental repairs versus full
+//! recompiles — agree bit-for-bit on every route.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// "No next hop" marker (unreachable target, or an unfilled row).
+pub(crate) const NO_HOP: u32 = u32::MAX;
+
+/// Computes `s`'s next-hop row over the weighted head adjacency
+/// `adj[slot] = [(neighbor slot, hops)]`: `row[t]` is the first head
+/// after `s` on the canonical shortest `s ⇝ t` backbone route (`s`
+/// itself for `t == s`, [`NO_HOP`] if `t` is unreachable).
+///
+/// One binary-heap Dijkstra plus a settled-order first-hop sweep —
+/// `O(m log h)` per source with `m` directed links.
+pub(crate) fn next_hop_row(adj: &[Vec<(u32, u32)>], s: usize, row: &mut [u32]) {
+    let h = adj.len();
+    debug_assert_eq!(row.len(), h);
+    let mut dist = vec![u64::MAX; h];
+    let mut parent = vec![NO_HOP; h];
+    let mut settled_order: Vec<u32> = Vec::with_capacity(h);
+    let mut settled = vec![false; h];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[s] = 0;
+    parent[s] = s as u32;
+    heap.push(Reverse((0, s as u32)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let ui = u as usize;
+        if settled[ui] {
+            continue; // stale heap entry
+        }
+        settled[ui] = true;
+        settled_order.push(u);
+        for &(to, w) in &adj[ui] {
+            let ti = to as usize;
+            let nd = d + u64::from(w);
+            if nd < dist[ti] {
+                dist[ti] = nd;
+                parent[ti] = u;
+                heap.push(Reverse((nd, to)));
+            } else if nd == dist[ti] && u < parent[ti] {
+                // Equal-length alternative through a smaller head slot:
+                // adopt the canonical (smallest-predecessor) parent.
+                parent[ti] = u;
+            }
+        }
+    }
+    row.fill(NO_HOP);
+    // First-hop DP in settled (nondecreasing-distance) order: a node
+    // whose parent is `s` is its own first hop; anything farther
+    // inherits its parent's.
+    for &t in &settled_order {
+        let ti = t as usize;
+        row[ti] = if ti == s {
+            s as u32
+        } else if parent[ti] == s as u32 {
+            t
+        } else {
+            row[parent[ti] as usize]
+        };
+    }
+}
+
+/// All-pairs next-hop table, row-major `h × h` (`table[s * h + t]`).
+pub(crate) fn all_pairs_next_hops(adj: &[Vec<(u32, u32)>]) -> Vec<u32> {
+    let h = adj.len();
+    let mut table = vec![NO_HOP; h * h];
+    for s in 0..h {
+        next_hop_row(adj, s, &mut table[s * h..(s + 1) * h]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: the seed router's `O(h²)`-scan
+    /// Dijkstra with its parent-chain walk, kept verbatim as the
+    /// oracle the shared routine must reproduce.
+    fn reference_row(adj: &[Vec<(u32, u32)>], s: usize) -> Vec<u32> {
+        let m = adj.len();
+        let mut dist = vec![u64::MAX; m];
+        let mut parent = vec![usize::MAX; m];
+        let mut done = vec![false; m];
+        dist[s] = 0;
+        parent[s] = s;
+        for _ in 0..m {
+            let mut best = usize::MAX;
+            for i in 0..m {
+                if !done[i]
+                    && dist[i] != u64::MAX
+                    && (best == usize::MAX || dist[i] < dist[best])
+                {
+                    best = i;
+                }
+            }
+            if best == usize::MAX {
+                break;
+            }
+            done[best] = true;
+            for &(to, w) in &adj[best] {
+                let to = to as usize;
+                let nd = dist[best] + u64::from(w);
+                if nd < dist[to] || (nd == dist[to] && best < parent[to]) {
+                    dist[to] = nd;
+                    parent[to] = best;
+                }
+            }
+        }
+        let mut row = vec![NO_HOP; m];
+        for t in 0..m {
+            if t == s {
+                row[t] = s as u32;
+                continue;
+            }
+            if parent[t] == usize::MAX {
+                continue;
+            }
+            let mut cur = t;
+            while parents_ok(parent[cur], s) {
+                cur = parent[cur];
+            }
+            row[t] = cur as u32;
+        }
+        row
+    }
+
+    fn parents_ok(p: usize, s: usize) -> bool {
+        p != s
+    }
+
+    #[test]
+    fn matches_reference_on_random_backbones() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let h = rng.gen_range(2..14usize);
+            let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); h];
+            for a in 0..h {
+                for b in a + 1..h {
+                    if rng.gen_bool(0.4) {
+                        let w = rng.gen_range(1..6u32);
+                        adj[a].push((b as u32, w));
+                        adj[b].push((a as u32, w));
+                    }
+                }
+            }
+            for s in 0..h {
+                let mut row = vec![0u32; h];
+                next_hop_row(&adj, s, &mut row);
+                assert_eq!(row, reference_row(&adj, s), "source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_targets_have_no_hop() {
+        let adj: Vec<Vec<(u32, u32)>> = vec![vec![(1, 2)], vec![(0, 2)], vec![]];
+        let table = all_pairs_next_hops(&adj);
+        assert_eq!(table[1], 1); // 0 -> 1
+        assert_eq!(table[2], NO_HOP); // 0 -> 2
+        assert_eq!(table[6], NO_HOP); // 2 -> 0
+        assert_eq!(table[4], 1); // 1 -> 1 (self)
+    }
+
+    #[test]
+    fn equal_length_ties_pick_smallest_first_hop_chain() {
+        // 0-1-3 and 0-2-3 both cost 2: the canonical route goes via 1.
+        let adj: Vec<Vec<(u32, u32)>> = vec![
+            vec![(1, 1), (2, 1)],
+            vec![(0, 1), (3, 1)],
+            vec![(0, 1), (3, 1)],
+            vec![(1, 1), (2, 1)],
+        ];
+        let mut row = vec![0u32; 4];
+        next_hop_row(&adj, 0, &mut row);
+        assert_eq!(row[3], 1);
+    }
+}

@@ -346,6 +346,32 @@ impl VirtualGraph {
         }
     }
 
+    /// Builds a virtual graph directly from a set of realized links
+    /// (paths are copied into a fresh arena) — how a gateway
+    /// *selection*'s backbone becomes a routable graph. The neighbor
+    /// relation is derived from the link endpoints.
+    ///
+    /// # Panics
+    /// Panics if a link endpoint is not in `heads`.
+    pub fn from_links<'a>(
+        heads: &[NodeId],
+        links: impl IntoIterator<Item = LinkRef<'a>>,
+    ) -> Self {
+        let mut store = LinkStore::default();
+        let mut pairs = Vec::new();
+        for l in links {
+            pairs.push((l.a, l.b));
+            store.push_copy(l);
+        }
+        store.finish();
+        let neighbor_sets = adjacency::NeighborSets::from_pairs(heads, pairs);
+        VirtualGraph {
+            heads: heads.to_vec(),
+            neighbor_sets,
+            store,
+        }
+    }
+
     /// The virtual link between `u` and `v` (order-insensitive).
     pub fn link(&self, u: NodeId, v: NodeId) -> Option<LinkRef<'_>> {
         self.store.get(u, v)

@@ -272,17 +272,40 @@ pub fn lexico_path_append<G: Adjacency, L: DistLabels>(
     let mut cur = from;
     out.push(cur);
     while cur != to {
-        let dcur = labels.dist(cur);
-        let next = g
-            .adj(cur)
-            .iter()
-            .copied()
-            .find(|&w| labels.dist(w) == dcur - 1)
+        let next = lexico_next_hop(g, cur, labels)
             .expect("distance labels must decrease along some neighbor");
         out.push(next);
         cur = next;
     }
     true
+}
+
+/// The single canonical step toward the labels' root: the smallest-ID
+/// neighbor of `from` whose distance label decreases — the per-hop
+/// decision rule of [`lexico_path_from_labels`], exposed for callers
+/// that inspect one step of a canonical walk. Returns `None` when
+/// `from` is the root itself or outside the labeled ball.
+///
+/// All hops of one walk must read the **same** label source: chaining
+/// steps across *different* sources (e.g. storing each node's next
+/// hop toward its own clusterhead and then following those pointers
+/// along someone else's path) silently leaves the original walk at
+/// the first node rooted elsewhere — which is why the route plan
+/// stores whole ascent paths instead of per-node pointers.
+#[inline]
+pub fn lexico_next_hop<G: Adjacency, L: DistLabels>(
+    g: &G,
+    from: NodeId,
+    labels: &L,
+) -> Option<NodeId> {
+    let d = labels.dist(from);
+    if d == 0 || d == UNREACHED {
+        return None;
+    }
+    g.adj(from)
+        .iter()
+        .copied()
+        .find(|&w| labels.dist(w) == d - 1)
 }
 
 /// Eccentricity of `src` (max distance to any reachable node).
@@ -418,6 +441,25 @@ mod tests {
         let ab = lexico_shortest_path(&g, NodeId(0), NodeId(1), u32::MAX).unwrap();
         let ba = lexico_shortest_path(&g, NodeId(1), NodeId(0), u32::MAX).unwrap();
         assert_eq!(ab.len(), ba.len());
+    }
+
+    #[test]
+    fn lexico_next_hop_matches_path_walk() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut s = BfsScratch::new(g.len());
+        s.run(&g, NodeId(3), u32::MAX);
+        assert_eq!(lexico_next_hop(&g, NodeId(0), &s), Some(NodeId(1)));
+        assert_eq!(lexico_next_hop(&g, NodeId(1), &s), Some(NodeId(3)));
+        assert_eq!(lexico_next_hop(&g, NodeId(3), &s), None, "root has no step");
+    }
+
+    #[test]
+    fn lexico_next_hop_outside_ball_is_none() {
+        let g = path_graph(6);
+        let mut s = BfsScratch::new(g.len());
+        s.run(&g, NodeId(0), 2);
+        assert_eq!(lexico_next_hop(&g, NodeId(5), &s), None);
+        assert_eq!(lexico_next_hop(&g, NodeId(2), &s), Some(NodeId(1)));
     }
 
     #[test]

@@ -21,6 +21,21 @@ pub fn interior(path: &[NodeId]) -> &[NodeId] {
     }
 }
 
+/// In-place shortcut pass for hierarchical routing walks: truncates
+/// `walk` at the **first** time it passes through `target` (the
+/// standard "stop early when the route already reached the
+/// destination" rule — ascending toward a clusterhead or crossing a
+/// gateway path can touch the destination long before the formal
+/// descent does), then collapses consecutive duplicates left by
+/// segment joins. A walk that never visits `target` only loses its
+/// consecutive duplicates.
+pub fn shortcut_walk(walk: &mut Vec<NodeId>, target: NodeId) {
+    if let Some(i) = walk.iter().position(|&v| v == target) {
+        walk.truncate(i + 1);
+    }
+    walk.dedup();
+}
+
 /// Whether `path` is a simple walk along existing edges of `g`.
 pub fn is_valid_path<G: Adjacency>(g: &G, path: &[NodeId]) -> bool {
     if path.is_empty() {
@@ -52,6 +67,24 @@ mod tests {
         assert_eq!(interior(&p), &[NodeId(1), NodeId(2)]);
         assert!(interior(&p[..2]).is_empty());
         assert!(interior(&p[..1]).is_empty());
+    }
+
+    #[test]
+    fn shortcut_truncates_at_first_visit() {
+        // Ascent 2-1-0 then descent 0-1: the walk passes through the
+        // destination 1 on the way up, so everything after the first
+        // visit is cut.
+        let mut w = vec![NodeId(2), NodeId(1), NodeId(0), NodeId(1)];
+        shortcut_walk(&mut w, NodeId(1));
+        assert_eq!(w, vec![NodeId(2), NodeId(1)]);
+        // No visit of the target: only consecutive duplicates collapse.
+        let mut w = vec![NodeId(2), NodeId(2), NodeId(3), NodeId(4)];
+        shortcut_walk(&mut w, NodeId(9));
+        assert_eq!(w, vec![NodeId(2), NodeId(3), NodeId(4)]);
+        // Target first: degenerates to the trivial walk.
+        let mut w = vec![NodeId(5), NodeId(6)];
+        shortcut_walk(&mut w, NodeId(5));
+        assert_eq!(w, vec![NodeId(5)]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use adhoc_cluster::cds::Cds;
 use adhoc_cluster::clustering::{cluster, Clustering, MemberPolicy};
 use adhoc_cluster::pipeline::{self, EvalScratch, EvaluationOutput, LabelAdvance};
 use adhoc_cluster::priority::LowestId;
+use adhoc_cluster::routing::RoutePlan;
 use adhoc_graph::bfs::BfsScratch;
 use adhoc_graph::connectivity;
 use adhoc_graph::delta::TopologyDelta;
@@ -90,6 +91,11 @@ pub struct ChurnEngine {
     /// at the last point it was computed. Reusable while neither the
     /// CDS nor any edge between two of its nodes changes.
     last_backbone_ok: bool,
+    /// Compiled route plan over the maintained algorithm's backbone,
+    /// kept current under churn once [`Self::enable_routing`] turns
+    /// serving on (localized deltas patch it via
+    /// [`RoutePlan::apply_delta`]; head-set changes recompile).
+    route_plan: Option<RoutePlan>,
 }
 
 impl ChurnEngine {
@@ -117,9 +123,47 @@ impl ChurnEngine {
             bfs: BfsScratch::new(g.len()),
             last_valid: true,
             last_backbone_ok: true,
+            route_plan: None,
         };
         engine.refresh_validity();
         engine
+    }
+
+    /// Turns route serving on: compiles a [`RoutePlan`] over the
+    /// maintained algorithm's backbone and keeps it current through
+    /// every subsequent step, departure, and rebuild. The maintained
+    /// plan is always identical to one compiled from scratch on the
+    /// engine's current state (pinned by the `route_churn` tests).
+    pub fn enable_routing(&mut self) {
+        let plan = RoutePlan::compile(
+            &self.graph,
+            &self.clustering,
+            self.scratch.labels(),
+            self.eval.selected_links(self.cfg.algorithm),
+        );
+        self.route_plan = Some(plan);
+    }
+
+    /// The maintained route plan (`None` until
+    /// [`Self::enable_routing`]).
+    pub fn route_plan(&self) -> Option<&RoutePlan> {
+        self.route_plan.as_ref()
+    }
+
+    /// Recompiles the maintained route plan from the engine's current
+    /// evaluation (head-set changes invalidate the plan's slot
+    /// layout; localized steps go through [`RoutePlan::apply_delta`]
+    /// instead).
+    fn recompile_route_plan(&mut self) {
+        if self.route_plan.is_some() {
+            let plan = RoutePlan::compile(
+                &self.graph,
+                &self.clustering,
+                self.scratch.labels(),
+                self.eval.selected_links(self.cfg.algorithm),
+            );
+            self.route_plan = Some(plan);
+        }
     }
 
     /// The configured policy.
@@ -227,6 +271,7 @@ impl ChurnEngine {
         self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
         cost += self.information_cost();
         self.refresh_validity();
+        self.recompile_route_plan();
         StepReport {
             level: RepairLevel::Full,
             orphans: orphans.len(),
@@ -375,6 +420,30 @@ impl ChurnEngine {
             self.eval = eval;
         }
 
+        // Keep the compiled route plan in lockstep: localized deltas
+        // patch ascent rows and backbone tables in place; label
+        // rebuilds and elections recompile (the dirty set is unknown
+        // or the slot layout changed).
+        if heads_changed {
+            self.recompile_route_plan();
+        } else if self.route_plan.is_some() {
+            match &advance {
+                LabelAdvance::Incremental { dirty } => {
+                    let links = self.eval.selected_links(self.cfg.algorithm);
+                    let plan = self.route_plan.as_mut().expect("routing enabled");
+                    plan.apply_delta(
+                        &self.graph,
+                        &self.clustering,
+                        self.scratch.labels(),
+                        delta,
+                        dirty,
+                        links,
+                    );
+                }
+                LabelAdvance::Rebuilt => self.recompile_route_plan(),
+            }
+        }
+
         // Backbone check: the maintained CDS must still induce a
         // connected subgraph. A departed gateway shows up here too —
         // its isolated node disconnects the old CDS, and the refreshed
@@ -436,6 +505,7 @@ impl ChurnEngine {
         let alive = self.departed.iter().filter(|&&d| !d).count();
         let cost = alive + self.information_cost();
         self.refresh_validity();
+        self.recompile_route_plan();
         StepReport {
             level: RepairLevel::Full,
             orphans,

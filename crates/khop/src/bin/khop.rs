@@ -11,6 +11,7 @@
 //! khop exact [--n 24 --d 5 --seed 7] --k 1             exact optimum + ratios
 //! khop maintain --n 100 --k 2 --steps 50 --speed 1.0   movement-sensitive repair
 //! khop churn --n 200 --k 2 --steps 40 --movers 10      incremental delta engine vs rebuild
+//! khop route --n 400 --k 2 --alg ac-lmst --queries 5000 --mix local   compiled route serving
 //! khop mac  [--n 120 --d 10] --k 1 --cw 8              broadcast under CSMA
 //! ```
 
@@ -68,9 +69,10 @@ impl Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("khop: {msg}");
-    eprintln!("usage: khop <gen|run|dist|info|exact|maintain|churn|mac>");
+    eprintln!("usage: khop <gen|run|dist|info|exact|maintain|churn|route|mac>");
     eprintln!("            [--n N] [--d D] [--k K] [--seed S] [--steps T] [--cw W]");
-    eprintln!("            [--movers M] [--speed V]");
+    eprintln!("            [--movers M] [--speed V] [--queries Q] [--workers W]");
+    eprintln!("            [--mix uniform|hotspot|local]");
     eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst|all]");
     eprintln!("            [--labels dense|sparse|auto]");
     eprintln!("            [--input FILE] [--out FILE] [--json]");
@@ -499,6 +501,134 @@ fn cmd_churn(args: &Args) {
     println!("labels: {layout} layout ({labels_bytes} bytes)");
 }
 
+/// `khop route`: compile a [`RoutePlan`] over one algorithm's backbone
+/// and serve a query batch through it — compiled single-worker,
+/// compiled multi-worker, and the per-query-BFS baseline, with
+/// checksummed-equal walks (a CLI-sized slice of `adhoc-bench`'s
+/// `routing_serve` bin).
+fn cmd_route(args: &Args) {
+    use std::time::Instant;
+    let g = obtain_graph(args);
+    let k: u32 = args.get("k", 2);
+    let queries: usize = args.get("queries", 5000);
+    let workers: usize = args.get("workers", 2);
+    let seed: u64 = args.get("seed", 1);
+    let labels = parse_labels(args);
+    let mix: Mix = args.get("mix", Mix::Uniform);
+    let alg_name = args.opt("alg").unwrap_or("ac-lmst");
+    if alg_name.eq_ignore_ascii_case("all") {
+        die("route serves one backbone; pick a single algorithm");
+    }
+    let alg = parse_alg(alg_name);
+    if k == 0 {
+        die("--k must be at least 1");
+    }
+    if queries == 0 {
+        die("--queries must be at least 1");
+    }
+
+    let clustering = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+    let mut scratch = EvalScratch::with_mode(labels);
+    let eval = pipeline::run_all_with(&g, &clustering, &mut scratch);
+    let links = eval.selected_links(alg);
+    let t = Instant::now();
+    let plan = RoutePlan::compile(&g, &clustering, scratch.labels(), links.iter().copied());
+    let build_ms = 1e3 * t.elapsed().as_secs_f64();
+    let baseline = ClusterRouter::with_graph(
+        &clustering,
+        adhoc_cluster::virtual_graph::VirtualGraph::from_links(&clustering.heads, links),
+    );
+
+    let workload = Workload::new(&plan);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = workload.generate(&plan, mix, queries, &mut rng);
+
+    let t = Instant::now();
+    let single = QueryEngine::new(&plan).route_many(&pairs);
+    let single_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let multi = QueryEngine::with_workers(&plan, workers).route_many(&pairs);
+    let multi_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut legacy_scratch = LegacyScratch::new();
+    let mut bfs_sums = Vec::with_capacity(pairs.len());
+    for &(u, v) in &pairs {
+        bfs_sums.push(match baseline.route_with(&g, u, v, &mut legacy_scratch) {
+            Some(w) => routing::walk_checksum(&w),
+            None => 0,
+        });
+    }
+    let bfs_secs = t.elapsed().as_secs_f64();
+    let bfs_checksum = routing::fold_checksums(&bfs_sums);
+    if multi.checksum != single.checksum || bfs_checksum != single.checksum {
+        die("serving arms produced different walks — route equivalence violated");
+    }
+
+    let routable = pairs.len() - single.unreachable;
+    let mean_hops = if routable == 0 {
+        0.0
+    } else {
+        single.total_hops as f64 / routable as f64
+    };
+    let tables = TableStats::measure(&g, &clustering);
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "algorithm": alg.name(),
+                "k": k,
+                "nodes": g.len(),
+                "mix": mix.name(),
+                "queries": queries,
+                "heads": plan.heads().len(),
+                "links": plan.link_count(),
+                "build_ms": build_ms,
+                "plan_memory_bytes": plan.memory_bytes(),
+                "labels_layout": scratch.labels().layout_name(),
+                "mean_hops": mean_hops,
+                "unreachable": single.unreachable,
+                "plan_qps": queries as f64 / single_secs.max(1e-12),
+                "plan_qps_multi": queries as f64 / multi_secs.max(1e-12),
+                "workers": workers,
+                "bfs_qps": queries as f64 / bfs_secs.max(1e-12),
+                "member_table_mean": tables.member_mean,
+                "head_table_entries": tables.head_entries,
+                "flat_table_entries": tables.flat_entries,
+                "checksum": format!("{:016x}", single.checksum),
+            })
+        );
+    } else {
+        println!(
+            "{} backbone on {} nodes (k={k}): {} heads, {} links; plan compiled in {build_ms:.2} ms ({} bytes)",
+            alg.name(),
+            g.len(),
+            plan.heads().len(),
+            plan.link_count(),
+            plan.memory_bytes()
+        );
+        println!(
+            "{queries} {} queries: mean {mean_hops:.2} hops, {} unreachable",
+            mix.name(),
+            single.unreachable
+        );
+        println!(
+            "compiled: {:>10.0} q/s | compiled x{workers}: {:>10.0} q/s | per-query BFS: {:>10.0} q/s ({:.1}x)",
+            queries as f64 / single_secs.max(1e-12),
+            queries as f64 / multi_secs.max(1e-12),
+            queries as f64 / bfs_secs.max(1e-12),
+            bfs_secs / single_secs.max(1e-12),
+        );
+        println!(
+            "tables: member {:.1} entries mean (min {} / max {}), head {}, flat {}",
+            tables.member_mean,
+            tables.member_min,
+            tables.member_max,
+            tables.head_entries,
+            tables.flat_entries
+        );
+    }
+}
+
 fn cmd_mac(args: &Args) {
     let g = obtain_graph(args);
     let k: u32 = args.get("k", 1);
@@ -547,6 +677,7 @@ fn main() {
         "exact" => cmd_exact(&args),
         "maintain" => cmd_maintain(&args),
         "churn" => cmd_churn(&args),
+        "route" => cmd_route(&args),
         "mac" => cmd_mac(&args),
         other => die(&format!("unknown command {other}")),
     }

@@ -39,7 +39,9 @@ pub mod prelude {
         HighestDegree, KhopDegree, LowestId, LowestSpeed, Priority, PriorityKey,
         RandomTimer, ResidualEnergy, SumOfDistances,
     };
-    pub use adhoc_cluster::routing::{self, ClusterRouter};
+    pub use adhoc_cluster::routing::{
+        self, ClusterRouter, LegacyScratch, Mix, QueryEngine, RoutePlan, TableStats, Workload,
+    };
     pub use adhoc_cluster::virtual_graph::{self, LinkRef, LinkStore, VirtualGraph, VirtualLink};
     pub use adhoc_cluster::wulou;
     pub use adhoc_graph::bfs;

@@ -350,7 +350,21 @@ fn prelude_exposes_the_whole_stack() {
     c.verify(&net.graph).unwrap();
 
     let router = ClusterRouter::build(&net.graph, &out.clustering);
-    let path = router.route(&net.graph, NodeId(0), NodeId(39));
+    let path = router
+        .route(&net.graph, NodeId(0), NodeId(39))
+        .expect("connected backbone");
     assert_eq!(path.first(), Some(&NodeId(0)));
     assert_eq!(path.last(), Some(&NodeId(39)));
+
+    // The compiled serving plan answers the same query with the same
+    // walk, without touching the graph at query time.
+    let mut scratch = EvalScratch::new();
+    let eval = pipeline::run_all_with(&net.graph, &out.clustering, &mut scratch);
+    let plan = RoutePlan::compile(
+        &net.graph,
+        &out.clustering,
+        scratch.labels(),
+        eval.ac_graph.links(),
+    );
+    assert_eq!(plan.route(NodeId(0), NodeId(39)).as_deref(), Some(&path[..]));
 }
