@@ -23,7 +23,7 @@ pub fn lmstga(vg: &VirtualGraph, clustering: &Clustering) -> GatewaySelection {
 /// Reusable buffers for [`lmstga_with`]: the Monte-Carlo engine calls
 /// the LMST rule twice per replicate (NC and AC graphs), so the local
 /// MST scratch and the kept-pair accumulator persist per worker.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LmstgaScratch {
     lmst: lmst::LmstScratch<TieWeight<u32>>,
     on_tree: Vec<NodeId>,

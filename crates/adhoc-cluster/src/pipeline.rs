@@ -202,7 +202,7 @@ pub fn run_on_with<G: Adjacency>(
 /// where `O(h · n)` memory, not time, caps scale). Every product is
 /// bit-for-bit identical across layouts (pinned by the
 /// `label_equivalence` proptests).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EvalScratch {
     labels: LabelStore,
     mode: LabelMode,
@@ -467,6 +467,26 @@ pub enum LabelAdvance {
     /// [`DIRTY_FRACTION_FALLBACK`], or the scratch did not match the
     /// clustering/graph).
     Rebuilt,
+}
+
+impl LabelAdvance {
+    /// Number of head slots this advance re-swept (`head_count` when
+    /// the labels were rebuilt wholesale). This is the `dirty_heads`
+    /// figure maintenance reports surface.
+    pub fn dirty_count(&self, head_count: usize) -> usize {
+        match self {
+            LabelAdvance::Incremental { dirty } => dirty.len(),
+            LabelAdvance::Rebuilt => head_count,
+        }
+    }
+
+    /// Whether the advance provably changed **no** label row — the
+    /// delta was absorbed outside every head's `2k+1` ball, so every
+    /// distance a maintenance policy reads is bit-identical to the
+    /// previous step's.
+    pub fn untouched(&self) -> bool {
+        matches!(self, LabelAdvance::Incremental { dirty } if dirty.is_empty())
+    }
 }
 
 /// Phase 1 of [`update_all`]: advances `scratch`'s label arena from the

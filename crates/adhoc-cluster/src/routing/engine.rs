@@ -228,8 +228,27 @@ mod tests {
         let plan = plan_for(30, 1, 11);
         let none = QueryEngine::with_workers(&plan, 4).route_many(&[]);
         assert!(none.hops.is_empty());
+        assert_eq!(none.unreachable, 0);
         assert_eq!(none.checksum, 0);
         let single = QueryEngine::with_workers(&plan, 4).route_many(&[(NodeId(1), NodeId(2))]);
         assert_eq!(single.hops.len(), 1);
+    }
+
+    /// More workers than pairs: the chunking must clamp, serve every
+    /// pair exactly once, and agree with the single-threaded engine.
+    #[test]
+    fn more_workers_than_pairs_matches_single_threaded() {
+        let plan = plan_for(30, 1, 11);
+        let pairs = [
+            (NodeId(0), NodeId(29)),
+            (NodeId(5), NodeId(17)),
+            (NodeId(3), NodeId(3)),
+        ];
+        let wide = QueryEngine::with_workers(&plan, 16).route_many(&pairs);
+        let serial = QueryEngine::new(&plan).route_many(&pairs);
+        assert_eq!(wide.hops, serial.hops);
+        assert_eq!(wide.unreachable, serial.unreachable);
+        assert_eq!(wide.checksum, serial.checksum);
+        assert_eq!(wide.hops.len(), pairs.len());
     }
 }

@@ -54,8 +54,14 @@ const NO_SLOT: u32 = u32::MAX;
 /// A compiled, self-contained route-serving structure (see the module
 /// docs for the layout). Queries borrow it immutably, so one plan can
 /// serve any number of concurrent workers.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct RoutePlan {
+    /// Publication counter: bumped by the maintainer each time it
+    /// atomically swaps a new plan in (the churn engine's *publish*
+    /// phase). Readers use it to tell plan generations apart without
+    /// comparing contents; it is **excluded from equality** — two
+    /// plans are `==` iff they serve identical routes.
+    epoch: u64,
     k: u32,
     n: usize,
     /// Clusterheads in slot order (ascending, matching the labels).
@@ -83,6 +89,30 @@ pub struct RoutePlan {
     /// unreachable over this backbone).
     next_hop: Vec<u32>,
 }
+
+/// Content equality: every served decision, **ignoring** the
+/// publication [`RoutePlan::epoch`] (a maintained plan bumps its epoch
+/// on every publish yet must compare equal to a fresh compile).
+impl PartialEq for RoutePlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.n == other.n
+            && self.heads == other.heads
+            && self.head_slot == other.head_slot
+            && self.dist_head == other.dist_head
+            && self.up_off == other.up_off
+            && self.up_arena == other.up_arena
+            && self.link_off == other.link_off
+            && self.link_to == other.link_to
+            && self.link_hops == other.link_hops
+            && self.link_path_off == other.link_path_off
+            && self.link_path_len == other.link_path_len
+            && self.path_arena == other.path_arena
+            && self.next_hop == other.next_hop
+    }
+}
+
+impl Eq for RoutePlan {}
 
 /// What [`RoutePlan::apply_delta`] did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -201,6 +231,7 @@ impl RoutePlan {
         assert_eq!(labels.node_count(), n, "labels describe a different graph");
         assert!(labels.bound() >= clustering.k, "labels too shallow for ascents");
         let mut plan = RoutePlan {
+            epoch: 0,
             k: clustering.k,
             n,
             heads: clustering.heads.clone(),
@@ -329,7 +360,9 @@ impl RoutePlan {
         links: impl IntoIterator<Item = LinkRef<'a>>,
     ) -> PlanUpdate {
         if self.heads != clustering.heads || self.n != g.node_count() {
+            let epoch = self.epoch;
             *self = RoutePlan::compile(g, clustering, labels, links);
+            self.epoch = epoch;
             return PlanUpdate {
                 rebuilt: true,
                 resweeped_nodes: self.n,
@@ -476,6 +509,19 @@ impl RoutePlan {
     pub fn backbone_neighbors(&self, slot: usize) -> &[u32] {
         let (lo, hi) = (self.link_off[slot] as usize, self.link_off[slot + 1] as usize);
         &self.link_to[lo..hi]
+    }
+
+    /// The publication epoch the maintainer stamped this plan with
+    /// (0 for a freshly compiled plan).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the publication epoch. Called by the maintainer's
+    /// publish phase when atomically swapping the served plan; has no
+    /// effect on [`PartialEq`] content equality.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Heap bytes the compiled plan holds — the serving-side footprint

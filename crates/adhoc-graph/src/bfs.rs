@@ -145,6 +145,47 @@ impl BfsScratch {
         }
     }
 
+    /// Runs a **multi-source** bounded BFS: every node of `sources`
+    /// starts at distance 0, and [`Self::dist`] afterwards holds each
+    /// node's hop distance to the *nearest* source (`UNREACHED` beyond
+    /// `max_hops`). Duplicate sources are tolerated.
+    ///
+    /// Determinism matches [`Self::run`]: the initial frontier is
+    /// seeded in the order `sources` lists them, so callers that need
+    /// a canonical discovery order pass sources ascending.
+    pub fn run_multi<G: Adjacency>(&mut self, g: &G, sources: &[NodeId], max_hops: u32) {
+        self.ensure(g.node_count());
+        for &v in &self.visited {
+            self.dist[v.index()] = UNREACHED;
+            self.parent[v.index()] = NodeId(u32::MAX);
+        }
+        self.visited.clear();
+        self.queue.clear();
+
+        for &s in sources {
+            if self.dist[s.index()] == UNREACHED {
+                self.dist[s.index()] = 0;
+                self.parent[s.index()] = s;
+                self.queue.push_back(s);
+                self.visited.push(s);
+            }
+        }
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            if du == max_hops {
+                continue;
+            }
+            for &v in g.adj(u) {
+                if self.dist[v.index()] == UNREACHED {
+                    self.dist[v.index()] = du + 1;
+                    self.parent[v.index()] = u;
+                    self.queue.push_back(v);
+                    self.visited.push(v);
+                }
+            }
+        }
+    }
+
     /// Distance of `v` from the last run's source (`UNREACHED` if the
     /// node was not reached within the hop bound).
     #[inline]
@@ -344,6 +385,29 @@ mod tests {
         assert_eq!(d[1], 1);
         assert_eq!(d[2], UNREACHED);
         assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_nearest_source() {
+        // Sources at both ends of a 7-path: every node's distance is
+        // to its nearer end, and duplicate sources are tolerated.
+        let g = path_graph(7);
+        let mut s = BfsScratch::new(g.len());
+        s.run_multi(&g, &[NodeId(0), NodeId(6), NodeId(0)], 3);
+        assert_eq!(s.dist(NodeId(0)), 0);
+        assert_eq!(s.dist(NodeId(6)), 0);
+        assert_eq!(s.dist(NodeId(2)), 2);
+        assert_eq!(s.dist(NodeId(4)), 2);
+        assert_eq!(s.dist(NodeId(3)), 3);
+        assert_eq!(s.visited().len(), 7);
+        // Bounded: hop budget 1 reaches only the ends and their
+        // neighbors, and re-running resets prior state.
+        s.run_multi(&g, &[NodeId(0), NodeId(6)], 1);
+        assert_eq!(s.visited().len(), 4);
+        assert_eq!(s.dist(NodeId(3)), UNREACHED);
+        // Empty source set: nothing visited.
+        s.run_multi(&g, &[], 3);
+        assert!(s.visited().is_empty());
     }
 
     #[test]

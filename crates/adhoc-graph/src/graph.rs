@@ -45,10 +45,28 @@ impl From<u32> for NodeId {
 /// clustering pipeline documents ("lexicographic shortest paths").
 ///
 /// Self-loops and parallel edges are rejected.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Graph {
     adj: Vec<Vec<NodeId>>,
     edges: usize,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Graph {
+            adj: self.adj.clone(),
+            edges: self.edges,
+        }
+    }
+
+    /// `clone_from` reuses both the outer adjacency vector and every
+    /// per-node neighbor list already allocated in `self` — long-lived
+    /// consumers that re-sync with snapshots every step (the churn
+    /// engine) copy without reallocating.
+    fn clone_from(&mut self, source: &Self) {
+        self.adj.clone_from(&source.adj);
+        self.edges = source.edges;
+    }
 }
 
 impl Graph {

@@ -15,6 +15,46 @@
 //!   [`MobileNetwork::step`](crate::mobility::MobileNetwork::step)'s
 //!   spatial grid, or diffed from a snapshot by [`ChurnEngine::step`]).
 //!
+//! # The reconciliation state machine
+//!
+//! Every delta flows through an explicit three-phase controller whose
+//! intermediate state is a first-class value ([`ReconcileState`]), so
+//! execution can be suspended and resumed at any phase boundary — and
+//! crashed there, which the model checker in [`crate::modelcheck`]
+//! exploits:
+//!
+//! ```text
+//!            begin_delta / begin_depart
+//!                      │
+//!                      ▼
+//!    ┌─────────── OBSERVE ────────────┐  advance_labels (dirty-head
+//!    │  delta applied, labels swept,  │  bounded BFS), orphan / merge
+//!    │  damage detected — clustering, │  / head-loss detection read
+//!    │  CDS, eval, plan all untouched │  off the refreshed labels
+//!    └──────────────┬────────────────-┘
+//!                   ▼   ReconcileState::Observed
+//!    ┌─────────── REPAIR ─────────────┐  RepairLevel policy: rejoin
+//!    │  clustering mutated (rejoins,  │  orphans, elect stranded,
+//!    │  elections, head removal) —    │  re-elect globally on merges
+//!    │  eval / CDS / plan untouched   │  — the charged node-rounds
+//!    └──────────────┬────────────────-┘
+//!                   ▼   ReconcileState::Repaired
+//!    ┌─────────── PUBLISH ────────────┐  evaluation refresh, validity
+//!    │  eval refreshed, verdicts      │  verdict, route plan swapped
+//!    │  recomputed, pending plan      │  atomically + epoch bump —
+//!    │  swapped in atomically         │  queries never see a torn mix
+//!    └──────────────┬────────────────-┘
+//!                   ▼   ReconcileState::Done(StepReport)
+//! ```
+//!
+//! The served [`RoutePlan`] only ever changes in the final instant of
+//! publish: during observe and repair (and after a crash, until
+//! [`ChurnEngine::recover`]) queries keep reading the pre-step plan.
+//! A crash between phases leaves the engine flagged in-flight
+//! ([`ChurnEngine::in_flight`]); [`ChurnEngine::recover`] restores
+//! consistency with a full rebuild. [`FaultPlan`] injects such crashes
+//! deterministically for the model checker.
+//!
 //! Each delta flows through `pipeline::advance_labels` (bounded BFS for
 //! **dirty** heads only), the [`RepairLevel`] policy reads the refreshed
 //! labels to find orphaned members and merged heads, shared repair
@@ -22,7 +62,8 @@
 //! only the affected virtual links and selections. The maintained
 //! evaluation is **bit-for-bit identical** to a from-scratch
 //! `pipeline::run_all` on the current graph (pinned by the
-//! `churn_equivalence` proptest), while the existing [`RepairLevel`]
+//! `churn_equivalence` proptest and checked exhaustively as invariant
+//! I1 in [`crate::invariants`]), while the existing [`RepairLevel`]
 //! policy and node-round cost accounting ride on top unchanged.
 //!
 //! The `movement::MaintainedCds` name remains as an alias of this
@@ -30,6 +71,7 @@
 //! reference implementation, now built from the same crate-private
 //! repair primitives (`rejoin_one`, `elect_orphans`, `broken_mates`).
 
+use crate::invariants;
 use crate::movement::{MovementConfig, RepairLevel, StepReport};
 use adhoc_cluster::cds::Cds;
 use adhoc_cluster::clustering::{cluster, Clustering, MemberPolicy};
@@ -57,6 +99,124 @@ enum StrandedPolicy {
     Elect,
 }
 
+/// A phase boundary of the reconciliation state machine — the two
+/// points where execution can be suspended, resumed, or crashed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PhaseBoundary {
+    /// After **observe**: labels advanced and damage detected, but the
+    /// clustering, CDS, evaluation, and route plan are all pre-step.
+    Observed,
+    /// After **repair**: the clustering is mutated (rejoins, elections,
+    /// head removal), but the evaluation, verdicts, and route plan are
+    /// still pre-step.
+    Repaired,
+}
+
+/// Deterministic crash injection for one reconcile: the engine drops
+/// its in-flight [`ReconcileState`] at the named boundary, exactly as
+/// if the maintainer process died there. Used by the model checker to
+/// cross every delta interleaving with every crash point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    crash_after: Option<PhaseBoundary>,
+}
+
+impl FaultPlan {
+    /// No injected faults: the reconcile runs to completion.
+    pub fn none() -> Self {
+        FaultPlan { crash_after: None }
+    }
+
+    /// Crash (abandon the in-flight state) right after `boundary`.
+    pub fn crash_after(boundary: PhaseBoundary) -> Self {
+        FaultPlan {
+            crash_after: Some(boundary),
+        }
+    }
+
+    fn crashes_after(&self, boundary: PhaseBoundary) -> bool {
+        self.crash_after == Some(boundary)
+    }
+}
+
+/// Resumable intermediate state of one reconcile. Produced by
+/// [`ChurnEngine::begin_delta`] / [`ChurnEngine::begin_depart`],
+/// advanced one phase at a time by [`ChurnEngine::resume`], finished
+/// by [`ChurnEngine::finish`].
+///
+/// Dropping a non-`Done` state without resuming models a crash: the
+/// engine stays flagged [`ChurnEngine::in_flight`] until
+/// [`ChurnEngine::recover`] restores consistency.
+#[derive(Debug)]
+pub enum ReconcileState {
+    /// Observe finished; repair is next.
+    Observed(Box<Observation>),
+    /// Repair finished; publish is next.
+    Repaired(Box<Repaired>),
+    /// The reconcile completed with this report.
+    Done(StepReport),
+}
+
+/// What the observe phase saw (opaque; feed it back via
+/// [`ChurnEngine::resume`]).
+#[derive(Debug)]
+pub struct Observation {
+    delta: TopologyDelta,
+    /// `None` for a head departure: the head set is about to change,
+    /// so the label arena was deliberately not advanced.
+    advance: Option<LabelAdvance>,
+    dirty_heads: usize,
+    orphans: Vec<NodeId>,
+    merged_head_pairs: usize,
+    fresh_dist: Vec<(NodeId, u32)>,
+    policy: StrandedPolicy,
+    departed_head: Option<NodeId>,
+}
+
+/// What the repair phase did (opaque; feed it back via
+/// [`ChurnEngine::resume`]).
+#[derive(Debug)]
+pub struct Repaired {
+    delta: TopologyDelta,
+    outcome: RepairOutcome,
+}
+
+/// Incremental-path repair summary carried into publish.
+#[derive(Debug)]
+struct Patch {
+    advance: LabelAdvance,
+    dirty_heads: usize,
+    heads_changed: bool,
+    level: RepairLevel,
+    orphans: usize,
+    cost: usize,
+}
+
+#[derive(Debug)]
+enum RepairOutcome {
+    /// Head set survived (or grew by a local election): publish
+    /// refreshes incrementally and patches the plan.
+    Patch(Patch),
+    /// Global re-election already performed (merged heads, stranded
+    /// orphans under the movement policy, or an escalation): publish
+    /// pays the full price.
+    Rebuilt {
+        /// Orphans detected before the rebuild (report bookkeeping).
+        orphans: usize,
+        /// Merged head pairs that triggered it (0 otherwise).
+        merged: usize,
+    },
+    /// §3.3 head loss: the departed head was removed and its orphans
+    /// re-joined/elected locally; publish pays the full evaluation but
+    /// the report keeps the local repair's accrued cost.
+    HeadLoss {
+        /// Orphans the departure produced.
+        orphans: usize,
+        /// Node-rounds accrued by rejoins and elections.
+        cost: usize,
+    },
+}
+
 /// A connected k-hop clustering, its gateway CDS, and the full
 /// five-algorithm evaluation, kept alive under topology churn at
 /// incremental cost.
@@ -67,7 +227,13 @@ enum StrandedPolicy {
 /// [`SpatialGrid`](adhoc_graph::gen::SpatialGrid)), or remove a node
 /// with [`Self::depart`]. Arrivals change the node set and are out of
 /// scope (see `maintenance::handle_arrival`).
-#[derive(Debug)]
+///
+/// All of those are convenience drivers over the explicit state
+/// machine ([`Self::begin_delta`], [`Self::begin_depart`],
+/// [`Self::resume`], [`Self::finish`]); fault-injecting variants
+/// ([`Self::step_delta_faulted`], [`Self::depart_faulted`]) crash at a
+/// chosen [`PhaseBoundary`] instead.
+#[derive(Clone, Debug)]
 pub struct ChurnEngine {
     cfg: MovementConfig,
     /// Current clustering (heads + affiliations; departed nodes carry a
@@ -93,9 +259,15 @@ pub struct ChurnEngine {
     last_backbone_ok: bool,
     /// Compiled route plan over the maintained algorithm's backbone,
     /// kept current under churn once [`Self::enable_routing`] turns
-    /// serving on (localized deltas patch it via
-    /// [`RoutePlan::apply_delta`]; head-set changes recompile).
+    /// serving on. Only replaced in the last instant of the publish
+    /// phase (atomic swap + epoch bump) — never mutated in place while
+    /// a reconcile is in flight.
     route_plan: Option<RoutePlan>,
+    /// Publication counter stamped onto every swapped-in plan.
+    plan_epoch: u64,
+    /// Set while a reconcile has run observe (and possibly repair) but
+    /// not publish. A crash leaves it set; [`Self::recover`] clears it.
+    in_flight: Option<PhaseBoundary>,
 }
 
 impl ChurnEngine {
@@ -124,6 +296,8 @@ impl ChurnEngine {
             last_valid: true,
             last_backbone_ok: true,
             route_plan: None,
+            plan_epoch: 0,
+            in_flight: None,
         };
         engine.refresh_validity();
         engine
@@ -135,13 +309,8 @@ impl ChurnEngine {
     /// plan is always identical to one compiled from scratch on the
     /// engine's current state (pinned by the `route_churn` tests).
     pub fn enable_routing(&mut self) {
-        let plan = RoutePlan::compile(
-            &self.graph,
-            &self.clustering,
-            self.scratch.labels(),
-            self.eval.selected_links(self.cfg.algorithm),
-        );
-        self.route_plan = Some(plan);
+        let plan = self.compile_plan();
+        self.install_plan(plan);
     }
 
     /// The maintained route plan (`None` until
@@ -150,19 +319,33 @@ impl ChurnEngine {
         self.route_plan.as_ref()
     }
 
-    /// Recompiles the maintained route plan from the engine's current
-    /// evaluation (head-set changes invalidate the plan's slot
-    /// layout; localized steps go through [`RoutePlan::apply_delta`]
-    /// instead).
-    fn recompile_route_plan(&mut self) {
+    /// Compiles a plan from the engine's current evaluation (does not
+    /// install it — that is publish's atomic swap).
+    fn compile_plan(&self) -> RoutePlan {
+        RoutePlan::compile(
+            &self.graph,
+            &self.clustering,
+            self.scratch.labels(),
+            self.eval.selected_links(self.cfg.algorithm),
+        )
+    }
+
+    /// Atomically publishes `plan`: bumps the epoch, stamps it, swaps
+    /// it in. The single point where [`Self::route_plan`] changes.
+    fn install_plan(&mut self, mut plan: RoutePlan) {
+        self.plan_epoch += 1;
+        plan.set_epoch(self.plan_epoch);
+        self.route_plan = Some(plan);
+    }
+
+    /// Recompiles and publishes the maintained route plan from the
+    /// engine's current evaluation (head-set changes invalidate the
+    /// plan's slot layout; localized steps patch a pending clone via
+    /// [`RoutePlan::apply_delta`] instead).
+    fn republish_plan(&mut self) {
         if self.route_plan.is_some() {
-            let plan = RoutePlan::compile(
-                &self.graph,
-                &self.clustering,
-                self.scratch.labels(),
-                self.eval.selected_links(self.cfg.algorithm),
-            );
-            self.route_plan = Some(plan);
+            let plan = self.compile_plan();
+            self.install_plan(plan);
         }
     }
 
@@ -194,25 +377,76 @@ impl ChurnEngine {
         self.departed[u.index()]
     }
 
+    /// The last reconcile's validity verdict (whether the maintained
+    /// structure verifies as a k-hop CDS over the surviving nodes).
+    pub fn is_valid(&self) -> bool {
+        self.last_valid
+    }
+
+    /// Whether the surviving (non-departed) nodes induce a connected
+    /// subgraph — validity can only be demanded when they do.
+    pub fn alive_connected(&self) -> bool {
+        let alive: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&v| !self.departed[v.index()])
+            .collect();
+        connectivity::is_subset_connected(&self.graph, &alive)
+    }
+
+    /// The boundary an interrupted reconcile stopped at, if one is in
+    /// flight (a crash injected by [`FaultPlan`], or a suspended state
+    /// machine whose [`ReconcileState`] the caller still holds).
+    pub fn in_flight(&self) -> Option<PhaseBoundary> {
+        self.in_flight
+    }
+
+    /// Restores consistency after a crash: if a reconcile is in
+    /// flight, pays a full rebuild (re-election, evaluation, verdicts,
+    /// plan republication) and clears the flag. Returns the rebuild's
+    /// report, or `None` if nothing was in flight.
+    pub fn recover(&mut self) -> Option<StepReport> {
+        self.in_flight?;
+        let report = self.full_rebuild(0, 0);
+        self.in_flight = None;
+        Some(report)
+    }
+
     /// Reconciles the structure with a new topology snapshot, choosing
     /// the cheapest sufficient repair. Returns what was done.
     ///
     /// # Panics
     /// Panics if the node count changed (the engine's node set is
-    /// fixed; departures isolate).
+    /// fixed; departures isolate) or a reconcile is in flight.
     pub fn step(&mut self, g: &Graph) -> StepReport {
         assert_eq!(g.len(), self.graph.len(), "the engine's node set is fixed");
+        assert!(self.in_flight.is_none(), "a reconcile is in flight; recover() first");
         let delta = TopologyDelta::between(&self.graph, g);
-        self.graph = g.clone();
-        self.reconcile(&delta, StrandedPolicy::FullRebuild)
+        // `clone_from` reuses the adjacency allocations already held.
+        self.graph.clone_from(g);
+        let state = self.observe(delta, StrandedPolicy::FullRebuild);
+        self.finish(state)
     }
 
     /// As [`Self::step`], but fed the exact edge delta (no snapshot
     /// diffing; this is what delta producers like the mobility grid
     /// drive).
     pub fn step_delta(&mut self, delta: &TopologyDelta) -> StepReport {
-        delta.apply_to(&mut self.graph);
-        self.reconcile(delta, StrandedPolicy::FullRebuild)
+        let state = self.begin_delta(delta);
+        self.finish(state)
+    }
+
+    /// As [`Self::step_delta`], with deterministic crash injection:
+    /// returns `Err(boundary)` if the fault plan crashed the reconcile
+    /// there (the engine is then [`Self::in_flight`] and must
+    /// [`Self::recover`] before the next reconcile).
+    pub fn step_delta_faulted(
+        &mut self,
+        delta: &TopologyDelta,
+        faults: FaultPlan,
+    ) -> Result<StepReport, PhaseBoundary> {
+        let state = self.begin_delta(delta);
+        self.drive(state, faults)
     }
 
     /// §3.3 departure of `u` through the incremental engine: exactly a
@@ -223,8 +457,46 @@ impl ChurnEngine {
     /// heads or elect locally among themselves.
     ///
     /// # Panics
-    /// Panics if `u` departed already.
+    /// Panics if `u` departed already or a reconcile is in flight.
     pub fn depart(&mut self, u: NodeId) -> StepReport {
+        let state = self.begin_depart(u);
+        self.finish(state)
+    }
+
+    /// As [`Self::depart`], with deterministic crash injection (see
+    /// [`Self::step_delta_faulted`]).
+    pub fn depart_faulted(
+        &mut self,
+        u: NodeId,
+        faults: FaultPlan,
+    ) -> Result<StepReport, PhaseBoundary> {
+        let state = self.begin_depart(u);
+        self.drive(state, faults)
+    }
+
+    // -----------------------------------------------------------------
+    // The explicit state machine.
+    // -----------------------------------------------------------------
+
+    /// Runs the **observe** phase for an edge delta: applies it to the
+    /// owned graph, advances the label arena, and detects damage.
+    /// Nothing downstream (clustering, CDS, evaluation, plan) changes.
+    ///
+    /// # Panics
+    /// Panics if a reconcile is already in flight.
+    pub fn begin_delta(&mut self, delta: &TopologyDelta) -> ReconcileState {
+        assert!(self.in_flight.is_none(), "a reconcile is in flight; recover() first");
+        delta.apply_to(&mut self.graph);
+        self.observe(delta.clone(), StrandedPolicy::FullRebuild)
+    }
+
+    /// Runs the **observe** phase for the departure of `u` (the delta
+    /// isolating it, plus the §3.3 role-aware damage detection).
+    ///
+    /// # Panics
+    /// Panics if `u` departed already or a reconcile is in flight.
+    pub fn begin_depart(&mut self, u: NodeId) -> ReconcileState {
+        assert!(self.in_flight.is_none(), "a reconcile is in flight; recover() first");
         assert!(!self.departed[u.index()], "{u:?} departed already");
         let delta = TopologyDelta::isolating(&self.graph, u);
         self.departed[u.index()] = true;
@@ -232,85 +504,99 @@ impl ChurnEngine {
             delta.apply_to(&mut self.graph);
             self.clustering.head_of[u.index()] = GONE;
             self.clustering.dist_to_head[u.index()] = 0;
-            return self.reconcile(&delta, StrandedPolicy::Elect);
+            return self.observe(delta, StrandedPolicy::Elect);
         }
-        // Head departure: the head set changes, so the label arena
-        // cannot advance incrementally — pay the full engine price but
-        // keep the *repair* local (§3.3): only the orphaned cluster and
-        // broken mates are touched.
-        let old_graph = self.graph.clone();
         delta.apply_to(&mut self.graph);
-        let mut orphans: Vec<NodeId> = self
-            .graph
-            .nodes()
-            .filter(|&v| v != u && self.clustering.head_of(v) == u)
-            .collect();
-        orphans.extend(broken_mates(&old_graph, &self.graph, &self.clustering, u));
-        orphans.sort_unstable();
-        orphans.dedup();
-        let pos = self
-            .clustering
-            .heads
-            .binary_search(&u)
-            .expect("was a head");
-        self.clustering.heads.remove(pos);
-        self.clustering.head_of[u.index()] = GONE;
-        self.clustering.dist_to_head[u.index()] = 0;
-        let mut cost = 0usize;
-        let mut stranded = Vec::new();
-        for &v in &orphans {
-            let (probed, joined) = rejoin_one(&self.graph, &mut self.clustering, v, &mut self.bfs);
-            cost += probed;
-            if !joined {
-                stranded.push(v);
+        self.observe_head_loss(u, delta)
+    }
+
+    /// Advances a suspended reconcile by exactly one phase. Feeding a
+    /// `Done` state back is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `state` is stale — i.e. it does not match the phase
+    /// the engine is actually suspended at (e.g. the engine recovered
+    /// from a crash since the state was produced).
+    pub fn resume(&mut self, state: ReconcileState) -> ReconcileState {
+        match state {
+            ReconcileState::Observed(obs) => {
+                assert_eq!(
+                    self.in_flight,
+                    Some(PhaseBoundary::Observed),
+                    "stale reconcile state"
+                );
+                self.repair(*obs)
             }
-        }
-        let (_, probes) = elect_orphans(&self.graph, &mut self.clustering, stranded, &mut self.bfs);
-        cost += probes;
-        self.eval = pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
-        self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
-        cost += self.information_cost();
-        self.refresh_validity();
-        self.recompile_route_plan();
-        StepReport {
-            level: RepairLevel::Full,
-            orphans: orphans.len(),
-            merged_head_pairs: 0,
-            cost,
-            valid: self.last_valid,
-            dirty_heads: self.clustering.heads.len(),
+            ReconcileState::Repaired(rep) => {
+                assert_eq!(
+                    self.in_flight,
+                    Some(PhaseBoundary::Repaired),
+                    "stale reconcile state"
+                );
+                self.publish(*rep)
+            }
+            done @ ReconcileState::Done(_) => done,
         }
     }
 
-    /// The shared delta-repair core: advance labels for dirty heads,
-    /// run the [`RepairLevel`] policy off them, refresh the evaluation
-    /// incrementally.
-    fn reconcile(&mut self, delta: &TopologyDelta, on_stranded: StrandedPolicy) -> StepReport {
+    /// Drives a suspended reconcile through its remaining phases.
+    pub fn finish(&mut self, mut state: ReconcileState) -> StepReport {
+        loop {
+            match state {
+                ReconcileState::Done(report) => return report,
+                live => state = self.resume(live),
+            }
+        }
+    }
+
+    /// Drives `state` to completion unless `faults` crashes it at a
+    /// phase boundary first (the in-flight state is then abandoned, as
+    /// a dying maintainer would).
+    fn drive(
+        &mut self,
+        mut state: ReconcileState,
+        faults: FaultPlan,
+    ) -> Result<StepReport, PhaseBoundary> {
+        loop {
+            match state {
+                ReconcileState::Done(report) => return Ok(report),
+                ReconcileState::Observed(_) if faults.crashes_after(PhaseBoundary::Observed) => {
+                    return Err(PhaseBoundary::Observed);
+                }
+                ReconcileState::Repaired(_) if faults.crashes_after(PhaseBoundary::Repaired) => {
+                    return Err(PhaseBoundary::Repaired);
+                }
+                live => state = self.resume(live),
+            }
+        }
+    }
+
+    /// Observe: advance the label arena over the already-applied
+    /// `delta` (bounded BFS for dirty heads only) and detect damage —
+    /// orphaned members, merged head pairs. Pure detection: repairs
+    /// happen in the next phase.
+    fn observe(&mut self, delta: TopologyDelta, policy: StrandedPolicy) -> ReconcileState {
         let k = self.cfg.k;
         if delta.is_empty() {
             // Nothing moved: the previous verdict stands verbatim — an
             // idle beacon costs O(1), no connectivity sweeps.
-            return StepReport {
+            return ReconcileState::Done(StepReport {
                 level: RepairLevel::None,
                 orphans: 0,
                 merged_head_pairs: 0,
                 cost: 0,
                 valid: self.last_valid,
                 dirty_heads: 0,
-            };
+            });
         }
 
-        // Phase 1: bring the label arena up to date (bounded BFS for
-        // dirty heads only). The policy below reads distances off it —
-        // this replaces the per-head full sweeps the old movement
-        // engine ran every step.
         let advance =
-            pipeline::advance_labels(&self.graph, &self.clustering, delta, &mut self.scratch);
-        let dirty_heads = match &advance {
-            LabelAdvance::Incremental { dirty } => dirty.len(),
-            LabelAdvance::Rebuilt => self.clustering.heads.len(),
-        };
+            pipeline::advance_labels(&self.graph, &self.clustering, &delta, &mut self.scratch);
+        let dirty_heads = advance.dirty_count(self.clustering.heads.len());
 
+        let mut orphans = Vec::new();
+        let mut fresh_dist = Vec::new();
+        let mut merged_head_pairs = 0usize;
         // A delta no head ball absorbed leaves every label row — and
         // with it every ≤2k+1-hop distance the policy reads —
         // bit-identical, so the orphan and merge verdicts are exactly
@@ -318,38 +604,40 @@ impl ChurnEngine {
         // members within k of their head and no merged pair, or it
         // escalated to a full rebuild that restored both). The whole
         // detection pass is skipped; the evaluation still refreshes
-        // below because the global G-MST baseline can read component
-        // structure outside the balls.
-        let untouched =
-            matches!(&advance, LabelAdvance::Incremental { dirty } if dirty.is_empty());
-
-        let mut orphans = Vec::new();
-        let mut level = RepairLevel::None;
-        let mut cost = 0usize;
-        let mut heads_changed = false;
-        if !untouched {
+        // in publish because the global G-MST baseline can read
+        // component structure outside the balls.
+        if !advance.untouched() {
             // Policy detection off the labels: orphaned members (lost
             // their ≤k-hop head path) and merged head pairs. These
             // reads ride on the beacons a distributed realization
             // already exchanges, so they are not charged (same stance
             // as the old engine).
             let labels = self.scratch.labels();
-            let mut fresh_dist = Vec::new();
             for v in self.graph.nodes() {
                 if self.departed[v.index()] || self.clustering.is_head(v) {
                     continue;
                 }
                 let h = self.clustering.head_of(v);
-                let slot = labels.slot(h).expect("affiliation head is labeled");
-                let d = labels.dist(slot, v);
-                if d > k {
-                    orphans.push(v);
-                } else {
-                    fresh_dist.push((v, d));
+                match labels.slot(h) {
+                    Some(slot) => {
+                        let d = labels.dist(slot, v);
+                        if d > k {
+                            orphans.push(v);
+                        } else {
+                            fresh_dist.push((v, d));
+                        }
+                    }
+                    None => {
+                        // An affiliation pointing at an unlabeled head
+                        // means clustering and labels disagree — a
+                        // checkable inconsistency, not an abort: treat
+                        // the member as orphaned so repair re-homes it.
+                        invariants::soft_check(false, "affiliation head is labeled");
+                        orphans.push(v);
+                    }
                 }
             }
             let heads = &self.clustering.heads;
-            let mut merged_head_pairs = 0usize;
             for (slot, _) in heads.iter().enumerate() {
                 for &other in &heads[slot + 1..] {
                     if labels.dist(slot, other) <= self.cfg.merge_distance {
@@ -357,19 +645,86 @@ impl ChurnEngine {
                     }
                 }
             }
-            if merged_head_pairs > 0 {
-                return self.full_rebuild(orphans.len(), merged_head_pairs);
-            }
-            for (v, d) in fresh_dist {
-                self.clustering.dist_to_head[v.index()] = d;
-            }
         }
+        self.in_flight = Some(PhaseBoundary::Observed);
+        ReconcileState::Observed(Box::new(Observation {
+            delta,
+            advance: Some(advance),
+            dirty_heads,
+            orphans,
+            merged_head_pairs,
+            fresh_dist,
+            policy,
+            departed_head: None,
+        }))
+    }
 
-        if !orphans.is_empty() {
-            // Re-affiliate each orphan to the nearest head within k
-            // hops (distance, then head ID). The k-ball probe is the
-            // charged node-round cost, exactly as before.
-            level = RepairLevel::Reaffiliate;
+    /// Observe for a **head** departure: the head set is about to
+    /// change, so the label arena is left alone (publish pays the full
+    /// evaluation), and the damage set is the departed head's members
+    /// plus the broken mates derived from the isolating delta — no
+    /// pre-departure graph snapshot needed.
+    fn observe_head_loss(&mut self, u: NodeId, delta: TopologyDelta) -> ReconcileState {
+        let mut former: Vec<NodeId> = delta
+            .removed
+            .iter()
+            .map(|&(a, b)| if a == u { b } else { a })
+            .collect();
+        former.sort_unstable();
+        let mut orphans: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&v| v != u && self.clustering.head_of(v) == u)
+            .collect();
+        orphans.extend(broken_mates(&self.graph, &former, &self.clustering, u));
+        orphans.sort_unstable();
+        orphans.dedup();
+        self.in_flight = Some(PhaseBoundary::Observed);
+        ReconcileState::Observed(Box::new(Observation {
+            delta,
+            advance: None,
+            dirty_heads: 0,
+            orphans,
+            merged_head_pairs: 0,
+            fresh_dist: Vec::new(),
+            policy: StrandedPolicy::Elect,
+            departed_head: Some(u),
+        }))
+    }
+
+    /// Repair: mutate the clustering per the [`RepairLevel`] policy —
+    /// record refreshed distances, rejoin orphans, elect stranded
+    /// ones, re-elect globally on merges, drop a departed head. The
+    /// evaluation, CDS, verdicts, and route plan stay pre-step.
+    fn repair(&mut self, obs: Observation) -> ReconcileState {
+        let Observation {
+            delta,
+            advance,
+            dirty_heads,
+            orphans,
+            merged_head_pairs,
+            fresh_dist,
+            policy,
+            departed_head,
+        } = obs;
+
+        let outcome = if let Some(u) = departed_head {
+            // §3.3 head loss: drop the head, re-join its orphans to
+            // surviving heads, let the stranded elect locally.
+            match self.clustering.heads.binary_search(&u) {
+                Ok(pos) => {
+                    self.clustering.heads.remove(pos);
+                }
+                Err(_) => {
+                    // A departing head missing from the head list is a
+                    // clustering inconsistency; removal is already
+                    // done, so repair proceeds.
+                    invariants::soft_check(false, "departing head is listed in the head set");
+                }
+            }
+            self.clustering.head_of[u.index()] = GONE;
+            self.clustering.dist_to_head[u.index()] = 0;
+            let mut cost = 0usize;
             let mut stranded = Vec::new();
             for &v in &orphans {
                 let (probed, joined) =
@@ -379,35 +734,135 @@ impl ChurnEngine {
                     stranded.push(v);
                 }
             }
-            if !stranded.is_empty() {
-                match on_stranded {
-                    StrandedPolicy::FullRebuild => {
-                        // Coverage loss: least-cluster-change says this
-                        // is the moment to re-elect.
-                        return self.full_rebuild(orphans.len(), 0);
+            let (_, probes) =
+                elect_orphans(&self.graph, &mut self.clustering, stranded, &mut self.bfs);
+            cost += probes;
+            RepairOutcome::HeadLoss {
+                orphans: orphans.len(),
+                cost,
+            }
+        } else if merged_head_pairs > 0 {
+            // Two heads drifted within merge distance: least cluster
+            // change says re-elect globally (refreshed member
+            // distances are pointless — the head set is replaced).
+            self.reelect();
+            RepairOutcome::Rebuilt {
+                orphans: orphans.len(),
+                merged: merged_head_pairs,
+            }
+        } else {
+            for &(v, d) in &fresh_dist {
+                self.clustering.dist_to_head[v.index()] = d;
+            }
+            let mut level = RepairLevel::None;
+            let mut cost = 0usize;
+            let mut heads_changed = false;
+            let mut rebuild = false;
+            if !orphans.is_empty() {
+                // Re-affiliate each orphan to the nearest head within k
+                // hops (distance, then head ID). The k-ball probe is
+                // the charged node-round cost, exactly as before.
+                level = RepairLevel::Reaffiliate;
+                let mut stranded = Vec::new();
+                for &v in &orphans {
+                    let (probed, joined) =
+                        rejoin_one(&self.graph, &mut self.clustering, v, &mut self.bfs);
+                    cost += probed;
+                    if !joined {
+                        stranded.push(v);
                     }
-                    StrandedPolicy::Elect => {
-                        let (_, probes) = elect_orphans(
-                            &self.graph,
-                            &mut self.clustering,
-                            stranded,
-                            &mut self.bfs,
-                        );
-                        cost += probes;
-                        level = RepairLevel::Full;
-                        heads_changed = true;
+                }
+                if !stranded.is_empty() {
+                    match policy {
+                        StrandedPolicy::FullRebuild => {
+                            // Coverage loss: least-cluster-change says
+                            // this is the moment to re-elect.
+                            self.reelect();
+                            rebuild = true;
+                        }
+                        StrandedPolicy::Elect => {
+                            let (_, probes) = elect_orphans(
+                                &self.graph,
+                                &mut self.clustering,
+                                stranded,
+                                &mut self.bfs,
+                            );
+                            cost += probes;
+                            level = RepairLevel::Full;
+                            heads_changed = true;
+                        }
                     }
                 }
             }
-        }
+            if rebuild {
+                RepairOutcome::Rebuilt {
+                    orphans: orphans.len(),
+                    merged: 0,
+                }
+            } else {
+                let advance = advance.unwrap_or(LabelAdvance::Rebuilt);
+                RepairOutcome::Patch(Patch {
+                    advance,
+                    dirty_heads,
+                    heads_changed,
+                    level,
+                    orphans: orphans.len(),
+                    cost,
+                })
+            }
+        };
+        self.in_flight = Some(PhaseBoundary::Repaired);
+        ReconcileState::Repaired(Box::new(Repaired { delta, outcome }))
+    }
+
+    /// Publish: refresh the evaluation, recompute the validity
+    /// verdicts, and — in the final instant — swap the pending route
+    /// plan in atomically with an epoch bump. Until that swap, queries
+    /// keep reading the pre-step plan.
+    fn publish(&mut self, rep: Repaired) -> ReconcileState {
+        let Repaired { delta, outcome } = rep;
+        let report = match outcome {
+            RepairOutcome::Rebuilt { orphans, merged } => self.publish_rebuilt(orphans, merged),
+            RepairOutcome::HeadLoss { orphans, cost } => {
+                self.eval =
+                    pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
+                self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
+                let cost = cost + self.information_cost();
+                self.refresh_validity();
+                self.republish_plan();
+                StepReport {
+                    level: RepairLevel::Full,
+                    orphans,
+                    merged_head_pairs: 0,
+                    cost,
+                    valid: self.last_valid,
+                    dirty_heads: self.clustering.heads.len(),
+                }
+            }
+            RepairOutcome::Patch(patch) => self.publish_patch(&delta, patch),
+        };
+        self.in_flight = None;
+        ReconcileState::Done(report)
+    }
+
+    /// Publish tail of the incremental path: evaluation refresh,
+    /// pending-plan preparation, verdict reuse, escalations, atomic
+    /// swap.
+    fn publish_patch(&mut self, delta: &TopologyDelta, patch: Patch) -> StepReport {
+        let Patch {
+            advance,
+            mut dirty_heads,
+            heads_changed,
+            mut level,
+            orphans,
+            mut cost,
+        } = patch;
 
         // Refresh the maintained evaluation: incremental when the head
         // set survived, full otherwise (elections invalidate the label
         // arena's row layout).
-        let mut dirty_heads = dirty_heads;
         if heads_changed {
-            self.eval =
-                pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
+            self.eval = pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
             dirty_heads = self.clustering.heads.len();
         } else {
             let (eval, _) = pipeline::update_all_after(
@@ -420,29 +875,32 @@ impl ChurnEngine {
             self.eval = eval;
         }
 
-        // Keep the compiled route plan in lockstep: localized deltas
-        // patch ascent rows and backbone tables in place; label
-        // rebuilds and elections recompile (the dirty set is unknown
-        // or the slot layout changed).
-        if heads_changed {
-            self.recompile_route_plan();
-        } else if self.route_plan.is_some() {
-            match &advance {
-                LabelAdvance::Incremental { dirty } => {
-                    let links = self.eval.selected_links(self.cfg.algorithm);
-                    let plan = self.route_plan.as_mut().expect("routing enabled");
-                    plan.apply_delta(
-                        &self.graph,
-                        &self.clustering,
-                        self.scratch.labels(),
-                        delta,
-                        dirty,
-                        links,
-                    );
+        // Prepare the pending plan without touching the served one:
+        // localized deltas patch a clone's ascent rows and backbone
+        // tables; label rebuilds and elections compile fresh (the
+        // dirty set is unknown or the slot layout changed).
+        let pending: Option<RoutePlan> = match &self.route_plan {
+            None => None,
+            Some(current) => Some(if heads_changed {
+                self.compile_plan()
+            } else {
+                match &advance {
+                    LabelAdvance::Incremental { dirty } => {
+                        let mut plan = current.clone();
+                        plan.apply_delta(
+                            &self.graph,
+                            &self.clustering,
+                            self.scratch.labels(),
+                            delta,
+                            dirty,
+                            self.eval.selected_links(self.cfg.algorithm),
+                        );
+                        plan
+                    }
+                    LabelAdvance::Rebuilt => self.compile_plan(),
                 }
-                LabelAdvance::Rebuilt => self.recompile_route_plan(),
-            }
-        }
+            }),
+        };
 
         // Backbone check: the maintained CDS must still induce a
         // connected subgraph. A departed gateway shows up here too —
@@ -471,12 +929,16 @@ impl ChurnEngine {
         self.last_valid = valid;
         if !valid && self.alive_connected() {
             // A repair on a connected graph must succeed; if it somehow
-            // did not, escalate.
-            return self.full_rebuild(orphans.len(), 0);
+            // did not, escalate (the pending plan is discarded — the
+            // rebuild republishes a fresh one).
+            return self.full_rebuild(orphans, 0);
+        }
+        if let Some(plan) = pending {
+            self.install_plan(plan);
         }
         StepReport {
             level,
-            orphans: orphans.len(),
+            orphans,
             merged_head_pairs: 0,
             cost,
             valid,
@@ -484,11 +946,11 @@ impl ChurnEngine {
         }
     }
 
-    /// Global re-election (the movement policy's `Full` level). Departed
-    /// nodes are isolated, so the fresh election gives each a singleton
-    /// cluster — stripped right after, which is exactly the §3.3
-    /// outcome for switched-off nodes.
-    fn full_rebuild(&mut self, orphans: usize, merged: usize) -> StepReport {
+    /// Re-elects the clustering from scratch on the current graph and
+    /// strips departed nodes (a fresh election gives each isolated
+    /// departed node a singleton cluster — removed right after, which
+    /// is exactly the §3.3 outcome for switched-off nodes).
+    fn reelect(&mut self) {
         let mut clustering = cluster(&self.graph, self.cfg.k, &LowestId, MemberPolicy::IdBased);
         for u in self.graph.nodes() {
             if self.departed[u.index()] {
@@ -500,12 +962,17 @@ impl ChurnEngine {
             }
         }
         self.clustering = clustering;
+    }
+
+    /// Publish tail of a global rebuild: full evaluation, fresh CDS,
+    /// full-price cost accounting, fresh verdicts, plan republication.
+    fn publish_rebuilt(&mut self, orphans: usize, merged: usize) -> StepReport {
         self.eval = pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
         self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
         let alive = self.departed.iter().filter(|&&d| !d).count();
         let cost = alive + self.information_cost();
         self.refresh_validity();
-        self.recompile_route_plan();
+        self.republish_plan();
         StepReport {
             level: RepairLevel::Full,
             orphans,
@@ -514,6 +981,13 @@ impl ChurnEngine {
             valid: self.last_valid,
             dirty_heads: self.clustering.heads.len(),
         }
+    }
+
+    /// Global re-election plus full republication (the movement
+    /// policy's `Full` level, also the crash-recovery path).
+    fn full_rebuild(&mut self, orphans: usize, merged: usize) -> StepReport {
+        self.reelect();
+        self.publish_rebuilt(orphans, merged)
     }
 
     /// Charged cost of the gateway phase: every head's `2k+1`-hop ball.
@@ -574,12 +1048,14 @@ impl ChurnEngine {
     /// label distance to its head verified or repaired to ≤ k, and a
     /// head covers itself — so the sweep is only paid while a lazily
     /// kept CDS still references a pre-election head set. Debug builds
-    /// re-verify the construction argument on every call.
+    /// re-verify the construction argument on every call (routed
+    /// through [`invariants::soft_check`] so the model checker records
+    /// a violation instead of aborting).
     fn dominated(&self) -> bool {
         if self.cds.heads == self.clustering.heads {
-            debug_assert!(
+            invariants::soft_check(
                 self.dominated_sweep(),
-                "a reconciled step must leave every alive node within k of a head"
+                "a reconciled step must leave every alive node within k of a head",
             );
             return true;
         }
@@ -594,15 +1070,6 @@ impl ChurnEngine {
         self.last_backbone_ok =
             connectivity::is_subset_connected(&self.graph, &self.cds.nodes());
         self.last_valid = self.last_backbone_ok && self.dominated();
-    }
-
-    fn alive_connected(&self) -> bool {
-        let alive: Vec<NodeId> = self
-            .graph
-            .nodes()
-            .filter(|&v| !self.departed[v.index()])
-            .collect();
-        connectivity::is_subset_connected(&self.graph, &alive)
     }
 }
 
@@ -704,23 +1171,35 @@ pub(crate) fn elect_orphans(
 /// be affected (any head-path through `departed` gives its owner
 /// `d(owner, departed) < k`), and crucially the affected members can
 /// belong to **any** cluster, not just the departed node's — its
-/// radio links may have carried other clusters' head-paths. The check
-/// is therefore over the pre-departure k-ball, which keeps it local.
+/// radio links may have carried other clusters' head-paths.
+///
+/// The pre-departure k-ball is recovered **without a pre-departure
+/// graph snapshot**: a shortest pre-departure path from `departed` is
+/// simple, so after its first hop it avoids `departed` and lives
+/// entirely in `residual`. Hence
+/// `d_old(departed, v) = 1 + min over former neighbors w of
+/// d_residual(w, v)` for every `v ≠ departed`, and one multi-source
+/// BFS from `former_neighbors` (`departed`'s neighbors before the
+/// isolating delta) bounded at `k − 1` hops enumerates exactly the old
+/// ball.
 pub(crate) fn broken_mates(
-    old_graph: &Graph,
     residual: &Graph,
+    former_neighbors: &[NodeId],
     clustering: &Clustering,
     departed: NodeId,
 ) -> Vec<NodeId> {
-    let mut ball = BfsScratch::new(old_graph.len());
-    ball.run(old_graph, departed, clustering.k);
-    let candidates: Vec<NodeId> = ball
-        .visited()
-        .iter()
-        .copied()
-        .filter(|&v| v != departed && !clustering.is_head(v))
-        .collect();
     let mut scratch = BfsScratch::new(residual.len());
+    let candidates: Vec<NodeId> = if clustering.k == 0 {
+        Vec::new()
+    } else {
+        scratch.run_multi(residual, former_neighbors, clustering.k - 1);
+        scratch
+            .visited()
+            .iter()
+            .copied()
+            .filter(|&v| v != departed && !clustering.is_head(v))
+            .collect()
+    };
     let mut reach_cache: std::collections::BTreeMap<NodeId, Vec<bool>> = Default::default();
     let mut broken = Vec::new();
     for v in candidates {
@@ -969,5 +1448,166 @@ mod tests {
         assert_eq!(ra.cost, rb.cost);
         assert_eq!(by_snapshot.clustering.head_of, by_delta.clustering.head_of);
         assert_eq!(by_snapshot.cds, by_delta.cds);
+    }
+
+    /// Departing the last remaining head leaves a consistent engine
+    /// with an empty head set over the (all-departed) graph.
+    #[test]
+    fn depart_last_remaining_head() {
+        let g = gen::path(2);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        e.enable_routing();
+        assert_eq!(e.clustering.heads, vec![NodeId(0)]);
+        e.depart(NodeId(1)); // the member first
+        let r = e.depart(NodeId(0)); // then the last head
+        assert_eq!(r.level, RepairLevel::Full);
+        assert_eq!(r.orphans, 0);
+        assert!(e.clustering.heads.is_empty());
+        assert!(r.valid, "an empty CDS over an all-departed graph verifies");
+        assert!(e.route_plan().unwrap().route(NodeId(0), NodeId(1)).is_none());
+        assert_engine_consistent(&e, "last head departure");
+    }
+
+    /// Departures that reduce the graph to isolated singletons: every
+    /// surviving node ends as its own head, and the engine stays
+    /// consistent at each stage.
+    #[test]
+    fn departures_reduce_graph_to_isolated_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        e.enable_routing();
+        e.depart(NodeId(0)); // the head: 1 and 2 re-home (1 elects, 2 joins)
+        assert_engine_consistent(&e, "triangle head departure");
+        e.depart(NodeId(1));
+        assert_eq!(e.clustering.heads, vec![NodeId(2)]);
+        assert_engine_consistent(&e, "second departure");
+        let r = e.depart(NodeId(2));
+        assert!(e.clustering.heads.is_empty());
+        assert!(r.valid);
+        assert!(e.graph().nodes().all(|v| e.graph().neighbors(v).is_empty()));
+        assert_engine_consistent(&e, "fully isolated");
+    }
+
+    /// A delta listing the same edge twice (producer saw it from both
+    /// endpoints) normalizes to one change; a self-inverse delta
+    /// (remove + re-add the same edge) is a net topology no-op but
+    /// still flows through the full observe/repair/publish machine.
+    #[test]
+    fn duplicated_and_self_inverse_deltas() {
+        let net = geometric(5, 30, 9.0);
+        let mut e = ChurnEngine::build(&net.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+        let (a, b) = net.graph.edges().next().unwrap();
+
+        // Duplicated entries collapse under normalize.
+        let mut dup = TopologyDelta::new();
+        dup.push_removed(a, b);
+        dup.push_removed(b, a);
+        dup.normalize();
+        assert_eq!(dup.removed.len(), 1);
+        e.step_delta(&dup);
+        assert_engine_consistent(&e, "duplicated delta");
+
+        // Self-inverse: removed and re-added in one burst. The graph
+        // is unchanged, but the dirty-head machinery still runs.
+        let mut back = TopologyDelta::new();
+        back.push_added(a, b);
+        e.step_delta(&back);
+        let mut selfinv = TopologyDelta::new();
+        selfinv.push_removed(a, b);
+        selfinv.push_added(a, b);
+        selfinv.normalize();
+        let before = e.graph().clone();
+        let r = e.step_delta(&selfinv);
+        assert_eq!(
+            TopologyDelta::between(&before, e.graph()),
+            TopologyDelta::new(),
+            "self-inverse delta must leave the topology unchanged"
+        );
+        assert!(r.valid || !e.alive_connected());
+        assert_engine_consistent(&e, "self-inverse delta");
+    }
+
+    /// Crashing at either phase boundary leaves the pre-step plan
+    /// served (never a torn hybrid) and `recover()` restores full
+    /// consistency.
+    #[test]
+    fn crash_and_recover_at_each_boundary() {
+        for boundary in [PhaseBoundary::Observed, PhaseBoundary::Repaired] {
+            let net = geometric(21, 40, 8.0);
+            let mut e =
+                ChurnEngine::build(&net.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+            e.enable_routing();
+            let pre_plan = e.route_plan().unwrap().clone();
+            let mut delta = TopologyDelta::new();
+            let (a, b) = net.graph.edges().next().unwrap();
+            delta.push_removed(a, b);
+            let err = e
+                .step_delta_faulted(&delta, FaultPlan::crash_after(boundary))
+                .unwrap_err();
+            assert_eq!(err, boundary);
+            assert_eq!(e.in_flight(), Some(boundary));
+            // I3 at the crash: the served plan is still the pre-step one.
+            assert_eq!(e.route_plan().unwrap(), &pre_plan, "torn plan at {boundary:?}");
+            let report = e.recover().expect("was in flight");
+            assert_eq!(report.level, RepairLevel::Full);
+            assert!(e.in_flight().is_none());
+            assert!(e.recover().is_none(), "recover is idempotent");
+            assert_engine_consistent(&e, &format!("recovery after crash at {boundary:?}"));
+        }
+    }
+
+    /// Suspending at every boundary and resuming must land in exactly
+    /// the state an uninterrupted step produces.
+    #[test]
+    fn suspended_reconcile_matches_uninterrupted() {
+        let net = geometric(33, 40, 8.0);
+        let mut direct = ChurnEngine::build(&net.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+        let mut phased = ChurnEngine::build(&net.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+        direct.enable_routing();
+        phased.enable_routing();
+        let (a, b) = net.graph.edges().next().unwrap();
+        let mut delta = TopologyDelta::new();
+        delta.push_removed(a, b);
+        let rd = direct.step_delta(&delta);
+
+        let pre_plan = phased.route_plan().unwrap().clone();
+        let mut state = phased.begin_delta(&delta);
+        // Suspended after observe: clustering and plan untouched.
+        assert_eq!(phased.in_flight(), Some(PhaseBoundary::Observed));
+        assert_eq!(phased.route_plan().unwrap(), &pre_plan);
+        state = phased.resume(state);
+        // Suspended after repair: plan still untouched.
+        assert_eq!(phased.in_flight(), Some(PhaseBoundary::Repaired));
+        assert_eq!(phased.route_plan().unwrap(), &pre_plan);
+        let rp = phased.finish(state);
+
+        assert_eq!(rd.level, rp.level);
+        assert_eq!(rd.cost, rp.cost);
+        assert_eq!(rd.valid, rp.valid);
+        assert_eq!(rd.dirty_heads, rp.dirty_heads);
+        assert_eq!(direct.clustering.head_of, phased.clustering.head_of);
+        assert_eq!(direct.cds, phased.cds);
+        assert_eq!(direct.route_plan().unwrap(), phased.route_plan().unwrap());
+        assert!(phased.in_flight().is_none());
+    }
+
+    /// Every publish bumps the served plan's epoch; crashes do not.
+    #[test]
+    fn plan_epoch_is_monotonic() {
+        let g = gen::path(6);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        e.enable_routing();
+        let e0 = e.route_plan().unwrap().epoch();
+        let mut delta = TopologyDelta::new();
+        delta.push_removed(NodeId(4), NodeId(5));
+        e.step_delta(&delta);
+        let e1 = e.route_plan().unwrap().epoch();
+        assert!(e1 > e0);
+        let mut back = TopologyDelta::new();
+        back.push_added(NodeId(4), NodeId(5));
+        let _ = e.step_delta_faulted(&back, FaultPlan::crash_after(PhaseBoundary::Observed));
+        assert_eq!(e.route_plan().unwrap().epoch(), e1, "crash must not publish");
+        e.recover();
+        assert!(e.route_plan().unwrap().epoch() > e1);
     }
 }

@@ -20,9 +20,19 @@
 //!   direction, Gauss-Markov) over an incrementally maintained
 //!   spatial-grid topology that reports per-step edge deltas.
 //! * [`churn`] — the unified incremental maintenance engine: topology
-//!   deltas flow through dirty-head label repair and
-//!   `pipeline::update_all`, with departures and movement steps as two
-//!   faces of the same delta workload.
+//!   deltas flow through an explicit observe/repair/publish state
+//!   machine (suspendable and crash-injectable at every phase
+//!   boundary), with departures and movement steps as two faces of
+//!   the same delta workload.
+//! * [`invariants`] — the engine's correctness argument as executable
+//!   checks: equivalence with cold rebuilds, convergence of the
+//!   validity verdict, torn-free query consistency, honest cost
+//!   accounting; failures are returned, not panicked, so checkers can
+//!   print counterexamples.
+//! * [`modelcheck`] — an exhaustive small-universe model checker:
+//!   every delta interleaving × every crash point over tiny graphs,
+//!   all four invariants checked at every reachable state, with
+//!   replayable counterexample scripts.
 //! * [`maintenance`] — the §3.3 local-fix rules for node
 //!   disappearance (nothing / local gateway re-selection / cluster
 //!   re-election), built on the shared repair primitives of [`churn`].
@@ -52,8 +62,10 @@ pub mod broadcast;
 pub mod churn;
 pub mod energy;
 pub mod engine;
+pub mod invariants;
 pub mod mac;
 pub mod maintenance;
+pub mod modelcheck;
 pub mod message;
 pub mod mobility;
 pub mod movement;

@@ -145,14 +145,16 @@ fn alive_connected(residual: &Graph, clustering: &Clustering, departed: NodeId) 
 }
 
 /// Members whose ≤k-hop head path broke when `departed` left — the
-/// shared k-ball-local detection of [`crate::churn::broken_mates`].
+/// shared k-ball-local detection of [`crate::churn::broken_mates`]
+/// (which recovers the pre-departure k-ball from the departed node's
+/// former neighbor list, so only the residual graph is probed).
 fn broken_mates(
     old_graph: &Graph,
     residual: &Graph,
     clustering: &Clustering,
     departed: NodeId,
 ) -> Vec<NodeId> {
-    churn::broken_mates(old_graph, residual, clustering, departed)
+    churn::broken_mates(residual, old_graph.neighbors(departed), clustering, departed)
 }
 
 fn strip_departed(clustering: &Clustering, departed: NodeId) -> Clustering {

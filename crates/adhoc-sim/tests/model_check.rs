@@ -1,0 +1,159 @@
+//! Exhaustive model checking of the reconciliation state machine.
+//!
+//! The quick sweep runs in the normal test pass (CI's tier-1) and is
+//! **exhaustive, not sampled**: every delta interleaving over the
+//! (n=5, k=1) universe up to the configured depth, crossed with a
+//! crash at every phase boundary, with all four invariants audited in
+//! every reached state. The `full_sweep_*` tests extend the same
+//! enumeration to n=6 and k=2 with composite deltas and run under
+//! `cargo test -- --ignored`.
+//!
+//! The mutation smoke tests check the checker: deliberately corrupt
+//! the engine after each transition and demand a counterexample whose
+//! `Display` is a replayable delta + fault script.
+
+use adhoc_cluster::pipeline::Algorithm;
+use adhoc_sim::churn::ChurnEngine;
+use adhoc_sim::modelcheck::{check, CheckConfig, Universe};
+use std::time::Duration;
+
+/// Tier-1 sweep: the (n=5, k=1) path-with-chord universe, every crash
+/// point, deep enough that the reachable state space **closes** — the
+/// depth-6 and depth-7 enumerations reach the same state count, so
+/// the sweep covered every state this universe can ever reach, not a
+/// depth-bounded prefix. Must finish without hitting any bound.
+#[test]
+fn quick_exhaustive_n5_k1() {
+    let mut cfg = CheckConfig::quick(Universe::path(5, 1, Algorithm::AcLmst));
+    cfg.max_depth = 6;
+    let report = check(&cfg);
+    eprintln!(
+        "n5k1 sweep: {} states, {} transitions, depth {}",
+        report.states, report.transitions, report.deepest
+    );
+    if let Some(cx) = &report.violation {
+        panic!("{cx}");
+    }
+    assert!(
+        !report.truncated,
+        "quick sweep must be exhaustive, not cut short ({} states)",
+        report.states
+    );
+    // Sanity on coverage: the universe has 6 flippable edges and 3
+    // departable nodes; a real sweep reaches far more than a handful
+    // of states and runs 3 faulted variants per move.
+    assert!(report.states > 100, "only {} states reached", report.states);
+    assert!(
+        report.transitions >= 3 * report.states,
+        "{} transitions for {} states",
+        report.transitions,
+        report.states
+    );
+    assert_eq!(report.deepest, 6);
+
+    // Closure: one move deeper discovers nothing new, so depth 6
+    // already enumerated the whole reachable space.
+    cfg.max_depth = 7;
+    let deeper = check(&cfg);
+    assert!(deeper.violation.is_none() && !deeper.truncated);
+    assert_eq!(
+        deeper.states, report.states,
+        "state space had not closed at depth 6"
+    );
+}
+
+/// The mesh algorithm exercises different gateway repairs; same
+/// universe, shallower (the state space is shared work with the
+/// AC-LMST sweep above).
+#[test]
+fn quick_exhaustive_n5_k1_mesh() {
+    let mut cfg = CheckConfig::quick(Universe::path(5, 1, Algorithm::AcMesh));
+    cfg.max_depth = 3;
+    let report = check(&cfg);
+    if let Some(cx) = &report.violation {
+        panic!("{cx}");
+    }
+    assert!(!report.truncated);
+}
+
+/// Full sweep, n=6 k=1 with composite deltas (flip pairs, reordered
+/// duplicates via self-inverse bursts). `--ignored` tier.
+#[test]
+#[ignore = "full sweep: run with cargo test -- --ignored"]
+fn full_sweep_n6_k1_composite() {
+    let mut universe = Universe::path(6, 1, Algorithm::AcLmst);
+    universe.composite = true;
+    let mut cfg = CheckConfig::quick(universe);
+    cfg.max_depth = 4;
+    cfg.max_states = 200_000;
+    cfg.time_budget = Some(Duration::from_secs(1800));
+    let report = check(&cfg);
+    if let Some(cx) = &report.violation {
+        panic!("{cx}");
+    }
+}
+
+/// Full sweep at k=2: label balls span the whole 6-node universe, so
+/// merge detection and the 2k+1 information radius behave very
+/// differently. `--ignored` tier.
+#[test]
+#[ignore = "full sweep: run with cargo test -- --ignored"]
+fn full_sweep_n6_k2() {
+    let universe = Universe::path(6, 2, Algorithm::AcLmst);
+    let mut cfg = CheckConfig::quick(universe);
+    cfg.max_depth = 4;
+    cfg.max_states = 200_000;
+    cfg.time_budget = Some(Duration::from_secs(1800));
+    let report = check(&cfg);
+    if let Some(cx) = &report.violation {
+        panic!("{cx}");
+    }
+}
+
+fn corrupt_affiliation(e: &mut ChurnEngine) {
+    // Break a repair invariant from outside: claim node 1 is further
+    // from its head than k allows (or unsettle a head/departed
+    // sentinel — any of these must surface as an I1 violation).
+    e.clustering.dist_to_head[1] = e.config().k + 5;
+}
+
+fn drop_gateways(e: &mut ChurnEngine) {
+    // Sever the maintained backbone without telling the engine: its
+    // cached verdict goes stale-true, which I2 must catch.
+    e.cds.gateways.clear();
+}
+
+/// Mutation smoke test: a checker that cannot catch a broken repair
+/// path is worthless. Corrupting the repaired affiliation after every
+/// transition must yield a counterexample, and its rendering must be
+/// a replayable script (universe header + numbered steps).
+#[test]
+fn mutation_smoke_broken_affiliation_is_caught() {
+    let mut cfg = CheckConfig::quick(Universe::path(5, 1, Algorithm::AcLmst));
+    cfg.mutate_after_step = Some(corrupt_affiliation);
+    let report = check(&cfg);
+    let cx = report
+        .violation
+        .expect("a corrupted engine must produce a counterexample");
+    assert!(cx.violations.iter().any(|v| v.invariant == "I1"));
+    let script = cx.to_string();
+    assert!(script.contains("universe: n=5 k=1"), "{script}");
+    assert!(script.contains("step 1:"), "{script}");
+    assert!(script.contains("violated I1"), "{script}");
+}
+
+/// Same, breaking the published CDS instead of the clustering: the
+/// stale validity verdict must surface as an I2 violation.
+#[test]
+fn mutation_smoke_severed_backbone_is_caught() {
+    let mut cfg = CheckConfig::quick(Universe::path(5, 1, Algorithm::AcLmst));
+    cfg.mutate_after_step = Some(drop_gateways);
+    let report = check(&cfg);
+    let cx = report
+        .violation
+        .expect("a severed backbone must produce a counterexample");
+    assert!(
+        cx.violations.iter().any(|v| v.invariant == "I2"),
+        "expected an I2 violation, got: {cx}"
+    );
+}

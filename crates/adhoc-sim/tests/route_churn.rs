@@ -1,8 +1,9 @@
 //! Churn-aware route serving: the [`ChurnEngine`]'s maintained
-//! [`RoutePlan`] must stay **equal** (derived `Eq`) to a plan compiled
-//! from scratch on the engine's current graph, clustering, labels, and
-//! backbone — through mobility deltas, bystander/gateway/head
-//! departures, and full rebuilds alike.
+//! [`RoutePlan`] must stay **content-equal** (manual `PartialEq` over
+//! every table; the publication epoch is deliberately excluded) to a
+//! plan compiled from scratch on the engine's current graph,
+//! clustering, labels, and backbone — through mobility deltas,
+//! bystander/gateway/head departures, and full rebuilds alike.
 
 use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
 use adhoc_cluster::routing::{walk_hops, RoutePlan};
