@@ -226,11 +226,17 @@ fn adjacent_heads<G: Adjacency>(g: &G, clustering: &Clustering) -> NeighborSets 
     let n = g.node_count() as u32;
     for u in (0..n).map(NodeId) {
         let hu = clustering.head_of(u);
+        if hu.index() >= slot_of.len() {
+            continue; // unaffiliated (departed/stranded sentinel): in no cluster
+        }
         for &v in g.adj(u) {
             if v <= u {
                 continue; // each undirected edge once
             }
             let hv = clustering.head_of(v);
+            if hv.index() >= slot_of.len() {
+                continue;
+            }
             if hu != hv {
                 partners[slot(hu)].push(hv);
                 partners[slot(hv)].push(hu);

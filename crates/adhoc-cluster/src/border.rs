@@ -37,9 +37,12 @@ pub fn border_gateways<G: Adjacency>(g: &G, clustering: &Clustering) -> GatewayS
     let mut links = BTreeSet::new();
     for u in (0..n as u32).map(NodeId) {
         let hu = clustering.head_of(u);
+        if hu.index() >= n {
+            continue; // unaffiliated (departed/stranded sentinel): borders nothing
+        }
         for &v in g.adj(u) {
             let hv = clustering.head_of(v);
-            if hu == hv {
+            if hu == hv || hv.index() >= n {
                 continue;
             }
             let pair = if hu < hv { (hu, hv) } else { (hv, hu) };

@@ -30,6 +30,7 @@ use crate::priority::LowestId;
 use crate::virtual_graph::VirtualGraph;
 use adhoc_graph::bfs::Adjacency;
 use adhoc_graph::delta::TopologyDelta;
+use adhoc_graph::graph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -594,6 +595,131 @@ pub fn update_all_after<G: Adjacency>(
     (out, report)
 }
 
+/// Advances `scratch`'s label arena across a **head-set change**:
+/// departed heads drop their rows ([`LabelStore::remove_head_row`]),
+/// new heads sweep exactly one new row each
+/// ([`LabelStore::add_head_row`]), and rows the edge `delta` dirtied
+/// are re-swept — the full label arena is **never** rebuilt while the
+/// scratch stays compatible (same bound and node count), which is what
+/// makes a §3.3 head departure or arrival election cost `O(changed
+/// rows)` instead of `O(h)` BFS sweeps.
+///
+/// `clustering` carries the **new** head set; `delta` is whatever edge
+/// change has not yet been applied to the labels (pass an empty delta
+/// when [`advance_labels`] already ran this step, as the churn engine
+/// does on its patch path; the head-loss path passes the isolating
+/// delta here directly). The resulting labels are bit-identical to a
+/// full rebuild on `g` with the new head set (pinned by tests and by
+/// the churn-engine equivalence suite).
+///
+/// Returns the dirty slots **in the new slot numbering** (added rows
+/// plus delta-dirty survivors), or [`LabelAdvance::Rebuilt`] when the
+/// scratch was incompatible or the delta flooded past
+/// [`DIRTY_FRACTION_FALLBACK`].
+pub fn advance_labels_headset<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    delta: &TopologyDelta,
+    scratch: &mut EvalScratch,
+) -> LabelAdvance {
+    let bound = 2 * clustering.k + 1;
+    // A layout switch empties the store; the compatibility test below
+    // turns that into the full rebuild the switch requires anyway.
+    scratch.ensure_layout(g.node_count(), clustering.heads.len());
+    let compatible =
+        scratch.labels.bound() == bound && scratch.labels.node_count() == g.node_count();
+    if !compatible {
+        scratch.labels.rebuild(g, &clustering.heads, bound);
+        return LabelAdvance::Rebuilt;
+    }
+    // 1. Edge dirt first, in the old slot numbering — skipping rows
+    //    whose head is about to lose its row anyway.
+    let dirty_old: Vec<usize> = scratch
+        .labels
+        .dirty_slots(delta)
+        .into_iter()
+        .filter(|&s| {
+            clustering
+                .heads
+                .binary_search(&scratch.labels.heads()[s])
+                .is_ok()
+        })
+        .collect();
+    if dirty_old.len() as f64 > DIRTY_FRACTION_FALLBACK * scratch.labels.heads().len() as f64 {
+        scratch.labels.rebuild(g, &clustering.heads, bound);
+        return LabelAdvance::Rebuilt;
+    }
+    let dirty_heads: Vec<NodeId> = dirty_old
+        .iter()
+        .map(|&s| scratch.labels.heads()[s])
+        .collect();
+    scratch.labels.apply_delta(g, &dirty_old);
+    // 2. Row splices: drop departed heads' rows, sweep new heads'.
+    let removed: Vec<NodeId> = scratch
+        .labels
+        .heads()
+        .iter()
+        .copied()
+        .filter(|h| clustering.heads.binary_search(h).is_err())
+        .collect();
+    for h in removed {
+        scratch.labels.remove_head_row(h);
+    }
+    let added: Vec<NodeId> = clustering
+        .heads
+        .iter()
+        .copied()
+        .filter(|&h| scratch.labels.slot(h).is_none())
+        .collect();
+    for &h in &added {
+        scratch.labels.add_head_row(g, h);
+    }
+    debug_assert_eq!(scratch.labels.heads(), &clustering.heads[..]);
+    // 3. The dirty set in the new numbering: surviving edge-dirty rows
+    //    plus every added row.
+    let mut dirty: Vec<usize> = dirty_heads
+        .iter()
+        .chain(added.iter())
+        .filter_map(|&h| scratch.labels.slot(h))
+        .collect();
+    dirty.sort_unstable();
+    dirty.dedup();
+    LabelAdvance::Incremental { dirty }
+}
+
+/// Phase 2 after [`advance_labels_headset`]: derives the full
+/// five-algorithm evaluation from labels already spliced to the new
+/// head set. The NC relation and virtual graphs are re-derived in full
+/// — a head-set change renumbers every slot, so the patched-row reuse
+/// of [`update_all_after`] does not apply — but that stage lives in
+/// head space and is cheap; the label arena itself was spliced, not
+/// rebuilt, which is where the sweeps live.
+///
+/// # Panics
+/// Panics if the scratch labels do not match `clustering`'s head set.
+pub fn update_all_after_headset<G: Adjacency>(
+    g: &G,
+    clustering: &Clustering,
+    advance: &LabelAdvance,
+    scratch: &mut EvalScratch,
+) -> (EvaluationOutput, UpdateReport) {
+    assert_eq!(
+        scratch.labels.heads(),
+        &clustering.heads[..],
+        "labels were not advanced to the new head set"
+    );
+    let labels = &scratch.labels;
+    let nc_sets = adjacency::nc_from_labels(clustering, labels);
+    let nc_graph = VirtualGraph::from_labels(g, clustering, nc_sets, labels);
+    let report = UpdateReport {
+        dirty_heads: advance.dirty_count(clustering.heads.len()),
+        head_count: clustering.heads.len(),
+        rebuilt: matches!(advance, LabelAdvance::Rebuilt),
+    };
+    let out = eval_from_nc(g, clustering, labels, nc_graph, &mut scratch.lmstga);
+    (out, report)
+}
+
 /// Incrementally refreshes a previous [`run_all`] evaluation after a
 /// [`TopologyDelta`] — the churn-engine core. `g` is the **post-delta**
 /// graph; `scratch` must be the scratch that produced `prev` (its label
@@ -887,6 +1013,125 @@ mod tests {
             prev_d = next_d;
             prev_s = next_s;
         }
+    }
+
+    /// Head promotions and demotions through the head-set advance must
+    /// reproduce a from-scratch `run_all` exactly — without the label
+    /// arena ever rebuilding (the incremental head-set contract).
+    #[test]
+    fn headset_advance_matches_run_all_without_rebuilds() {
+        use adhoc_graph::graph::NodeId;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(707);
+        let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+        let mut g = net.graph.clone();
+        for mode in [LabelMode::Dense, LabelMode::Sparse] {
+            let base = crate::clustering::cluster(&g, 2, &LowestId, MemberPolicy::IdBased);
+            let mut scratch = EvalScratch::with_mode(mode);
+            run_all_with(&g, &base, &mut scratch);
+            let rebuilds = scratch.labels().rebuild_count();
+
+            // Promote two non-heads to heads, one at a time.
+            let mut clustering = base.clone();
+            let promoted: Vec<NodeId> = g
+                .nodes()
+                .filter(|&v| !base.is_head(v))
+                .take(2)
+                .collect();
+            for &v in &promoted {
+                let pos = clustering.heads.binary_search(&v).unwrap_err();
+                clustering.heads.insert(pos, v);
+                clustering.head_of[v.index()] = v;
+                clustering.dist_to_head[v.index()] = 0;
+                let advance = advance_labels_headset(
+                    &g,
+                    &clustering,
+                    &adhoc_graph::delta::TopologyDelta::new(),
+                    &mut scratch,
+                );
+                assert!(
+                    matches!(&advance, LabelAdvance::Incremental { dirty } if dirty == &[pos]),
+                    "promotion of {v:?} must dirty exactly its own row, got {advance:?}"
+                );
+                let (out, report) =
+                    update_all_after_headset(&g, &clustering, &advance, &mut scratch);
+                assert!(!report.rebuilt);
+                assert_eq!(report.dirty_heads, 1);
+                assert_evals_equal(&out, &run_all(&g, &clustering), &format!("{mode:?} +{v:?}"));
+            }
+
+            // Demote one of them again: a row removal dirties nothing.
+            let v = promoted[0];
+            let pos = clustering.heads.binary_search(&v).unwrap();
+            clustering.heads.remove(pos);
+            clustering.head_of[v.index()] = base.head_of[v.index()];
+            clustering.dist_to_head[v.index()] = base.dist_to_head[v.index()];
+            let advance = advance_labels_headset(
+                &g,
+                &clustering,
+                &adhoc_graph::delta::TopologyDelta::new(),
+                &mut scratch,
+            );
+            assert!(
+                matches!(&advance, LabelAdvance::Incremental { dirty } if dirty.is_empty()),
+                "demotion must dirty no rows, got {advance:?}"
+            );
+            let (out, report) = update_all_after_headset(&g, &clustering, &advance, &mut scratch);
+            assert!(!report.rebuilt);
+            assert_eq!(report.dirty_heads, 0);
+            assert_evals_equal(&out, &run_all(&g, &clustering), &format!("{mode:?} -{v:?}"));
+
+            assert_eq!(
+                scratch.labels().rebuild_count(),
+                rebuilds,
+                "{mode:?}: head-set changes must splice, not rebuild"
+            );
+
+            // A head-set change combined with an edge delta in one
+            // advance stays exact whichever path it takes (small
+            // deltas can still flood many 2k+1 balls, legitimately
+            // tripping the dirty-fraction fallback).
+            let w = promoted[1];
+            let wpos = clustering.heads.binary_search(&w).unwrap();
+            clustering.heads.remove(wpos);
+            clustering.head_of[w.index()] = base.head_of[w.index()];
+            clustering.dist_to_head[w.index()] = base.dist_to_head[w.index()];
+            let mut delta = adhoc_graph::delta::TopologyDelta::new();
+            let (a, b) = (NodeId(0), NodeId(40));
+            if !g.has_edge(a, b) {
+                g.add_edge(a, b);
+                delta.push_added(a, b);
+            }
+            delta.normalize();
+            let advance = advance_labels_headset(&g, &clustering, &delta, &mut scratch);
+            let (out, _) = update_all_after_headset(&g, &clustering, &advance, &mut scratch);
+            assert_evals_equal(&out, &run_all(&g, &clustering), &format!("{mode:?} -{w:?}+edge"));
+            // Undo the edge for the next mode's pass.
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+            }
+        }
+    }
+
+    /// An incompatible scratch (different bound) forces the head-set
+    /// advance onto the rebuild path, which must still be exact.
+    #[test]
+    fn headset_advance_falls_back_on_incompatible_scratch() {
+        let g = gen::grid(4, 5);
+        let k1 = crate::clustering::cluster(&g, 1, &LowestId, MemberPolicy::IdBased);
+        let k2 = crate::clustering::cluster(&g, 2, &LowestId, MemberPolicy::IdBased);
+        let mut scratch = EvalScratch::new();
+        run_all_with(&g, &k1, &mut scratch);
+        let advance = advance_labels_headset(
+            &g,
+            &k2,
+            &adhoc_graph::delta::TopologyDelta::new(),
+            &mut scratch,
+        );
+        assert_eq!(advance, LabelAdvance::Rebuilt, "bound changed");
+        let (out, report) = update_all_after_headset(&g, &k2, &advance, &mut scratch);
+        assert!(report.rebuilt);
+        assert_evals_equal(&out, &run_all(&g, &k2), "rebuild fallback");
     }
 
     /// An empty delta is a no-op refresh with zero dirty heads.

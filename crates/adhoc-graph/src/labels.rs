@@ -64,6 +64,12 @@ pub struct HeadLabels {
     /// nothing once warm).
     prev_balls: Vec<NodeId>,
     prev_offsets: Vec<u32>,
+    /// Full-arena rebuilds performed so far (every [`Self::rebuild`]
+    /// and [`Self::rebuild_reaching_heads`]; incremental paths —
+    /// [`Self::apply_delta`], [`Self::add_head_row`],
+    /// [`Self::remove_head_row`] — never bump it). Tests pin that
+    /// head-set changes stay off the rebuild path by watching this.
+    rebuilds: u64,
 }
 
 impl HeadLabels {
@@ -104,6 +110,7 @@ impl HeadLabels {
         bound: u32,
         stop_at_heads: bool,
     ) {
+        self.rebuilds += 1;
         // Undo the previous build while its row stride is still valid.
         for slot in 0..self.heads.len() {
             let base = slot * self.n;
@@ -283,6 +290,156 @@ impl HeadLabels {
             }
             self.ball_offsets.push(self.balls.len() as u32);
         }
+    }
+
+    /// Incrementally inserts a label row for a **new** head `h`,
+    /// keeping the head list ascending. Costs one bounded BFS (the new
+    /// row) plus an arena splice; no existing row is re-swept, because
+    /// full-ball sweeps never stop at heads — the label of every other
+    /// head is independent of the head set. The result is identical to
+    /// a full [`Self::rebuild`] with `h` in the head list (pinned by
+    /// tests). Returns the new head's slot.
+    ///
+    /// # Panics
+    /// Panics if `h` is already a head or beyond the labeled nodes, if
+    /// the labels were built by [`Self::rebuild_reaching_heads`]
+    /// (partial balls), if no build ran yet, or if `g`'s node count
+    /// differs from the labeled one.
+    pub fn add_head_row<G: Adjacency>(&mut self, g: &G, h: NodeId) -> usize {
+        assert!(
+            !self.stopped_at_heads,
+            "incremental head rows need full-ball labels (use `rebuild`, \
+             not `rebuild_reaching_heads`)"
+        );
+        assert_eq!(g.node_count(), self.n, "head-set changes keep the node set");
+        assert!(h.index() < self.n, "head {h:?} beyond labeled nodes");
+        assert_eq!(
+            self.ball_offsets.len(),
+            self.heads.len() + 1,
+            "add_head_row needs built labels"
+        );
+        let slot = match self.heads.binary_search(&h) {
+            Ok(_) => panic!("{h:?} is already a head"),
+            Err(s) => s,
+        };
+        let old_rows = self.heads.len();
+        for &hd in &self.heads[slot..] {
+            self.slot_of[hd.index()] += 1;
+        }
+        self.heads.insert(slot, h);
+        self.slot_of[h.index()] = slot as u32;
+
+        // Open an all-`UNREACHED` row at `slot` in the dense arena.
+        let rows = self.heads.len() * self.n;
+        if self.dist.len() < rows {
+            self.dist.resize(rows, UNREACHED);
+        }
+        self.dist
+            .copy_within(slot * self.n..old_rows * self.n, (slot + 1) * self.n);
+        self.dist[slot * self.n..(slot + 1) * self.n].fill(UNREACHED);
+
+        // Splice the ball list: clean segments are copied, the new row
+        // runs its one bounded BFS (same warm-buffer pattern as
+        // `apply_delta`).
+        std::mem::swap(&mut self.balls, &mut self.prev_balls);
+        std::mem::swap(&mut self.ball_offsets, &mut self.prev_offsets);
+        self.balls.clear();
+        self.ball_offsets.clear();
+        self.ball_offsets.push(0);
+        for s in 0..self.heads.len() {
+            if s == slot {
+                self.sweep_head(g, s, false);
+            } else {
+                let old = if s < slot { s } else { s - 1 };
+                let (lo, hi) = (
+                    self.prev_offsets[old] as usize,
+                    self.prev_offsets[old + 1] as usize,
+                );
+                self.balls.extend_from_slice(&self.prev_balls[lo..hi]);
+            }
+            self.ball_offsets.push(self.balls.len() as u32);
+        }
+        slot
+    }
+
+    /// Incrementally removes the label row of head `h`: a
+    /// touched-entry reset of the departing row plus an arena splice —
+    /// no BFS at all, and no other row changes (same independence
+    /// argument as [`Self::add_head_row`]). Identical to a full
+    /// [`Self::rebuild`] without `h` (pinned by tests). Returns the
+    /// removed head's former slot.
+    ///
+    /// # Panics
+    /// Panics if `h` is not a head or if the labels were built by
+    /// [`Self::rebuild_reaching_heads`].
+    pub fn remove_head_row(&mut self, h: NodeId) -> usize {
+        assert!(
+            !self.stopped_at_heads,
+            "incremental head rows need full-ball labels (use `rebuild`, \
+             not `rebuild_reaching_heads`)"
+        );
+        let slot = self
+            .heads
+            .binary_search(&h)
+            .unwrap_or_else(|_| panic!("{h:?} is not a head"));
+        let old_rows = self.heads.len();
+        // Touched-entry reset of the departing row, then close the
+        // row gap.
+        let base = slot * self.n;
+        let (lo, hi) = (
+            self.ball_offsets[slot] as usize,
+            self.ball_offsets[slot + 1] as usize,
+        );
+        for i in lo..hi {
+            let v = self.balls[i];
+            self.dist[base + v.index()] = UNREACHED;
+        }
+        if slot + 1 < old_rows {
+            self.dist
+                .copy_within((slot + 1) * self.n..old_rows * self.n, slot * self.n);
+            // The move leaves a stale copy of the old last row beyond
+            // the new logical size; restore the beyond-logical
+            // all-`UNREACHED` invariant via that head's ball.
+            let stale_base = (old_rows - 1) * self.n;
+            let (slo, shi) = (
+                self.ball_offsets[old_rows - 1] as usize,
+                self.ball_offsets[old_rows] as usize,
+            );
+            for i in slo..shi {
+                let v = self.balls[i];
+                self.dist[stale_base + v.index()] = UNREACHED;
+            }
+        }
+        self.slot_of[h.index()] = NO_SLOT;
+        for &hd in &self.heads[slot + 1..] {
+            self.slot_of[hd.index()] -= 1;
+        }
+        self.heads.remove(slot);
+
+        std::mem::swap(&mut self.balls, &mut self.prev_balls);
+        std::mem::swap(&mut self.ball_offsets, &mut self.prev_offsets);
+        self.balls.clear();
+        self.ball_offsets.clear();
+        self.ball_offsets.push(0);
+        for s in 0..self.heads.len() {
+            let old = if s < slot { s } else { s + 1 };
+            let (lo, hi) = (
+                self.prev_offsets[old] as usize,
+                self.prev_offsets[old + 1] as usize,
+            );
+            self.balls.extend_from_slice(&self.prev_balls[lo..hi]);
+            self.ball_offsets.push(self.balls.len() as u32);
+        }
+        slot
+    }
+
+    /// Full-arena rebuilds performed over this value's lifetime.
+    /// Incremental paths (`apply_delta`, `add_head_row`,
+    /// `remove_head_row`) never bump it — the churn engine's
+    /// no-rebuild-on-head-set-change contract is pinned against this.
+    #[inline]
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
     }
 
     /// Bytes of heap memory the label arenas currently hold (capacity,
@@ -466,6 +623,9 @@ pub struct SparseHeadLabels {
     prev_hash_keys: Vec<u32>,
     prev_hash_dist: Vec<u32>,
     prev_hash_offsets: Vec<u32>,
+    /// Full-arena rebuilds performed so far (incremental paths never
+    /// bump it — see [`HeadLabels::rebuild_count`]).
+    rebuilds: u64,
 }
 
 impl SparseHeadLabels {
@@ -480,6 +640,7 @@ impl SparseHeadLabels {
     /// Rebuilds the labels for a (possibly different) graph and head
     /// set, reusing every allocation.
     pub fn rebuild<G: Adjacency>(&mut self, g: &G, heads: &[NodeId], bound: u32) {
+        self.rebuilds += 1;
         for &h in &self.heads {
             if h.index() < self.slot_of.len() {
                 self.slot_of[h.index()] = NO_SLOT;
@@ -605,6 +766,24 @@ impl SparseHeadLabels {
         for &slot in dirty {
             assert!(slot < self.heads.len(), "dirty slot out of range");
         }
+        self.begin_splice();
+        let mut next_dirty = 0usize;
+        for slot in 0..self.heads.len() {
+            if next_dirty < dirty.len() && dirty[next_dirty] == slot {
+                next_dirty += 1;
+                self.sweep_head(g, slot);
+            } else {
+                self.copy_prev_row(slot);
+            }
+            self.ball_offsets.push(self.balls.len() as u32);
+            self.hash_offsets.push(self.hash_keys.len() as u32);
+        }
+    }
+
+    /// Swaps every row arena with its `prev_` twin and clears the live
+    /// side for a slot-by-slot rewrite (the shared splice preamble of
+    /// `apply_delta` / `add_head_row` / `remove_head_row`).
+    fn begin_splice(&mut self) {
         std::mem::swap(&mut self.balls, &mut self.prev_balls);
         std::mem::swap(&mut self.ball_offsets, &mut self.prev_offsets);
         std::mem::swap(&mut self.hash_keys, &mut self.prev_hash_keys);
@@ -617,27 +796,98 @@ impl SparseHeadLabels {
         self.hash_offsets.clear();
         self.ball_offsets.push(0);
         self.hash_offsets.push(0);
-        let mut next_dirty = 0usize;
-        for slot in 0..self.heads.len() {
-            if next_dirty < dirty.len() && dirty[next_dirty] == slot {
-                next_dirty += 1;
-                self.sweep_head(g, slot);
+    }
+
+    /// Copies one pre-splice row (ball + lookup table) byte-for-byte
+    /// into the live arenas.
+    fn copy_prev_row(&mut self, old: usize) {
+        let (lo, hi) = (
+            self.prev_offsets[old] as usize,
+            self.prev_offsets[old + 1] as usize,
+        );
+        self.balls.extend_from_slice(&self.prev_balls[lo..hi]);
+        let (hlo, hhi) = (
+            self.prev_hash_offsets[old] as usize,
+            self.prev_hash_offsets[old + 1] as usize,
+        );
+        self.hash_keys
+            .extend_from_slice(&self.prev_hash_keys[hlo..hhi]);
+        self.hash_dist
+            .extend_from_slice(&self.prev_hash_dist[hlo..hhi]);
+    }
+
+    /// Incrementally inserts a label row for a **new** head `h`: one
+    /// bounded BFS plus an arena splice, no other row re-swept —
+    /// identical to a full [`Self::rebuild`] with `h` in the head list
+    /// (pinned by tests; see [`HeadLabels::add_head_row`] for the
+    /// independence argument). Returns the new head's slot.
+    ///
+    /// # Panics
+    /// Panics if `h` is already a head or beyond the labeled nodes, if
+    /// no build ran yet, or if `g`'s node count differs.
+    pub fn add_head_row<G: Adjacency>(&mut self, g: &G, h: NodeId) -> usize {
+        assert_eq!(g.node_count(), self.n, "head-set changes keep the node set");
+        assert!(h.index() < self.n, "head {h:?} beyond labeled nodes");
+        assert_eq!(
+            self.ball_offsets.len(),
+            self.heads.len() + 1,
+            "add_head_row needs built labels"
+        );
+        let slot = match self.heads.binary_search(&h) {
+            Ok(_) => panic!("{h:?} is already a head"),
+            Err(s) => s,
+        };
+        for &hd in &self.heads[slot..] {
+            self.slot_of[hd.index()] += 1;
+        }
+        self.heads.insert(slot, h);
+        self.slot_of[h.index()] = slot as u32;
+        self.begin_splice();
+        for s in 0..self.heads.len() {
+            if s == slot {
+                self.sweep_head(g, s);
             } else {
-                let (lo, hi) = (
-                    self.prev_offsets[slot] as usize,
-                    self.prev_offsets[slot + 1] as usize,
-                );
-                self.balls.extend_from_slice(&self.prev_balls[lo..hi]);
-                let (hlo, hhi) = (
-                    self.prev_hash_offsets[slot] as usize,
-                    self.prev_hash_offsets[slot + 1] as usize,
-                );
-                self.hash_keys.extend_from_slice(&self.prev_hash_keys[hlo..hhi]);
-                self.hash_dist.extend_from_slice(&self.prev_hash_dist[hlo..hhi]);
+                let old = if s < slot { s } else { s - 1 };
+                self.copy_prev_row(old);
             }
             self.ball_offsets.push(self.balls.len() as u32);
             self.hash_offsets.push(self.hash_keys.len() as u32);
         }
+        slot
+    }
+
+    /// Incrementally removes the label row of head `h`: an arena
+    /// splice with no BFS at all — identical to a full
+    /// [`Self::rebuild`] without `h` (pinned by tests). Returns the
+    /// removed head's former slot.
+    ///
+    /// # Panics
+    /// Panics if `h` is not a head.
+    pub fn remove_head_row(&mut self, h: NodeId) -> usize {
+        let slot = self
+            .heads
+            .binary_search(&h)
+            .unwrap_or_else(|_| panic!("{h:?} is not a head"));
+        self.slot_of[h.index()] = NO_SLOT;
+        for &hd in &self.heads[slot + 1..] {
+            self.slot_of[hd.index()] -= 1;
+        }
+        self.heads.remove(slot);
+        self.begin_splice();
+        for s in 0..self.heads.len() {
+            let old = if s < slot { s } else { s + 1 };
+            self.copy_prev_row(old);
+            self.ball_offsets.push(self.balls.len() as u32);
+            self.hash_offsets.push(self.hash_keys.len() as u32);
+        }
+        slot
+    }
+
+    /// Full-arena rebuilds performed over this value's lifetime (see
+    /// [`HeadLabels::rebuild_count`]).
+    #[inline]
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
     }
 
     /// Bytes of heap memory the label arenas currently hold (capacity,
@@ -928,6 +1178,38 @@ impl LabelStore {
         match self {
             LabelStore::Dense(l) => l.apply_delta(g, dirty),
             LabelStore::Sparse(l) => l.apply_delta(g, dirty),
+        }
+    }
+
+    /// Incrementally inserts a label row for a new head — one bounded
+    /// BFS plus an arena splice in either layout, never a full
+    /// rebuild. See [`HeadLabels::add_head_row`] /
+    /// [`SparseHeadLabels::add_head_row`]. Returns the new slot.
+    pub fn add_head_row<G: Adjacency>(&mut self, g: &G, h: NodeId) -> usize {
+        match self {
+            LabelStore::Dense(l) => l.add_head_row(g, h),
+            LabelStore::Sparse(l) => l.add_head_row(g, h),
+        }
+    }
+
+    /// Incrementally removes a head's label row — an arena splice with
+    /// no BFS in either layout. See [`HeadLabels::remove_head_row`] /
+    /// [`SparseHeadLabels::remove_head_row`]. Returns the former slot.
+    pub fn remove_head_row(&mut self, h: NodeId) -> usize {
+        match self {
+            LabelStore::Dense(l) => l.remove_head_row(h),
+            LabelStore::Sparse(l) => l.remove_head_row(h),
+        }
+    }
+
+    /// Full-arena rebuilds of the active layout over its lifetime (the
+    /// incremental paths never bump it; see
+    /// [`HeadLabels::rebuild_count`]).
+    #[inline]
+    pub fn rebuild_count(&self) -> u64 {
+        match self {
+            LabelStore::Dense(l) => l.rebuild_count(),
+            LabelStore::Sparse(l) => l.rebuild_count(),
         }
     }
 
@@ -1437,6 +1719,104 @@ mod tests {
         assert_eq!(LabelStore::dense().layout_name(), "dense");
         assert_eq!(LabelStore::sparse().layout_name(), "sparse");
         assert_eq!(LabelStore::default().layout_name(), "dense");
+    }
+
+    /// Random head gain/loss chains: incremental row add/remove must
+    /// reproduce a full rebuild bit-for-bit in both layouts — and must
+    /// never touch the rebuild counter (the churn engine's
+    /// no-rebuild-on-head-set-change contract).
+    #[test]
+    fn head_row_splice_matches_full_rebuild() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(97);
+        for bound in [2u32, 5, u32::MAX] {
+            let net = gen::geometric(&gen::GeometricConfig::new(60, 100.0, 6.0), &mut rng);
+            let g = &net.graph;
+            let mut heads = vec![NodeId(0), NodeId(9), NodeId(25), NodeId(48)];
+            let mut dense = HeadLabels::build(g, &heads, bound);
+            let mut sparse = SparseHeadLabels::build(g, &heads, bound);
+            let (d0, s0) = (dense.rebuild_count(), sparse.rebuild_count());
+            for _ in 0..25 {
+                if heads.len() > 1 && rng.gen_bool(0.5) {
+                    let h = heads[rng.gen_range(0..heads.len())];
+                    let pos = heads.binary_search(&h).unwrap();
+                    assert_eq!(dense.remove_head_row(h), pos);
+                    assert_eq!(sparse.remove_head_row(h), pos);
+                    heads.remove(pos);
+                } else {
+                    let h = loop {
+                        let c = NodeId(rng.gen_range(0..60u32));
+                        if heads.binary_search(&c).is_err() {
+                            break c;
+                        }
+                    };
+                    let pos = heads.binary_search(&h).unwrap_err();
+                    assert_eq!(dense.add_head_row(g, h), pos);
+                    assert_eq!(sparse.add_head_row(g, h), pos);
+                    heads.insert(pos, h);
+                }
+                let fresh_d = HeadLabels::build(g, &heads, bound);
+                let fresh_s = SparseHeadLabels::build(g, &heads, bound);
+                assert_eq!(dense.heads(), &heads[..]);
+                assert_eq!(sparse.heads(), &heads[..]);
+                for (slot, &h) in heads.iter().enumerate() {
+                    assert_eq!(dense.slot(h), Some(slot));
+                    assert_eq!(sparse.slot(h), Some(slot));
+                    assert_eq!(dense.ball(slot), fresh_d.ball(slot), "ball {h:?}");
+                    assert_eq!(sparse.ball(slot), fresh_s.ball(slot), "ball {h:?}");
+                    for v in g.nodes() {
+                        assert_eq!(dense.dist(slot, v), fresh_d.dist(slot, v), "{h:?}->{v:?}");
+                        assert_eq!(sparse.dist(slot, v), fresh_s.dist(slot, v), "{h:?}->{v:?}");
+                    }
+                }
+            }
+            assert_eq!(dense.rebuild_count(), d0, "dense splices must not rebuild");
+            assert_eq!(sparse.rebuild_count(), s0, "sparse splices must not rebuild");
+        }
+    }
+
+    /// Row splices compose with edge-delta repair and survive an empty
+    /// head set in between.
+    #[test]
+    fn head_row_splice_handles_empty_and_interleaves_with_deltas() {
+        use crate::delta::TopologyDelta;
+        let mut g = gen::path(8);
+        let mut labels = HeadLabels::build(&g, &[NodeId(3)], 2);
+        assert_eq!(labels.remove_head_row(NodeId(3)), 0);
+        assert!(labels.heads().is_empty());
+        assert_eq!(labels.add_head_row(&g, NodeId(5)), 0);
+        assert_eq!(labels.add_head_row(&g, NodeId(1)), 0);
+        let mut delta = TopologyDelta::new();
+        g.remove_edge(NodeId(4), NodeId(5));
+        delta.push_removed(NodeId(4), NodeId(5));
+        let dirty = labels.dirty_slots(&delta);
+        assert_eq!(dirty, vec![1], "only the nearby head is dirty");
+        labels.apply_delta(&g, &dirty);
+        let fresh = HeadLabels::build(&g, &[NodeId(1), NodeId(5)], 2);
+        for slot in 0..2 {
+            assert_eq!(labels.ball(slot), fresh.ball(slot));
+            for v in g.nodes() {
+                assert_eq!(labels.dist(slot, v), fresh.dist(slot, v));
+            }
+        }
+        assert_eq!(labels.rebuild_count(), 1, "only the initial build");
+    }
+
+    #[test]
+    fn label_store_dispatches_head_row_splices() {
+        let g = gen::path(9);
+        for mut store in [LabelStore::dense(), LabelStore::sparse()] {
+            store.rebuild(&g, &[NodeId(0), NodeId(4), NodeId(8)], 3);
+            assert_eq!(store.rebuild_count(), 1);
+            assert_eq!(store.remove_head_row(NodeId(4)), 1);
+            assert_eq!(store.heads(), &[NodeId(0), NodeId(8)]);
+            assert_eq!(store.add_head_row(&g, NodeId(2)), 1);
+            assert_eq!(store.heads(), &[NodeId(0), NodeId(2), NodeId(8)]);
+            assert_eq!(store.slot(NodeId(2)), Some(1));
+            assert_eq!(store.slot(NodeId(8)), Some(2));
+            assert_eq!(store.dist(1, NodeId(5)), 3);
+            assert_eq!(store.rebuild_count(), 1, "splices are not rebuilds");
+        }
     }
 
     #[test]

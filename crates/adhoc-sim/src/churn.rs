@@ -13,7 +13,11 @@
 //! * a **movement step** is a positional delta
 //!   ([`ChurnEngine::step_delta`], produced by
 //!   [`MobileNetwork::step`](crate::mobility::MobileNetwork::step)'s
-//!   spatial grid, or diffed from a snapshot by [`ChurnEngine::step`]).
+//!   spatial grid, or diffed from a snapshot by [`ChurnEngine::step`]);
+//! * an **arrival** is a [`TopologyDelta`] re-attaching a departed
+//!   node to its alive neighbors ([`ChurnEngine::arrive`]): the
+//!   newcomer joins the nearest head within `k` hops or elects
+//!   locally, and the label arena gains at most one spliced row.
 //!
 //! # The reconciliation state machine
 //!
@@ -67,9 +71,10 @@
 //! policy and node-round cost accounting ride on top unchanged.
 //!
 //! The `movement::MaintainedCds` name remains as an alias of this
-//! engine; `maintenance::handle_departure` stays as the stateless §3.3
-//! reference implementation, now built from the same crate-private
-//! repair primitives (`rejoin_one`, `elect_orphans`, `broken_mates`).
+//! engine; `maintenance::handle_departure` and
+//! `maintenance::handle_arrival` stay as the stateless §3.3 reference
+//! implementations, built from the same crate-private repair
+//! primitives (`rejoin_one`, `elect_orphans`, `broken_mates`).
 
 use crate::invariants;
 use crate::movement::{MovementConfig, RepairLevel, StepReport};
@@ -189,6 +194,9 @@ struct Patch {
     heads_changed: bool,
     level: RepairLevel,
     orphans: usize,
+    /// Detected-but-unrepaired merges (nonzero only under a capped
+    /// policy; an uncapped engine escalates to re-election instead).
+    merged: usize,
     cost: usize,
 }
 
@@ -224,9 +232,12 @@ enum RepairOutcome {
 /// The engine owns its view of the topology. Reconcile it with
 /// [`Self::step`] (snapshot; the delta is diffed), advance it with
 /// [`Self::step_delta`] (exact delta, e.g. from a
-/// [`SpatialGrid`](adhoc_graph::gen::SpatialGrid)), or remove a node
-/// with [`Self::depart`]. Arrivals change the node set and are out of
-/// scope (see `maintenance::handle_arrival`).
+/// [`SpatialGrid`](adhoc_graph::gen::SpatialGrid)), remove a node
+/// with [`Self::depart`], or bring a departed node back with
+/// [`Self::arrive`] — arrivals are first-class reconciles that flow
+/// through the same observe/repair/publish machine (the stateless
+/// one-shot `maintenance::handle_arrival` remains as the §3.3
+/// reference implementation).
 ///
 /// All of those are convenience drivers over the explicit state
 /// machine ([`Self::begin_delta`], [`Self::begin_depart`],
@@ -424,7 +435,7 @@ impl ChurnEngine {
         let delta = TopologyDelta::between(&self.graph, g);
         // `clone_from` reuses the adjacency allocations already held.
         self.graph.clone_from(g);
-        let state = self.observe(delta, StrandedPolicy::FullRebuild);
+        let state = self.observe(delta, StrandedPolicy::FullRebuild, None);
         self.finish(state)
     }
 
@@ -474,6 +485,33 @@ impl ChurnEngine {
         self.drive(state, faults)
     }
 
+    /// §3.3 arrival of `u` through the incremental engine: exactly a
+    /// delta re-attaching the (previously departed) node to its alive
+    /// `neighbors`, plus the newcomer rule — join the nearest
+    /// clusterhead within `k` hops (distance, then head ID) or, when
+    /// none is in range, elect locally. The label arena gains at most
+    /// one spliced row; nothing is rebuilt wholesale.
+    ///
+    /// # Panics
+    /// Panics if `u` is already present, a neighbor is departed or
+    /// `u` itself, or a reconcile is in flight.
+    pub fn arrive(&mut self, u: NodeId, neighbors: &[NodeId]) -> StepReport {
+        let state = self.begin_arrive(u, neighbors);
+        self.finish(state)
+    }
+
+    /// As [`Self::arrive`], with deterministic crash injection (see
+    /// [`Self::step_delta_faulted`]).
+    pub fn arrive_faulted(
+        &mut self,
+        u: NodeId,
+        neighbors: &[NodeId],
+        faults: FaultPlan,
+    ) -> Result<StepReport, PhaseBoundary> {
+        let state = self.begin_arrive(u, neighbors);
+        self.drive(state, faults)
+    }
+
     // -----------------------------------------------------------------
     // The explicit state machine.
     // -----------------------------------------------------------------
@@ -487,7 +525,7 @@ impl ChurnEngine {
     pub fn begin_delta(&mut self, delta: &TopologyDelta) -> ReconcileState {
         assert!(self.in_flight.is_none(), "a reconcile is in flight; recover() first");
         delta.apply_to(&mut self.graph);
-        self.observe(delta.clone(), StrandedPolicy::FullRebuild)
+        self.observe(delta.clone(), StrandedPolicy::FullRebuild, None)
     }
 
     /// Runs the **observe** phase for the departure of `u` (the delta
@@ -504,10 +542,39 @@ impl ChurnEngine {
             delta.apply_to(&mut self.graph);
             self.clustering.head_of[u.index()] = GONE;
             self.clustering.dist_to_head[u.index()] = 0;
-            return self.observe(delta, StrandedPolicy::Elect);
+            return self.observe(delta, StrandedPolicy::Elect, None);
         }
         delta.apply_to(&mut self.graph);
         self.observe_head_loss(u, delta)
+    }
+
+    /// Runs the **observe** phase for the arrival of `u`: the delta
+    /// attaching it to `neighbors` flows through the same label
+    /// advance and damage detection as any other delta, with the
+    /// newcomer seeded into the orphan set so repair applies §3.3's
+    /// join-or-elect rule.
+    ///
+    /// # Panics
+    /// Panics if `u` is already present, a neighbor is departed or
+    /// `u` itself, or a reconcile is in flight.
+    pub fn begin_arrive(&mut self, u: NodeId, neighbors: &[NodeId]) -> ReconcileState {
+        assert!(self.in_flight.is_none(), "a reconcile is in flight; recover() first");
+        assert!(self.departed[u.index()], "{u:?} is already present");
+        let mut delta = TopologyDelta::new();
+        for &w in neighbors {
+            assert_ne!(w, u, "arrival edge from {u:?} to itself");
+            assert!(
+                !self.departed[w.index()],
+                "arrival edge to departed node {w:?}"
+            );
+            delta.push_added(u, w);
+        }
+        delta.normalize();
+        self.departed[u.index()] = false;
+        self.clustering.head_of[u.index()] = GONE;
+        self.clustering.dist_to_head[u.index()] = 0;
+        delta.apply_to(&mut self.graph);
+        self.observe(delta, StrandedPolicy::Elect, Some(u))
     }
 
     /// Advances a suspended reconcile by exactly one phase. Feeding a
@@ -574,10 +641,17 @@ impl ChurnEngine {
     /// Observe: advance the label arena over the already-applied
     /// `delta` (bounded BFS for dirty heads only) and detect damage —
     /// orphaned members, merged head pairs. Pure detection: repairs
-    /// happen in the next phase.
-    fn observe(&mut self, delta: TopologyDelta, policy: StrandedPolicy) -> ReconcileState {
+    /// happen in the next phase. A `newcomer` (an arriving node with
+    /// no affiliation yet) is seeded straight into the orphan set so
+    /// repair re-homes it via the §3.3 join-or-elect rule.
+    fn observe(
+        &mut self,
+        delta: TopologyDelta,
+        policy: StrandedPolicy,
+        newcomer: Option<NodeId>,
+    ) -> ReconcileState {
         let k = self.cfg.k;
-        if delta.is_empty() {
+        if delta.is_empty() && newcomer.is_none() {
             // Nothing moved: the previous verdict stands verbatim — an
             // idle beacon costs O(1), no connectivity sweeps.
             return ReconcileState::Done(StepReport {
@@ -614,10 +688,19 @@ impl ChurnEngine {
             // as the old engine).
             let labels = self.scratch.labels();
             for v in self.graph.nodes() {
-                if self.departed[v.index()] || self.clustering.is_head(v) {
+                if self.departed[v.index()] || self.clustering.is_head(v) || Some(v) == newcomer {
                     continue;
                 }
                 let h = self.clustering.head_of(v);
+                if h == GONE {
+                    // Knowingly stranded by a capped repair policy
+                    // (no head was within k and the cap forbade an
+                    // election): retry re-homing. Untouched deltas
+                    // may skip this scan — no label ball changed, so
+                    // no head moved within reach either.
+                    orphans.push(v);
+                    continue;
+                }
                 match labels.slot(h) {
                     Some(slot) => {
                         let d = labels.dist(slot, v);
@@ -637,14 +720,45 @@ impl ChurnEngine {
                     }
                 }
             }
+            // Merge detection reads only the **dirty** rows: a pair can
+            // newly fall within merge distance only if its head-to-head
+            // distance shrank, which requires (at least) one endpoint's
+            // row to have absorbed the delta — and every completed step
+            // ends merge-free (fresh elections place heads more than k
+            // apart, and a detected merge escalates to re-election), so
+            // clean-pair verdicts carry over. A dirty pair is counted
+            // once, by whichever dirty slot scans it first.
             let heads = &self.clustering.heads;
-            for (slot, _) in heads.iter().enumerate() {
-                for &other in &heads[slot + 1..] {
-                    if labels.dist(slot, other) <= self.cfg.merge_distance {
-                        merged_head_pairs += 1;
+            match &advance {
+                LabelAdvance::Incremental { dirty } => {
+                    for &slot in dirty {
+                        for (other_slot, &other) in heads.iter().enumerate() {
+                            if other_slot == slot
+                                || (other_slot < slot
+                                    && dirty.binary_search(&other_slot).is_ok())
+                            {
+                                continue;
+                            }
+                            if labels.dist(slot, other) <= self.cfg.merge_distance {
+                                merged_head_pairs += 1;
+                            }
+                        }
+                    }
+                }
+                LabelAdvance::Rebuilt => {
+                    for (slot, _) in heads.iter().enumerate() {
+                        for &other in &heads[slot + 1..] {
+                            if labels.dist(slot, other) <= self.cfg.merge_distance {
+                                merged_head_pairs += 1;
+                            }
+                        }
                     }
                 }
             }
+        }
+        if let Some(u) = newcomer {
+            orphans.push(u);
+            orphans.sort_unstable();
         }
         self.in_flight = Some(PhaseBoundary::Observed);
         ReconcileState::Observed(Box::new(Observation {
@@ -726,22 +840,38 @@ impl ChurnEngine {
             self.clustering.dist_to_head[u.index()] = 0;
             let mut cost = 0usize;
             let mut stranded = Vec::new();
-            for &v in &orphans {
-                let (probed, joined) =
-                    rejoin_one(&self.graph, &mut self.clustering, v, &mut self.bfs);
-                cost += probed;
-                if !joined {
-                    stranded.push(v);
+            if self.cfg.max_level >= RepairLevel::Reaffiliate {
+                for &v in &orphans {
+                    let (probed, joined) =
+                        rejoin_one(&self.graph, &mut self.clustering, v, &mut self.bfs);
+                    cost += probed;
+                    if !joined {
+                        stranded.push(v);
+                    }
+                }
+            } else {
+                // Cap below Reaffiliate: no re-homing at all. Every
+                // orphan is detached — the vanished head's members
+                // because its label row is about to be spliced out,
+                // the broken mates because their recorded ≤k distance
+                // may no longer hold (the plan compiler rejects stale
+                // affiliations rather than serving them).
+                stranded.extend(orphans.iter().copied());
+            }
+            if self.cfg.max_level >= RepairLevel::Full {
+                let (_, probes) =
+                    elect_orphans(&self.graph, &mut self.clustering, stranded, &mut self.bfs);
+                cost += probes;
+            } else {
+                for v in stranded {
+                    self.strand(v);
                 }
             }
-            let (_, probes) =
-                elect_orphans(&self.graph, &mut self.clustering, stranded, &mut self.bfs);
-            cost += probes;
             RepairOutcome::HeadLoss {
                 orphans: orphans.len(),
                 cost,
             }
-        } else if merged_head_pairs > 0 {
+        } else if merged_head_pairs > 0 && self.cfg.max_level >= RepairLevel::Full {
             // Two heads drifted within merge distance: least cluster
             // change says re-elect globally (refreshed member
             // distances are pointless — the head set is replaced).
@@ -758,7 +888,14 @@ impl ChurnEngine {
             let mut cost = 0usize;
             let mut heads_changed = false;
             let mut rebuild = false;
-            if !orphans.is_empty() {
+            if !orphans.is_empty() && self.cfg.max_level < RepairLevel::Reaffiliate {
+                // Capped below any repair: orphans are detached, not
+                // re-homed (the plan compiler rejects stale >k
+                // affiliations, and routing honestly loses them).
+                for &v in &orphans {
+                    self.strand(v);
+                }
+            } else if !orphans.is_empty() {
                 // Re-affiliate each orphan to the nearest head within k
                 // hops (distance, then head ID). The k-ball probe is
                 // the charged node-round cost, exactly as before.
@@ -772,7 +909,13 @@ impl ChurnEngine {
                         stranded.push(v);
                     }
                 }
-                if !stranded.is_empty() {
+                if !stranded.is_empty() && self.cfg.max_level < RepairLevel::Full {
+                    // The cap forbids the election (or re-election)
+                    // the stranded set calls for; park them instead.
+                    for v in stranded {
+                        self.strand(v);
+                    }
+                } else if !stranded.is_empty() {
                     match policy {
                         StrandedPolicy::FullRebuild => {
                             // Coverage loss: least-cluster-change says
@@ -807,6 +950,7 @@ impl ChurnEngine {
                     heads_changed,
                     level,
                     orphans: orphans.len(),
+                    merged: merged_head_pairs,
                     cost,
                 })
             }
@@ -824,19 +968,38 @@ impl ChurnEngine {
         let report = match outcome {
             RepairOutcome::Rebuilt { orphans, merged } => self.publish_rebuilt(orphans, merged),
             RepairOutcome::HeadLoss { orphans, cost } => {
-                self.eval =
-                    pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
+                // Observe left the arena untouched (`advance: None`),
+                // so the splice both repairs the surviving rows over
+                // the isolating delta and drops the departed head's
+                // row (plus opens rows for any locally elected
+                // replacements) — no wholesale rebuild.
+                let splice = pipeline::advance_labels_headset(
+                    &self.graph,
+                    &self.clustering,
+                    &delta,
+                    &mut self.scratch,
+                );
+                let (eval, _) = pipeline::update_all_after_headset(
+                    &self.graph,
+                    &self.clustering,
+                    &splice,
+                    &mut self.scratch,
+                );
+                self.eval = eval;
                 self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
                 let cost = cost + self.information_cost();
                 self.refresh_validity();
                 self.republish_plan();
                 StepReport {
-                    level: RepairLevel::Full,
+                    // The head drop itself is forced; the *elective*
+                    // part (stranded members electing replacements)
+                    // is what a capped policy withholds.
+                    level: RepairLevel::Full.min(self.cfg.max_level),
                     orphans,
                     merged_head_pairs: 0,
                     cost,
                     valid: self.last_valid,
-                    dirty_heads: self.clustering.heads.len(),
+                    dirty_heads: splice.dirty_count(self.clustering.heads.len()),
                 }
             }
             RepairOutcome::Patch(patch) => self.publish_patch(&delta, patch),
@@ -855,15 +1018,30 @@ impl ChurnEngine {
             heads_changed,
             mut level,
             orphans,
+            merged,
             mut cost,
         } = patch;
 
-        // Refresh the maintained evaluation: incremental when the head
-        // set survived, full otherwise (elections invalidate the label
-        // arena's row layout).
+        // Refresh the maintained evaluation: incremental row reuse when
+        // the head set survived; a **row splice** when a local election
+        // grew it (observe already advanced every surviving row over
+        // the delta, so the splice only opens rows for the new heads —
+        // the arena is never rebuilt wholesale for a local head gain).
         if heads_changed {
-            self.eval = pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
-            dirty_heads = self.clustering.heads.len();
+            let splice = pipeline::advance_labels_headset(
+                &self.graph,
+                &self.clustering,
+                &TopologyDelta::new(),
+                &mut self.scratch,
+            );
+            let (eval, _) = pipeline::update_all_after_headset(
+                &self.graph,
+                &self.clustering,
+                &splice,
+                &mut self.scratch,
+            );
+            self.eval = eval;
+            dirty_heads = splice.dirty_count(self.clustering.heads.len());
         } else {
             let (eval, _) = pipeline::update_all_after(
                 &self.graph,
@@ -912,25 +1090,41 @@ impl ChurnEngine {
         // backbone — the common case under localized churn, and every
         // ball-untouched delta whose endpoints avoid stale gateways —
         // cost no connectivity traversal at all.
-        let mut backbone_ok = if self.backbone_touched(delta) {
-            connectivity::is_subset_connected(&self.graph, &self.cds.nodes())
-        } else {
-            self.last_backbone_ok
-        };
-        if !backbone_ok {
-            level = level.max(RepairLevel::Gateways);
+        let mut backbone_ok;
+        if heads_changed {
+            // A local election changed the head set, so the maintained
+            // CDS must follow it — the lazy gateway-adoption policy
+            // only applies while the head set is stable. (Before this
+            // adoption the stale CDS could not dominate the elected
+            // head, and every election escalated into a global
+            // rebuild, defeating the local repair.)
             self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
             // Every head re-collects its 2k+1 ball.
             cost += self.information_cost();
             backbone_ok = connectivity::is_subset_connected(&self.graph, &self.cds.nodes());
+        } else {
+            backbone_ok = if self.backbone_touched(delta) {
+                connectivity::is_subset_connected(&self.graph, &self.cds.nodes())
+            } else {
+                self.last_backbone_ok
+            };
+            if !backbone_ok && self.cfg.max_level >= RepairLevel::Gateways {
+                level = level.max(RepairLevel::Gateways);
+                self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
+                // Every head re-collects its 2k+1 ball.
+                cost += self.information_cost();
+                backbone_ok = connectivity::is_subset_connected(&self.graph, &self.cds.nodes());
+            }
         }
         self.last_backbone_ok = backbone_ok;
         let valid = backbone_ok && self.dominated();
         self.last_valid = valid;
-        if !valid && self.alive_connected() {
+        if !valid && self.alive_connected() && self.cfg.max_level >= RepairLevel::Full {
             // A repair on a connected graph must succeed; if it somehow
             // did not, escalate (the pending plan is discarded — the
-            // rebuild republishes a fresh one).
+            // rebuild republishes a fresh one). A capped policy is not
+            // entitled to the escalation: it keeps serving the
+            // degraded plan and reports `valid: false`.
             return self.full_rebuild(orphans, 0);
         }
         if let Some(plan) = pending {
@@ -939,11 +1133,20 @@ impl ChurnEngine {
         StepReport {
             level,
             orphans,
-            merged_head_pairs: 0,
+            merged_head_pairs: merged,
             cost,
             valid,
             dirty_heads,
         }
+    }
+
+    /// Parks `v` on the departed sentinel: a capped repair policy
+    /// could not (or was not allowed to) re-home it, so it is
+    /// knowingly unaffiliated — unroutable in the published plan, and
+    /// retried by observe whenever a later delta touches a label ball.
+    fn strand(&mut self, v: NodeId) {
+        self.clustering.head_of[v.index()] = GONE;
+        self.clustering.dist_to_head[v.index()] = 0;
     }
 
     /// Re-elects the clustering from scratch on the current graph and
@@ -1052,7 +1255,10 @@ impl ChurnEngine {
     /// through [`invariants::soft_check`] so the model checker records
     /// a violation instead of aborting).
     fn dominated(&self) -> bool {
-        if self.cds.heads == self.clustering.heads {
+        // The construction argument needs the full repair policy: a
+        // capped engine knowingly strands members, so it always pays
+        // the sweep and reports the damage honestly.
+        if self.cds.heads == self.clustering.heads && self.cfg.max_level == RepairLevel::Full {
             invariants::soft_check(
                 self.dominated_sweep(),
                 "a reconciled step must leave every alive node within k of a head",
@@ -1336,6 +1542,180 @@ mod tests {
         assert_eq!(r.level, RepairLevel::Full);
         assert_eq!(e.clustering.heads, vec![NodeId(1)]);
         assert_engine_consistent(&e, "stranded election");
+    }
+
+    /// A capped policy under-repairs *honestly*: stranded members are
+    /// parked on the departed sentinel (unroutable, not stale), the
+    /// validity verdict reports `false`, and nothing panics — the
+    /// resilience bench leans on exactly this to measure what each
+    /// §3.3 rule is worth.
+    #[test]
+    fn capped_policy_strands_instead_of_electing() {
+        let g = gen::star(5);
+        let cfg = MovementConfig::strict(1, Algorithm::AcLmst).capped(RepairLevel::Reaffiliate);
+        let mut e = ChurnEngine::build(&g, cfg);
+        e.enable_routing();
+        let r = e.depart(NodeId(0));
+        // The head drop is forced, but the election the stranded
+        // leaves call for is withheld by the cap.
+        assert_eq!(r.level, RepairLevel::Reaffiliate);
+        assert!(!r.valid);
+        assert!(e.clustering.heads.is_empty());
+        for leaf in 1..5 {
+            assert_eq!(e.clustering.head_of(NodeId(leaf)), GONE);
+        }
+        // The published plan degrades instead of lying: no affiliation,
+        // no route.
+        let plan = e.route_plan().expect("routing enabled");
+        assert!(plan.route(NodeId(1), NodeId(2)).is_none());
+        // A later arrival still cannot create heads under the cap; the
+        // engine keeps limping without escalating.
+        let r = e.arrive(NodeId(0), &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert!(!r.valid);
+        assert_eq!(e.clustering.head_of(NodeId(0)), GONE);
+    }
+
+    /// The Gateways cap stops short of re-election but above
+    /// re-affiliation: orphans re-home to surviving heads, yet a
+    /// backbone break that only an election could fix stays broken
+    /// (and is reported as such).
+    #[test]
+    fn capped_gateways_reaffiliates_but_never_reelects() {
+        let g = gen::path(5);
+        let cfg = MovementConfig::strict(1, Algorithm::AcLmst).capped(RepairLevel::Gateways);
+        let mut e = ChurnEngine::build(&g, cfg);
+        // Head 2 departs: member 3 re-joins head 4 (allowed), the
+        // survivors are disconnected so validity is honestly false.
+        let r = e.depart(NodeId(2));
+        assert_eq!(r.level, RepairLevel::Gateways);
+        assert_eq!(e.clustering.head_of(NodeId(3)), NodeId(4));
+        assert!(!r.valid);
+        // Its return reconnects the survivors, but with k = 1 no head
+        // is within reach and the cap forbids electing one: the
+        // newcomer is parked, the head set untouched, and the verdict
+        // stays honestly false (an uncapped engine reaches Full here).
+        let heads_before = e.clustering.heads.clone();
+        let r = e.arrive(NodeId(2), &[NodeId(1), NodeId(3)]);
+        assert!(!r.valid);
+        assert_eq!(e.clustering.heads, heads_before);
+        assert_eq!(e.clustering.head_of(NodeId(2)), GONE);
+        // Members 1 and 3 kept their ≤k affiliations through it all.
+        assert_eq!(e.clustering.head_of(NodeId(1)), NodeId(0));
+        assert_eq!(e.clustering.head_of(NodeId(3)), NodeId(4));
+    }
+
+    /// §3.3 arrival, join case: the newcomer re-attaches and joins the
+    /// nearest head (distance, then head ID) — and neither the
+    /// departure nor the arrival rebuilds the label arena (the rows
+    /// are delta-advanced and spliced; pinned by `rebuild_count`).
+    #[test]
+    fn arrival_rejoins_nearest_head() {
+        let g = gen::path(21);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        e.enable_routing();
+        let built_rebuilds = e.labels().rebuild_count();
+        e.depart(NodeId(5));
+        let r = e.arrive(NodeId(5), &[NodeId(4), NodeId(6)]);
+        // Node 5 is the only bridge between heads 4 and 6, so its
+        // return re-connects the backbone through the gateway refresh.
+        assert_eq!(r.level, RepairLevel::Gateways);
+        assert_eq!(r.orphans, 1);
+        assert!(r.cost > 0, "the newcomer's k-ball probe is charged");
+        assert!(!e.is_departed(NodeId(5)));
+        // Tie between heads 4 and 6 at distance 1 breaks to the lower ID.
+        assert_eq!(e.clustering.head_of(NodeId(5)), NodeId(4));
+        assert_eq!(
+            e.labels().rebuild_count(),
+            built_rebuilds,
+            "bystander departure + arrival must splice, not rebuild"
+        );
+        assert_engine_consistent(&e, "arrival rejoin");
+    }
+
+    /// §3.3 arrival, election case: a newcomer with no head within k
+    /// elects itself — the head gain is published as a **row splice**
+    /// (no label-arena rebuild), and the head-loss departure before it
+    /// also splices the departed row out.
+    #[test]
+    fn arrival_elects_when_no_head_in_range() {
+        let g = gen::path(21);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        e.enable_routing();
+        let built_rebuilds = e.labels().rebuild_count();
+        let heads_before = e.clustering.heads.clone();
+        let rd = e.depart(NodeId(20)); // a head: its row is spliced out
+        assert_eq!(rd.level, RepairLevel::Full);
+        assert!(!e.clustering.heads.contains(&NodeId(20)));
+        assert_engine_consistent(&e, "head departure before arrival");
+        // Re-attached one hop past head 18's range: nothing to join.
+        let r = e.arrive(NodeId(20), &[NodeId(19)]);
+        assert_eq!(r.level, RepairLevel::Full);
+        assert_eq!(e.clustering.heads, heads_before);
+        assert_eq!(e.clustering.head_of(NodeId(20)), NodeId(20));
+        assert_eq!(
+            e.labels().rebuild_count(),
+            built_rebuilds,
+            "head loss and head gain must splice rows, not rebuild the arena"
+        );
+        assert_engine_consistent(&e, "arrival election");
+    }
+
+    /// An arrival with no neighbors (isolated newcomer) still elects
+    /// itself through the full reconcile, and crash injection at each
+    /// boundary leaves the pre-step plan served until recovery.
+    #[test]
+    fn isolated_arrival_and_faulted_arrival() {
+        let g = gen::path(2);
+        let mut e = ChurnEngine::build(&g, MovementConfig::strict(1, Algorithm::AcLmst));
+        e.enable_routing();
+        e.depart(NodeId(1));
+        let r = e.arrive(NodeId(1), &[]);
+        assert_eq!(e.clustering.head_of(NodeId(1)), NodeId(1));
+        assert!(e.clustering.heads.contains(&NodeId(1)));
+        assert!(r.orphans == 1);
+        assert_engine_consistent(&e, "isolated arrival");
+
+        e.depart(NodeId(1));
+        let pre_plan = e.route_plan().unwrap().clone();
+        let err = e
+            .arrive_faulted(NodeId(1), &[NodeId(0)], FaultPlan::crash_after(PhaseBoundary::Observed))
+            .unwrap_err();
+        assert_eq!(err, PhaseBoundary::Observed);
+        assert_eq!(e.route_plan().unwrap(), &pre_plan, "crash must not publish");
+        e.recover().expect("was in flight");
+        assert!(!e.is_departed(NodeId(1)));
+        assert_engine_consistent(&e, "recovery after crashed arrival");
+    }
+
+    /// Arrivals on sparse labels walk the same trajectory as dense.
+    #[test]
+    fn sparse_arrival_matches_dense() {
+        let net = geometric(42, 60, 8.0);
+        let cfg = MovementConfig::strict(2, Algorithm::AcLmst);
+        let mut dense = ChurnEngine::build_with_labels(&net.graph, cfg, LabelMode::Dense);
+        let mut sparse = ChurnEngine::build_with_labels(&net.graph, cfg, LabelMode::Sparse);
+        for &uid in &[7u32, 23, 41] {
+            let u = NodeId(uid);
+            let rd = dense.depart(u);
+            let rs = sparse.depart(u);
+            assert_eq!(rd.level, rs.level);
+            let neighbors: Vec<NodeId> = net
+                .graph
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|w| !dense.is_departed(*w))
+                .collect();
+            let rd = dense.arrive(u, &neighbors);
+            let rs = sparse.arrive(u, &neighbors);
+            assert_eq!(rd.level, rs.level, "arrive {uid}");
+            assert_eq!(rd.cost, rs.cost, "arrive {uid}");
+            assert_eq!(rd.dirty_heads, rs.dirty_heads, "arrive {uid}");
+            assert_eq!(dense.clustering.head_of, sparse.clustering.head_of);
+            assert_eq!(dense.cds, sparse.cds);
+        }
+        assert_engine_consistent(&dense, "dense after arrivals");
+        assert_engine_consistent(&sparse, "sparse after arrivals");
     }
 
     #[test]

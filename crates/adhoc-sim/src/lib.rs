@@ -22,8 +22,12 @@
 //! * [`churn`] — the unified incremental maintenance engine: topology
 //!   deltas flow through an explicit observe/repair/publish state
 //!   machine (suspendable and crash-injectable at every phase
-//!   boundary), with departures and movement steps as two faces of
-//!   the same delta workload.
+//!   boundary), with departures, arrivals, and movement steps as
+//!   three faces of the same delta workload.
+//! * [`adversary`] — attack and recovery workload generators over the
+//!   engine: targeted head/hub removal, correlated regional outages,
+//!   mass partition, and flash-crowd arrival bursts, for the
+//!   resilience bench's degradation and repair-latency curves.
 //! * [`invariants`] — the engine's correctness argument as executable
 //!   checks: equivalence with cold rebuilds, convergence of the
 //!   validity verdict, torn-free query consistency, honest cost
@@ -33,9 +37,10 @@
 //!   every delta interleaving × every crash point over tiny graphs,
 //!   all four invariants checked at every reachable state, with
 //!   replayable counterexample scripts.
-//! * [`maintenance`] — the §3.3 local-fix rules for node
-//!   disappearance (nothing / local gateway re-selection / cluster
-//!   re-election), built on the shared repair primitives of [`churn`].
+//! * [`maintenance`] — the stateless §3.3 local-fix rules for node
+//!   disappearance and arrival (nothing / local gateway re-selection /
+//!   cluster re-election / join-or-elect), built on the shared repair
+//!   primitives of [`churn`].
 //! * [`movement`] — the movement-sensitive maintenance policy of the
 //!   paper's §5 future work: cheapest-sufficient repairs under motion
 //!   (the [`churn::ChurnEngine`] behind its historical name).
@@ -58,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod broadcast;
 pub mod churn;
 pub mod energy;

@@ -389,6 +389,12 @@ pub enum ArrivalOutcome {
 /// clusterhead within `k` hops (ID tie-break) or, if none is in
 /// range, declares itself a head — then the gateway phase re-runs,
 /// since new links can create new adjacent cluster pairs.
+///
+/// This is the **stateless one-shot** reference; the incremental
+/// engine applies the same rule statefully via
+/// [`ChurnEngine::arrive`](crate::churn::ChurnEngine::arrive), where
+/// the arrival delta flows through observe/repair/publish and a head
+/// election splices (not rebuilds) the label arena.
 pub fn handle_arrival(
     g_after: &Graph,
     clustering: &Clustering,

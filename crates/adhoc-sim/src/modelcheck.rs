@@ -16,9 +16,10 @@
 //! node pairs, cold rebuilds, and route queries, so each state check
 //! is a full equivalence audit. The paper's own argument (§3.3) is
 //! per-event and local; exhausting a 5-node universe with every
-//! 1-edge and 2-edge delta, every departure order, and every crash
-//! point covers the argument's entire case split — head loss, gateway
-//! loss, bystander loss, merge, strand, disconnect — many times over.
+//! 1-edge and 2-edge delta, every departure and arrival order, and
+//! every crash point covers the argument's entire case split — head
+//! loss, gateway loss, bystander loss, merge, strand, disconnect,
+//! join-on-return, elect-on-return — many times over.
 //!
 //! On violation the checker stops and returns a [`Counterexample`]
 //! whose `Display` is a **replayable script**: the universe header,
@@ -57,6 +58,12 @@ pub struct Universe {
     pub flip: Vec<(u32, u32)>,
     /// Nodes the adversary may switch off (§3.3 departures).
     pub departures: Vec<u32>,
+    /// Also play §3.3 arrivals: a departed node from `departures` may
+    /// switch back **on**, re-attaching to its alive neighbors from
+    /// `initial_edges` (the radio links geometry would restore). Every
+    /// arrival runs the full reconcile, including the head-set row
+    /// splice when the newcomer elects itself.
+    pub arrivals: bool,
     /// Also play composite deltas: pairs of flips in one delta, and
     /// self-inverse deltas (remove + re-add the same edge in one
     /// burst — a topology no-op that still exercises the machine).
@@ -68,7 +75,8 @@ pub struct Universe {
 impl Universe {
     /// A path universe: nodes 0..n-1 in a line, every path edge
     /// flippable, plus one chord making and breaking a cycle; the two
-    /// ends and the middle may depart.
+    /// ends and the middle may depart — and come back (arrivals are in
+    /// the alphabet by default).
     pub fn path(n: usize, k: u32, algorithm: Algorithm) -> Self {
         assert!(n >= 3, "a path universe needs at least 3 nodes");
         let initial: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
@@ -81,6 +89,7 @@ impl Universe {
             initial_edges: initial,
             flip,
             departures: vec![0, n as u32 / 2, n as u32 - 1],
+            arrivals: true,
             composite: false,
             routing: true,
         }
@@ -146,6 +155,9 @@ pub enum Action {
     SelfInverse(u32, u32),
     /// Switch a node off.
     Depart(u32),
+    /// Switch a departed node back on (§3.3 arrival), re-attaching it
+    /// to its alive initial-topology neighbors.
+    Arrive(u32),
 }
 
 impl fmt::Display for Action {
@@ -155,6 +167,7 @@ impl fmt::Display for Action {
             Action::FlipPair((a, b), (c, d)) => write!(f, "flip {a}-{b} + flip {c}-{d}"),
             Action::SelfInverse(a, b) => write!(f, "self-inverse {a}-{b}"),
             Action::Depart(u) => write!(f, "depart {u}"),
+            Action::Arrive(u) => write!(f, "arrive {u}"),
         }
     }
 }
@@ -289,9 +302,29 @@ fn enabled_actions(u: &Universe, e: &ChurnEngine) -> Vec<Action> {
     for &d in &u.departures {
         if alive(d) {
             out.push(Action::Depart(d));
+        } else if u.arrivals {
+            out.push(Action::Arrive(d));
         }
     }
     out
+}
+
+/// The attach edges an [`Action::Arrive`] produces: the arriving
+/// node's `initial_edges` neighbors that are currently alive.
+fn arrival_neighbors(u: &Universe, e: &ChurnEngine, node: u32) -> Vec<NodeId> {
+    u.initial_edges
+        .iter()
+        .filter_map(|&(a, b)| {
+            if a == node {
+                Some(NodeId(b))
+            } else if b == node {
+                Some(NodeId(a))
+            } else {
+                None
+            }
+        })
+        .filter(|&w| !e.is_departed(w))
+        .collect()
 }
 
 fn flip_into(delta: &mut TopologyDelta, g: &Graph, a: u32, b: u32) {
@@ -302,7 +335,8 @@ fn flip_into(delta: &mut TopologyDelta, g: &Graph, a: u32, b: u32) {
     }
 }
 
-fn action_delta(action: Action, g: &Graph) -> TopologyDelta {
+fn action_delta(action: Action, u: &Universe, e: &ChurnEngine) -> TopologyDelta {
+    let g = e.graph();
     let mut delta = TopologyDelta::new();
     match action {
         Action::Flip(a, b) => flip_into(&mut delta, g, a, b),
@@ -315,6 +349,11 @@ fn action_delta(action: Action, g: &Graph) -> TopologyDelta {
             delta.push_added(NodeId(a), NodeId(b));
         }
         Action::Depart(_) => {}
+        Action::Arrive(n) => {
+            for w in arrival_neighbors(u, e, n) {
+                delta.push_added(NodeId(n), w);
+            }
+        }
     }
     delta.normalize();
     delta
@@ -340,6 +379,16 @@ fn transition(
         };
         let outcome = match action {
             Action::Depart(u) => engine.depart_faulted(NodeId(u), faults),
+            Action::Arrive(u) => {
+                // The attach list is re-derived from the recorded delta
+                // so a replayed counterexample uses the exact edges.
+                let neighbors: Vec<NodeId> = delta
+                    .added
+                    .iter()
+                    .map(|&(a, b)| if a == NodeId(u) { b } else { a })
+                    .collect();
+                engine.arrive_faulted(NodeId(u), &neighbors, faults)
+            }
             _ => engine.step_delta_faulted(delta, faults),
         };
         match outcome {
@@ -447,7 +496,7 @@ pub fn check(cfg: &CheckConfig) -> Report {
             continue;
         }
         for action in enabled_actions(universe, &state) {
-            let delta = action_delta(action, state.graph());
+            let delta = action_delta(action, universe, &state);
             for &fault in faults {
                 if let Some(budget) = cfg.time_budget {
                     if start.elapsed() > budget {

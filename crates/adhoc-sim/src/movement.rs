@@ -70,6 +70,16 @@ pub struct MovementConfig {
     /// ≥ k+1, so `merge_distance = k` enforces it strictly; smaller
     /// values tolerate drift and re-elect less often.
     pub merge_distance: u32,
+    /// The most expensive repair the engine may run. [`RepairLevel::Full`]
+    /// (the default) is the always-repairing policy every equivalence
+    /// invariant is stated for; lower caps deliberately under-repair so
+    /// the resilience bench can measure what each §3.3 rule is worth.
+    /// A capped engine is honest about the damage it leaves behind:
+    /// members it cannot re-home are parked on the departed sentinel
+    /// (unroutable, retried whenever a later delta touches a label
+    /// ball), the validity verdict reports `false`, and the published
+    /// route plan degrades instead of lying.
+    pub max_level: RepairLevel,
 }
 
 impl MovementConfig {
@@ -80,6 +90,7 @@ impl MovementConfig {
             k,
             algorithm,
             merge_distance: k,
+            max_level: RepairLevel::Full,
         }
     }
 
@@ -94,7 +105,15 @@ impl MovementConfig {
             k,
             algorithm,
             merge_distance,
+            max_level: RepairLevel::Full,
         }
+    }
+
+    /// Caps the repair policy at `max_level` (see
+    /// [`MovementConfig::max_level`]).
+    pub fn capped(mut self, max_level: RepairLevel) -> Self {
+        self.max_level = max_level;
+        self
     }
 }
 
@@ -121,6 +140,17 @@ impl RepairLevel {
             RepairLevel::Full => "full",
         }
     }
+
+    /// Parses a [`Self::name`] back to the level (CLI flags).
+    pub fn parse(s: &str) -> Option<RepairLevel> {
+        match s {
+            "none" => Some(RepairLevel::None),
+            "reaffiliate" => Some(RepairLevel::Reaffiliate),
+            "gateways" => Some(RepairLevel::Gateways),
+            "full" => Some(RepairLevel::Full),
+            _ => None,
+        }
+    }
 }
 
 /// What one maintenance step did.
@@ -131,7 +161,8 @@ pub struct StepReport {
     /// Members that had lost their ≤k-hop head path.
     pub orphans: usize,
     /// Head pairs found within `merge_distance` hops (0 unless the step
-    /// escalated to a full rebuild for that reason).
+    /// escalated to a full rebuild for that reason, or a capped policy
+    /// left a detected merge in place).
     pub merged_head_pairs: usize,
     /// Cost in node-rounds (see module docs).
     pub cost: usize,

@@ -1,0 +1,279 @@
+//! Arrival equivalence: [`ChurnEngine::arrive`] must be **bit-for-bit
+//! indistinguishable** from cold evaluation, and head-set changes must
+//! splice label rows instead of rebuilding the arena.
+//!
+//! Two property families:
+//!
+//! * Mixed arrival/departure/mobility sequences, `k` 1..=4, both label
+//!   layouts: after every reconcile the engine's labels, NC/AC
+//!   relations, all five selections/CDSs, and the compiled route plan
+//!   equal a cold `pipeline::run_all` (+ `RoutePlan::compile`) on the
+//!   live graph and clustering.
+//! * Head gain/loss chains on a path: dense and sparse layouts stay
+//!   identical row for row, both equal a cold `HeadLabels::build`, and
+//!   `rebuild_count` never moves — a single head gained or lost is a
+//!   row splice, not an arena rebuild.
+
+use adhoc_cluster::clustering::Clustering;
+use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch, LabelMode};
+use adhoc_cluster::routing::RoutePlan;
+use adhoc_graph::geom::Point;
+use adhoc_graph::graph::NodeId;
+use adhoc_graph::labels::HeadLabels;
+use adhoc_sim::churn::ChurnEngine;
+use adhoc_sim::mobility::{Mobility, RandomWaypoint, WaypointConfig};
+use adhoc_sim::movement::MovementConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Full cold-equality check including the compiled route plan: the
+/// engine's incrementally maintained state must match a from-scratch
+/// evaluation *in the engine's own label layout* — labels row by row,
+/// NC/AC relations and paths, every selection and CDS, and the walk
+/// the route plan emits for every ordered pair.
+fn assert_engine_equals_cold(engine: &ChurnEngine, mode: LabelMode, ctx: &str) {
+    let g = engine.graph();
+    let clustering: &Clustering = &engine.clustering;
+    let mut scratch = EvalScratch::with_mode(mode);
+    let cold = pipeline::run_all_with(g, clustering, &mut scratch);
+
+    let warm = engine.labels();
+    let cold_labels = scratch.labels();
+    assert_eq!(warm.heads(), cold_labels.heads(), "{ctx}: label heads");
+    for slot in 0..clustering.heads.len() {
+        assert_eq!(
+            warm.ball(slot),
+            cold_labels.ball(slot),
+            "{ctx}: ball of slot {slot}"
+        );
+        for v in g.nodes() {
+            assert_eq!(
+                warm.dist(slot, v),
+                cold_labels.dist(slot, v),
+                "{ctx}: dist slot {slot} node {v:?}"
+            );
+        }
+    }
+
+    let eval = engine.evaluation();
+    assert_eq!(
+        eval.nc_graph.neighbor_sets, cold.nc_graph.neighbor_sets,
+        "{ctx}: NC relation"
+    );
+    assert_eq!(
+        eval.ac_graph.neighbor_sets, cold.ac_graph.neighbor_sets,
+        "{ctx}: AC relation"
+    );
+    for alg in Algorithm::ALL {
+        assert_eq!(
+            eval.of(alg).selection,
+            cold.of(alg).selection,
+            "{ctx}: {alg} selection"
+        );
+        assert_eq!(eval.of(alg).cds, cold.of(alg).cds, "{ctx}: {alg} cds");
+    }
+
+    // Route plan: the maintained plan must route every ordered pair
+    // exactly like one compiled cold from the same structures (epochs
+    // aside — those count publications, not content).
+    let cold_plan = RoutePlan::compile(
+        g,
+        clustering,
+        scratch.labels(),
+        cold.selected_links(Algorithm::AcLmst),
+    );
+    let warm_plan = engine.route_plan().expect("routing enabled");
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(
+                warm_plan.route(u, v),
+                cold_plan.route(u, v),
+                "{ctx}: route {u:?} -> {v:?}"
+            );
+        }
+    }
+}
+
+/// Row-for-row equality of two label stores over the same head set.
+macro_rules! assert_labels_match {
+    ($a:expr, $b:expr, $g:expr, $ctx:expr) => {{
+        prop_assert_eq!($a.heads(), $b.heads(), "{}: heads", $ctx);
+        for slot in 0..$a.heads().len() {
+            prop_assert_eq!($a.ball(slot), $b.ball(slot), "{}: ball {}", $ctx, slot);
+            for v in $g.nodes() {
+                prop_assert_eq!(
+                    $a.dist(slot, v),
+                    $b.dist(slot, v),
+                    "{}: dist slot {} node {:?}",
+                    $ctx,
+                    slot,
+                    v
+                );
+            }
+        }
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// §3.3 arrivals interleaved with departures and mobility steps:
+    /// the engine stays bit-for-bit equal to a cold run — labels,
+    /// NC/AC, all five selections, and the compiled route plan — in
+    /// whichever label layout it was built with. Departed nodes park
+    /// far outside the field (radio off); a returnee reappears at its
+    /// pre-departure position and arrives with exactly the radio links
+    /// the spatial grid sees, so engine and grid stay in lock-step.
+    #[test]
+    fn arrival_mix_matches_cold_run_all(
+        seed in 0u64..10_000,
+        k in 1u32..=4,
+        layout in 0u32..2,
+        ops in proptest::collection::vec((0u32..3, 0u32..64), 4..10),
+    ) {
+        let n = 45usize;
+        let mode = if layout == 0 { LabelMode::Dense } else { LabelMode::Sparse };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = adhoc_graph::gen::geometric(
+            &adhoc_graph::gen::GeometricConfig::new(n, 100.0, 7.0),
+            &mut rng,
+        );
+        let mut model = RandomWaypoint::new(
+            n,
+            WaypointConfig { side: 100.0, min_speed: 0.3, max_speed: 2.5, pause: 0.5 },
+            &mut rng,
+        );
+        let park = |u: NodeId| Point::new(10_000.0 + 1_000.0 * u.index() as f64, 10_000.0);
+        let mut grid = adhoc_graph::gen::SpatialGrid::build(&net.positions, net.range);
+        let mut engine = ChurnEngine::build_with_labels(
+            grid.graph(),
+            MovementConfig::strict(k, Algorithm::AcLmst),
+            mode,
+        );
+        engine.enable_routing();
+        let mut pos = net.positions.clone();
+        let mut home = net.positions.clone();
+        let mut gone: Vec<NodeId> = Vec::new();
+        for (i, &(op, which)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    // Mobility beacon step; switched-off radios stay parked.
+                    model.advance(&mut pos, 1.0, &mut rng);
+                    for &u in &gone {
+                        pos[u.index()] = park(u);
+                    }
+                    let delta = grid.update(&pos);
+                    engine.step_delta(&delta);
+                }
+                1 => {
+                    let u = NodeId(which % n as u32);
+                    if engine.is_departed(u) {
+                        continue;
+                    }
+                    home[u.index()] = pos[u.index()];
+                    pos[u.index()] = park(u);
+                    let delta = grid.update(&pos);
+                    prop_assert!(delta.added.is_empty(), "parking only cuts links");
+                    engine.depart(u);
+                    gone.push(u);
+                }
+                _ => {
+                    if gone.is_empty() {
+                        continue;
+                    }
+                    let u = gone.remove(which as usize % gone.len());
+                    pos[u.index()] = home[u.index()];
+                    let _delta = grid.update(&pos);
+                    let neighbors: Vec<NodeId> = grid.graph().neighbors(u).to_vec();
+                    engine.arrive(u, &neighbors);
+                }
+            }
+            prop_assert_eq!(
+                engine.graph().edges().collect::<Vec<_>>(),
+                grid.graph().edges().collect::<Vec<_>>(),
+                "engine and grid topology in lock-step"
+            );
+            assert_engine_equals_cold(&engine, mode, &format!("k={k} op {i}"));
+        }
+    }
+
+    /// Head gain/loss chains: departures and re-arrivals on a path
+    /// (whose clusterheads sit at fixed positions, so hitting one is
+    /// easy) must keep dense and sparse label stores identical row for
+    /// row, equal to a cold `HeadLabels::build` on the live graph —
+    /// and must never rebuild either arena. A forced head
+    /// depart/re-arrive cycle at the end guarantees every case
+    /// exercises at least one single-head loss and one single-head
+    /// gain through the splice path.
+    ///
+    /// `k = 1` on paths of ≥32 nodes keeps every edge delta local
+    /// (≤3 dirty head balls out of ≥10 heads), below the deliberate
+    /// `DIRTY_FRACTION_FALLBACK` rebuild heuristic — so the only way
+    /// the counter could move is a head-set change failing to splice,
+    /// which is exactly the regression this pins.
+    #[test]
+    fn headset_chains_splice_rows_dense_matches_sparse(
+        n in 32usize..48,
+        ops in proptest::collection::vec(0u32..64, 3..8),
+    ) {
+        let k = 1u32;
+        let g = adhoc_graph::gen::path(n);
+        let cfg = MovementConfig::strict(k, Algorithm::AcLmst);
+        let mut dense = ChurnEngine::build_with_labels(&g, cfg, LabelMode::Dense);
+        let mut sparse = ChurnEngine::build_with_labels(&g, cfg, LabelMode::Sparse);
+        dense.enable_routing();
+        sparse.enable_routing();
+        let d0 = dense.labels().rebuild_count();
+        let s0 = sparse.labels().rebuild_count();
+
+        // The random chain, then a forced head depart + re-arrive.
+        let mut picks: Vec<NodeId> = ops.iter().map(|&p| NodeId(p % n as u32)).collect();
+        let head = *dense.clustering.heads.last().expect("a path has heads");
+        picks.push(head);
+        picks.push(head);
+        for (i, &u) in picks.iter().enumerate() {
+            let ctx = format!("n={n} k={k} op {i} at {u:?}");
+            if dense.is_departed(u) {
+                let neighbors: Vec<NodeId> = g
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&w| !dense.is_departed(w))
+                    .collect();
+                dense.arrive(u, &neighbors);
+                sparse.arrive(u, &neighbors);
+            } else {
+                dense.depart(u);
+                sparse.depart(u);
+            }
+
+            // The tentpole guarantee: head-set changes splice rows in
+            // place; the arena build counter never moves after init.
+            prop_assert_eq!(
+                dense.labels().rebuild_count(), d0,
+                "{}: dense arena rebuilt", &ctx
+            );
+            prop_assert_eq!(
+                sparse.labels().rebuild_count(), s0,
+                "{}: sparse arena rebuilt", &ctx
+            );
+
+            // Dense ≡ sparse, and both ≡ a cold build.
+            prop_assert_eq!(&dense.clustering.heads, &sparse.clustering.heads, "{}", &ctx);
+            for v in dense.graph().nodes() {
+                prop_assert_eq!(
+                    dense.clustering.head_of(v),
+                    sparse.clustering.head_of(v),
+                    "{}: head_of {:?}",
+                    &ctx,
+                    v
+                );
+            }
+            let live = dense.graph();
+            assert_labels_match!(dense.labels(), sparse.labels(), live, &ctx);
+            let cold = HeadLabels::build(live, &dense.clustering.heads, 2 * k + 1);
+            assert_labels_match!(dense.labels(), &cold, live, &ctx);
+        }
+    }
+}

@@ -18,14 +18,15 @@ use adhoc_sim::modelcheck::{check, CheckConfig, Universe};
 use std::time::Duration;
 
 /// Tier-1 sweep: the (n=5, k=1) path-with-chord universe, every crash
-/// point, deep enough that the reachable state space **closes** — the
-/// depth-6 and depth-7 enumerations reach the same state count, so
-/// the sweep covered every state this universe can ever reach, not a
+/// point, departures AND arrivals in the alphabet, deep enough that
+/// the reachable state space **closes** — the depth-9 and depth-10
+/// enumerations reach the same state and transition counts, so the
+/// sweep covered every state this universe can ever reach, not a
 /// depth-bounded prefix. Must finish without hitting any bound.
 #[test]
 fn quick_exhaustive_n5_k1() {
     let mut cfg = CheckConfig::quick(Universe::path(5, 1, Algorithm::AcLmst));
-    cfg.max_depth = 6;
+    cfg.max_depth = 9;
     let report = check(&cfg);
     eprintln!(
         "n5k1 sweep: {} states, {} transitions, depth {}",
@@ -39,9 +40,10 @@ fn quick_exhaustive_n5_k1() {
         "quick sweep must be exhaustive, not cut short ({} states)",
         report.states
     );
-    // Sanity on coverage: the universe has 6 flippable edges and 3
-    // departable nodes; a real sweep reaches far more than a handful
-    // of states and runs 3 faulted variants per move.
+    // Sanity on coverage: the universe has 6 flippable edges, 3
+    // departable nodes, and arrivals for each; a real sweep reaches
+    // far more than a handful of states and runs 3 faulted variants
+    // per move.
     assert!(report.states > 100, "only {} states reached", report.states);
     assert!(
         report.transitions >= 3 * report.states,
@@ -49,16 +51,17 @@ fn quick_exhaustive_n5_k1() {
         report.transitions,
         report.states
     );
-    assert_eq!(report.deepest, 6);
 
-    // Closure: one move deeper discovers nothing new, so depth 6
-    // already enumerated the whole reachable space.
-    cfg.max_depth = 7;
+    // Closure: one move deeper discovers nothing new — neither states
+    // nor transitions — so depth 9 already enumerated the whole
+    // reachable space including every depart/arrive cycle.
+    cfg.max_depth = 10;
     let deeper = check(&cfg);
     assert!(deeper.violation.is_none() && !deeper.truncated);
     assert_eq!(
-        deeper.states, report.states,
-        "state space had not closed at depth 6"
+        (deeper.states, deeper.transitions),
+        (report.states, report.transitions),
+        "state space had not closed at depth 9"
     );
 }
 
@@ -155,5 +158,62 @@ fn mutation_smoke_severed_backbone_is_caught() {
     assert!(
         cx.violations.iter().any(|v| v.invariant == "I2"),
         "expected an I2 violation, got: {cx}"
+    );
+}
+
+fn corrupt_node0_when_alive(e: &mut ChurnEngine) {
+    // Simulates a broken arrival repair: whenever node 0 is switched
+    // on, wreck its affiliation record (a repair that "forgot" to
+    // re-home the newcomer). While 0 is departed this is a no-op, so
+    // only traces that bring 0 back can trip it.
+    if !e.is_departed(adhoc_graph::graph::NodeId(0)) {
+        e.clustering.dist_to_head[0] = e.config().k + 5;
+    }
+}
+
+/// Mutation smoke for the arrival path: in a universe whose only
+/// moves are departing and re-arriving node 0, a corruption that
+/// fires only while 0 is alive must be reached through an arrival (or
+/// a crashed arrival's recovery) and surface as an I1 counterexample
+/// whose script names the arrive step.
+#[test]
+fn mutation_smoke_broken_arrival_repair_is_caught() {
+    let mut universe = Universe::path(5, 1, Algorithm::AcLmst);
+    universe.flip = Vec::new(); // alphabet: depart 0 / arrive 0 only
+    universe.departures = vec![0];
+    let mut cfg = CheckConfig::quick(universe);
+    cfg.mutate_after_step = Some(corrupt_node0_when_alive);
+    let report = check(&cfg);
+    let cx = report
+        .violation
+        .expect("a broken arrival repair must produce a counterexample");
+    assert!(
+        cx.violations.iter().any(|v| v.invariant == "I1"),
+        "expected an I1 violation, got: {cx}"
+    );
+    let script = cx.to_string();
+    assert!(
+        script.contains("depart 0") && script.contains("arrive 0"),
+        "the script must reach the corruption through an arrival: {script}"
+    );
+}
+
+/// The arrival alphabet genuinely extends the sweep: with arrivals
+/// disabled the same universe reaches strictly fewer states.
+#[test]
+fn arrivals_extend_the_state_space() {
+    let mut with = CheckConfig::quick(Universe::path(4, 1, Algorithm::AcLmst));
+    with.max_depth = 4;
+    let mut without = with.clone();
+    without.universe.arrivals = false;
+    let rw = check(&with);
+    let ro = check(&without);
+    assert!(rw.violation.is_none(), "{}", rw.violation.unwrap());
+    assert!(ro.violation.is_none(), "{}", ro.violation.unwrap());
+    assert!(
+        rw.states > ro.states,
+        "arrivals must open new states ({} vs {})",
+        rw.states,
+        ro.states
     );
 }

@@ -12,12 +12,13 @@
 //! khop maintain --n 100 --k 2 --steps 50 --speed 1.0   movement-sensitive repair
 //! khop churn --n 200 --k 2 --steps 40 --movers 10      incremental delta engine vs rebuild
 //! khop route --n 400 --k 2 --alg ac-lmst --queries 5000 --mix local   compiled route serving
+//! khop resilience --n 300 --k 2 --attack heads --fraction 0.2   attack, repair, heal
 //! khop mac  [--n 120 --d 10] --k 1 --cw 8              broadcast under CSMA
 //! ```
 
 use khop::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::exit;
@@ -69,10 +70,12 @@ impl Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("khop: {msg}");
-    eprintln!("usage: khop <gen|run|dist|info|exact|maintain|churn|route|mac>");
+    eprintln!("usage: khop <gen|run|dist|info|exact|maintain|churn|route|resilience|mac>");
     eprintln!("            [--n N] [--d D] [--k K] [--seed S] [--steps T] [--cw W]");
     eprintln!("            [--movers M] [--speed V] [--queries Q] [--workers W]");
     eprintln!("            [--mix uniform|hotspot|local]");
+    eprintln!("            [--attack heads|degree|regional|partition] [--fraction F] [--pairs P]");
+    eprintln!("            [--repair-level none|reaffiliate|gateways|full]");
     eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst|all]");
     eprintln!("            [--labels dense|sparse|auto]");
     eprintln!("            [--input FILE] [--out FILE] [--json]");
@@ -501,6 +504,264 @@ fn cmd_churn(args: &Args) {
     println!("labels: {layout} layout ({labels_bytes} bytes)");
 }
 
+/// Routes `u -> v` through `plan` and validates the walk hop by hop
+/// against the engine's *live* state: every node on the walk alive,
+/// every consecutive pair a current radio edge. A stale plan can emit
+/// a walk through a departed relay — that counts as unroutable, which
+/// is exactly the degradation the resilience command measures.
+fn plan_routes(
+    plan: &RoutePlan,
+    engine: &ChurnEngine,
+    u: NodeId,
+    v: NodeId,
+    buf: &mut Vec<NodeId>,
+) -> bool {
+    if plan.route_into(u, v, buf).is_none() {
+        return false;
+    }
+    for pair in buf.windows(2) {
+        if engine.is_departed(pair[0])
+            || engine.is_departed(pair[1])
+            || !engine.graph().neighbors(pair[0]).contains(&pair[1])
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Component label per node of the engine's live alive subgraph
+/// (departed nodes get `u32::MAX`) — the "achievable" denominator:
+/// pairs in different components are unroutable for any plan.
+fn alive_component_labels(engine: &ChurnEngine) -> Vec<u32> {
+    let g = engine.graph();
+    let n = g.len();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in (0..n as u32).map(NodeId) {
+        if engine.is_departed(s) || comp[s.index()] != u32::MAX {
+            continue;
+        }
+        comp[s.index()] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if !engine.is_departed(w) && comp[w.index()] == u32::MAX {
+                    comp[w.index()] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Reachability of `pairs` under `plan` against the engine's live
+/// state: `(alive, achievable, routed)` — pairs with both endpoints
+/// alive, the subset in one component, and the subset the plan
+/// actually delivers a valid walk for.
+fn measure_reachability(
+    plan: &RoutePlan,
+    engine: &ChurnEngine,
+    pairs: &[(NodeId, NodeId)],
+) -> (usize, usize, usize) {
+    let comp = alive_component_labels(engine);
+    let mut buf = Vec::new();
+    let (mut alive, mut achievable, mut routed) = (0usize, 0usize, 0usize);
+    for &(u, v) in pairs {
+        if engine.is_departed(u) || engine.is_departed(v) {
+            continue;
+        }
+        alive += 1;
+        if comp[u.index()] != comp[v.index()] {
+            continue;
+        }
+        achievable += 1;
+        if plan_routes(plan, engine, u, v, &mut buf) {
+            routed += 1;
+        }
+    }
+    (alive, achievable, routed)
+}
+
+/// `khop resilience`: a single-cell CLI slice of `adhoc-bench`'s
+/// `resilience` bin. Builds a geometric network, pins a stale
+/// pre-attack [`RoutePlan`] at its epoch, runs one adversarial attack
+/// through the churn engine (optionally capped at a repair level),
+/// compares stale vs live reachability over sampled pairs, then heals
+/// the victims as a flash-crowd arrival burst and reports how many
+/// arrivals it took to restore 100% of achievable reachability.
+fn cmd_resilience(args: &Args) {
+    use std::time::Instant;
+    let n: usize = args.get("n", 300);
+    let d: f64 = args.get("d", 6.0);
+    let k: u32 = args.get("k", 2);
+    let seed: u64 = args.get("seed", 1);
+    let fraction: f64 = args.get("fraction", 0.2);
+    let pair_count: usize = args.get("pairs", 800);
+    let labels = parse_labels(args);
+    let json = args.has("json");
+    let attack = match args.opt("attack") {
+        None => AttackKind::Heads,
+        Some(s) => AttackKind::parse(s)
+            .unwrap_or_else(|| die(&format!("unknown attack {s} (heads|degree|regional|partition)"))),
+    };
+    let level = match args.opt("repair-level") {
+        None => RepairLevel::Full,
+        Some(s) => RepairLevel::parse(s)
+            .unwrap_or_else(|| die(&format!("unknown repair level {s} (none|reaffiliate|gateways|full)"))),
+    };
+    if k == 0 {
+        die("--k must be at least 1");
+    }
+    if !(fraction > 0.0 && fraction < 1.0) {
+        die(&format!("--fraction must be in (0, 1) (got {fraction})"));
+    }
+    if n < 4 {
+        die("--n must be at least 4");
+    }
+
+    // The attack selectors need positions (regional/partition), so
+    // this command always generates its own geometry — `--input` files
+    // carry no coordinates the engine could target.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = gen::geometric(&gen::GeometricConfig::at_scale(n, 100.0, d), &mut rng);
+    let policy = MovementConfig::strict(k, Algorithm::AcLmst).capped(level);
+    let mut engine = ChurnEngine::build_with_labels(&net.graph, policy, labels);
+    engine.enable_routing();
+    let stale = engine.route_plan().expect("routing enabled").clone();
+    let stale_epoch = stale.epoch();
+
+    // Deterministic sampled pairs (u != v, drawn over all ids; pairs
+    // whose endpoint departs simply fall out of the denominator).
+    let mut prng = StdRng::seed_from_u64(seed ^ 0x9A1C);
+    let pairs: Vec<(NodeId, NodeId)> = (0..pair_count)
+        .map(|_| loop {
+            let u = prng.gen_range(0..n) as u32;
+            let v = prng.gen_range(0..n) as u32;
+            if u != v {
+                break (NodeId(u), NodeId(v));
+            }
+        })
+        .collect();
+
+    let victims = adversary::select_victims(
+        &engine,
+        attack,
+        fraction,
+        Some((&net.positions, net.range)),
+        seed ^ 0xBEEF,
+    );
+    let t = Instant::now();
+    adversary::execute(&mut engine, &victims);
+    let attack_ms = 1e3 * t.elapsed().as_secs_f64();
+
+    let live = engine.route_plan().expect("routing stays enabled").clone();
+    let (s_alive, _, s_routed) = measure_reachability(&stale, &engine, &pairs);
+    let (l_alive, l_ach, l_routed) = measure_reachability(&live, &engine, &pairs);
+    let pct = |num: usize, den: usize| 100.0 * num as f64 / den.max(1) as f64;
+
+    // Heal: flash-crowd arrival burst, one reconcile per returnee,
+    // watching for the first arrival that restores every sampled pair
+    // the live component structure can serve.
+    let t = Instant::now();
+    let mut to_full: Option<usize> = None;
+    for (i, &v) in victims.iter().enumerate() {
+        adversary::heal(&mut engine, &net.graph, &[v]);
+        if to_full.is_none() {
+            let plan = engine.route_plan().expect("routing stays enabled");
+            let (alive, ach, routed) = measure_reachability(plan, &engine, &pairs);
+            if alive == pairs.len() && routed == ach {
+                to_full = Some(i + 1);
+            }
+        }
+    }
+    let heal_ms = 1e3 * t.elapsed().as_secs_f64();
+    let restored = TopologyDelta::between(engine.graph(), &net.graph).is_empty();
+    let final_plan = engine.route_plan().expect("routing stays enabled").clone();
+    let (f_alive, f_ach, f_routed) = measure_reachability(&final_plan, &engine, &pairs);
+
+    if json {
+        let post_attack = serde_json::json!({
+            "stale_routed_pct_of_alive": pct(s_routed, s_alive),
+            "live_routed_pct_of_alive": pct(l_routed, l_alive),
+            "live_routed_pct_of_achievable": pct(l_routed, l_ach),
+            "achievable_pairs": l_ach,
+            "repair_ms": attack_ms,
+            "live_epoch": live.epoch()
+        });
+        let heal = serde_json::json!({
+            "heal_ms": heal_ms,
+            "arrivals_to_full": to_full,
+            "final_routed_pct_of_achievable": pct(f_routed, f_ach),
+            "final_alive_pairs": f_alive,
+            "topology_restored": restored,
+            "valid": engine.is_valid()
+        });
+        let doc = serde_json::json!({
+            "schema": "khop-cli-resilience/v1",
+            "n": n,
+            "k": k,
+            "d": d,
+            "seed": seed,
+            "attack": attack.name(),
+            "fraction": fraction,
+            "repair_level": level.name(),
+            "labels": engine.labels().layout_name(),
+            "victims": victims.len(),
+            "sampled_pairs": pairs.len(),
+            "stale_epoch": stale_epoch,
+            "post_attack": post_attack,
+            "heal": heal
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("resilience JSON serializes")
+        );
+        return;
+    }
+
+    println!(
+        "{n} nodes (k={k}), {} attack removing {} ({:.1}%), repair capped at {}, {} labels",
+        attack.name(),
+        victims.len(),
+        100.0 * fraction,
+        level.name(),
+        engine.labels().layout_name()
+    );
+    println!(
+        "post-attack: stale plan (epoch {stale_epoch}) routes {:.1}% of {} alive pairs; \
+         live plan (epoch {}) routes {:.1}% ({:.1}% of achievable)",
+        pct(s_routed, s_alive),
+        s_alive,
+        live.epoch(),
+        pct(l_routed, l_alive),
+        pct(l_routed, l_ach)
+    );
+    println!(
+        "attack repair: {attack_ms:.1} ms total ({:.2} ms/victim)",
+        attack_ms / victims.len().max(1) as f64
+    );
+    match to_full {
+        Some(a) => println!(
+            "heal: {heal_ms:.1} ms for {} arrivals; 100% of achievable restored after {a}",
+            victims.len()
+        ),
+        None => println!(
+            "heal: {heal_ms:.1} ms for {} arrivals; full reachability NOT restored \
+             (final {:.1}% of achievable)",
+            victims.len(),
+            pct(f_routed, f_ach)
+        ),
+    }
+    println!(
+        "final: topology restored={restored}, clustering valid={}",
+        engine.is_valid()
+    );
+}
+
 /// `khop route`: compile a [`RoutePlan`] over one algorithm's backbone
 /// and serve a query batch through it — compiled single-worker,
 /// compiled multi-worker, and the per-query-BFS baseline, with
@@ -678,6 +939,7 @@ fn main() {
         "maintain" => cmd_maintain(&args),
         "churn" => cmd_churn(&args),
         "route" => cmd_route(&args),
+        "resilience" => cmd_resilience(&args),
         "mac" => cmd_mac(&args),
         other => die(&format!("unknown command {other}")),
     }
