@@ -422,6 +422,8 @@ fn run_cell(cell: &Cell) -> Value {
         "sampled_pairs": pairs.len(),
         "stale_epoch": stale_epoch,
         "final_epoch": final_plan.epoch(),
+        "inter_layout": final_plan.inter_layout(),
+        "inter_bytes": final_plan.inter_memory_bytes(),
         "baseline": json!({
             "reachability": base.of_alive(),
             "achievable_fraction": base.achievable as f64 / base.alive_pairs.max(1) as f64,

@@ -24,7 +24,15 @@
 //!
 //! The grid covers all five algorithms × k ∈ 1..=4 at N = 600 under a
 //! uniform mix; the largest cell (N = 2400, k = 4, AC-LMST) is also
-//! measured under the hotspot and locality-biased mixes. Writes
+//! measured under the hotspot and locality-biased mixes. Past the
+//! grid, **engine-only** cells (no BFS arm — hours at that scale) push
+//! N to 10⁴ and 10⁵: the 10⁴ cell dual-measures the forced dense and
+//! hub inter-table layouts (served checksums must collide, hub bytes
+//! must undercut dense bytes), the 10⁵ cell compiles under `Auto` and
+//! must come out hub-labeled below 10% of the projected dense `h × h`
+//! table; a repair micro-bench re-weights one virtual link and times
+//! the hub layout's dirty-hub re-sweeps against the dense layout's
+//! unavoidable all-pairs recompute. Writes
 //! `results/BENCH_routing.json` (quick runs write
 //! `BENCH_routing_quick.json`, so CI can never clobber the committed
 //! measurement), then re-reads and re-parses it. Surfaced on the CLI
@@ -40,7 +48,7 @@ use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
 use adhoc_cluster::priority::LowestId;
 use adhoc_cluster::routing::{
     fold_checksums, walk_checksum, ClusterRouter, LegacyScratch, Mix, QueryEngine, RoutePlan,
-    TableStats, Workload, UNROUTABLE,
+    TableStats, Workload, AUTO_HUB_THRESHOLD_BYTES, UNROUTABLE,
 };
 use adhoc_cluster::virtual_graph::VirtualGraph;
 use adhoc_graph::connectivity;
@@ -185,6 +193,9 @@ fn run_cell(
         "mean_hops": mean_hops,
         "build_ms": 1e3 * build_secs,
         "plan_memory_bytes": plan.memory_bytes(),
+        "inter_layout": plan.inter_layout(),
+        "inter_bytes": plan.inter_memory_bytes(),
+        "inter_dense_projected_bytes": plan.projected_dense_inter_bytes(),
         "member_table_mean": tables.member_mean,
         "head_table_entries": tables.head_entries,
         "bfs_qps": bfs_qps,
@@ -201,6 +212,256 @@ fn run_cell(
         bfs_qps,
         scaling,
     }
+}
+
+/// Engine-only large-N cell: no per-query-BFS arm (hours at this
+/// scale), just the compiled plan through the query engine — the cells
+/// the hub layout exists for. With `dual` set, the cell compiles
+/// **both** forced layouts, asserts their served checksums collide,
+/// and enforces hub-bytes < dense-bytes; the recorded arm stays the
+/// `Auto`-compiled plan either way.
+#[allow(clippy::too_many_arguments)]
+fn run_engine_cell(
+    n: usize,
+    grid_n: usize,
+    d: f64,
+    k: u32,
+    alg: Algorithm,
+    queries: usize,
+    rounds: usize,
+    workers: usize,
+    seed: u64,
+    dual: bool,
+) -> Value {
+    let side = 100.0 * (n as f64 / grid_n as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(0xB16CE11 ^ n as u64);
+    let net = gen::geometric(&GeometricConfig::at_scale(n, side, d), &mut rng);
+    let connected = connectivity::is_connected(&net.graph);
+    let c = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+    let mut scratch = EvalScratch::new();
+    let t = Instant::now();
+    let eval = pipeline::run_all_with(&net.graph, &c, &mut scratch);
+    let pipeline_secs = t.elapsed().as_secs_f64();
+    let links = eval.selected_links(alg);
+
+    let t = Instant::now();
+    let plan = RoutePlan::compile(&net.graph, &c, scratch.labels(), links.iter().copied());
+    let build_secs = t.elapsed().as_secs_f64();
+
+    let workload = Workload::new(&plan);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = workload.generate(&plan, Mix::Uniform, queries, &mut rng);
+    let reference = QueryEngine::new(&plan).route_many(&pairs);
+    let routable = pairs.len() - reference.unreachable;
+    let mean_hops = if routable == 0 {
+        0.0
+    } else {
+        reference.total_hops as f64 / routable as f64
+    };
+    let (plan_qps, plan_sum) =
+        best_qps(|| QueryEngine::new(&plan).route_many(&pairs).checksum, queries, rounds);
+    let (multi_qps, multi_sum) = best_qps(
+        || QueryEngine::with_workers(&plan, workers).route_many(&pairs).checksum,
+        queries,
+        rounds,
+    );
+    assert_eq!(plan_sum, reference.checksum, "N={n}: plan replay diverged");
+    assert_eq!(multi_sum, plan_sum, "N={n}: multi-worker walks diverged");
+
+    let mut dual_json = Value::Null;
+    if dual {
+        use adhoc_cluster::routing::InterMode;
+        let dense = RoutePlan::compile_with(
+            &net.graph,
+            &c,
+            scratch.labels(),
+            links.iter().copied(),
+            InterMode::Dense,
+        );
+        let hub = RoutePlan::compile_with(
+            &net.graph,
+            &c,
+            scratch.labels(),
+            links.iter().copied(),
+            InterMode::Hub,
+        );
+        let dense_served = QueryEngine::new(&dense).route_many(&pairs);
+        let hub_served = QueryEngine::new(&hub).route_many(&pairs);
+        assert_eq!(
+            dense_served.checksum, reference.checksum,
+            "N={n}: forced-dense walks diverged from the recorded arm"
+        );
+        assert_eq!(
+            hub_served.checksum, dense_served.checksum,
+            "N={n}: hub-served walks diverged from dense — the layouts are not \
+             serving the same routes"
+        );
+        assert!(
+            hub.inter_memory_bytes() < dense.inter_memory_bytes(),
+            "N={n}: hub labels ({} B) must undercut the dense table ({} B)",
+            hub.inter_memory_bytes(),
+            dense.inter_memory_bytes(),
+        );
+        let (dense_qps, _) =
+            best_qps(|| QueryEngine::new(&dense).route_many(&pairs).checksum, queries, rounds);
+        let (hub_qps, _) =
+            best_qps(|| QueryEngine::new(&hub).route_many(&pairs).checksum, queries, rounds);
+        dual_json = json!({
+            "dense_inter_bytes": dense.inter_memory_bytes(),
+            "hub_inter_bytes": hub.inter_memory_bytes(),
+            "dense_qps": dense_qps,
+            "hub_qps": hub_qps,
+            "checksums_equal": true,
+        });
+    }
+
+    println!(
+        "{:<8} {:>6} {:>2} {:>8} | {:>5} {:>5} | {:>9} {:>9.0} {:>9.0} | {:>7} {:>5.2}x  [{} inter, {} B]",
+        alg.name(),
+        n,
+        k,
+        "uniform",
+        c.heads.len(),
+        plan.link_count(),
+        "-",
+        plan_qps,
+        multi_qps,
+        "-",
+        multi_qps / plan_qps.max(1e-12),
+        plan.inter_layout(),
+        plan.inter_memory_bytes(),
+    );
+    json!({
+        "n": n,
+        "d": d,
+        "k": k,
+        "alg": alg.name(),
+        "mix": "uniform",
+        "engine_only": true,
+        "connected": connected,
+        "heads": c.heads.len(),
+        "links": plan.link_count(),
+        "queries": queries,
+        "unreachable": reference.unreachable,
+        "mean_hops": mean_hops,
+        "pipeline_ms": 1e3 * pipeline_secs,
+        "build_ms": 1e3 * build_secs,
+        "plan_memory_bytes": plan.memory_bytes(),
+        "inter_layout": plan.inter_layout(),
+        "inter_bytes": plan.inter_memory_bytes(),
+        "inter_dense_projected_bytes": plan.projected_dense_inter_bytes(),
+        "plan_qps": plan_qps,
+        "plan_qps_multi": multi_qps,
+        "workers": workers,
+        "multi_worker_scaling": multi_qps / plan_qps.max(1e-12),
+        "checksum": format!("{:016x}", reference.checksum),
+        "dual": dual_json,
+    })
+}
+
+/// Times the maintained plan's reaction to one backbone weight change
+/// at scale: the same delta is applied to a hub-layout clone (dirty-hub
+/// re-sweeps) and a dense-layout clone (unavoidable all-pairs
+/// recompute). Uses the AC-Mesh backbone — its link set is pure
+/// cluster adjacency, so shortening one inter-head path changes a
+/// weight without reshaping the link set (degrees, and with them the
+/// hub order, survive; the clustering is held fixed the way the
+/// `route_equivalence` delta chains hold it).
+fn repair_bench(n: usize, grid_n: usize, d: f64, k: u32, strict: bool) -> Value {
+    use adhoc_cluster::routing::{InterMode, InterRepair};
+    let side = 100.0 * (n as f64 / grid_n as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(0x0DE17A ^ n as u64);
+    let net = gen::geometric(&GeometricConfig::at_scale(n, side, d), &mut rng);
+    let mut g = net.graph.clone();
+    let c = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
+    let mut scratch = EvalScratch::new();
+    let eval = pipeline::run_all_with(&g, &c, &mut scratch);
+    let links = eval.selected_links(Algorithm::AcMesh);
+    let mut hub = RoutePlan::compile_with(
+        &g,
+        &c,
+        scratch.labels(),
+        links.iter().copied(),
+        InterMode::Hub,
+    );
+    let mut dense = RoutePlan::compile_with(
+        &g,
+        &c,
+        scratch.labels(),
+        links.iter().copied(),
+        InterMode::Dense,
+    );
+    // One weight change: wire two already-linked heads directly, so
+    // their virtual link re-realizes at 1 hop. Pick the longest link —
+    // the biggest guaranteed weight drop.
+    let (a, b) = links
+        .iter()
+        .max_by_key(|l| l.hops())
+        .map(|l| (l.a, l.b))
+        .expect("backbone has links");
+    assert!(!g.has_edge(a, b), "longest link endpoints already adjacent");
+    let mut delta = adhoc_graph::delta::TopologyDelta::new();
+    g.add_edge(a, b);
+    delta.push_added(a, b);
+    delta.normalize();
+    let advance = pipeline::advance_labels(&g, &c, &delta, &mut scratch);
+    let (eval, _) = pipeline::update_all_after(&g, &c, &advance, &eval, &mut scratch);
+    let dirty: Vec<usize> = match &advance {
+        pipeline::LabelAdvance::Incremental { dirty } => dirty.clone(),
+        pipeline::LabelAdvance::Rebuilt => (0..c.heads.len()).collect(),
+    };
+    let new_links = eval.selected_links(Algorithm::AcMesh);
+
+    let t = Instant::now();
+    let hub_report = hub.apply_delta(&g, &c, scratch.labels(), &delta, &dirty, new_links.iter().copied());
+    let hub_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let dense_report =
+        dense.apply_delta(&g, &c, scratch.labels(), &delta, &dirty, new_links.iter().copied());
+    let dense_secs = t.elapsed().as_secs_f64();
+
+    assert!(
+        hub_report.next_recomputed && dense_report.next_recomputed,
+        "N={n}: the injected delta must change a backbone weight"
+    );
+    let dirty_hubs = match hub_report.inter {
+        InterRepair::HubRepaired { dirty_hubs } => dirty_hubs,
+        other => {
+            assert!(
+                !strict,
+                "N={n}: weight-only change must take the dirty-hub path, got {other:?}"
+            );
+            0
+        }
+    };
+    assert_eq!(dense_report.inter, InterRepair::DenseRecomputed);
+    if strict {
+        assert!(
+            hub_secs < dense_secs,
+            "N={n}: dirty-hub repair ({:.1} ms) must beat the dense all-pairs \
+             recompute ({:.1} ms)",
+            1e3 * hub_secs,
+            1e3 * dense_secs,
+        );
+    }
+    println!(
+        "\nrepair (N={n}, k={k}, AC-Mesh, 1 link re-weighted): hub {:.2} ms \
+         ({dirty_hubs}/{} hubs re-swept) vs dense all-pairs {:.2} ms — {:.1}x",
+        1e3 * hub_secs,
+        c.heads.len(),
+        1e3 * dense_secs,
+        dense_secs / hub_secs.max(1e-12),
+    );
+    json!({
+        "n": n,
+        "k": k,
+        "alg": Algorithm::AcMesh.name(),
+        "heads": c.heads.len(),
+        "hub_repair_ms": 1e3 * hub_secs,
+        "dense_recompute_ms": 1e3 * dense_secs,
+        "dirty_hubs": dirty_hubs,
+        "speedup": dense_secs / hub_secs.max(1e-12),
+    })
 }
 
 fn git_describe() -> String {
@@ -339,6 +600,72 @@ fn main() {
         );
     }
 
+    // Engine-only hub-scale cells: N an order (or two) past the grid,
+    // where the dense h × h table stops being free. The dual cell
+    // measures both forced layouts — served checksums must collide and
+    // the hub arena must undercut the dense table (the CI guards). The
+    // top full-mode cell compiles under `Auto` only (building the
+    // dense table there is exactly what the hub layout exists to
+    // avoid) and must come out hub-labeled at < 10% of the projected
+    // dense bytes — the record's memory claim.
+    println!(
+        "\nengine-only hub-scale cells (no BFS arm; inter-table layout in brackets):"
+    );
+    let engine_cfg: Vec<(usize, usize, bool)> = if quick {
+        vec![(4_000, 1500, true)]
+    } else {
+        vec![(10_000, 6000, true), (100_000, 3000, false)]
+    };
+    let mut top_engine = Value::Null;
+    for &(n, q, dual) in &engine_cfg {
+        let cell = run_engine_cell(
+            n,
+            grid_n,
+            d,
+            2,
+            Algorithm::AcLmst,
+            q,
+            rounds,
+            workers,
+            0xE7C ^ n as u64,
+            dual,
+        );
+        top_engine = cell.clone();
+        cells.push(cell);
+    }
+    if !quick {
+        let n = top_engine["n"].as_u64().unwrap_or(0);
+        assert_eq!(
+            top_engine["inter_layout"].as_str(),
+            Some("hub"),
+            "N={n}: Auto must pick the hub layout past the dense threshold"
+        );
+        let hub_bytes = top_engine["inter_bytes"].as_u64().expect("inter_bytes");
+        let projected = top_engine["inter_dense_projected_bytes"]
+            .as_u64()
+            .expect("projected bytes");
+        assert!(
+            hub_bytes.saturating_mul(10) < projected,
+            "N={n}: hub labels ({hub_bytes} B) must stay under 10% of the \
+             projected dense table ({projected} B)"
+        );
+        println!(
+            "hub index at N={n}: {hub_bytes} B = {:.2}% of the projected \
+             {projected} B dense table",
+            100.0 * hub_bytes as f64 / projected as f64,
+        );
+    }
+
+    // Incremental backbone repair vs the old unconditional all-pairs
+    // recompute, on one re-weighted virtual link.
+    let repair = repair_bench(
+        if quick { 4_000 } else { 10_000 },
+        grid_n,
+        d,
+        2,
+        !quick,
+    );
+
     let largest_cell = json!({
         "n": largest_n,
         "k": largest_k,
@@ -349,6 +676,17 @@ fn main() {
         "largest_cell": largest_cell,
         "compiled_over_bfs": speedup,
         "multi_worker_scaling": headline.scaling,
+        "inter": json!({
+            "auto_threshold_bytes": AUTO_HUB_THRESHOLD_BYTES,
+            "top_engine_cell": json!({
+                "n": top_engine["n"].clone(),
+                "inter_layout": top_engine["inter_layout"].clone(),
+                "inter_bytes": top_engine["inter_bytes"].clone(),
+                "inter_dense_projected_bytes":
+                    top_engine["inter_dense_projected_bytes"].clone(),
+            }),
+            "repair": repair,
+        }),
     });
     let doc = json!({
         "schema": "khop-routing/v1",

@@ -1,170 +1,500 @@
-//! Shared inter-head next-hop computation: all-pairs first hops over
-//! the backbone graph `G''` (heads as vertices, selected virtual links
-//! as weighted edges), used by both the compiled [`RoutePlan`] and the
-//! legacy per-query-BFS [`ClusterRouter`] so their inter-cluster
-//! decisions are identical by construction.
+//! Shared inter-head first-hop machinery over the backbone graph `G''`
+//! (heads as vertices, selected virtual links as weighted edges): the
+//! canonical next-hop **rule**, the dense all-pairs table that
+//! materializes it, and the [`InterTable`] facade that lets a compiled
+//! [`RoutePlan`] serve the same rule from either the dense `h × h`
+//! matrix or the sub-quadratic hub-label index ([`HubIndex`]).
 //!
 //! [`RoutePlan`]: super::plan::RoutePlan
-//! [`ClusterRouter`]: super::legacy::ClusterRouter
+//! [`HubIndex`]: super::hub::HubIndex
 //!
-//! Determinism: the shortest-path parent of `t` is the **smallest-slot
-//! head** among `t`'s shortest predecessors. That choice is
-//! order-independent (every shortest predecessor of `t` settles at a
-//! strictly smaller distance, so each one gets to relax `t` exactly
-//! once regardless of heap tie-breaking), which is what lets the plan
-//! and the legacy router — and incremental repairs versus full
-//! recompiles — agree bit-for-bit on every route.
+//! # The canonical rule
+//!
+//! `next_hop(s, t)` is the **smallest-slot neighbor of `s` that begins
+//! a shortest `s ⇝ t` backbone route**:
+//!
+//! ```text
+//! next_hop(s, t) = min { u ∈ N(s) : w(s, u) + dist(u, t) = dist(s, t) }
+//! ```
+//!
+//! The rule is a pure function of exact backbone distances, which is
+//! precisely what lets two very different representations serve it
+//! bit-identically: the dense table derives it per source with one
+//! Dijkstra plus a settled-order DP (the first hops of `s ⇝ t` are the
+//! union over shortest predecessors `p` of `t` of the first hops of
+//! `s ⇝ p`, so the minimum propagates), while the hub index answers
+//! `dist(·, t)` queries by label merge and scans `s`'s CSR row — which
+//! is stored in ascending slot order — for the first qualifying
+//! neighbor. Every consumer (the compiled plan, the legacy per-query
+//! router, incremental repairs versus full recompiles) therefore
+//! agrees on every route by construction.
+//!
+//! Queries that *walk* (`s ← next_hop(s, t)` until `s = t`) terminate
+//! and realize a shortest backbone route for any mix of sources: each
+//! step moves to a node strictly closer to `t`.
 
+use super::hub::HubIndex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// "No next hop" marker (unreachable target, or an unfilled row).
 pub(crate) const NO_HOP: u32 = u32::MAX;
 
-/// Computes `s`'s next-hop row over the weighted head adjacency
-/// `adj[slot] = [(neighbor slot, hops)]`: `row[t]` is the first head
-/// after `s` on the canonical shortest `s ⇝ t` backbone route (`s`
-/// itself for `t == s`, [`NO_HOP`] if `t` is unreachable).
-///
-/// One binary-heap Dijkstra plus a settled-order first-hop sweep —
-/// `O(m log h)` per source with `m` directed links.
-pub(crate) fn next_hop_row(adj: &[Vec<(u32, u32)>], s: usize, row: &mut [u32]) {
-    let h = adj.len();
-    debug_assert_eq!(row.len(), h);
-    let mut dist = vec![u64::MAX; h];
-    let mut parent = vec![NO_HOP; h];
-    let mut settled_order: Vec<u32> = Vec::with_capacity(h);
-    let mut settled = vec![false; h];
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    dist[s] = 0;
-    parent[s] = s as u32;
-    heap.push(Reverse((0, s as u32)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        let ui = u as usize;
-        if settled[ui] {
-            continue; // stale heap entry
+/// "Not reached" backbone distance.
+pub(crate) const FAR: u32 = u32::MAX;
+
+/// A borrowed CSR view of the backbone: `off` has `h + 1` entries,
+/// `to`/`hops` hold each head's neighbors in **ascending slot order**
+/// (both orientations of every undirected link). The plan and the
+/// legacy router own these arrays; the inter-head machinery only ever
+/// borrows them.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CsrView<'a> {
+    pub off: &'a [u32],
+    pub to: &'a [u32],
+    pub hops: &'a [u32],
+}
+
+impl<'a> CsrView<'a> {
+    /// Number of heads (vertices of `G''`).
+    pub fn head_count(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// `s`'s neighbor row as `(neighbor slot, weight)` pairs, ascending
+    /// by slot.
+    pub fn row(&self, s: usize) -> impl Iterator<Item = (u32, u32)> + 'a {
+        let (lo, hi) = (self.off[s] as usize, self.off[s + 1] as usize);
+        self.to[lo..hi]
+            .iter()
+            .zip(&self.hops[lo..hi])
+            .map(|(&t, &w)| (t, w))
+    }
+
+    /// `s`'s backbone degree.
+    pub fn degree(&self, s: usize) -> usize {
+        (self.off[s + 1] - self.off[s]) as usize
+    }
+}
+
+/// Reusable per-source sweep state shared by the dense all-pairs build
+/// and the hub index's pruned sweeps — hoisted out of the per-source
+/// loop so neither allocates a heap, a distance array, or a settled
+/// list per source (they used to, once per `next_hop_row` call).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct InterScratch {
+    dist: Vec<u32>,
+    /// Nodes whose `dist` entry was written this sweep (superset of
+    /// `settled`: includes heap-inserted-but-unsettled nodes), for
+    /// touched-entry reset.
+    touched: Vec<u32>,
+    /// Settled nodes in nondecreasing-distance order.
+    settled: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+}
+
+impl InterScratch {
+    pub fn new() -> Self {
+        InterScratch::default()
+    }
+
+    /// Runs a Dijkstra sweep from `s` over `csr`, leaving `dist` and
+    /// `settled` valid until the next sweep. With `restrict =
+    /// Some((rank, r))` the sweep is **rank-restricted**: nodes whose
+    /// rank is below `r` (more important than the source) are settled
+    /// but never expanded, so computed distances are minima over paths
+    /// whose *interior* stays less important than the source — the hub
+    /// index's pruning rule (see [`HubIndex`]).
+    pub(crate) fn sweep(&mut self, csr: CsrView<'_>, s: usize, restrict: Option<(&[u32], u32)>) {
+        let h = csr.head_count();
+        if self.dist.len() < h {
+            self.dist.resize(h, FAR);
         }
-        settled[ui] = true;
-        settled_order.push(u);
-        for &(to, w) in &adj[ui] {
-            let ti = to as usize;
-            let nd = d + u64::from(w);
-            if nd < dist[ti] {
-                dist[ti] = nd;
-                parent[ti] = u;
-                heap.push(Reverse((nd, to)));
-            } else if nd == dist[ti] && u < parent[ti] {
-                // Equal-length alternative through a smaller head slot:
-                // adopt the canonical (smallest-predecessor) parent.
-                parent[ti] = u;
+        for &v in &self.touched {
+            self.dist[v as usize] = FAR;
+        }
+        self.touched.clear();
+        self.settled.clear();
+        self.heap.clear();
+        self.dist[s] = 0;
+        self.touched.push(s as u32);
+        self.heap.push(Reverse((0, s as u32)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            let ui = u as usize;
+            if d > self.dist[ui] {
+                continue; // stale heap entry
+            }
+            self.settled.push(u);
+            if let Some((rank, r)) = restrict {
+                if ui != s && rank[ui] < r {
+                    continue; // settled, not expanded: pruned frontier
+                }
+            }
+            for (to, w) in csr.row(ui) {
+                let ti = to as usize;
+                debug_assert!(w >= 1, "virtual links span at least one hop");
+                let nd = d + w;
+                if nd < self.dist[ti] {
+                    if self.dist[ti] == FAR {
+                        self.touched.push(to);
+                    }
+                    self.dist[ti] = nd;
+                    self.heap.push(Reverse((nd, to)));
+                }
             }
         }
     }
+
+    /// Distance of the last sweep (valid until the next one).
+    pub(crate) fn dist(&self, v: usize) -> u32 {
+        self.dist[v]
+    }
+
+    /// Settled order of the last sweep.
+    pub(crate) fn settled(&self) -> &[u32] {
+        &self.settled
+    }
+}
+
+/// Computes `s`'s next-hop row under the canonical rule: `row[t]` is
+/// the smallest-slot first hop of a shortest `s ⇝ t` backbone route
+/// (`s` itself for `t == s`, [`NO_HOP`] if `t` is unreachable).
+///
+/// One binary-heap Dijkstra plus a settled-order DP — the set of first
+/// hops of `s ⇝ t` is the union over shortest predecessors `p` of `t`
+/// of the first hops of `s ⇝ p` (plus `t` itself when `(s, t)` is an
+/// edge on a shortest route), so the minimum propagates along settled
+/// order. `O(m log h)` per source with `m` directed links.
+pub(crate) fn next_hop_row(csr: CsrView<'_>, s: usize, row: &mut [u32], scratch: &mut InterScratch) {
+    debug_assert_eq!(row.len(), csr.head_count());
+    scratch.sweep(csr, s, None);
     row.fill(NO_HOP);
-    // First-hop DP in settled (nondecreasing-distance) order: a node
-    // whose parent is `s` is its own first hop; anything farther
-    // inherits its parent's.
-    for &t in &settled_order {
+    for &t in scratch.settled() {
         let ti = t as usize;
-        row[ti] = if ti == s {
-            s as u32
-        } else if parent[ti] == s as u32 {
-            t
-        } else {
-            row[parent[ti] as usize]
-        };
+        if ti == s {
+            row[ti] = s as u32;
+            continue;
+        }
+        let dt = scratch.dist(ti);
+        let mut best = NO_HOP;
+        for (p, w) in csr.row(ti) {
+            let pi = p as usize;
+            if scratch.dist(pi) != FAR && scratch.dist(pi) + w == dt {
+                // `p` is a shortest predecessor of `t`; it settled at a
+                // strictly smaller distance, so `row[p]` is final.
+                let candidate = if pi == s { t } else { row[pi] };
+                best = best.min(candidate);
+            }
+        }
+        debug_assert_ne!(best, NO_HOP, "settled node must have a shortest predecessor");
+        row[ti] = best;
     }
 }
 
 /// All-pairs next-hop table, row-major `h × h` (`table[s * h + t]`).
-pub(crate) fn all_pairs_next_hops(adj: &[Vec<(u32, u32)>]) -> Vec<u32> {
-    let h = adj.len();
+pub(crate) fn all_pairs_next_hops(csr: CsrView<'_>, scratch: &mut InterScratch) -> Vec<u32> {
+    let h = csr.head_count();
     let mut table = vec![NO_HOP; h * h];
     for s in 0..h {
-        next_hop_row(adj, s, &mut table[s * h..(s + 1) * h]);
+        next_hop_row(csr, s, &mut table[s * h..(s + 1) * h], scratch);
     }
     table
+}
+
+/// Projected bytes of the dense `h × h` next-hop table — what
+/// [`InterMode::Auto`] weighs against, and what the benches report as
+/// the cost the hub layout avoids.
+pub fn projected_dense_bytes(h: usize) -> usize {
+    h.saturating_mul(h).saturating_mul(std::mem::size_of::<u32>())
+}
+
+/// Projected dense-table size above which [`InterMode::Auto`] compiles
+/// the hub-label index instead of the `h × h` matrix. 4 MiB keeps the
+/// paper-scale backbones (`h` up to ~1000, where the table is small
+/// and its `O(1)` lookups win) dense, while the `N ≥ 10⁴`-node cells'
+/// multi-thousand-head backbones land on hub labels.
+pub const AUTO_HUB_THRESHOLD_BYTES: usize = 4 << 20;
+
+/// Which inter-head representation a route plan should compile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InterMode {
+    /// Always the dense `h × h` next-hop matrix.
+    Dense,
+    /// Always the hub-label index.
+    Hub,
+    /// Decide per compile: hub once the projected dense table exceeds
+    /// [`AUTO_HUB_THRESHOLD_BYTES`].
+    #[default]
+    Auto,
+}
+
+impl InterMode {
+    /// Whether a compile over an `h`-head backbone should use the hub
+    /// layout under this mode.
+    pub fn wants_hub(self, h: usize) -> bool {
+        match self {
+            InterMode::Dense => false,
+            InterMode::Hub => true,
+            InterMode::Auto => projected_dense_bytes(h) > AUTO_HUB_THRESHOLD_BYTES,
+        }
+    }
+
+    /// Display name (`dense` / `hub` / `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            InterMode::Dense => "dense",
+            InterMode::Hub => "hub",
+            InterMode::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for InterMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "dense" => Ok(InterMode::Dense),
+            "hub" => Ok(InterMode::Hub),
+            "auto" => Ok(InterMode::Auto),
+            other => Err(format!("unknown inter-table layout {other} (dense|hub|auto)")),
+        }
+    }
+}
+
+/// What an `InterTable::repair` did — surfaced through
+/// [`PlanUpdate`](super::plan::PlanUpdate) so benches and tests can
+/// pin that a weight change no longer recomputes all pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterRepair {
+    /// The backbone's weighted link set did not change; nothing to do.
+    Unchanged,
+    /// Dense layout: the full `h × h` table was recomputed (the dense
+    /// table has no cheaper sound repair).
+    DenseRecomputed,
+    /// Hub layout: only the labels of hubs whose trees touched a
+    /// changed edge were re-swept.
+    HubRepaired {
+        /// Hubs re-swept (out of `h`).
+        dirty_hubs: usize,
+    },
+    /// Hub layout: the dirty fraction crossed the fallback threshold or
+    /// the degree order itself changed, so the index was rebuilt.
+    HubRebuilt,
+}
+
+/// One API over both inter-head representations, mirroring the label
+/// store's `Dense`/`Sparse` facade: the compiled plan queries first
+/// hops through this enum and never branches on layout anywhere else.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterTable {
+    /// Row-major `h × h` first-hop matrix — `O(1)` lookups, `O(h²)`
+    /// memory, full recompute on any backbone weight change.
+    Dense { h: usize, next_hop: Vec<u32> },
+    /// Hub-label (2-level landmark) index — `O(label merge · degree)`
+    /// lookups, empirically sub-quadratic memory, dirty-hub repair.
+    Hub(HubIndex),
+}
+
+impl InterTable {
+    /// Builds the representation `mode` selects for this backbone.
+    pub(crate) fn build(mode: InterMode, csr: CsrView<'_>, scratch: &mut InterScratch) -> InterTable {
+        let h = csr.head_count();
+        if mode.wants_hub(h) {
+            InterTable::Hub(HubIndex::build(csr, scratch))
+        } else {
+            InterTable::Dense {
+                h,
+                next_hop: all_pairs_next_hops(csr, scratch),
+            }
+        }
+    }
+
+    /// The canonical first hop from `s` toward `t` ([`NO_HOP`] when the
+    /// backbone does not connect them; `s` itself for `t == s`).
+    #[inline]
+    pub(crate) fn next_hop(&self, s: usize, t: usize, csr: CsrView<'_>) -> u32 {
+        match self {
+            InterTable::Dense { h, next_hop } => next_hop[s * h + t],
+            InterTable::Hub(hub) => hub.next_hop(s, t, csr),
+        }
+    }
+
+    /// Repairs the table after the backbone changed: `changed` holds
+    /// the ascending slots whose CSR rows differ between the old and
+    /// new backbone (every added, removed, or re-weighted link flags
+    /// both endpoints), and `csr` is the **new** backbone. An empty
+    /// `changed` is a no-op.
+    pub(crate) fn repair(
+        &mut self,
+        changed: &[u32],
+        csr: CsrView<'_>,
+        scratch: &mut InterScratch,
+    ) -> InterRepair {
+        if changed.is_empty() {
+            return InterRepair::Unchanged;
+        }
+        match self {
+            InterTable::Dense { h, next_hop } => {
+                debug_assert_eq!(*h, csr.head_count());
+                *next_hop = all_pairs_next_hops(csr, scratch);
+                InterRepair::DenseRecomputed
+            }
+            InterTable::Hub(hub) => match hub.repair(changed, csr, scratch) {
+                Some(dirty_hubs) => InterRepair::HubRepaired { dirty_hubs },
+                None => {
+                    *hub = HubIndex::build(csr, scratch);
+                    InterRepair::HubRebuilt
+                }
+            },
+        }
+    }
+
+    /// Display name of the active layout (`dense` / `hub`).
+    pub fn layout_name(&self) -> &'static str {
+        match self {
+            InterTable::Dense { .. } => "dense",
+            InterTable::Hub(_) => "hub",
+        }
+    }
+
+    /// Heap bytes of the inter-head structure alone.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            InterTable::Dense { next_hop, .. } => {
+                next_hop.capacity() * std::mem::size_of::<u32>()
+            }
+            InterTable::Hub(hub) => hub.memory_bytes(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Reference implementation: the seed router's `O(h²)`-scan
-    /// Dijkstra with its parent-chain walk, kept verbatim as the
-    /// oracle the shared routine must reproduce.
+    /// Brute-force oracle for the canonical rule: Floyd–Warshall
+    /// distances, then `min { u ∈ N(s) : w(s,u) + dist(u,t) =
+    /// dist(s,t) }` read straight off the definition.
     fn reference_row(adj: &[Vec<(u32, u32)>], s: usize) -> Vec<u32> {
-        let m = adj.len();
-        let mut dist = vec![u64::MAX; m];
-        let mut parent = vec![usize::MAX; m];
-        let mut done = vec![false; m];
-        dist[s] = 0;
-        parent[s] = s;
-        for _ in 0..m {
-            let mut best = usize::MAX;
-            for i in 0..m {
-                if !done[i]
-                    && dist[i] != u64::MAX
-                    && (best == usize::MAX || dist[i] < dist[best])
-                {
-                    best = i;
-                }
+        let h = adj.len();
+        let mut dist = vec![vec![u64::MAX / 4; h]; h];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        for (a, nbrs) in adj.iter().enumerate() {
+            for &(b, w) in nbrs {
+                dist[a][b as usize] = dist[a][b as usize].min(u64::from(w));
             }
-            if best == usize::MAX {
-                break;
-            }
-            done[best] = true;
-            for &(to, w) in &adj[best] {
-                let to = to as usize;
-                let nd = dist[best] + u64::from(w);
-                if nd < dist[to] || (nd == dist[to] && best < parent[to]) {
-                    dist[to] = nd;
-                    parent[to] = best;
+        }
+        for m in 0..h {
+            for a in 0..h {
+                for b in 0..h {
+                    let via = dist[a][m] + dist[m][b];
+                    if via < dist[a][b] {
+                        dist[a][b] = via;
+                    }
                 }
             }
         }
-        let mut row = vec![NO_HOP; m];
-        for t in 0..m {
+        let mut row = vec![NO_HOP; h];
+        for t in 0..h {
             if t == s {
                 row[t] = s as u32;
                 continue;
             }
-            if parent[t] == usize::MAX {
+            if dist[s][t] >= u64::MAX / 4 {
                 continue;
             }
-            let mut cur = t;
-            while parents_ok(parent[cur], s) {
-                cur = parent[cur];
-            }
-            row[t] = cur as u32;
+            row[t] = adj[s]
+                .iter()
+                .filter(|&&(u, w)| u64::from(w) + dist[u as usize][t] == dist[s][t])
+                .map(|&(u, _)| u)
+                .min()
+                .expect("reachable target has a first hop");
         }
         row
     }
 
-    fn parents_ok(p: usize, s: usize) -> bool {
-        p != s
+    fn to_csr(adj: &[Vec<(u32, u32)>]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let mut off = vec![0u32];
+        let mut to = Vec::new();
+        let mut hops = Vec::new();
+        for nbrs in adj {
+            let mut sorted = nbrs.clone();
+            sorted.sort_unstable();
+            for (t, w) in sorted {
+                to.push(t);
+                hops.push(w);
+            }
+            off.push(to.len() as u32);
+        }
+        (off, to, hops)
+    }
+
+    fn random_adj(rng: &mut impl rand::Rng, h: usize, p: f64) -> Vec<Vec<(u32, u32)>> {
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); h];
+        for a in 0..h {
+            for b in a + 1..h {
+                if rng.gen_bool(p) {
+                    let w = rng.gen_range(1..6u32);
+                    adj[a].push((b as u32, w));
+                    adj[b].push((a as u32, w));
+                }
+            }
+        }
+        adj
     }
 
     #[test]
     fn matches_reference_on_random_backbones() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
+        let mut scratch = InterScratch::new();
         for _ in 0..30 {
             let h = rng.gen_range(2..14usize);
-            let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); h];
-            for a in 0..h {
-                for b in a + 1..h {
-                    if rng.gen_bool(0.4) {
-                        let w = rng.gen_range(1..6u32);
-                        adj[a].push((b as u32, w));
-                        adj[b].push((a as u32, w));
-                    }
-                }
-            }
+            let adj = random_adj(&mut rng, h, 0.4);
+            let (off, to, hops) = to_csr(&adj);
+            let csr = CsrView {
+                off: &off,
+                to: &to,
+                hops: &hops,
+            };
             for s in 0..h {
                 let mut row = vec![0u32; h];
-                next_hop_row(&adj, s, &mut row);
+                next_hop_row(csr, s, &mut row, &mut scratch);
                 assert_eq!(row, reference_row(&adj, s), "source {s}");
+            }
+        }
+    }
+
+    /// The hub index must reproduce the dense rows **exactly** — the
+    /// bit-identity the route-equivalence suites rest on — including
+    /// across reused scratch.
+    #[test]
+    fn hub_table_matches_dense_table() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut scratch = InterScratch::new();
+        for round in 0..25 {
+            let h = rng.gen_range(2..20usize);
+            let adj = random_adj(&mut rng, h, 0.3);
+            let (off, to, hops) = to_csr(&adj);
+            let csr = CsrView {
+                off: &off,
+                to: &to,
+                hops: &hops,
+            };
+            let dense = InterTable::build(InterMode::Dense, csr, &mut scratch);
+            let hub = InterTable::build(InterMode::Hub, csr, &mut scratch);
+            for s in 0..h {
+                for t in 0..h {
+                    assert_eq!(
+                        dense.next_hop(s, t, csr),
+                        hub.next_hop(s, t, csr),
+                        "round {round}: first hop diverged at {s} -> {t}"
+                    );
+                }
             }
         }
     }
@@ -172,7 +502,14 @@ mod tests {
     #[test]
     fn disconnected_targets_have_no_hop() {
         let adj: Vec<Vec<(u32, u32)>> = vec![vec![(1, 2)], vec![(0, 2)], vec![]];
-        let table = all_pairs_next_hops(&adj);
+        let (off, to, hops) = to_csr(&adj);
+        let csr = CsrView {
+            off: &off,
+            to: &to,
+            hops: &hops,
+        };
+        let mut scratch = InterScratch::new();
+        let table = all_pairs_next_hops(csr, &mut scratch);
         assert_eq!(table[1], 1); // 0 -> 1
         assert_eq!(table[2], NO_HOP); // 0 -> 2
         assert_eq!(table[6], NO_HOP); // 2 -> 0
@@ -180,16 +517,59 @@ mod tests {
     }
 
     #[test]
-    fn equal_length_ties_pick_smallest_first_hop_chain() {
-        // 0-1-3 and 0-2-3 both cost 2: the canonical route goes via 1.
+    fn equal_length_ties_pick_smallest_first_hop() {
+        // 0-1-3 and 0-2-3 both cost 2: the canonical route leaves via 1.
         let adj: Vec<Vec<(u32, u32)>> = vec![
             vec![(1, 1), (2, 1)],
             vec![(0, 1), (3, 1)],
             vec![(0, 1), (3, 1)],
             vec![(1, 1), (2, 1)],
         ];
+        let (off, to, hops) = to_csr(&adj);
+        let csr = CsrView {
+            off: &off,
+            to: &to,
+            hops: &hops,
+        };
         let mut row = vec![0u32; 4];
-        next_hop_row(&adj, 0, &mut row);
+        next_hop_row(csr, 0, &mut row, &mut InterScratch::new());
         assert_eq!(row[3], 1);
+    }
+
+    /// The rule prefers the smallest *first hop*, even when a larger
+    /// first hop leads to a smaller-slot interior (where the old
+    /// backward-parent-chain rule would have flipped).
+    #[test]
+    fn smallest_first_hop_beats_smallest_interior() {
+        // 0-1-5-4 and 0-2-3-4, unit weights: first hops 1 < 2 even
+        // though interior 3 < 5.
+        let adj: Vec<Vec<(u32, u32)>> = vec![
+            vec![(1, 1), (2, 1)],
+            vec![(0, 1), (5, 1)],
+            vec![(0, 1), (3, 1)],
+            vec![(2, 1), (4, 1)],
+            vec![(3, 1), (5, 1)],
+            vec![(1, 1), (4, 1)],
+        ];
+        let (off, to, hops) = to_csr(&adj);
+        let csr = CsrView {
+            off: &off,
+            to: &to,
+            hops: &hops,
+        };
+        let mut row = vec![0u32; 6];
+        next_hop_row(csr, 0, &mut row, &mut InterScratch::new());
+        assert_eq!(row[4], 1);
+    }
+
+    #[test]
+    fn auto_mode_switches_on_projected_bytes() {
+        // 4 MiB / 4 bytes = 1M entries: h = 1024 is the last dense size.
+        assert!(!InterMode::Auto.wants_hub(1024));
+        assert!(InterMode::Auto.wants_hub(1025));
+        assert!(!InterMode::Dense.wants_hub(1_000_000));
+        assert!(InterMode::Hub.wants_hub(2));
+        assert_eq!("hub".parse::<InterMode>().unwrap(), InterMode::Hub);
+        assert!("matrix".parse::<InterMode>().is_err());
     }
 }

@@ -20,7 +20,7 @@
 
 use crate::adjacency::NeighborRule;
 use crate::clustering::Clustering;
-use crate::routing::inter::{self, NO_HOP};
+use crate::routing::inter::{self, CsrView, InterScratch, NO_HOP};
 use crate::routing::TableStats;
 use crate::virtual_graph::VirtualGraph;
 use adhoc_graph::bfs::{self, Adjacency, BfsScratch};
@@ -78,15 +78,35 @@ impl ClusterRouter {
         let head_index: BTreeMap<NodeId, usize> =
             heads.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let m = heads.len();
-        // Adjacency of the backbone with virtual-hop weights.
-        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+        // Flat-CSR backbone with virtual-hop weights (both orientations
+        // of each link, rows ascending by neighbor slot).
+        let mut directed: Vec<(u32, u32, u32)> = Vec::new();
         for l in vg.links() {
             let (a, b) = (head_index[&l.a] as u32, head_index[&l.b] as u32);
             let w = l.hops();
-            adj[a as usize].push((b, w));
-            adj[b as usize].push((a, w));
+            directed.push((a, b, w));
+            directed.push((b, a, w));
         }
-        let next_head = inter::all_pairs_next_hops(&adj);
+        directed.sort_unstable();
+        let mut off = Vec::with_capacity(m + 1);
+        let mut to = Vec::with_capacity(directed.len());
+        let mut hops = Vec::with_capacity(directed.len());
+        off.push(0u32);
+        let mut cursor = 0usize;
+        for s in 0..m as u32 {
+            while cursor < directed.len() && directed[cursor].0 == s {
+                to.push(directed[cursor].1);
+                hops.push(directed[cursor].2);
+                cursor += 1;
+            }
+            off.push(to.len() as u32);
+        }
+        let csr = CsrView {
+            off: &off,
+            to: &to,
+            hops: &hops,
+        };
+        let next_head = inter::all_pairs_next_hops(csr, &mut InterScratch::new());
         ClusterRouter {
             clustering: clustering.clone(),
             vg,

@@ -12,15 +12,22 @@
 //! The module family:
 //!
 //! * [`plan`] — the compiled [`RoutePlan`]: per-node canonical ascent
-//!   paths in one arena, a per-node head-affiliation index, and
-//!   CSR-packed inter-head next-hop tables with both orientations of
-//!   every backbone path in another. Built once from the evaluation
+//!   paths in one arena, a per-node head-affiliation index, and an
+//!   inter-head first-hop table behind one facade with two layouts —
+//!   the dense `h × h` matrix, or the [`hub`] hub-label index once the
+//!   projected matrix crosses the auto threshold (both serve the same
+//!   canonical rule bit-for-bit). Built once from the evaluation
 //!   engine's head labels (`pipeline::EvalScratch`) and a backbone
 //!   link set; queries are pure pointer chasing — **zero per-query
 //!   BFS, `O(route length)` per query** — and need neither the graph
 //!   nor the labels at serve time. [`RoutePlan::apply_delta`] repairs
 //!   the plan after topology churn from the pipeline's dirty-slot
-//!   information instead of rebuilding it.
+//!   information instead of rebuilding it; under the hub layout a
+//!   backbone weight change re-sweeps only dirty hubs instead of
+//!   recomputing all pairs.
+//! * [`hub`] — the hub-labeling (2-level landmark) index over `G''`:
+//!   rank-restricted pruned sweeps, flat CSR label arena, sound
+//!   dirty-hub repair ([`InterMode`] picks the layout per compile).
 //! * [`engine`] — the concurrent [`QueryEngine`]: batched
 //!   [`route_many`](QueryEngine::route_many) over `std::thread::scope`
 //!   workers with per-worker scratch, deterministic (bit-identical
@@ -38,6 +45,7 @@
 //! the benches assert the checksums collide.
 
 pub mod engine;
+pub mod hub;
 pub mod legacy;
 pub mod plan;
 pub mod workload;
@@ -45,6 +53,8 @@ pub mod workload;
 mod inter;
 
 pub use engine::{fold_checksums, walk_checksum, BatchResult, QueryEngine, UNROUTABLE};
+pub use hub::HubIndex;
+pub use inter::{InterMode, InterRepair, AUTO_HUB_THRESHOLD_BYTES};
 pub use legacy::{ClusterRouter, LegacyScratch};
 pub use plan::{PlanUpdate, RoutePlan};
 pub use workload::{Mix, Workload};

@@ -13,8 +13,17 @@
 //! │                   ├─ link_hops  — virtual-link weight
 //! │                   └─ path_off/len ── path_arena (both orientations
 //! │                                      of every backbone path)
-//! └─ next_hop — h × h inter-head first-hop table
+//! └─ inter — inter-head first hops, one of two layouts
+//!      Dense: h × h first-hop matrix (O(1) lookups, O(h²) bytes)
+//!      Hub:   hub-label arena — per-head (hub, dist) rows, CSR-packed
+//!             (label-merge lookups, empirically sub-quadratic bytes)
 //! ```
+//!
+//! [`InterMode::Auto`] (the [`RoutePlan::compile`] default) picks the
+//! layout per compile: dense while the projected `h × h` table stays
+//! under [`AUTO_HUB_THRESHOLD_BYTES`](inter::AUTO_HUB_THRESHOLD_BYTES),
+//! hub labels beyond it. Both serve the identical canonical first hop
+//! (see the crate-private `inter` module), so the choice never changes a single route.
 //!
 //! A query `u ⇝ v` copies `u`'s precompiled ascent, crosses the
 //! backbone by `next_hop` lookups (appending precomputed oriented path
@@ -36,11 +45,14 @@
 //! churn using the pipeline's dirty-slot information: only members of
 //! dirty heads (and re-affiliated nodes) re-walk their ascents (clean
 //! rows are copied arena-segment-wise, the same trick the label store
-//! uses), and the `h × h` next-hop table is recomputed only when the
-//! backbone's weighted link set actually changed.
+//! uses), and the inter-head table is repaired only from the head
+//! slots whose backbone rows actually changed — a full recompute for
+//! the dense matrix, but only dirty-hub re-sweeps for the hub layout.
 
 use crate::clustering::Clustering;
-use crate::routing::inter::{self, NO_HOP};
+use crate::routing::inter::{
+    self, CsrView, InterMode, InterRepair, InterScratch, InterTable, NO_HOP,
+};
 use crate::virtual_graph::LinkRef;
 use adhoc_graph::bfs::{self, Adjacency, DistLabels, UNREACHED};
 use adhoc_graph::delta::TopologyDelta;
@@ -85,9 +97,14 @@ pub struct RoutePlan {
     link_path_off: Vec<u32>,
     link_path_len: Vec<u32>,
     path_arena: Vec<NodeId>,
-    /// Row-major `h × h` inter-head first hops ([`NO_HOP`] =
-    /// unreachable over this backbone).
-    next_hop: Vec<u32>,
+    /// Inter-head first hops, dense matrix or hub-label index (see the
+    /// module docs). Both answer the identical canonical rule.
+    inter: InterTable,
+    /// The layout policy this plan was compiled under — preserved
+    /// across [`Self::apply_delta`] rebuilds so a maintained plan never
+    /// silently flips policy. Excluded from equality (a policy knob,
+    /// not served content).
+    inter_mode: InterMode,
 }
 
 /// Content equality: every served decision, **ignoring** the
@@ -108,7 +125,7 @@ impl PartialEq for RoutePlan {
             && self.link_path_off == other.link_path_off
             && self.link_path_len == other.link_path_len
             && self.path_arena == other.path_arena
-            && self.next_hop == other.next_hop
+            && self.inter == other.inter
     }
 }
 
@@ -123,9 +140,12 @@ pub struct PlanUpdate {
     /// Nodes whose affiliation/ascent entries were re-derived (clean
     /// nodes' ascent paths are copied, not re-walked).
     pub resweeped_nodes: usize,
-    /// Whether the `h × h` next-hop table had to be recomputed (the
-    /// backbone's weighted link set changed).
+    /// Whether the inter-head table changed at all (the backbone's
+    /// weighted link set changed).
     pub next_recomputed: bool,
+    /// What the inter-head repair actually did: a full recompute only
+    /// for the dense layout; the hub layout re-sweeps dirty hubs.
+    pub inter: InterRepair,
 }
 
 /// The directed-CSR backbone arrays, grouped so compilation and delta
@@ -193,17 +213,13 @@ impl Backbone {
         bb
     }
 
-    /// Weighted adjacency view for the next-hop computation.
-    fn adjacency(&self) -> Vec<Vec<(u32, u32)>> {
-        let h = self.link_off.len() - 1;
-        (0..h)
-            .map(|s| {
-                let (lo, hi) = (self.link_off[s] as usize, self.link_off[s + 1] as usize);
-                (lo..hi)
-                    .map(|i| (self.link_to[i], self.link_hops[i]))
-                    .collect()
-            })
-            .collect()
+    /// Borrowed weighted-CSR view for the inter-head machinery.
+    fn csr(&self) -> CsrView<'_> {
+        CsrView {
+            off: &self.link_off,
+            to: &self.link_to,
+            hops: &self.link_hops,
+        }
     }
 }
 
@@ -226,6 +242,18 @@ impl RoutePlan {
         labels: &LabelStore,
         links: impl IntoIterator<Item = LinkRef<'a>>,
     ) -> RoutePlan {
+        RoutePlan::compile_with(g, clustering, labels, links, InterMode::Auto)
+    }
+
+    /// [`Self::compile`] with an explicit inter-head layout policy
+    /// instead of the [`InterMode::Auto`] default.
+    pub fn compile_with<'a, G: Adjacency>(
+        g: &G,
+        clustering: &Clustering,
+        labels: &LabelStore,
+        links: impl IntoIterator<Item = LinkRef<'a>>,
+        mode: InterMode,
+    ) -> RoutePlan {
         let n = g.node_count();
         assert_eq!(labels.heads(), &clustering.heads[..], "head set mismatch");
         assert_eq!(labels.node_count(), n, "labels describe a different graph");
@@ -245,11 +273,16 @@ impl RoutePlan {
             link_path_off: Vec::new(),
             link_path_len: Vec::new(),
             path_arena: Vec::new(),
-            next_hop: Vec::new(),
+            inter: InterTable::Dense {
+                h: 0,
+                next_hop: Vec::new(),
+            },
+            inter_mode: mode,
         };
         plan.build_ascents(g, clustering, labels, None);
         let bb = Backbone::build(&plan.heads, links);
-        plan.next_hop = inter::all_pairs_next_hops(&bb.adjacency());
+        let mut scratch = InterScratch::new();
+        plan.inter = InterTable::build(mode, bb.csr(), &mut scratch);
         plan.adopt_backbone(bb);
         plan
     }
@@ -343,10 +376,13 @@ impl RoutePlan {
     /// either has an endpoint in that ball and therefore dirties the
     /// head. So re-walking only members of dirty heads plus
     /// re-affiliated nodes reproduces a full recompile exactly (pinned
-    /// by the `route_equivalence` proptests). The `h × h` next-hop
-    /// table is recomputed only when the backbone's weighted link set
-    /// changed; falls back to a full [`Self::compile`] when the head
-    /// set or node count changed.
+    /// by the `route_equivalence` proptests). The inter-head table is
+    /// repaired only from the head slots whose backbone rows changed —
+    /// a full recompute for the dense matrix (it has no cheaper sound
+    /// repair), dirty-hub re-sweeps for the hub layout (pinned against
+    /// a fresh compile by the `hub_equivalence` proptests); falls back
+    /// to a full [`Self::compile_with`] (preserving the layout policy)
+    /// when the head set or node count changed.
     ///
     /// # Panics
     /// As [`Self::compile`].
@@ -361,12 +397,17 @@ impl RoutePlan {
     ) -> PlanUpdate {
         if self.heads != clustering.heads || self.n != g.node_count() {
             let epoch = self.epoch;
-            *self = RoutePlan::compile(g, clustering, labels, links);
+            *self = RoutePlan::compile_with(g, clustering, labels, links, self.inter_mode);
             self.epoch = epoch;
+            let inter = match self.inter {
+                InterTable::Dense { .. } => InterRepair::DenseRecomputed,
+                InterTable::Hub(_) => InterRepair::HubRebuilt,
+            };
             return PlanUpdate {
                 rebuilt: true,
                 resweeped_nodes: self.n,
                 next_recomputed: true,
+                inter,
             };
         }
         let _ = delta; // the dirty-slot set already covers every effect
@@ -395,22 +436,34 @@ impl RoutePlan {
         }
         self.build_ascents(g, clustering, labels, Some(&rewalk));
         let bb = Backbone::build(&self.heads, links);
-        let next_recomputed = !self.same_backbone_weights(&bb);
-        if next_recomputed {
-            self.next_hop = inter::all_pairs_next_hops(&bb.adjacency());
-        }
+        let changed = self.changed_backbone_slots(&bb);
+        let mut scratch = InterScratch::new();
+        let inter = self.inter.repair(&changed, bb.csr(), &mut scratch);
         self.adopt_backbone(bb);
         PlanUpdate {
             rebuilt: false,
             resweeped_nodes: resweeped,
-            next_recomputed,
+            next_recomputed: inter != InterRepair::Unchanged,
+            inter,
         }
     }
 
-    fn same_backbone_weights(&self, bb: &Backbone) -> bool {
-        self.link_off == bb.link_off
-            && self.link_to == bb.link_to
-            && self.link_hops == bb.link_hops
+    /// Head slots (ascending) whose directed backbone rows — neighbor
+    /// set or weights — differ between the compiled plan and `bb`:
+    /// both endpoints of every added, removed, or re-weighted link.
+    fn changed_backbone_slots(&self, bb: &Backbone) -> Vec<u32> {
+        let h = self.heads.len();
+        let mut changed = Vec::new();
+        for s in 0..h {
+            let (alo, ahi) = (self.link_off[s] as usize, self.link_off[s + 1] as usize);
+            let (blo, bhi) = (bb.link_off[s] as usize, bb.link_off[s + 1] as usize);
+            if self.link_to[alo..ahi] != bb.link_to[blo..bhi]
+                || self.link_hops[alo..ahi] != bb.link_hops[blo..bhi]
+            {
+                changed.push(s as u32);
+            }
+        }
+        changed
     }
 
     /// Routes `u ⇝ v` into `out` (cleared first; the caller reuses the
@@ -435,11 +488,11 @@ impl RoutePlan {
         // Ascend: u's precompiled canonical path to its head.
         out.extend_from_slice(self.ascent(u));
         // Across: inter-head table lookups, appending oriented paths.
-        let h = self.heads.len();
+        let csr = self.csr();
         let mut s = su as usize;
         let t = sv as usize;
         while s != t {
-            let nh = self.next_hop[s * h + t];
+            let nh = self.inter.next_hop(s, t, csr);
             if nh == NO_HOP {
                 return None;
             }
@@ -464,6 +517,15 @@ impl RoutePlan {
     pub fn route(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
         let mut out = Vec::new();
         self.route_into(u, v, &mut out).map(|_| out)
+    }
+
+    /// Borrowed weighted-CSR view of the compiled backbone.
+    fn csr(&self) -> CsrView<'_> {
+        CsrView {
+            off: &self.link_off,
+            to: &self.link_to,
+            hops: &self.link_hops,
+        }
     }
 
     /// `u`'s stored canonical ascent path (inclusive of `u` and its
@@ -524,9 +586,34 @@ impl RoutePlan {
         self.epoch = epoch;
     }
 
+    /// The layout policy the plan was compiled under.
+    pub fn inter_mode(&self) -> InterMode {
+        self.inter_mode
+    }
+
+    /// The inter-head layout actually in use (`dense` / `hub` —
+    /// [`InterMode::Auto`] resolves at compile time).
+    pub fn inter_layout(&self) -> &'static str {
+        self.inter.layout_name()
+    }
+
+    /// Heap bytes of the inter-head table alone (part of
+    /// [`Self::memory_bytes`]) — the quantity the hub layout makes
+    /// sub-quadratic in `h`.
+    pub fn inter_memory_bytes(&self) -> usize {
+        self.inter.memory_bytes()
+    }
+
+    /// Bytes the dense `h × h` first-hop matrix would take for this
+    /// plan's head count — what [`Self::inter_memory_bytes`] is
+    /// measured against.
+    pub fn projected_dense_inter_bytes(&self) -> usize {
+        inter::projected_dense_bytes(self.heads.len())
+    }
+
     /// Heap bytes the compiled plan holds — the serving-side footprint
-    /// (per-node arrays + ascent arena + backbone CSR + the `h × h`
-    /// next-hop table).
+    /// (per-node arrays + ascent arena + backbone CSR + the inter-head
+    /// table in whichever layout was compiled).
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         (self.head_slot.capacity()
@@ -536,11 +623,11 @@ impl RoutePlan {
             + self.link_to.capacity()
             + self.link_hops.capacity()
             + self.link_path_off.capacity()
-            + self.link_path_len.capacity()
-            + self.next_hop.capacity())
+            + self.link_path_len.capacity())
             * size_of::<u32>()
             + (self.heads.capacity() + self.up_arena.capacity() + self.path_arena.capacity())
                 * size_of::<NodeId>()
+            + self.inter.memory_bytes()
     }
 }
 
@@ -652,6 +739,44 @@ mod tests {
                 assert_eq!(a.len() as u32, d + 1);
                 assert!(is_valid_walk(&g, a));
             }
+        }
+    }
+
+    /// Forcing the hub layout must not change a single route, and the
+    /// two layouts report themselves correctly (Auto resolves dense at
+    /// toy scale).
+    #[test]
+    fn hub_layout_serves_identical_routes() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(78);
+        let net = gen::geometric(&gen::GeometricConfig::new(60, 100.0, 8.0), &mut rng);
+        let c = cluster(&net.graph, 2, &LowestId, MemberPolicy::IdBased);
+        let mut scratch = EvalScratch::new();
+        let eval = pipeline::run_all_with(&net.graph, &c, &mut scratch);
+        let dense = RoutePlan::compile_with(
+            &net.graph,
+            &c,
+            scratch.labels(),
+            eval.ac_graph.links(),
+            InterMode::Dense,
+        );
+        let hub = RoutePlan::compile_with(
+            &net.graph,
+            &c,
+            scratch.labels(),
+            eval.ac_graph.links(),
+            InterMode::Hub,
+        );
+        let auto = RoutePlan::compile(&net.graph, &c, scratch.labels(), eval.ac_graph.links());
+        assert_eq!(dense.inter_layout(), "dense");
+        assert_eq!(hub.inter_layout(), "hub");
+        assert_eq!(auto.inter_layout(), "dense", "toy scale stays dense");
+        assert_eq!(auto, dense);
+        assert!(hub.inter_memory_bytes() > 0);
+        for _ in 0..200 {
+            let u = NodeId(rng.gen_range(0..60u32));
+            let v = NodeId(rng.gen_range(0..60u32));
+            assert_eq!(dense.route(u, v), hub.route(u, v), "{u:?} -> {v:?}");
         }
     }
 

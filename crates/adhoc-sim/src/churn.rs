@@ -82,7 +82,7 @@ use adhoc_cluster::cds::Cds;
 use adhoc_cluster::clustering::{cluster, Clustering, MemberPolicy};
 use adhoc_cluster::pipeline::{self, EvalScratch, EvaluationOutput, LabelAdvance};
 use adhoc_cluster::priority::LowestId;
-use adhoc_cluster::routing::RoutePlan;
+use adhoc_cluster::routing::{InterMode, RoutePlan};
 use adhoc_graph::bfs::BfsScratch;
 use adhoc_graph::connectivity;
 use adhoc_graph::delta::TopologyDelta;
@@ -274,6 +274,9 @@ pub struct ChurnEngine {
     /// phase (atomic swap + epoch bump) — never mutated in place while
     /// a reconcile is in flight.
     route_plan: Option<RoutePlan>,
+    /// Inter-head layout policy every (re)compiled plan is built under
+    /// (set by [`Self::enable_routing_with_inter`]).
+    inter_mode: InterMode,
     /// Publication counter stamped onto every swapped-in plan.
     plan_epoch: u64,
     /// Set while a reconcile has run observe (and possibly repair) but
@@ -307,6 +310,7 @@ impl ChurnEngine {
             last_valid: true,
             last_backbone_ok: true,
             route_plan: None,
+            inter_mode: InterMode::Auto,
             plan_epoch: 0,
             in_flight: None,
         };
@@ -320,6 +324,14 @@ impl ChurnEngine {
     /// plan is always identical to one compiled from scratch on the
     /// engine's current state (pinned by the `route_churn` tests).
     pub fn enable_routing(&mut self) {
+        self.enable_routing_with_inter(InterMode::Auto);
+    }
+
+    /// As [`Self::enable_routing`], with an explicit inter-head layout
+    /// policy for the maintained plan (`khop route --inter` drives
+    /// this); the policy survives every recompile the maintainer does.
+    pub fn enable_routing_with_inter(&mut self, inter: InterMode) {
+        self.inter_mode = inter;
         let plan = self.compile_plan();
         self.install_plan(plan);
     }
@@ -333,11 +345,12 @@ impl ChurnEngine {
     /// Compiles a plan from the engine's current evaluation (does not
     /// install it — that is publish's atomic swap).
     fn compile_plan(&self) -> RoutePlan {
-        RoutePlan::compile(
+        RoutePlan::compile_with(
             &self.graph,
             &self.clustering,
             self.scratch.labels(),
             self.eval.selected_links(self.cfg.algorithm),
+            self.inter_mode,
         )
     }
 

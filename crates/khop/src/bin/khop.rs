@@ -12,6 +12,7 @@
 //! khop maintain --n 100 --k 2 --steps 50 --speed 1.0   movement-sensitive repair
 //! khop churn --n 200 --k 2 --steps 40 --movers 10      incremental delta engine vs rebuild
 //! khop route --n 400 --k 2 --alg ac-lmst --queries 5000 --mix local   compiled route serving
+//! khop route --inter hub ...                           force the inter-head layout (dense|hub|auto)
 //! khop resilience --n 300 --k 2 --attack heads --fraction 0.2   attack, repair, heal
 //! khop mac  [--n 120 --d 10] --k 1 --cw 8              broadcast under CSMA
 //! ```
@@ -77,7 +78,7 @@ fn die(msg: &str) -> ! {
     eprintln!("            [--attack heads|degree|regional|partition] [--fraction F] [--pairs P]");
     eprintln!("            [--repair-level none|reaffiliate|gateways|full]");
     eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst|all]");
-    eprintln!("            [--labels dense|sparse|auto]");
+    eprintln!("            [--labels dense|sparse|auto] [--inter dense|hub|auto]");
     eprintln!("            [--input FILE] [--out FILE] [--json]");
     exit(2)
 }
@@ -775,6 +776,7 @@ fn cmd_route(args: &Args) {
     let workers: usize = args.get("workers", 2);
     let seed: u64 = args.get("seed", 1);
     let labels = parse_labels(args);
+    let inter: InterMode = args.get("inter", InterMode::Auto);
     let mix: Mix = args.get("mix", Mix::Uniform);
     let alg_name = args.opt("alg").unwrap_or("ac-lmst");
     if alg_name.eq_ignore_ascii_case("all") {
@@ -793,7 +795,8 @@ fn cmd_route(args: &Args) {
     let eval = pipeline::run_all_with(&g, &clustering, &mut scratch);
     let links = eval.selected_links(alg);
     let t = Instant::now();
-    let plan = RoutePlan::compile(&g, &clustering, scratch.labels(), links.iter().copied());
+    let plan =
+        RoutePlan::compile_with(&g, &clustering, scratch.labels(), links.iter().copied(), inter);
     let build_ms = 1e3 * t.elapsed().as_secs_f64();
     let baseline = ClusterRouter::with_graph(
         &clustering,
@@ -846,6 +849,10 @@ fn cmd_route(args: &Args) {
                 "build_ms": build_ms,
                 "plan_memory_bytes": plan.memory_bytes(),
                 "labels_layout": scratch.labels().layout_name(),
+                "inter_mode": inter.name(),
+                "inter_layout": plan.inter_layout(),
+                "inter_bytes": plan.inter_memory_bytes(),
+                "inter_dense_projected_bytes": plan.projected_dense_inter_bytes(),
                 "mean_hops": mean_hops,
                 "unreachable": single.unreachable,
                 "plan_qps": queries as f64 / single_secs.max(1e-12),
@@ -866,6 +873,12 @@ fn cmd_route(args: &Args) {
             plan.heads().len(),
             plan.link_count(),
             plan.memory_bytes()
+        );
+        println!(
+            "inter-head table: {} layout ({} bytes; dense h*h would be {})",
+            plan.inter_layout(),
+            plan.inter_memory_bytes(),
+            plan.projected_dense_inter_bytes(),
         );
         println!(
             "{queries} {} queries: mean {mean_hops:.2} hops, {} unreachable",

@@ -40,7 +40,8 @@ pub mod prelude {
         RandomTimer, ResidualEnergy, SumOfDistances,
     };
     pub use adhoc_cluster::routing::{
-        self, ClusterRouter, LegacyScratch, Mix, QueryEngine, RoutePlan, TableStats, Workload,
+        self, ClusterRouter, InterMode, LegacyScratch, Mix, QueryEngine, RoutePlan, TableStats,
+        Workload,
     };
     pub use adhoc_cluster::virtual_graph::{self, LinkRef, LinkStore, VirtualGraph, VirtualLink};
     pub use adhoc_cluster::wulou;
