@@ -17,7 +17,14 @@
 //!   and
 //! * **engine-sparse** — the same call on the **sparse ball-indexed**
 //!   label layout, recorded alongside so the dense-vs-sparse tradeoff
-//!   (time *and* `memory_bytes`) is a committed measurement per cell.
+//!   (time *and* `memory_bytes`) is a committed measurement per cell;
+//!   and
+//! * **engine-par** — the dense engine again over the shared worker
+//!   pool (`max(2, host cores)` workers): its metrics checksum must
+//!   equal the serial arm's bit-for-bit (the determinism contract's
+//!   in-bench guard), and the recorded `parallel_scaling` is the
+//!   serial-vs-parallel trajectory (≤ 1× on one-core hosts is warned
+//!   about, not failed).
 //!
 //! All arms must produce identical metrics (checksummed), so the seed
 //! arm doubles as a behavioral regression check of the refactor and
@@ -47,6 +54,7 @@ use adhoc_cluster::clustering::{self, Clustering, MemberPolicy};
 use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch, LabelMode};
 use adhoc_cluster::priority::LowestId;
 use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::par::Parallelism;
 use adhoc_graph::Csr;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -449,8 +457,11 @@ fn main() {
                 cell.k,
                 dense_bytes_cap(),
             );
-            let (engine_sparse_secs, _, sparse_labels_memory_bytes) =
-                engine_arm(&inputs, cell.rounds, EvalScratch::with_mode(LabelMode::Sparse));
+            let (engine_sparse_secs, _, sparse_labels_memory_bytes) = engine_arm(
+                &inputs,
+                cell.rounds,
+                EvalScratch::with_tuning(LabelMode::Sparse, Parallelism::serial()),
+            );
             cells.push(json!({
                 "n": cell.n,
                 "d": cell.d,
@@ -465,15 +476,49 @@ fn main() {
 
         // Single-sweep engine with a warm scratch — dense layout,
         // then the same engine on the sparse ball-indexed layout.
-        let (engine_secs, engine_sum, labels_memory_bytes) =
-            engine_arm(&inputs, cell.rounds, EvalScratch::with_mode(LabelMode::Dense));
-        let (engine_sparse_secs, sparse_sum, sparse_labels_memory_bytes) =
-            engine_arm(&inputs, cell.rounds, EvalScratch::with_mode(LabelMode::Sparse));
+        // Both are pinned to one worker: they are the serial reference
+        // the multi-worker arm below is compared (and checksummed)
+        // against.
+        let (engine_secs, engine_sum, labels_memory_bytes) = engine_arm(
+            &inputs,
+            cell.rounds,
+            EvalScratch::with_tuning(LabelMode::Dense, Parallelism::serial()),
+        );
+        let (engine_sparse_secs, sparse_sum, sparse_labels_memory_bytes) = engine_arm(
+            &inputs,
+            cell.rounds,
+            EvalScratch::with_tuning(LabelMode::Sparse, Parallelism::serial()),
+        );
         assert_eq!(
             sparse_sum, engine_sum,
             "sparse and dense layouts diverged on n={} d={} k={}",
             cell.n, cell.d, cell.k
         );
+
+        // Multi-worker engine arm (dense layout, shared worker pool):
+        // the order-sensitive metrics checksum must equal the serial
+        // arm's bit-for-bit — the determinism contract's in-bench
+        // guard. Scaling ≤ 1x is reported, not failed: on a one-core
+        // container the pool legitimately cannot win.
+        let par_workers = Parallelism::available().workers().max(2);
+        let (engine_par_secs, par_sum, _) = engine_arm(
+            &inputs,
+            cell.rounds,
+            EvalScratch::with_tuning(LabelMode::Dense, Parallelism::new(par_workers)),
+        );
+        assert_eq!(
+            par_sum, engine_sum,
+            "multi-worker engine diverged from serial on n={} d={} k={}",
+            cell.n, cell.d, cell.k
+        );
+        let parallel_scaling = engine_secs / engine_par_secs.max(1e-12);
+        if parallel_scaling <= 1.0 {
+            println!(
+                "warning: n={} x{par_workers} workers scaled {parallel_scaling:.2}x (<= 1x) \
+                 — expected on hosts with fewer free cores than workers",
+                cell.n
+            );
+        }
         guard = match guard {
             Some((n, _, _)) if n >= cell.n => guard,
             _ => Some((cell.n, labels_memory_bytes, sparse_labels_memory_bytes)),
@@ -531,6 +576,9 @@ fn main() {
             "reps": cell.reps,
             "engine_secs": engine_secs,
             "engine_sparse_secs": engine_sparse_secs,
+            "engine_par_secs": engine_par_secs,
+            "engine_par_workers": par_workers,
+            "parallel_scaling": parallel_scaling,
             "engine_replicates_per_sec": total_reps / engine_secs,
             "engine_sparse_replicates_per_sec": total_reps / engine_sparse_secs,
             "sparse_over_dense_time": sparse_over_dense_time,
@@ -639,6 +687,7 @@ fn main() {
         "git": git_describe(),
         "quick": quick_mode(),
         "large": large_mode(),
+        "host_cores": Parallelism::available().workers(),
         "geomean_speedup_vs_seed": geomean,
         "geomean_sparse_over_dense_time_small_n": geomean_sparse,
         "cells": cells,

@@ -38,6 +38,7 @@
 use adhoc_bench::{quick_mode, results_dir};
 use adhoc_cluster::pipeline::Algorithm;
 use adhoc_cluster::routing::RoutePlan;
+use adhoc_graph::par::{self, Parallelism};
 use adhoc_graph::gen::{self, GeometricConfig};
 use adhoc_graph::graph::{Graph, NodeId};
 use adhoc_sim::adversary::{self, AttackKind};
@@ -213,29 +214,37 @@ fn mean_stretch(
 
 /// Exhaustive (all alive pairs) verification that the live plan serves
 /// everything the surviving topology connects. Returns (routed,
-/// achievable).
+/// achievable). The O(alive²) probe fans the outer sources across the
+/// shared worker pool; per-chunk counts sum to the same totals for any
+/// worker count (each unordered pair is probed exactly once, from its
+/// lower-indexed endpoint).
 fn exhaustive_reach(
     plan: &RoutePlan,
     g: &Graph,
-    departed: &dyn Fn(NodeId) -> bool,
+    departed: &(dyn Fn(NodeId) -> bool + Sync),
     comp: &[u32],
+    par: Parallelism,
 ) -> (usize, usize) {
-    let mut buf = Vec::new();
     let alive: Vec<NodeId> = g.nodes().filter(|&v| !departed(v)).collect();
-    let mut achievable = 0usize;
-    let mut routed = 0usize;
-    for (i, &u) in alive.iter().enumerate() {
-        for &v in &alive[i + 1..] {
-            if comp[u.index()] != comp[v.index()] {
-                continue;
-            }
-            achievable += 1;
-            if route_ok(plan, g, departed, u, v, &mut buf).is_some() {
-                routed += 1;
+    let counts = par::scoped_chunks(par.workers(), alive.len(), (), |off, take, ()| {
+        let mut buf = Vec::new();
+        let (mut routed, mut achievable) = (0usize, 0usize);
+        for (i, &u) in alive.iter().enumerate().skip(off).take(take) {
+            for &v in &alive[i + 1..] {
+                if comp[u.index()] != comp[v.index()] {
+                    continue;
+                }
+                achievable += 1;
+                if route_ok(plan, g, departed, u, v, &mut buf).is_some() {
+                    routed += 1;
+                }
             }
         }
-    }
-    (routed, achievable)
+        (routed, achievable)
+    });
+    counts
+        .into_iter()
+        .fold((0, 0), |(r, a), (cr, ca)| (r + cr, a + ca))
 }
 
 fn sample_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
@@ -285,8 +294,10 @@ fn run_cell(cell: &Cell) -> Value {
     gcfg.require_connected = false;
     let net = gen::geometric(&gcfg, &mut rng);
 
+    let par = Parallelism::default();
     let cfg = MovementConfig::strict(K, Algorithm::AcLmst).capped(level);
     let mut engine = ChurnEngine::build(&net.graph, cfg);
+    engine.set_workers(par);
     engine.enable_routing();
 
     // The stale reader: pinned to the pre-attack plan at its epoch, as
@@ -351,7 +362,7 @@ fn run_cell(cell: &Cell) -> Value {
     let live_plan = engine.route_plan().expect("maintained");
     let live_post = measure(live_plan, engine.graph(), &dep, &comp, &pairs);
     let stretch = mean_stretch(live_plan, engine.graph(), &dep, &pairs, 250);
-    let (ex_routed, ex_achievable) = exhaustive_reach(live_plan, engine.graph(), &dep, &comp);
+    let (ex_routed, ex_achievable) = exhaustive_reach(live_plan, engine.graph(), &dep, &comp, par);
     if level == RepairLevel::Full {
         assert_eq!(
             ex_routed, ex_achievable,
@@ -398,7 +409,8 @@ fn run_cell(cell: &Cell) -> Value {
     let dep = departed_of(&engine);
     let comp = alive_components(engine.graph(), &dep);
     let final_plan = engine.route_plan().expect("maintained");
-    let (fin_routed, fin_achievable) = exhaustive_reach(final_plan, engine.graph(), &dep, &comp);
+    let (fin_routed, fin_achievable) =
+        exhaustive_reach(final_plan, engine.graph(), &dep, &comp, par);
     let restored =
         adhoc_graph::delta::TopologyDelta::between(engine.graph(), &net.graph).is_empty();
     assert!(restored, "heal must restore the reference topology");
@@ -420,6 +432,7 @@ fn run_cell(cell: &Cell) -> Value {
         "fraction": fraction,
         "victims": victims.len(),
         "sampled_pairs": pairs.len(),
+        "workers": par.workers(),
         "stale_epoch": stale_epoch,
         "final_epoch": final_plan.epoch(),
         "inter_layout": final_plan.inter_layout(),
@@ -515,6 +528,8 @@ fn main() {
         "schema": "khop-resilience/v1",
         "git": git_describe(),
         "quick": quick_mode(),
+        "workers": Parallelism::default().workers(),
+        "host_cores": Parallelism::available().workers(),
         "cells": cells,
     });
     let dir = results_dir();

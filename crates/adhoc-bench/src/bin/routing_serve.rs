@@ -54,6 +54,7 @@ use adhoc_cluster::virtual_graph::VirtualGraph;
 use adhoc_graph::connectivity;
 use adhoc_graph::gen::{self, GeometricConfig};
 use adhoc_graph::graph::Graph;
+use adhoc_graph::par::Parallelism;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
@@ -99,6 +100,7 @@ fn run_cell(
     workers: usize,
     seed: u64,
 ) -> CellOutcome {
+    use adhoc_cluster::routing::InterMode;
     let c = clustering::cluster(g, k, &LowestId, MemberPolicy::IdBased);
     let mut scratch = EvalScratch::new();
     let eval = pipeline::run_all_with(g, &c, &mut scratch);
@@ -107,6 +109,23 @@ fn run_cell(
     let t = Instant::now();
     let plan = RoutePlan::compile(g, &c, scratch.labels(), links.iter().copied());
     let build_secs = t.elapsed().as_secs_f64();
+
+    // Parallel compile arm: same plan, `workers`-wide pool. The
+    // equality assert is the compile-path determinism guard.
+    let t = Instant::now();
+    let par_plan = RoutePlan::compile_tuned(
+        g,
+        &c,
+        scratch.labels(),
+        links.iter().copied(),
+        InterMode::Auto,
+        Parallelism::new(workers),
+    );
+    let build_par_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        par_plan, plan,
+        "{alg} k={k}: parallel compile diverged from serial"
+    );
 
     let bfs_router = ClusterRouter::with_graph(&c, VirtualGraph::from_links(&c.heads, links));
 
@@ -192,6 +211,8 @@ fn run_cell(
         "unreachable": reference.unreachable,
         "mean_hops": mean_hops,
         "build_ms": 1e3 * build_secs,
+        "build_par_ms": 1e3 * build_par_secs,
+        "compile_scaling": build_secs / build_par_secs.max(1e-12),
         "plan_memory_bytes": plan.memory_bytes(),
         "inter_layout": plan.inter_layout(),
         "inter_bytes": plan.inter_memory_bytes(),
@@ -247,6 +268,18 @@ fn run_engine_cell(
     let t = Instant::now();
     let plan = RoutePlan::compile(&net.graph, &c, scratch.labels(), links.iter().copied());
     let build_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let par_plan = RoutePlan::compile_tuned(
+        &net.graph,
+        &c,
+        scratch.labels(),
+        links.iter().copied(),
+        adhoc_cluster::routing::InterMode::Auto,
+        Parallelism::new(workers),
+    );
+    let build_par_secs = t.elapsed().as_secs_f64();
+    assert_eq!(par_plan, plan, "N={n}: parallel compile diverged from serial");
 
     let workload = Workload::new(&plan);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -346,6 +379,8 @@ fn run_engine_cell(
         "mean_hops": mean_hops,
         "pipeline_ms": 1e3 * pipeline_secs,
         "build_ms": 1e3 * build_secs,
+        "build_par_ms": 1e3 * build_par_secs,
+        "compile_scaling": build_secs / build_par_secs.max(1e-12),
         "plan_memory_bytes": plan.memory_bytes(),
         "inter_layout": plan.inter_layout(),
         "inter_bytes": plan.inter_memory_bytes(),
@@ -367,7 +402,7 @@ fn run_engine_cell(
 /// weight without reshaping the link set (degrees, and with them the
 /// hub order, survive; the clustering is held fixed the way the
 /// `route_equivalence` delta chains hold it).
-fn repair_bench(n: usize, grid_n: usize, d: f64, k: u32, strict: bool) -> Value {
+fn repair_bench(n: usize, grid_n: usize, d: f64, k: u32, workers: usize, strict: bool) -> Value {
     use adhoc_cluster::routing::{InterMode, InterRepair};
     let side = 100.0 * (n as f64 / grid_n as f64).sqrt();
     let mut rng = StdRng::seed_from_u64(0x0DE17A ^ n as u64);
@@ -411,6 +446,8 @@ fn repair_bench(n: usize, grid_n: usize, d: f64, k: u32, strict: bool) -> Value 
         pipeline::LabelAdvance::Rebuilt => (0..c.heads.len()).collect(),
     };
     let new_links = eval.selected_links(Algorithm::AcMesh);
+    let mut hub_par = hub.clone();
+    let mut dense_par = dense.clone();
 
     let t = Instant::now();
     let hub_report = hub.apply_delta(&g, &c, scratch.labels(), &delta, &dirty, new_links.iter().copied());
@@ -419,6 +456,19 @@ fn repair_bench(n: usize, grid_n: usize, d: f64, k: u32, strict: bool) -> Value 
     let dense_report =
         dense.apply_delta(&g, &c, scratch.labels(), &delta, &dirty, new_links.iter().copied());
     let dense_secs = t.elapsed().as_secs_f64();
+
+    // Same repairs on the `workers`-wide pool; the repaired plans must
+    // be indistinguishable from the serial ones.
+    let par = Parallelism::new(workers);
+    let t = Instant::now();
+    hub_par.apply_delta_tuned(&g, &c, scratch.labels(), &delta, &dirty, new_links.iter().copied(), par);
+    let hub_par_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    dense_par
+        .apply_delta_tuned(&g, &c, scratch.labels(), &delta, &dirty, new_links.iter().copied(), par);
+    let dense_par_secs = t.elapsed().as_secs_f64();
+    assert_eq!(hub_par, hub, "N={n}: parallel hub repair diverged from serial");
+    assert_eq!(dense_par, dense, "N={n}: parallel dense repair diverged from serial");
 
     assert!(
         hub_report.next_recomputed && dense_report.next_recomputed,
@@ -459,6 +509,9 @@ fn repair_bench(n: usize, grid_n: usize, d: f64, k: u32, strict: bool) -> Value 
         "heads": c.heads.len(),
         "hub_repair_ms": 1e3 * hub_secs,
         "dense_recompute_ms": 1e3 * dense_secs,
+        "hub_repair_par_ms": 1e3 * hub_par_secs,
+        "dense_recompute_par_ms": 1e3 * dense_par_secs,
+        "repair_workers": workers,
         "dirty_hubs": dirty_hubs,
         "speedup": dense_secs / hub_secs.max(1e-12),
     })
@@ -663,6 +716,7 @@ fn main() {
         grid_n,
         d,
         2,
+        workers,
         !quick,
     );
 

@@ -5,8 +5,9 @@
 //! algorithms run against a shared clustering. Replicates are
 //! embarrassingly parallel: each gets its own deterministic RNG stream
 //! (`StdRng` seeded from `(N, D, k, replicate index)`), worker threads
-//! process disjoint index ranges (std scoped threads), and
-//! results merge deterministically. Batches continue until the paper's
+//! process disjoint index ranges on the shared pool
+//! ([`adhoc_graph::par::scoped_chunks`]), and results merge in chunk
+//! order, deterministically. Batches continue until the paper's
 //! stopping rule is met: 100 replicates, or earlier if every metric's
 //! 90% confidence interval is within ±1% of its mean.
 
@@ -15,6 +16,7 @@ use adhoc_cluster::clustering::{self, MemberPolicy};
 use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
 use adhoc_cluster::priority::LowestId;
 use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::par::{self, Parallelism};
 use adhoc_graph::Csr;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -180,12 +182,11 @@ impl CellAccumulator {
 }
 
 /// Runs a cell to the paper's stopping rule, parallelizing replicates
-/// across `threads` workers (defaults to the machine's parallelism).
+/// across `threads` workers on the shared pool
+/// ([`adhoc_graph::par::scoped_chunks`]); `None` defaults to
+/// [`Parallelism::from_env`] (`KHOP_WORKERS` or the machine's cores).
 pub fn run_cell(cfg: &CellConfig, threads: Option<usize>) -> CellResult {
-    let threads = threads
-        .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
-        .unwrap_or(1)
-        .max(1);
+    let threads = threads.map(Parallelism::new).unwrap_or_default().workers();
     let mut acc = CellAccumulator::default();
     let mut next_index = 0usize;
 
@@ -204,25 +205,19 @@ pub fn run_cell(cfg: &CellConfig, threads: Option<usize>) -> CellResult {
         let indices: Vec<usize> = (next_index..next_index + batch).collect();
         next_index += batch;
 
-        let chunk = indices.len().div_ceil(threads);
-        let partials: Vec<CellAccumulator> = std::thread::scope(|scope| {
-            indices
-                .chunks(chunk.max(1))
-                .map(|slice| {
-                    scope.spawn(move || {
-                        let mut local = CellAccumulator::default();
-                        let mut scratch = EvalScratch::new();
-                        for &i in slice {
-                            local.absorb(run_replicate_with(cfg, i, &mut scratch));
-                        }
-                        local
-                    })
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("replicate worker panicked"))
-                .collect()
-        });
+        let partials = par::scoped_chunks(
+            threads,
+            indices.len(),
+            &indices[..],
+            |_, _, slice: &[usize]| {
+                let mut local = CellAccumulator::default();
+                let mut scratch = EvalScratch::new();
+                for &i in slice {
+                    local.absorb(run_replicate_with(cfg, i, &mut scratch));
+                }
+                local
+            },
+        );
         for p in partials {
             acc.merge(p);
         }

@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 pub use adhoc_graph::labels::{LabelMode, LabelStore};
+pub use adhoc_graph::par::Parallelism;
 
 /// The five gateway-construction algorithms compared in §4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -130,7 +131,7 @@ pub struct PipelineOutput {
 
 /// Runs lowest-ID clustering followed by `algorithm`'s neighbor and
 /// gateway phases.
-pub fn run<G: Adjacency>(g: &G, algorithm: Algorithm, cfg: &PipelineConfig) -> PipelineOutput {
+pub fn run<G: Adjacency + Sync>(g: &G, algorithm: Algorithm, cfg: &PipelineConfig) -> PipelineOutput {
     let clustering = clustering::cluster(g, cfg.k, &LowestId, cfg.policy);
     run_on(g, algorithm, &clustering)
 }
@@ -138,7 +139,7 @@ pub fn run<G: Adjacency>(g: &G, algorithm: Algorithm, cfg: &PipelineConfig) -> P
 /// Runs only the neighbor and gateway phases on an existing clustering
 /// (so one clustering can be shared across all five algorithms, as the
 /// paper's comparisons require).
-pub fn run_on<G: Adjacency>(
+pub fn run_on<G: Adjacency + Sync>(
     g: &G,
     algorithm: Algorithm,
     clustering: &Clustering,
@@ -153,7 +154,7 @@ pub fn run_on<G: Adjacency>(
 /// `label_equivalence` proptests). G-MST ignores the scratch: the
 /// centralized baseline reads unbounded head-to-head distances, not
 /// the localized `2k+1` store.
-pub fn run_on_with<G: Adjacency>(
+pub fn run_on_with<G: Adjacency + Sync>(
     g: &G,
     algorithm: Algorithm,
     clustering: &Clustering,
@@ -164,7 +165,9 @@ pub fn run_on_with<G: Adjacency>(
         _ => {
             let bound = 2 * clustering.k + 1;
             scratch.ensure_layout(g.node_count(), clustering.heads.len());
-            scratch.labels.rebuild(g, &clustering.heads, bound);
+            scratch
+                .labels
+                .rebuild_with(g, &clustering.heads, bound, scratch.par);
             let rule = algorithm.neighbor_rule().expect("localized algorithm");
             let sets = match rule {
                 NeighborRule::All2kPlus1 => adjacency::nc_from_labels(clustering, &scratch.labels),
@@ -207,21 +210,31 @@ pub fn run_on_with<G: Adjacency>(
 pub struct EvalScratch {
     labels: LabelStore,
     mode: LabelMode,
+    par: Parallelism,
     lmstga: gateway::LmstgaScratch,
 }
 
 impl EvalScratch {
     /// Fresh scratch in [`LabelMode::Auto`]; buffers grow on first use
-    /// and are then reused.
+    /// and are then reused. The worker count for label builds/repairs
+    /// defaults to [`Parallelism::from_env`] (`KHOP_WORKERS`, else
+    /// available cores) — output is bit-identical at any count.
     pub fn new() -> Self {
         EvalScratch::default()
     }
 
     /// Fresh scratch with an explicit label layout policy.
     pub fn with_mode(mode: LabelMode) -> Self {
+        EvalScratch::with_tuning(mode, Parallelism::default())
+    }
+
+    /// Fresh scratch with an explicit label layout **and** worker
+    /// count.
+    pub fn with_tuning(mode: LabelMode, par: Parallelism) -> Self {
         EvalScratch {
             labels: LabelStore::for_mode(mode, 0, 0),
             mode,
+            par,
             lmstga: gateway::LmstgaScratch::default(),
         }
     }
@@ -229,6 +242,18 @@ impl EvalScratch {
     /// The configured label layout policy.
     pub fn mode(&self) -> LabelMode {
         self.mode
+    }
+
+    /// The configured worker-count policy for label builds/repairs.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Sets the worker count for subsequent label builds/repairs.
+    /// Purely a throughput knob: every output is bit-identical for any
+    /// worker count (pinned by the `parallel_equivalence` suite).
+    pub fn set_workers(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// The head-label arena of the last [`run_all_with`] /
@@ -325,13 +350,13 @@ impl EvaluationOutput {
 /// Evaluates **all five** algorithms on a shared clustering with one
 /// head-label sweep (see the module docs for the dataflow). Equivalent
 /// to — but much faster than — calling [`run_on`] once per algorithm.
-pub fn run_all<G: Adjacency>(g: &G, clustering: &Clustering) -> EvaluationOutput {
+pub fn run_all<G: Adjacency + Sync>(g: &G, clustering: &Clustering) -> EvaluationOutput {
     run_all_with(g, clustering, &mut EvalScratch::new())
 }
 
 /// As [`run_all`], reusing `scratch` across calls (the Monte-Carlo
 /// harness keeps one per worker thread).
-pub fn run_all_with<G: Adjacency>(
+pub fn run_all_with<G: Adjacency + Sync>(
     g: &G,
     clustering: &Clustering,
     scratch: &mut EvalScratch,
@@ -343,7 +368,9 @@ pub fn run_all_with<G: Adjacency>(
     // unbounded traversal happens on the hot path at all.
     let bound = 2 * clustering.k + 1;
     scratch.ensure_layout(g.node_count(), clustering.heads.len());
-    scratch.labels.rebuild(g, &clustering.heads, bound);
+    scratch
+        .labels
+        .rebuild_with(g, &clustering.heads, bound, scratch.par);
     let labels = &scratch.labels;
 
     let nc_sets = adjacency::nc_from_labels(clustering, labels);
@@ -499,7 +526,7 @@ impl LabelAdvance {
 /// [`update_all_after`] derives the virtual graphs — a clustering whose
 /// coverage churn has broken can place adjacent heads beyond `2k+1`
 /// hops, which the virtual-graph builders reject.
-pub fn advance_labels<G: Adjacency>(
+pub fn advance_labels<G: Adjacency + Sync>(
     g: &G,
     clustering: &Clustering,
     delta: &TopologyDelta,
@@ -514,15 +541,19 @@ pub fn advance_labels<G: Adjacency>(
         && scratch.labels.bound() == bound
         && scratch.labels.node_count() == g.node_count();
     if !compatible {
-        scratch.labels.rebuild(g, &clustering.heads, bound);
+        scratch
+            .labels
+            .rebuild_with(g, &clustering.heads, bound, scratch.par);
         return LabelAdvance::Rebuilt;
     }
     let dirty = scratch.labels.dirty_slots(delta);
     if dirty.len() as f64 > DIRTY_FRACTION_FALLBACK * clustering.heads.len() as f64 {
-        scratch.labels.rebuild(g, &clustering.heads, bound);
+        scratch
+            .labels
+            .rebuild_with(g, &clustering.heads, bound, scratch.par);
         return LabelAdvance::Rebuilt;
     }
-    scratch.labels.apply_delta(g, &dirty);
+    scratch.labels.apply_delta_with(g, &dirty, scratch.par);
     LabelAdvance::Incremental { dirty }
 }
 
@@ -616,7 +647,7 @@ pub fn update_all_after<G: Adjacency>(
 /// plus delta-dirty survivors), or [`LabelAdvance::Rebuilt`] when the
 /// scratch was incompatible or the delta flooded past
 /// [`DIRTY_FRACTION_FALLBACK`].
-pub fn advance_labels_headset<G: Adjacency>(
+pub fn advance_labels_headset<G: Adjacency + Sync>(
     g: &G,
     clustering: &Clustering,
     delta: &TopologyDelta,
@@ -629,7 +660,9 @@ pub fn advance_labels_headset<G: Adjacency>(
     let compatible =
         scratch.labels.bound() == bound && scratch.labels.node_count() == g.node_count();
     if !compatible {
-        scratch.labels.rebuild(g, &clustering.heads, bound);
+        scratch
+            .labels
+            .rebuild_with(g, &clustering.heads, bound, scratch.par);
         return LabelAdvance::Rebuilt;
     }
     // 1. Edge dirt first, in the old slot numbering — skipping rows
@@ -646,14 +679,16 @@ pub fn advance_labels_headset<G: Adjacency>(
         })
         .collect();
     if dirty_old.len() as f64 > DIRTY_FRACTION_FALLBACK * scratch.labels.heads().len() as f64 {
-        scratch.labels.rebuild(g, &clustering.heads, bound);
+        scratch
+            .labels
+            .rebuild_with(g, &clustering.heads, bound, scratch.par);
         return LabelAdvance::Rebuilt;
     }
     let dirty_heads: Vec<NodeId> = dirty_old
         .iter()
         .map(|&s| scratch.labels.heads()[s])
         .collect();
-    scratch.labels.apply_delta(g, &dirty_old);
+    scratch.labels.apply_delta_with(g, &dirty_old, scratch.par);
     // 2. Row splices: drop departed heads' rows, sweep new heads'.
     let removed: Vec<NodeId> = scratch
         .labels
@@ -745,7 +780,7 @@ pub fn update_all_after_headset<G: Adjacency>(
 /// [`run_all`] on `g` (pinned by the `update_all_equivalence`
 /// proptest). Maintenance policies that must inspect labels between the
 /// two phases call [`advance_labels`] / [`update_all_after`] directly.
-pub fn update_all<G: Adjacency>(
+pub fn update_all<G: Adjacency + Sync>(
     g: &G,
     clustering: &Clustering,
     delta: &TopologyDelta,
@@ -757,7 +792,9 @@ pub fn update_all<G: Adjacency>(
     } else {
         let bound = 2 * clustering.k + 1;
         scratch.ensure_layout(g.node_count(), clustering.heads.len());
-        scratch.labels.rebuild(g, &clustering.heads, bound);
+        scratch
+            .labels
+            .rebuild_with(g, &clustering.heads, bound, scratch.par);
         LabelAdvance::Rebuilt
     };
     update_all_after(g, clustering, &advance, prev, scratch)

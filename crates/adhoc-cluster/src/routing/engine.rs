@@ -11,6 +11,7 @@
 
 use crate::routing::plan::RoutePlan;
 use adhoc_graph::graph::NodeId;
+use adhoc_graph::par;
 
 /// Hop marker for pairs the backbone cannot connect.
 pub const UNROUTABLE: u32 = u32::MAX;
@@ -92,34 +93,22 @@ impl<'p> QueryEngine<'p> {
 
     /// Serves a batch of `(source, target)` pairs, returning per-pair
     /// hop counts and walk checksums. With more than one worker the
-    /// batch is split into contiguous chunks served by
-    /// `std::thread::scope` workers, each with its own scratch; the
-    /// result is identical to the single-worker answer.
+    /// batch is split into contiguous chunks served by the shared
+    /// worker pool ([`adhoc_graph::par::scoped_chunks`]), each chunk
+    /// with its own scratch; the result is identical to the
+    /// single-worker answer.
     pub fn route_many(&self, pairs: &[(NodeId, NodeId)]) -> BatchResult {
         let mut hops = vec![0u32; pairs.len()];
         let mut checksums = vec![0u64; pairs.len()];
-        if self.workers <= 1 || pairs.len() < 2 {
-            serve_chunk(self.plan, pairs, &mut hops, &mut checksums);
-        } else {
-            let workers = self.workers.min(pairs.len());
-            let chunk = pairs.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                let mut rest_pairs = pairs;
-                let mut rest_hops = &mut hops[..];
-                let mut rest_sums = &mut checksums[..];
-                while !rest_pairs.is_empty() {
-                    let take = chunk.min(rest_pairs.len());
-                    let (p, pr) = rest_pairs.split_at(take);
-                    let (h, hr) = rest_hops.split_at_mut(take);
-                    let (c, cr) = rest_sums.split_at_mut(take);
-                    rest_pairs = pr;
-                    rest_hops = hr;
-                    rest_sums = cr;
-                    let plan = self.plan;
-                    scope.spawn(move || serve_chunk(plan, p, h, c));
-                }
-            });
-        }
+        let plan = self.plan;
+        par::scoped_chunks(
+            self.workers,
+            pairs.len(),
+            (pairs, &mut hops[..], &mut checksums[..]),
+            |_, _, (p, h, c): (&[(NodeId, NodeId)], &mut [u32], &mut [u64])| {
+                serve_chunk(plan, p, h, c)
+            },
+        );
         let checksum = fold_checksums(&checksums);
         let mut unreachable = 0usize;
         let mut total_hops = 0u64;

@@ -68,6 +68,7 @@
 //! weight-only churn always takes the cheap path).
 
 use super::inter::{CsrView, InterScratch, FAR, NO_HOP};
+use adhoc_graph::par;
 
 /// Dirty-hub fraction above which `HubIndex::repair` declines and
 /// the caller rebuilds from scratch — same 50% knee as the label
@@ -270,20 +271,33 @@ fn hub_order(csr: CsrView<'_>) -> Vec<u32> {
 }
 
 impl HubIndex {
+    /// Serial [`Self::build_with`] (test convenience).
+    #[cfg(test)]
+    pub(crate) fn build(csr: CsrView<'_>, scratch: &mut InterScratch) -> HubIndex {
+        HubIndex::build_with(csr, scratch, 1)
+    }
+
     /// Builds the index for `csr`: one rank-restricted sweep per head,
     /// most important first, entries packed into the CSR arena.
-    pub(crate) fn build(csr: CsrView<'_>, scratch: &mut InterScratch) -> HubIndex {
+    ///
+    /// Over a worker pool: hubs are chunked in rank
+    /// order and swept with per-worker scratch. Each hub's entry set is
+    /// a pure function of `(backbone, order)` — the same independence
+    /// that makes repair possible — and the entry sort key `(node, hub)`
+    /// is unique per entry, so the normalizing `sort_unstable` makes
+    /// the packed arena bit-identical for any worker count.
+    pub(crate) fn build_with(
+        csr: CsrView<'_>,
+        scratch: &mut InterScratch,
+        workers: usize,
+    ) -> HubIndex {
         let h = csr.head_count();
         let order = hub_order(csr);
         let mut rank = vec![0u32; h];
         for (r, &slot) in order.iter().enumerate() {
             rank[slot as usize] = r as u32;
         }
-        let mut entries: Vec<(u32, u32, u32)> = Vec::new();
-        for &c in &order {
-            sweep_hub(csr, c, &rank, scratch, &mut entries);
-        }
-        entries.sort_unstable();
+        let entries = sweep_hubs(csr, &order, &rank, scratch, workers);
         let mut index = HubIndex {
             h,
             order,
@@ -378,11 +392,26 @@ impl HubIndex {
     /// — caller must rebuild — when the importance order itself
     /// changed (repair could no longer equal a fresh build) or the
     /// dirty fraction crosses [`HUB_DIRTY_FRACTION_FALLBACK`].
+    #[cfg(test)]
     pub(crate) fn repair(
         &mut self,
         changed: &[u32],
         csr: CsrView<'_>,
         scratch: &mut InterScratch,
+    ) -> Option<usize> {
+        self.repair_with(changed, csr, scratch, 1)
+    }
+
+    /// As the serial repair, but the dirty-hub re-sweeps fan out across
+    /// `workers` (see [`Self::build_with`] for why the result is
+    /// bit-identical); the dirty test, order check, and segment-wise
+    /// splice stay serial.
+    pub(crate) fn repair_with(
+        &mut self,
+        changed: &[u32],
+        csr: CsrView<'_>,
+        scratch: &mut InterScratch,
+        workers: usize,
     ) -> Option<usize> {
         debug_assert_eq!(self.h, csr.head_count());
         if hub_order(csr) != self.order {
@@ -406,13 +435,13 @@ impl HubIndex {
             return None;
         }
         // Re-sweep exactly the dirty hubs against the new backbone.
-        let mut fresh: Vec<(u32, u32, u32)> = Vec::new();
-        for &c in &self.order {
-            if dirty[c as usize] {
-                sweep_hub(csr, c, &self.rank, scratch, &mut fresh);
-            }
-        }
-        fresh.sort_unstable();
+        let dirty_hubs: Vec<u32> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&c| dirty[c as usize])
+            .collect();
+        let fresh = sweep_hubs(csr, &dirty_hubs, &self.rank, scratch, workers);
         // Segment-wise splice: per row, drop old dirty-hub entries and
         // merge in the fresh ones (both sides hub-ascending), leaving
         // clean entries byte-identical — the labels.rs clean-row-copy
@@ -484,6 +513,44 @@ impl HubIndex {
 /// One rank-restricted sweep from hub `c`, appending its `(node, hub,
 /// dist)` entries: every reached head ranking below `c`, plus the zero
 /// self-entry.
+/// Sweeps every hub in `hubs` and returns the combined entry list,
+/// sorted by `(node, hub)` — ready for [`HubIndex::fill_arena`] or the
+/// repair splice. At 1 worker (or a single hub) the caller's warm
+/// scratch is reused inline; otherwise `hubs` is chunked across scoped
+/// workers, each with a fresh [`InterScratch`], and the fragments are
+/// concatenated in chunk order before the normalizing sort. Entry keys
+/// are unique per `(node, hub)` pair, so the sorted list — and the
+/// arena packed from it — is bit-identical for any worker count.
+fn sweep_hubs(
+    csr: CsrView<'_>,
+    hubs: &[u32],
+    rank: &[u32],
+    scratch: &mut InterScratch,
+    workers: usize,
+) -> Vec<(u32, u32, u32)> {
+    let mut entries: Vec<(u32, u32, u32)> = if workers <= 1 || hubs.len() < 2 {
+        let mut entries = Vec::new();
+        for &c in hubs {
+            sweep_hub(csr, c, rank, scratch, &mut entries);
+        }
+        entries
+    } else {
+        par::scoped_chunks(workers, hubs.len(), hubs, |_, _, chunk: &[u32]| {
+            let mut local = InterScratch::new();
+            let mut entries = Vec::new();
+            for &c in chunk {
+                sweep_hub(csr, c, rank, &mut local, &mut entries);
+            }
+            entries
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    entries.sort_unstable();
+    entries
+}
+
 fn sweep_hub(
     csr: CsrView<'_>,
     c: u32,
@@ -629,6 +696,33 @@ mod tests {
         let a = HubIndex::build(bb.csr(), &mut InterScratch::new());
         let b = HubIndex::build(bb.csr(), &mut InterScratch::new());
         assert_eq!(a, b);
+        for workers in [2usize, 3, 8] {
+            let par = HubIndex::build_with(bb.csr(), &mut InterScratch::new(), workers);
+            assert_eq!(a, par, "{workers}-worker build diverged from serial");
+        }
+    }
+
+    #[test]
+    fn parallel_repair_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut scratch = InterScratch::new();
+        for round in 0..10 {
+            let mut bb = Backbone::random(&mut rng, 14, 0.35);
+            let baseline = HubIndex::build(bb.csr(), &mut scratch);
+            let Some(changed) = bb.perturb(&mut rng) else {
+                continue;
+            };
+            let mut serial = baseline.clone();
+            let want = serial.repair(&changed, bb.csr(), &mut scratch);
+            for workers in [2usize, 3, 8] {
+                let mut par = baseline.clone();
+                let got = par.repair_with(&changed, bb.csr(), &mut scratch, workers);
+                assert_eq!(got, want, "round {round}: {workers}-worker repair verdict");
+                if want.is_some() {
+                    assert_eq!(par, serial, "round {round}: {workers}-worker repair arena");
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! step moves to a node strictly closer to `t`.
 
 use super::hub::HubIndex;
+use adhoc_graph::par::{self, Strided};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -193,10 +194,37 @@ pub(crate) fn next_hop_row(csr: CsrView<'_>, s: usize, row: &mut [u32], scratch:
 
 /// All-pairs next-hop table, row-major `h × h` (`table[s * h + t]`).
 pub(crate) fn all_pairs_next_hops(csr: CsrView<'_>, scratch: &mut InterScratch) -> Vec<u32> {
+    all_pairs_next_hops_with(csr, scratch, 1)
+}
+
+/// [`all_pairs_next_hops`] over a worker pool: sources are chunked and
+/// each worker writes its own contiguous row range with its own
+/// [`InterScratch`]. Every row is a pure function of `(csr, s)`, so the
+/// table is bit-identical for any worker count; at 1 worker the
+/// caller's warm scratch is reused and no threads spawn.
+pub(crate) fn all_pairs_next_hops_with(
+    csr: CsrView<'_>,
+    scratch: &mut InterScratch,
+    workers: usize,
+) -> Vec<u32> {
     let h = csr.head_count();
     let mut table = vec![NO_HOP; h * h];
-    for s in 0..h {
-        next_hop_row(csr, s, &mut table[s * h..(s + 1) * h], scratch);
+    if workers <= 1 || h < 2 {
+        for s in 0..h {
+            next_hop_row(csr, s, &mut table[s * h..(s + 1) * h], scratch);
+        }
+    } else {
+        par::scoped_chunks(
+            workers,
+            h,
+            Strided::new(&mut table[..], h),
+            |off, take, chunk: Strided<&mut [u32]>| {
+                let mut local = InterScratch::new();
+                for i in 0..take {
+                    next_hop_row(csr, off + i, &mut chunk.data[i * h..(i + 1) * h], &mut local);
+                }
+            },
+        );
     }
     table
 }
@@ -297,15 +325,29 @@ pub enum InterTable {
 }
 
 impl InterTable {
-    /// Builds the representation `mode` selects for this backbone.
+    /// Serial [`Self::build_with`] (test convenience).
+    #[cfg(test)]
     pub(crate) fn build(mode: InterMode, csr: CsrView<'_>, scratch: &mut InterScratch) -> InterTable {
+        InterTable::build_with(mode, csr, scratch, 1)
+    }
+
+    /// Builds the representation `mode` selects for this backbone over
+    /// a worker pool — parallel all-pairs rows for the dense layout,
+    /// parallel pruned hub sweeps for the hub layout. Bit-identical
+    /// for any worker count; 1 worker runs inline.
+    pub(crate) fn build_with(
+        mode: InterMode,
+        csr: CsrView<'_>,
+        scratch: &mut InterScratch,
+        workers: usize,
+    ) -> InterTable {
         let h = csr.head_count();
         if mode.wants_hub(h) {
-            InterTable::Hub(HubIndex::build(csr, scratch))
+            InterTable::Hub(HubIndex::build_with(csr, scratch, workers))
         } else {
             InterTable::Dense {
                 h,
-                next_hop: all_pairs_next_hops(csr, scratch),
+                next_hop: all_pairs_next_hops_with(csr, scratch, workers),
             }
         }
     }
@@ -325,11 +367,15 @@ impl InterTable {
     /// new backbone (every added, removed, or re-weighted link flags
     /// both endpoints), and `csr` is the **new** backbone. An empty
     /// `changed` is a no-op.
-    pub(crate) fn repair(
+    /// The dense recompute and the dirty-hub re-sweeps fan out across
+    /// `workers`, bit-identical to serial for any worker count (1
+    /// worker runs inline).
+    pub(crate) fn repair_with(
         &mut self,
         changed: &[u32],
         csr: CsrView<'_>,
         scratch: &mut InterScratch,
+        workers: usize,
     ) -> InterRepair {
         if changed.is_empty() {
             return InterRepair::Unchanged;
@@ -337,13 +383,13 @@ impl InterTable {
         match self {
             InterTable::Dense { h, next_hop } => {
                 debug_assert_eq!(*h, csr.head_count());
-                *next_hop = all_pairs_next_hops(csr, scratch);
+                *next_hop = all_pairs_next_hops_with(csr, scratch, workers);
                 InterRepair::DenseRecomputed
             }
-            InterTable::Hub(hub) => match hub.repair(changed, csr, scratch) {
+            InterTable::Hub(hub) => match hub.repair_with(changed, csr, scratch, workers) {
                 Some(dirty_hubs) => InterRepair::HubRepaired { dirty_hubs },
                 None => {
-                    *hub = HubIndex::build(csr, scratch);
+                    *hub = HubIndex::build_with(csr, scratch, workers);
                     InterRepair::HubRebuilt
                 }
             },

@@ -58,6 +58,7 @@ use adhoc_graph::bfs::{self, Adjacency, DistLabels, UNREACHED};
 use adhoc_graph::delta::TopologyDelta;
 use adhoc_graph::graph::NodeId;
 use adhoc_graph::labels::LabelStore;
+use adhoc_graph::par::{self, Parallelism};
 use adhoc_graph::paths;
 
 /// Affiliation marker for nodes outside every cluster (departed).
@@ -236,7 +237,7 @@ impl RoutePlan {
     /// Panics if `labels` was built for a different head set or node
     /// count, if its bound is below `k` (members' ascents would be
     /// unresolvable), or if a link endpoint is not a head.
-    pub fn compile<'a, G: Adjacency>(
+    pub fn compile<'a, G: Adjacency + Sync>(
         g: &G,
         clustering: &Clustering,
         labels: &LabelStore,
@@ -247,12 +248,30 @@ impl RoutePlan {
 
     /// [`Self::compile`] with an explicit inter-head layout policy
     /// instead of the [`InterMode::Auto`] default.
-    pub fn compile_with<'a, G: Adjacency>(
+    pub fn compile_with<'a, G: Adjacency + Sync>(
         g: &G,
         clustering: &Clustering,
         labels: &LabelStore,
         links: impl IntoIterator<Item = LinkRef<'a>>,
         mode: InterMode,
+    ) -> RoutePlan {
+        RoutePlan::compile_tuned(g, clustering, labels, links, mode, Parallelism::serial())
+    }
+
+    /// [`Self::compile_with`] over a worker pool: the per-node ascent
+    /// walks and the inter-head build (dense all-pairs rows or pruned
+    /// hub sweeps) fan out across `par` workers. The compiled plan is
+    /// **bit-identical** for any worker count — every per-node and
+    /// per-hub unit is a pure function of its inputs, outputs land in
+    /// pre-partitioned slices or are merged in chunk order, and the
+    /// `parallel_equivalence` proptests pin the equality.
+    pub fn compile_tuned<'a, G: Adjacency + Sync>(
+        g: &G,
+        clustering: &Clustering,
+        labels: &LabelStore,
+        links: impl IntoIterator<Item = LinkRef<'a>>,
+        mode: InterMode,
+        par: Parallelism,
     ) -> RoutePlan {
         let n = g.node_count();
         assert_eq!(labels.heads(), &clustering.heads[..], "head set mismatch");
@@ -279,10 +298,10 @@ impl RoutePlan {
             },
             inter_mode: mode,
         };
-        plan.build_ascents(g, clustering, labels, None);
+        plan.build_ascents(g, clustering, labels, None, par);
         let bb = Backbone::build(&plan.heads, links);
         let mut scratch = InterScratch::new();
-        plan.inter = InterTable::build(mode, bb.csr(), &mut scratch);
+        plan.inter = InterTable::build_with(mode, bb.csr(), &mut scratch, par.workers());
         plan.adopt_backbone(bb);
         plan
     }
@@ -292,12 +311,19 @@ impl RoutePlan {
     /// mask, clean nodes' entries are copied from the previous arena
     /// segment-wise and only flagged nodes re-walk their canonical
     /// path off the labels.
-    fn build_ascents<G: Adjacency>(
+    ///
+    /// The node range is chunked across `par` workers: each writes its
+    /// own disjoint slice of the affiliation arrays and appends ascent
+    /// paths to a local arena fragment; fragments are concatenated in
+    /// chunk (= node) order, so the arena is bit-identical to the
+    /// serial walk for any worker count.
+    fn build_ascents<G: Adjacency + Sync>(
         &mut self,
         g: &G,
         clustering: &Clustering,
         labels: &LabelStore,
         rewalk: Option<&[bool]>,
+        par: Parallelism,
     ) {
         let n = self.n;
         let prev_off = std::mem::take(&mut self.up_off);
@@ -306,47 +332,69 @@ impl RoutePlan {
         let mut dist_head = std::mem::take(&mut self.dist_head);
         head_slot.resize(n, NO_SLOT);
         dist_head.resize(n, 0);
-        let mut up_off = Vec::with_capacity(n + 1);
-        let mut up_arena = Vec::with_capacity(prev_arena.capacity().max(n));
-        up_off.push(0u32);
-        for u in (0..n as u32).map(NodeId) {
-            let copy_clean = matches!(rewalk, Some(mask) if !mask[u.index()]);
-            if copy_clean {
-                let (lo, hi) = (
-                    prev_off[u.index()] as usize,
-                    prev_off[u.index() + 1] as usize,
-                );
-                up_arena.extend_from_slice(&prev_arena[lo..hi]);
-                up_off.push(up_arena.len() as u32);
-                continue;
-            }
-            let h = clustering.head_of(u);
-            if h.index() >= n {
-                // Departed / unclustered sentinel affiliation.
-                head_slot[u.index()] = NO_SLOT;
-                dist_head[u.index()] = 0;
-            } else {
-                let slot = labels
-                    .slot(h)
-                    .unwrap_or_else(|| panic!("affiliation head {h:?} is not labeled"));
-                head_slot[u.index()] = slot as u32;
-                if u == h {
-                    dist_head[u.index()] = 0;
-                    up_arena.push(u);
-                } else {
-                    let row = labels.row(slot);
-                    let d = row.dist(u);
-                    assert!(
-                        d != UNREACHED && d <= clustering.k,
-                        "member {u:?} at label distance {d} from head {h:?} (k = {})",
-                        clustering.k
-                    );
-                    dist_head[u.index()] = d;
-                    let ok = bfs::lexico_path_append(g, u, h, &row, &mut up_arena);
-                    debug_assert!(ok);
+        let frags = par::scoped_chunks(
+            par.workers(),
+            n,
+            (&mut head_slot[..], &mut dist_head[..]),
+            |off, take, (hs, dh): (&mut [u32], &mut [u32])| {
+                let mut lens = Vec::with_capacity(take);
+                let mut arena: Vec<NodeId> = Vec::new();
+                for i in 0..take {
+                    let u = NodeId((off + i) as u32);
+                    let copy_clean = matches!(rewalk, Some(mask) if !mask[u.index()]);
+                    if copy_clean {
+                        let (lo, hi) = (
+                            prev_off[u.index()] as usize,
+                            prev_off[u.index() + 1] as usize,
+                        );
+                        arena.extend_from_slice(&prev_arena[lo..hi]);
+                        lens.push((hi - lo) as u32);
+                        continue;
+                    }
+                    let h = clustering.head_of(u);
+                    if h.index() >= n {
+                        // Departed / unclustered sentinel affiliation.
+                        hs[i] = NO_SLOT;
+                        dh[i] = 0;
+                        lens.push(0);
+                    } else {
+                        let slot = labels
+                            .slot(h)
+                            .unwrap_or_else(|| panic!("affiliation head {h:?} is not labeled"));
+                        hs[i] = slot as u32;
+                        if u == h {
+                            dh[i] = 0;
+                            arena.push(u);
+                            lens.push(1);
+                        } else {
+                            let row = labels.row(slot);
+                            let d = row.dist(u);
+                            assert!(
+                                d != UNREACHED && d <= clustering.k,
+                                "member {u:?} at label distance {d} from head {h:?} (k = {})",
+                                clustering.k
+                            );
+                            dh[i] = d;
+                            let before = arena.len();
+                            let ok = bfs::lexico_path_append(g, u, h, &row, &mut arena);
+                            debug_assert!(ok);
+                            lens.push((arena.len() - before) as u32);
+                        }
+                    }
                 }
+                (lens, arena)
+            },
+        );
+        let mut up_off = Vec::with_capacity(n + 1);
+        let mut up_arena: Vec<NodeId> = Vec::with_capacity(prev_arena.capacity().max(n));
+        up_off.push(0u32);
+        for (lens, arena) in frags {
+            let mut acc = up_arena.len() as u32;
+            for l in lens {
+                acc += l;
+                up_off.push(acc);
             }
-            up_off.push(up_arena.len() as u32);
+            up_arena.extend_from_slice(&arena);
         }
         self.head_slot = head_slot;
         self.dist_head = dist_head;
@@ -386,7 +434,7 @@ impl RoutePlan {
     ///
     /// # Panics
     /// As [`Self::compile`].
-    pub fn apply_delta<'a, G: Adjacency>(
+    pub fn apply_delta<'a, G: Adjacency + Sync>(
         &mut self,
         g: &G,
         clustering: &Clustering,
@@ -395,9 +443,35 @@ impl RoutePlan {
         dirty_slots: &[usize],
         links: impl IntoIterator<Item = LinkRef<'a>>,
     ) -> PlanUpdate {
+        self.apply_delta_tuned(
+            g,
+            clustering,
+            labels,
+            delta,
+            dirty_slots,
+            links,
+            Parallelism::serial(),
+        )
+    }
+
+    /// [`Self::apply_delta`] over a worker pool: the dirty-node ascent
+    /// re-walks and the inter-head repair (dense recompute or dirty-hub
+    /// re-sweeps) fan out across `par` workers, bit-identical to the
+    /// serial repair for any worker count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_delta_tuned<'a, G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        clustering: &Clustering,
+        labels: &LabelStore,
+        delta: &TopologyDelta,
+        dirty_slots: &[usize],
+        links: impl IntoIterator<Item = LinkRef<'a>>,
+        par: Parallelism,
+    ) -> PlanUpdate {
         if self.heads != clustering.heads || self.n != g.node_count() {
             let epoch = self.epoch;
-            *self = RoutePlan::compile_with(g, clustering, labels, links, self.inter_mode);
+            *self = RoutePlan::compile_tuned(g, clustering, labels, links, self.inter_mode, par);
             self.epoch = epoch;
             let inter = match self.inter {
                 InterTable::Dense { .. } => InterRepair::DenseRecomputed,
@@ -434,11 +508,13 @@ impl RoutePlan {
                 resweeped += 1;
             }
         }
-        self.build_ascents(g, clustering, labels, Some(&rewalk));
+        self.build_ascents(g, clustering, labels, Some(&rewalk), par);
         let bb = Backbone::build(&self.heads, links);
         let changed = self.changed_backbone_slots(&bb);
         let mut scratch = InterScratch::new();
-        let inter = self.inter.repair(&changed, bb.csr(), &mut scratch);
+        let inter = self
+            .inter
+            .repair_with(&changed, bb.csr(), &mut scratch, par.workers());
         self.adopt_backbone(bb);
         PlanUpdate {
             rebuilt: false,

@@ -28,6 +28,7 @@
 use crate::bfs::{Adjacency, DistLabels, UNREACHED};
 use crate::delta::TopologyDelta;
 use crate::graph::NodeId;
+use crate::par::{self, Parallelism, Strided};
 
 /// Sentinel slot for "this node is not a head".
 const NO_SLOT: u32 = u32::MAX;
@@ -110,6 +111,23 @@ impl HeadLabels {
         bound: u32,
         stop_at_heads: bool,
     ) {
+        self.prepare_rebuild(g.node_count(), heads, bound, stop_at_heads);
+
+        // One bounded BFS per head. The concatenated ball list is the
+        // BFS queue itself (discovery order == FIFO order), so no
+        // auxiliary queue allocation exists at all.
+        self.ball_offsets.push(0);
+        for slot in 0..self.heads.len() {
+            self.sweep_head(g, slot, stop_at_heads);
+            self.ball_offsets.push(self.balls.len() as u32);
+        }
+    }
+
+    /// Shared rebuild preamble: undoes the previous build
+    /// (touched-entry reset), adopts the new graph size / head set /
+    /// bound, and leaves every adopted row all-`UNREACHED` with the
+    /// ball arenas cleared — ready for the sweeps, serial or chunked.
+    fn prepare_rebuild(&mut self, n: usize, heads: &[NodeId], bound: u32, stop_at_heads: bool) {
         self.rebuilds += 1;
         // Undo the previous build while its row stride is still valid.
         for slot in 0..self.heads.len() {
@@ -130,7 +148,7 @@ impl HeadLabels {
         self.balls.clear();
         self.ball_offsets.clear();
 
-        self.n = g.node_count();
+        self.n = n;
         self.bound = bound;
         self.heads.clear();
         self.heads.extend_from_slice(heads);
@@ -145,15 +163,53 @@ impl HeadLabels {
             debug_assert_eq!(self.slot_of[h.index()], NO_SLOT, "duplicate head {h:?}");
             self.slot_of[h.index()] = slot as u32;
         }
-
-        // One bounded BFS per head. The concatenated ball list is the
-        // BFS queue itself (discovery order == FIFO order), so no
-        // auxiliary queue allocation exists at all.
         self.stopped_at_heads = stop_at_heads;
+    }
+
+    /// [`Self::rebuild`] with an explicit worker count: the per-head
+    /// bounded-BFS sweeps fan out over `par` workers, each writing its
+    /// own disjoint row range of the dense arena and collecting a
+    /// per-worker ball fragment that is merged in slot order — the
+    /// resulting arenas are **bit-identical** to a serial rebuild for
+    /// every worker count (pinned by tests). At one worker this *is*
+    /// the serial rebuild (same code path, warm allocations intact).
+    pub fn rebuild_with<G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        heads: &[NodeId],
+        bound: u32,
+        par: Parallelism,
+    ) {
+        if par.workers() <= 1 || heads.len() < 2 {
+            self.rebuild_inner(g, heads, bound, false);
+            return;
+        }
+        self.prepare_rebuild(g.node_count(), heads, bound, false);
+        let n = self.n;
+        let rows = self.heads.len();
+        let heads_list: &[NodeId] = &self.heads;
+        let frags = par::scoped_chunks(
+            par.workers(),
+            rows,
+            Strided::new(&mut self.dist[..rows * n], n),
+            |off, take, chunk: Strided<&mut [u32]>| {
+                let mut balls = Vec::new();
+                let mut offsets = Vec::with_capacity(take + 1);
+                offsets.push(0u32);
+                for i in 0..take {
+                    let row = &mut chunk.data[i * n..(i + 1) * n];
+                    sweep_row(g, heads_list[off + i], bound, row, &mut balls);
+                    offsets.push(balls.len() as u32);
+                }
+                (balls, offsets)
+            },
+        );
         self.ball_offsets.push(0);
-        for slot in 0..self.heads.len() {
-            self.sweep_head(g, slot, stop_at_heads);
-            self.ball_offsets.push(self.balls.len() as u32);
+        for (balls, offsets) in frags {
+            let base = self.balls.len() as u32;
+            self.balls.extend_from_slice(&balls);
+            self.ball_offsets
+                .extend(offsets[1..].iter().map(|&w| base + w));
         }
     }
 
@@ -161,6 +217,16 @@ impl HeadLabels {
     /// (the tail of which doubles as the queue). The head's distance
     /// row must be all-`UNREACHED` on entry.
     fn sweep_head<G: Adjacency>(&mut self, g: &G, slot: usize, stop_at_heads: bool) {
+        if !stop_at_heads {
+            // The common full-ball sweep is the shared free function the
+            // chunked rebuild/repair paths also run — one code path, so
+            // serial and parallel builds are bit-identical by
+            // construction.
+            let base = slot * self.n;
+            let row = &mut self.dist[base..base + self.n];
+            sweep_row(g, self.heads[slot], self.bound, row, &mut self.balls);
+            return;
+        }
         let h = self.heads[slot];
         let base = slot * self.n;
         let start = self.balls.len();
@@ -287,6 +353,106 @@ impl HeadLabels {
                 );
                 let seg = &self.prev_balls[lo..hi];
                 self.balls.extend_from_slice(seg);
+            }
+            self.ball_offsets.push(self.balls.len() as u32);
+        }
+    }
+
+    /// [`Self::apply_delta`] with an explicit worker count: the dirty
+    /// rows' bounded-BFS re-sweeps fan out over `par` workers, each
+    /// owning a disjoint set of row slices gathered from the dense
+    /// arena, then the ball list is spliced in slot order —
+    /// bit-identical to the serial repair for every worker count
+    /// (pinned by tests).
+    pub fn apply_delta_with<G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        dirty: &[usize],
+        par: Parallelism,
+    ) {
+        if par.workers() <= 1 || dirty.len() < 2 {
+            self.apply_delta(g, dirty);
+            return;
+        }
+        assert_eq!(g.node_count(), self.n, "deltas keep the node set");
+        debug_assert!(
+            dirty.windows(2).all(|w| w[0] < w[1]),
+            "dirty slots must be ascending and unique"
+        );
+        // Touched-entry reset of the dirty rows only.
+        for &slot in dirty {
+            assert!(slot < self.heads.len(), "dirty slot out of range");
+            let base = slot * self.n;
+            let (lo, hi) = (
+                self.ball_offsets[slot] as usize,
+                self.ball_offsets[slot + 1] as usize,
+            );
+            for &v in &self.balls[lo..hi] {
+                self.dist[base + v.index()] = UNREACHED;
+            }
+        }
+        // Gather each dirty row as its own disjoint `&mut` slice (a
+        // sequential `split_at_mut` walk — safe code only), then fan
+        // the re-sweeps out.
+        let n = self.n;
+        let bound = self.bound;
+        let dirty_heads: Vec<NodeId> = dirty.iter().map(|&s| self.heads[s]).collect();
+        let mut rows: Vec<&mut [u32]> = Vec::with_capacity(dirty.len());
+        let mut rest: &mut [u32] = &mut self.dist;
+        let mut consumed = 0usize;
+        for &slot in dirty {
+            let (_, tail) = rest.split_at_mut(slot * n - consumed);
+            let (row, tail) = tail.split_at_mut(n);
+            rows.push(row);
+            rest = tail;
+            consumed = (slot + 1) * n;
+        }
+        let frags = par::scoped_chunks(
+            par.workers(),
+            dirty.len(),
+            rows,
+            |off, _take, mut chunk: Vec<&mut [u32]>| {
+                let mut balls = Vec::new();
+                let mut offsets = Vec::with_capacity(chunk.len() + 1);
+                offsets.push(0u32);
+                for (i, row) in chunk.iter_mut().enumerate() {
+                    sweep_row(g, dirty_heads[off + i], bound, row, &mut balls);
+                    offsets.push(balls.len() as u32);
+                }
+                (balls, offsets)
+            },
+        );
+        // Flatten the fragments into one dirty-indexed ball list ...
+        let mut dirty_balls: Vec<NodeId> = Vec::new();
+        let mut dirty_bo: Vec<u32> = Vec::with_capacity(dirty.len() + 1);
+        dirty_bo.push(0);
+        for (balls, offsets) in &frags {
+            let base = dirty_balls.len() as u32;
+            dirty_balls.extend_from_slice(balls);
+            dirty_bo.extend(offsets[1..].iter().map(|&w| base + w));
+        }
+        // ... and splice: clean rows are copied byte-for-byte, dirty
+        // rows come from their freshly swept fragments, in slot order.
+        std::mem::swap(&mut self.balls, &mut self.prev_balls);
+        std::mem::swap(&mut self.ball_offsets, &mut self.prev_offsets);
+        self.balls.clear();
+        self.ball_offsets.clear();
+        self.ball_offsets.push(0);
+        let mut next_dirty = 0usize;
+        for slot in 0..self.heads.len() {
+            if next_dirty < dirty.len() && dirty[next_dirty] == slot {
+                let (lo, hi) = (
+                    dirty_bo[next_dirty] as usize,
+                    dirty_bo[next_dirty + 1] as usize,
+                );
+                self.balls.extend_from_slice(&dirty_balls[lo..hi]);
+                next_dirty += 1;
+            } else {
+                let (lo, hi) = (
+                    self.prev_offsets[slot] as usize,
+                    self.prev_offsets[slot + 1] as usize,
+                );
+                self.balls.extend_from_slice(&self.prev_balls[lo..hi]);
             }
             self.ball_offsets.push(self.balls.len() as u32);
         }
@@ -549,6 +715,38 @@ impl DistLabels for HeadRow<'_> {
     }
 }
 
+/// One full-ball bounded BFS from `h` into an all-`UNREACHED` dense
+/// `row`, appending the ball (discovery order) to `balls` — whose tail
+/// doubles as the queue. This is the single sweep implementation the
+/// serial and chunked dense paths share, so a parallel rebuild is
+/// bit-identical to a serial one by construction.
+fn sweep_row<G: Adjacency>(
+    g: &G,
+    h: NodeId,
+    bound: u32,
+    row: &mut [u32],
+    balls: &mut Vec<NodeId>,
+) {
+    let start = balls.len();
+    row[h.index()] = 0;
+    balls.push(h);
+    let mut qi = start;
+    while qi < balls.len() {
+        let u = balls[qi];
+        qi += 1;
+        let du = row[u.index()];
+        if du == bound {
+            continue;
+        }
+        for &v in g.adj(u) {
+            if row[v.index()] == UNREACHED {
+                row[v.index()] = du + 1;
+                balls.push(v);
+            }
+        }
+    }
+}
+
 /// Empty bucket marker of the per-row open-addressed tables
 /// (`u32::MAX` is never a real node ID — it is the crate-wide
 /// sentinel).
@@ -559,6 +757,63 @@ const EMPTY: u32 = u32::MAX;
 #[inline]
 fn bucket(v: NodeId, mask: usize) -> usize {
     (((u64::from(v.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & mask
+}
+
+/// One sparse row's bounded BFS from `h` through an all-`UNREACHED`
+/// `scratch` (touched-entry reset on exit), appending the ball
+/// (discovery order, tail doubles as the queue) and the row's
+/// open-addressed lookup table. The single sweep implementation the
+/// serial and chunked sparse paths share: the table depends only on
+/// the ball and its distances, so any chunk-ordered concatenation of
+/// rows is bit-identical to a serial build.
+fn sweep_sparse_row<G: Adjacency>(
+    g: &G,
+    h: NodeId,
+    bound: u32,
+    scratch: &mut [u32],
+    balls: &mut Vec<NodeId>,
+    hash_keys: &mut Vec<u32>,
+    hash_dist: &mut Vec<u32>,
+) {
+    let start = balls.len();
+    scratch[h.index()] = 0;
+    balls.push(h);
+    let mut qi = start;
+    while qi < balls.len() {
+        let u = balls[qi];
+        qi += 1;
+        let du = scratch[u.index()];
+        if du == bound {
+            continue;
+        }
+        for &v in g.adj(u) {
+            if scratch[v.index()] == UNREACHED {
+                scratch[v.index()] = du + 1;
+                balls.push(v);
+            }
+        }
+    }
+    // The row's lookup table: ≤ 50% load, power-of-two capacity,
+    // linear probing. Insertion order is irrelevant to lookups, so
+    // the ball goes in as discovered — no sort anywhere.
+    let ball_len = balls.len() - start;
+    let cap = (ball_len * 2).next_power_of_two();
+    let mask = cap - 1;
+    let base = hash_keys.len();
+    hash_keys.resize(base + cap, EMPTY);
+    hash_dist.resize(base + cap, UNREACHED);
+    for &v in &balls[start..] {
+        let mut b = bucket(v, mask);
+        while hash_keys[base + b] != EMPTY {
+            b = (b + 1) & mask;
+        }
+        hash_keys[base + b] = v.0;
+        hash_dist[base + b] = scratch[v.index()];
+    }
+    // Touched-entry reset: the scratch is clean for the next head.
+    for &v in &balls[start..] {
+        scratch[v.index()] = UNREACHED;
+    }
 }
 
 /// Hop-distance labels in the **sparse ball-indexed** layout: instead
@@ -640,6 +895,20 @@ impl SparseHeadLabels {
     /// Rebuilds the labels for a (possibly different) graph and head
     /// set, reusing every allocation.
     pub fn rebuild<G: Adjacency>(&mut self, g: &G, heads: &[NodeId], bound: u32) {
+        self.prepare_rebuild(g.node_count(), heads, bound);
+        self.ball_offsets.push(0);
+        self.hash_offsets.push(0);
+        for slot in 0..self.heads.len() {
+            self.sweep_head(g, slot);
+            self.ball_offsets.push(self.balls.len() as u32);
+            self.hash_offsets.push(self.hash_keys.len() as u32);
+        }
+    }
+
+    /// Shared rebuild preamble: clears the row arenas and adopts the
+    /// new graph size / head set / bound, leaving the shared scratch
+    /// all-`UNREACHED` — ready for the sweeps, serial or chunked.
+    fn prepare_rebuild(&mut self, n: usize, heads: &[NodeId], bound: u32) {
         self.rebuilds += 1;
         for &h in &self.heads {
             if h.index() < self.slot_of.len() {
@@ -652,7 +921,7 @@ impl SparseHeadLabels {
         self.hash_dist.clear();
         self.hash_offsets.clear();
 
-        self.n = g.node_count();
+        self.n = n;
         self.bound = bound;
         self.heads.clear();
         self.heads.extend_from_slice(heads);
@@ -666,62 +935,83 @@ impl SparseHeadLabels {
             debug_assert_eq!(self.slot_of[h.index()], NO_SLOT, "duplicate head {h:?}");
             self.slot_of[h.index()] = slot as u32;
         }
+    }
 
+    /// [`Self::rebuild`] with an explicit worker count: the per-head
+    /// sweeps fan out over `par` workers, each with its **own**
+    /// `n`-sized distance scratch and local ball / lookup-table
+    /// fragments, concatenated in slot order. Each row's open-addressed
+    /// table depends only on the row's ball and distances (insertion in
+    /// discovery order), so the merged arenas are **bit-identical** to
+    /// a serial rebuild for every worker count (pinned by tests).
+    pub fn rebuild_with<G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        heads: &[NodeId],
+        bound: u32,
+        par: Parallelism,
+    ) {
+        if par.workers() <= 1 || heads.len() < 2 {
+            self.rebuild(g, heads, bound);
+            return;
+        }
+        self.prepare_rebuild(g.node_count(), heads, bound);
+        let n = self.n;
+        let rows = self.heads.len();
+        let heads_list: &[NodeId] = &self.heads;
+        let frags = par::scoped_chunks(par.workers(), rows, (), |off, take, ()| {
+            let mut scratch = vec![UNREACHED; n];
+            let mut balls = Vec::new();
+            let mut bo = Vec::with_capacity(take + 1);
+            bo.push(0u32);
+            let mut keys = Vec::new();
+            let mut dist = Vec::new();
+            let mut ho = Vec::with_capacity(take + 1);
+            ho.push(0u32);
+            for i in 0..take {
+                sweep_sparse_row(
+                    g,
+                    heads_list[off + i],
+                    bound,
+                    &mut scratch,
+                    &mut balls,
+                    &mut keys,
+                    &mut dist,
+                );
+                bo.push(balls.len() as u32);
+                ho.push(keys.len() as u32);
+            }
+            (balls, bo, keys, dist, ho)
+        });
         self.ball_offsets.push(0);
         self.hash_offsets.push(0);
-        for slot in 0..self.heads.len() {
-            self.sweep_head(g, slot);
-            self.ball_offsets.push(self.balls.len() as u32);
-            self.hash_offsets.push(self.hash_keys.len() as u32);
+        for (balls, bo, keys, dist, ho) in frags {
+            let bb = self.balls.len() as u32;
+            let hb = self.hash_keys.len() as u32;
+            self.balls.extend_from_slice(&balls);
+            self.hash_keys.extend_from_slice(&keys);
+            self.hash_dist.extend_from_slice(&dist);
+            self.ball_offsets.extend(bo[1..].iter().map(|&w| bb + w));
+            self.hash_offsets.extend(ho[1..].iter().map(|&w| hb + w));
         }
     }
 
     /// Runs one head's bounded BFS through the shared scratch row,
     /// appends its ball (discovery order) and open-addressed lookup
-    /// table, and leaves the scratch all-`UNREACHED` again.
+    /// table, and leaves the scratch all-`UNREACHED` again. Delegates
+    /// to the free function the chunked paths also run — one code
+    /// path, so serial and parallel builds are bit-identical by
+    /// construction.
     fn sweep_head<G: Adjacency>(&mut self, g: &G, slot: usize) {
-        let h = self.heads[slot];
-        let start = self.balls.len();
-        self.scratch_dist[h.index()] = 0;
-        self.balls.push(h);
-        let mut qi = start;
-        while qi < self.balls.len() {
-            let u = self.balls[qi];
-            qi += 1;
-            let du = self.scratch_dist[u.index()];
-            if du == self.bound {
-                continue;
-            }
-            for &v in g.adj(u) {
-                if self.scratch_dist[v.index()] == UNREACHED {
-                    self.scratch_dist[v.index()] = du + 1;
-                    self.balls.push(v);
-                }
-            }
-        }
-        // The row's lookup table: ≤ 50% load, power-of-two capacity,
-        // linear probing. Insertion order is irrelevant to lookups, so
-        // the ball goes in as discovered — no sort anywhere.
-        let ball_len = self.balls.len() - start;
-        let cap = (ball_len * 2).next_power_of_two();
-        let mask = cap - 1;
-        let base = self.hash_keys.len();
-        self.hash_keys.resize(base + cap, EMPTY);
-        self.hash_dist.resize(base + cap, UNREACHED);
-        for i in start..self.balls.len() {
-            let v = self.balls[i];
-            let mut b = bucket(v, mask);
-            while self.hash_keys[base + b] != EMPTY {
-                b = (b + 1) & mask;
-            }
-            self.hash_keys[base + b] = v.0;
-            self.hash_dist[base + b] = self.scratch_dist[v.index()];
-        }
-        // Touched-entry reset: the scratch is clean for the next head.
-        for i in start..self.balls.len() {
-            let v = self.balls[i];
-            self.scratch_dist[v.index()] = UNREACHED;
-        }
+        sweep_sparse_row(
+            g,
+            self.heads[slot],
+            self.bound,
+            &mut self.scratch_dist,
+            &mut self.balls,
+            &mut self.hash_keys,
+            &mut self.hash_dist,
+        );
     }
 
     /// The slots (ascending) whose labels a topology delta can have
@@ -772,6 +1062,97 @@ impl SparseHeadLabels {
             if next_dirty < dirty.len() && dirty[next_dirty] == slot {
                 next_dirty += 1;
                 self.sweep_head(g, slot);
+            } else {
+                self.copy_prev_row(slot);
+            }
+            self.ball_offsets.push(self.balls.len() as u32);
+            self.hash_offsets.push(self.hash_keys.len() as u32);
+        }
+    }
+
+    /// [`Self::apply_delta`] with an explicit worker count: the dirty
+    /// rows' re-sweeps fan out over `par` workers (each with its own
+    /// `n`-sized scratch and local row fragments), then the arenas are
+    /// spliced in slot order — bit-identical to the serial repair for
+    /// every worker count (pinned by tests).
+    pub fn apply_delta_with<G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        dirty: &[usize],
+        par: Parallelism,
+    ) {
+        if par.workers() <= 1 || dirty.len() < 2 {
+            self.apply_delta(g, dirty);
+            return;
+        }
+        assert_eq!(g.node_count(), self.n, "deltas keep the node set");
+        debug_assert!(
+            dirty.windows(2).all(|w| w[0] < w[1]),
+            "dirty slots must be ascending and unique"
+        );
+        for &slot in dirty {
+            assert!(slot < self.heads.len(), "dirty slot out of range");
+        }
+        let n = self.n;
+        let bound = self.bound;
+        let dirty_heads: Vec<NodeId> = dirty.iter().map(|&s| self.heads[s]).collect();
+        let frags = par::scoped_chunks(par.workers(), dirty.len(), (), |off, take, ()| {
+            let mut scratch = vec![UNREACHED; n];
+            let mut balls = Vec::new();
+            let mut bo = Vec::with_capacity(take + 1);
+            bo.push(0u32);
+            let mut keys = Vec::new();
+            let mut dist = Vec::new();
+            let mut ho = Vec::with_capacity(take + 1);
+            ho.push(0u32);
+            for i in 0..take {
+                sweep_sparse_row(
+                    g,
+                    dirty_heads[off + i],
+                    bound,
+                    &mut scratch,
+                    &mut balls,
+                    &mut keys,
+                    &mut dist,
+                );
+                bo.push(balls.len() as u32);
+                ho.push(keys.len() as u32);
+            }
+            (balls, bo, keys, dist, ho)
+        });
+        // Flatten the fragments into dirty-indexed arenas ...
+        let mut db: Vec<NodeId> = Vec::new();
+        let mut dbo = vec![0u32];
+        let mut dk: Vec<u32> = Vec::new();
+        let mut dd: Vec<u32> = Vec::new();
+        let mut dho = vec![0u32];
+        for (balls, bo, keys, dist, ho) in &frags {
+            let bb = db.len() as u32;
+            let hb = dk.len() as u32;
+            db.extend_from_slice(balls);
+            dk.extend_from_slice(keys);
+            dd.extend_from_slice(dist);
+            dbo.extend(bo[1..].iter().map(|&w| bb + w));
+            dho.extend(ho[1..].iter().map(|&w| hb + w));
+        }
+        // ... and splice: clean rows copied byte-for-byte, dirty rows
+        // from their freshly swept fragments, in slot order.
+        self.begin_splice();
+        let mut next_dirty = 0usize;
+        for slot in 0..self.heads.len() {
+            if next_dirty < dirty.len() && dirty[next_dirty] == slot {
+                let (lo, hi) = (
+                    dbo[next_dirty] as usize,
+                    dbo[next_dirty + 1] as usize,
+                );
+                self.balls.extend_from_slice(&db[lo..hi]);
+                let (hlo, hhi) = (
+                    dho[next_dirty] as usize,
+                    dho[next_dirty + 1] as usize,
+                );
+                self.hash_keys.extend_from_slice(&dk[hlo..hhi]);
+                self.hash_dist.extend_from_slice(&dd[hlo..hhi]);
+                next_dirty += 1;
             } else {
                 self.copy_prev_row(slot);
             }
@@ -1165,6 +1546,22 @@ impl LabelStore {
         }
     }
 
+    /// [`Self::rebuild`] with an explicit worker count — bit-identical
+    /// output for every worker count in either layout. See
+    /// [`HeadLabels::rebuild_with`] / [`SparseHeadLabels::rebuild_with`].
+    pub fn rebuild_with<G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        heads: &[NodeId],
+        bound: u32,
+        par: Parallelism,
+    ) {
+        match self {
+            LabelStore::Dense(l) => l.rebuild_with(g, heads, bound, par),
+            LabelStore::Sparse(l) => l.rebuild_with(g, heads, bound, par),
+        }
+    }
+
     /// See [`HeadLabels::dirty_slots`] / [`SparseHeadLabels::dirty_slots`].
     pub fn dirty_slots(&self, delta: &TopologyDelta) -> Vec<usize> {
         match self {
@@ -1178,6 +1575,22 @@ impl LabelStore {
         match self {
             LabelStore::Dense(l) => l.apply_delta(g, dirty),
             LabelStore::Sparse(l) => l.apply_delta(g, dirty),
+        }
+    }
+
+    /// [`Self::apply_delta`] with an explicit worker count —
+    /// bit-identical output for every worker count in either layout.
+    /// See [`HeadLabels::apply_delta_with`] /
+    /// [`SparseHeadLabels::apply_delta_with`].
+    pub fn apply_delta_with<G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        dirty: &[usize],
+        par: Parallelism,
+    ) {
+        match self {
+            LabelStore::Dense(l) => l.apply_delta_with(g, dirty, par),
+            LabelStore::Sparse(l) => l.apply_delta_with(g, dirty, par),
         }
     }
 
@@ -1844,5 +2257,74 @@ mod tests {
             LabelStore::for_mode(LabelMode::Auto, 200, 50).layout_name(),
             "dense"
         );
+    }
+
+    /// Parallel rebuild and delta repair must be bit-identical to the
+    /// serial paths for every worker count, in both layouts (balls,
+    /// distances, and — transitively — offsets).
+    #[test]
+    fn parallel_rebuild_and_repair_match_serial() {
+        use crate::delta::TopologyDelta;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(131);
+        let net = gen::geometric(&gen::GeometricConfig::new(80, 100.0, 6.0), &mut rng);
+        let mut g = net.graph.clone();
+        let heads: Vec<NodeId> = (0..16).map(|i| NodeId(i * 5)).collect();
+        let bound = 4u32;
+        let serial_d = HeadLabels::build(&g, &heads, bound);
+        let serial_s = SparseHeadLabels::build(&g, &heads, bound);
+        for workers in [2usize, 3, 8] {
+            let par = Parallelism::new(workers);
+            let mut d = HeadLabels::default();
+            d.rebuild_with(&g, &heads, bound, par);
+            let mut s = SparseHeadLabels::default();
+            s.rebuild_with(&g, &heads, bound, par);
+            for slot in 0..heads.len() {
+                assert_eq!(d.ball(slot), serial_d.ball(slot), "{workers} workers");
+                assert_eq!(s.ball(slot), serial_s.ball(slot), "{workers} workers");
+                for v in g.nodes() {
+                    assert_eq!(d.dist(slot, v), serial_d.dist(slot, v), "{workers} workers");
+                    assert_eq!(s.dist(slot, v), serial_s.dist(slot, v), "{workers} workers");
+                }
+            }
+        }
+        // One multi-edge delta, repaired at several worker counts.
+        let mut delta = TopologyDelta::new();
+        for _ in 0..8 {
+            let a = NodeId(rng.gen_range(0..80u32));
+            let b = NodeId(rng.gen_range(0..80u32));
+            if a == b {
+                continue;
+            }
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+                delta.push_removed(a, b);
+            } else {
+                g.add_edge(a, b);
+                delta.push_added(a, b);
+            }
+        }
+        delta.normalize();
+        let dirty = serial_d.dirty_slots(&delta);
+        assert!(dirty.len() >= 2, "need ≥ 2 dirty rows to exercise chunking");
+        let mut expect_d = serial_d.clone();
+        expect_d.apply_delta(&g, &dirty);
+        let mut expect_s = serial_s.clone();
+        expect_s.apply_delta(&g, &dirty);
+        for workers in [2usize, 3, 8] {
+            let par = Parallelism::new(workers);
+            let mut d = serial_d.clone();
+            d.apply_delta_with(&g, &dirty, par);
+            let mut s = serial_s.clone();
+            s.apply_delta_with(&g, &dirty, par);
+            for slot in 0..heads.len() {
+                assert_eq!(d.ball(slot), expect_d.ball(slot), "{workers} workers");
+                assert_eq!(s.ball(slot), expect_s.ball(slot), "{workers} workers");
+                for v in g.nodes() {
+                    assert_eq!(d.dist(slot, v), expect_d.dist(slot, v), "{workers} workers");
+                    assert_eq!(s.dist(slot, v), expect_s.dist(slot, v), "{workers} workers");
+                }
+            }
+        }
     }
 }

@@ -60,6 +60,7 @@ pub mod labels;
 pub mod lmst;
 pub mod metrics;
 pub mod mst;
+pub mod par;
 pub mod paths;
 pub mod subgraph;
 pub mod unionfind;
@@ -69,3 +70,4 @@ pub use delta::TopologyDelta;
 pub use geom::Point;
 pub use graph::{Graph, NodeId};
 pub use labels::{HeadLabels, LabelMode, LabelStore, SparseHeadLabels};
+pub use par::Parallelism;

@@ -23,12 +23,14 @@
 //!
 //! Every victim list is **executed through the reconciliation state
 //! machine** — each removal is a [`ChurnEngine::depart`] reconcile,
-//! each return a [`ChurnEngine::arrive`] reconcile — so attacks stress
-//! exactly the observe/repair/publish path production traffic uses,
-//! and [`heal`] doubles as the flash-crowd arrival burst (a stream of
-//! `arrive` reconciles against a degraded field).
+//! each return a [`ChurnEngine::arrive`] reconcile, driven as one
+//! [`ChurnEngine::reconcile_batch`] so the maintained route plan is
+//! republished once per burst instead of once per victim — so attacks
+//! stress exactly the observe/repair/publish path production traffic
+//! uses, and [`heal`] doubles as the flash-crowd arrival burst (a
+//! stream of `arrive` reconciles against a degraded field).
 
-use crate::churn::ChurnEngine;
+use crate::churn::{BatchOp, ChurnEngine};
 use crate::movement::StepReport;
 use adhoc_graph::geom::Point;
 use adhoc_graph::graph::{Graph, NodeId};
@@ -261,20 +263,27 @@ pub fn select_victims(
 
 /// Executes an attack: departs each victim through a full
 /// observe/repair/publish reconcile, returning the per-victim repair
-/// reports in order.
+/// reports in order. The whole victim list runs as one
+/// [`ChurnEngine::reconcile_batch`], so the maintained route plan is
+/// recompiled once at the end of the burst instead of once per victim
+/// (reports and final state are bit-identical to one-at-a-time
+/// departures — the batch driver pins that).
 ///
 /// # Panics
 /// Panics if a victim already departed (victim lists come from the
 /// selectors above, which only pick alive nodes).
 pub fn execute(engine: &mut ChurnEngine, victims: &[NodeId]) -> Vec<StepReport> {
-    victims.iter().map(|&v| engine.depart(v)).collect()
+    let ops: Vec<BatchOp> = victims.iter().map(|&v| BatchOp::Depart(v)).collect();
+    engine.reconcile_batch(&ops)
 }
 
 /// Heals an attack (equivalently: runs a flash-crowd arrival burst) —
 /// each returnee [`arrives`](ChurnEngine::arrive) with the radio links
 /// it has in `reference` to nodes alive at that instant, so a crowd
 /// returning together reconstructs its internal edges pair by pair as
-/// the burst progresses. Returns the per-arrival reports in order.
+/// the burst progresses (the batch driver filters each returnee's
+/// neighbor list at execution time). Returns the per-arrival reports
+/// in order; the route plan republishes once per burst.
 ///
 /// # Panics
 /// Panics if a returnee is already present.
@@ -283,18 +292,11 @@ pub fn heal(
     reference: &Graph,
     returnees: &[NodeId],
 ) -> Vec<StepReport> {
-    returnees
+    let ops: Vec<BatchOp> = returnees
         .iter()
-        .map(|&v| {
-            let neighbors: Vec<NodeId> = reference
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&w| !engine.is_departed(w))
-                .collect();
-            engine.arrive(v, &neighbors)
-        })
-        .collect()
+        .map(|&v| BatchOp::Arrive(v, reference.neighbors(v).to_vec()))
+        .collect();
+    engine.reconcile_batch(&ops)
 }
 
 #[cfg(test)]

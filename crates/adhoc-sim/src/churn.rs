@@ -88,9 +88,22 @@ use adhoc_graph::connectivity;
 use adhoc_graph::delta::TopologyDelta;
 use adhoc_graph::graph::{Graph, NodeId};
 use adhoc_graph::labels::{LabelMode, LabelStore};
+use adhoc_graph::par::Parallelism;
 
 /// Sentinel head for a node that is not in any cluster (departed).
 pub(crate) const GONE: NodeId = NodeId(u32::MAX);
+
+/// One operation of a [`ChurnEngine::reconcile_batch`] — a multi-node
+/// delta expressed as the ordered list of departures and arrivals it
+/// is composed of.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Depart this (currently alive) node.
+    Depart(NodeId),
+    /// Re-attach this (currently departed) node to the subset of these
+    /// neighbors that is alive when the op executes.
+    Arrive(NodeId, Vec<NodeId>),
+}
 
 /// What to do with orphans that have **no** clusterhead within `k`
 /// hops after a repair attempt.
@@ -345,13 +358,29 @@ impl ChurnEngine {
     /// Compiles a plan from the engine's current evaluation (does not
     /// install it — that is publish's atomic swap).
     fn compile_plan(&self) -> RoutePlan {
-        RoutePlan::compile_with(
+        RoutePlan::compile_tuned(
             &self.graph,
             &self.clustering,
             self.scratch.labels(),
             self.eval.selected_links(self.cfg.algorithm),
             self.inter_mode,
+            self.scratch.parallelism(),
         )
+    }
+
+    /// The worker-pool policy the engine's label sweeps, plan
+    /// compiles, and repairs run under (defaults to the environment's
+    /// [`Parallelism::from_env`] via [`EvalScratch`]).
+    pub fn workers(&self) -> Parallelism {
+        self.scratch.parallelism()
+    }
+
+    /// Sets the worker-pool policy for every subsequent label sweep,
+    /// plan compile, and repair. Worker counts never change results —
+    /// every parallel path is bit-identical to serial — so this is
+    /// purely a throughput knob (`khop churn --workers` drives it).
+    pub fn set_workers(&mut self, par: Parallelism) {
+        self.scratch.set_workers(par);
     }
 
     /// Atomically publishes `plan`: bumps the epoch, stamps it, swaps
@@ -523,6 +552,51 @@ impl ChurnEngine {
     ) -> Result<StepReport, PhaseBoundary> {
         let state = self.begin_arrive(u, neighbors);
         self.drive(state, faults)
+    }
+
+    /// Drives one batched reconcile over a multi-node delta: every op
+    /// runs its full observe/repair/publish reconcile **except** that
+    /// the maintained route plan is suspended for the duration and
+    /// republished exactly once at the end — one plan compile for the
+    /// whole batch instead of one per op.
+    ///
+    /// The plan never feeds any observe/repair/publish *decision*
+    /// (it is pure output), so the final clustering, labels,
+    /// evaluation, CDS, verdicts, and the per-op [`StepReport`]s are
+    /// bit-identical to running the same ops as individual reconciles
+    /// — and the final plan content-equals the sequential one (pinned
+    /// by the `batch_reconcile_matches_sequential` test). Only the
+    /// epoch differs: one publish instead of `ops.len()`.
+    ///
+    /// [`BatchOp::Arrive`] neighbors are filtered against the departed
+    /// set *at execution time*, matching the flash-crowd semantics of
+    /// [`crate::adversary::heal`]: a crowd returning together
+    /// reconstructs its internal edges pair by pair as the batch
+    /// progresses.
+    ///
+    /// # Panics
+    /// As [`Self::depart`] / [`Self::arrive`] for the offending op.
+    pub fn reconcile_batch(&mut self, ops: &[BatchOp]) -> Vec<StepReport> {
+        let suspended = self.route_plan.take();
+        let mut reports = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                BatchOp::Depart(u) => reports.push(self.depart(*u)),
+                BatchOp::Arrive(u, neighbors) => {
+                    let alive: Vec<NodeId> = neighbors
+                        .iter()
+                        .copied()
+                        .filter(|&w| !self.departed[w.index()])
+                        .collect();
+                    reports.push(self.arrive(*u, &alive));
+                }
+            }
+        }
+        if suspended.is_some() {
+            let plan = self.compile_plan();
+            self.install_plan(plan);
+        }
+        reports
     }
 
     // -----------------------------------------------------------------
@@ -1078,13 +1152,14 @@ impl ChurnEngine {
                 match &advance {
                     LabelAdvance::Incremental { dirty } => {
                         let mut plan = current.clone();
-                        plan.apply_delta(
+                        plan.apply_delta_tuned(
                             &self.graph,
                             &self.clustering,
                             self.scratch.labels(),
                             delta,
                             dirty,
                             self.eval.selected_links(self.cfg.algorithm),
+                            self.scratch.parallelism(),
                         );
                         plan
                     }
@@ -1448,7 +1523,7 @@ mod tests {
     use adhoc_cluster::pipeline::Algorithm;
     use adhoc_graph::gen::{self, GeometricConfig};
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn geometric(seed: u64, n: usize, d: f64) -> gen::GeometricNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -1982,6 +2057,89 @@ mod tests {
         assert_eq!(direct.cds, phased.cds);
         assert_eq!(direct.route_plan().unwrap(), phased.route_plan().unwrap());
         assert!(phased.in_flight().is_none());
+    }
+
+    /// `reconcile_batch` is a pure batching optimisation: per-op
+    /// reports and every piece of engine state (clustering, CDS,
+    /// served plan content) match running the same ops one at a time
+    /// — only plan-compile work is amortised.
+    #[test]
+    fn batch_reconcile_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for round in 0..6 {
+            let net = geometric(400 + round, 50, 8.0);
+            let cfg = MovementConfig::strict(2, Algorithm::AcLmst);
+            let mut seq = ChurnEngine::build(&net.graph, cfg);
+            let mut bat = ChurnEngine::build(&net.graph, cfg);
+            seq.enable_routing();
+            bat.enable_routing();
+
+            // A mixed op stream: random departures, then some of the
+            // departed return with their original neighbor lists
+            // (possibly referencing still-departed peers — the batch
+            // path must filter exactly like the sequential one).
+            let mut ops = Vec::new();
+            let mut gone = Vec::new();
+            for _ in 0..6 {
+                let u = NodeId(rng.gen_range(0..50u32));
+                if !gone.contains(&u) {
+                    gone.push(u);
+                    ops.push(BatchOp::Depart(u));
+                }
+            }
+            for &u in gone.iter().take(3) {
+                ops.push(BatchOp::Arrive(u, net.graph.neighbors(u).to_vec()));
+            }
+
+            let seq_reports: Vec<StepReport> = ops
+                .iter()
+                .map(|op| match op {
+                    BatchOp::Depart(u) => seq.depart(*u),
+                    BatchOp::Arrive(u, nbrs) => {
+                        let alive: Vec<NodeId> = nbrs
+                            .iter()
+                            .copied()
+                            .filter(|&w| !seq.is_departed(w))
+                            .collect();
+                        seq.arrive(*u, &alive)
+                    }
+                })
+                .collect();
+            let bat_reports = bat.reconcile_batch(&ops);
+
+            assert_eq!(seq_reports.len(), bat_reports.len());
+            for (i, (s, b)) in seq_reports.iter().zip(&bat_reports).enumerate() {
+                assert_eq!(s.level, b.level, "round {round} op {i}: level");
+                assert_eq!(s.orphans, b.orphans, "round {round} op {i}: orphans");
+                assert_eq!(
+                    s.merged_head_pairs, b.merged_head_pairs,
+                    "round {round} op {i}: merges"
+                );
+                assert_eq!(s.cost, b.cost, "round {round} op {i}: cost");
+                assert_eq!(s.valid, b.valid, "round {round} op {i}: valid");
+                assert_eq!(s.dirty_heads, b.dirty_heads, "round {round} op {i}: dirty");
+            }
+            assert_eq!(
+                TopologyDelta::between(seq.graph(), bat.graph()),
+                TopologyDelta::new(),
+                "round {round}: graphs diverged"
+            );
+            assert_eq!(seq.clustering.heads, bat.clustering.heads, "round {round}");
+            assert_eq!(seq.clustering.head_of, bat.clustering.head_of, "round {round}");
+            assert_eq!(
+                seq.clustering.dist_to_head, bat.clustering.dist_to_head,
+                "round {round}"
+            );
+            assert_eq!(seq.cds, bat.cds, "round {round}: cds");
+            // Plan equality ignores the epoch (the one thing batching
+            // legitimately changes: one publish instead of many).
+            assert_eq!(
+                seq.route_plan().unwrap(),
+                bat.route_plan().unwrap(),
+                "round {round}: served plan"
+            );
+            assert_engine_consistent(&bat, &format!("round {round} batched"));
+        }
     }
 
     /// Every publish bumps the served plan's epoch; crashes do not.

@@ -132,6 +132,15 @@ fn parse_labels(args: &Args) -> LabelMode {
     args.get("labels", LabelMode::Auto)
 }
 
+/// The `--workers W` worker-pool width; defaults to
+/// [`Parallelism::from_env`] (`KHOP_WORKERS` or the machine's cores).
+fn parse_workers(args: &Args) -> Parallelism {
+    match args.opt("workers") {
+        Some(_) => Parallelism::new(args.get("workers", 1)),
+        None => Parallelism::default(),
+    }
+}
+
 /// Theorem 2's verifier assumes a connected network; on a
 /// disconnected instance (legal at large N and fixed density) the CDS
 /// is per-component and the global check would always reject. Returns
@@ -146,9 +155,9 @@ fn warn_if_unverifiable(g: &Graph) -> bool {
 
 /// `khop run --alg all`: evaluate all five algorithms through the
 /// single-sweep engine (`pipeline::run_all`) on one shared clustering.
-fn cmd_run_all(g: &Graph, k: u32, labels: LabelMode, json: bool) {
+fn cmd_run_all(g: &Graph, k: u32, labels: LabelMode, par: Parallelism, json: bool) {
     let clustering = clustering::cluster(g, k, &LowestId, MemberPolicy::IdBased);
-    let mut scratch = EvalScratch::with_mode(labels);
+    let mut scratch = EvalScratch::with_tuning(labels, par);
     let eval = pipeline::run_all_with(g, &clustering, &mut scratch);
     let verify = warn_if_unverifiable(g);
     let mut rows = Vec::new();
@@ -215,18 +224,19 @@ fn cmd_run(args: &Args) {
     let g = obtain_graph(args);
     let k: u32 = args.get("k", 2);
     let labels = parse_labels(args);
+    let par = parse_workers(args);
     let alg_name = args.opt("alg").unwrap_or("ac-lmst");
     if alg_name.eq_ignore_ascii_case("all") {
-        cmd_run_all(&g, k, labels, args.has("json"));
+        cmd_run_all(&g, k, labels, par, args.has("json"));
         return;
     }
     let alg = parse_alg(alg_name);
     // Only the requested algorithm's phases run here (the shared
     // engine sweep is `--alg all`'s job); the scratch carries the
-    // chosen label layout, and G-MST — the centralized baseline —
-    // ignores it.
+    // chosen label layout and worker-pool width, and G-MST — the
+    // centralized baseline — ignores both.
     let clustering = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
-    let mut scratch = EvalScratch::with_mode(labels);
+    let mut scratch = EvalScratch::with_tuning(labels, par);
     let out = pipeline::run_on_with(&g, alg, &clustering, &mut scratch);
     let labels_info = (alg != Algorithm::GMst)
         .then(|| (scratch.labels().layout_name(), scratch.labels_memory_bytes()));
@@ -399,6 +409,7 @@ fn cmd_churn(args: &Args) {
     let movers: usize = args.get("movers", 10.min(n));
     let speed: f64 = args.get("speed", 2.0);
     let labels = parse_labels(args);
+    let par = parse_workers(args);
     if k == 0 {
         die("--k must be at least 1");
     }
@@ -442,6 +453,7 @@ fn cmd_churn(args: &Args) {
     {
         let mut grid = SpatialGrid::build(&snapshots[0], base.range);
         let mut engine = ChurnEngine::build_with_labels(grid.graph(), policy, labels);
+        engine.set_workers(par);
         for snapshot in &snapshots[1..] {
             let delta = grid.update(snapshot);
             churn_edges += delta.churn();
@@ -455,6 +467,7 @@ fn cmd_churn(args: &Args) {
     }
     let mut grid = SpatialGrid::build(&snapshots[0], base.range);
     let mut engine = ChurnEngine::build_with_labels(grid.graph(), policy, labels);
+    engine.set_workers(par);
     let t = Instant::now();
     for snapshot in &snapshots[1..] {
         let delta = grid.update(snapshot);
@@ -468,8 +481,8 @@ fn cmd_churn(args: &Args) {
     );
 
     // Rebuild-every-step arm on the same clustering sequence, under
-    // the same label layout policy.
-    let mut scratch = EvalScratch::with_mode(labels);
+    // the same label layout policy and worker-pool width.
+    let mut scratch = EvalScratch::with_tuning(labels, par);
     let t = Instant::now();
     for (snapshot, clustering) in snapshots[1..].iter().zip(&clusterings) {
         let g = gen::unit_disk_graph(snapshot, base.range);
@@ -603,6 +616,7 @@ fn cmd_resilience(args: &Args) {
     let fraction: f64 = args.get("fraction", 0.2);
     let pair_count: usize = args.get("pairs", 800);
     let labels = parse_labels(args);
+    let par = parse_workers(args);
     let json = args.has("json");
     let attack = match args.opt("attack") {
         None => AttackKind::Heads,
@@ -631,6 +645,7 @@ fn cmd_resilience(args: &Args) {
     let net = gen::geometric(&gen::GeometricConfig::at_scale(n, 100.0, d), &mut rng);
     let policy = MovementConfig::strict(k, Algorithm::AcLmst).capped(level);
     let mut engine = ChurnEngine::build_with_labels(&net.graph, policy, labels);
+    engine.set_workers(par);
     engine.enable_routing();
     let stale = engine.route_plan().expect("routing enabled").clone();
     let stale_epoch = stale.epoch();
@@ -790,13 +805,20 @@ fn cmd_route(args: &Args) {
         die("--queries must be at least 1");
     }
 
+    let par = Parallelism::new(workers);
     let clustering = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
-    let mut scratch = EvalScratch::with_mode(labels);
+    let mut scratch = EvalScratch::with_tuning(labels, par);
     let eval = pipeline::run_all_with(&g, &clustering, &mut scratch);
     let links = eval.selected_links(alg);
     let t = Instant::now();
-    let plan =
-        RoutePlan::compile_with(&g, &clustering, scratch.labels(), links.iter().copied(), inter);
+    let plan = RoutePlan::compile_tuned(
+        &g,
+        &clustering,
+        scratch.labels(),
+        links.iter().copied(),
+        inter,
+        par,
+    );
     let build_ms = 1e3 * t.elapsed().as_secs_f64();
     let baseline = ClusterRouter::with_graph(
         &clustering,
