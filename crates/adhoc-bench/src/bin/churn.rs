@@ -39,7 +39,7 @@
 //! measurement), then re-reads and re-parses it. Surfaced on the CLI as
 //! `khop churn`.
 
-use adhoc_bench::{quick_mode, results_dir};
+use adhoc_bench::{probe, quick_mode, results_dir, run_mode};
 use adhoc_cluster::clustering::Clustering;
 use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch, EvaluationOutput};
 use adhoc_graph::gen::{self, GeometricConfig, SpatialGrid};
@@ -372,10 +372,21 @@ fn main() {
         }
     }
 
+    let grid_run = json!({
+        "models": Model::ALL.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        "sizes": sizes,
+        "control_n": control_n,
+        "steps": steps,
+        "rounds": rounds,
+        "mobile_nodes": mobile_nodes,
+    });
     let doc = json!({
         "schema": "khop-churn/v1",
         "git": git_describe(),
+        "mode": run_mode(),
         "quick": quick_mode(),
+        "grid": grid_run,
+        "metrics": probe::reference_metrics_section(),
         "cells": cells,
     });
     let dir = results_dir();

@@ -49,11 +49,12 @@
 //! plus one engine-only cell big enough for the memory guard to bite).
 
 use adhoc_bench::harness::CellConfig;
-use adhoc_bench::{quick_mode, results_dir};
+use adhoc_bench::{probe, quick_mode, results_dir, run_mode};
 use adhoc_cluster::clustering::{self, Clustering, MemberPolicy};
 use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch, LabelMode};
 use adhoc_cluster::priority::LowestId;
 use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::obs::Metrics;
 use adhoc_graph::par::Parallelism;
 use adhoc_graph::Csr;
 use rand::rngs::StdRng;
@@ -440,6 +441,9 @@ fn main() {
     let mut cells = Vec::new();
     // Largest cell with both layouts measured drives the memory guard.
     let mut guard: Option<(usize, usize, usize)> = None; // (n, dense, sparse)
+    // Largest grid cell drives the metrics-on overhead guard.
+    let largest_n = grid().iter().map(|c| c.n).max().expect("non-empty grid");
+    let mut metrics_overhead: Option<Value> = None;
     for cell in grid() {
         let inputs = make_inputs(&cell);
         let total_reps = cell.reps as f64;
@@ -523,6 +527,45 @@ fn main() {
             Some((n, _, _)) if n >= cell.n => guard,
             _ => Some((cell.n, labels_memory_bytes, sparse_labels_memory_bytes)),
         };
+
+        // Metrics-on overhead arm (largest grid cell only): the same
+        // serial dense engine with an enabled registry, interleaved
+        // with a fresh metrics-off reference so both mins see the same
+        // machine state. The disabled path is one predictable branch
+        // per site; anything near the 3% acceptance bound means a hot
+        // loop started touching the registry.
+        if cell.n == largest_n {
+            let rounds = cell.rounds.max(3);
+            let (off_secs, off_sum, _) = engine_arm(
+                &inputs,
+                rounds,
+                EvalScratch::with_tuning(LabelMode::Dense, Parallelism::serial()),
+            );
+            let mut metered = EvalScratch::with_tuning(LabelMode::Dense, Parallelism::serial());
+            metered.set_metrics(Metrics::enabled());
+            let (on_secs, on_sum, _) = engine_arm(&inputs, rounds, metered);
+            assert_eq!(
+                on_sum, off_sum,
+                "metrics-on engine diverged on n={} d={} k={}",
+                cell.n, cell.d, cell.k
+            );
+            let ratio = on_secs / off_secs.max(1e-12);
+            assert!(
+                ratio < 1.03,
+                "metrics-on overhead {ratio:.4}x exceeds the 3% budget on n={}",
+                cell.n
+            );
+            println!(
+                "metrics overhead guard: n={} metrics-on {ratio:.4}x metrics-off (< 1.03x)",
+                cell.n
+            );
+            metrics_overhead = Some(json!({
+                "n": cell.n,
+                "metrics_off_secs": off_secs,
+                "metrics_on_secs": on_secs,
+                "overhead_ratio": ratio,
+            }));
+        }
 
         // Legacy arms: the pre-refactor dataflow and the per-algorithm
         // wrapper (skipped on the `--large` scaling cells).
@@ -682,14 +725,25 @@ fn main() {
         _ => println!("memory guard: skipped (no dual-measured cell with n >= 1000)"),
     }
 
+    // The grid actually run, compactly, so a record can never claim
+    // more scope than it measured (mode "quick" + its two tiny cells
+    // is visibly not the full trajectory).
+    let grid_run: Vec<Value> = grid()
+        .iter()
+        .map(|c| json!({"n": c.n, "d": c.d, "k": c.k, "reps": c.reps}))
+        .collect();
     let doc = json!({
         "schema": "khop-perf-baseline/v2",
         "git": git_describe(),
+        "mode": run_mode(),
         "quick": quick_mode(),
         "large": large_mode(),
+        "grid": grid_run,
         "host_cores": Parallelism::available().workers(),
         "geomean_speedup_vs_seed": geomean,
         "geomean_sparse_over_dense_time_small_n": geomean_sparse,
+        "metrics_overhead": metrics_overhead.unwrap_or(Value::Null),
+        "metrics": probe::reference_metrics_section(),
         "cells": cells,
     });
 

@@ -35,7 +35,7 @@
 //! measurement (quick runs write `BENCH_resilience_quick.json`, so CI
 //! can never clobber it). Surfaced on the CLI as `khop resilience`.
 
-use adhoc_bench::{quick_mode, results_dir};
+use adhoc_bench::{probe, quick_mode, results_dir, run_mode};
 use adhoc_cluster::pipeline::Algorithm;
 use adhoc_cluster::routing::RoutePlan;
 use adhoc_graph::par::{self, Parallelism};
@@ -524,10 +524,20 @@ fn main() {
         }
     }
 
+    let grid_run = json!({
+        "n": n,
+        "fraction": fraction,
+        "pairs": pair_count,
+        "attacks": AttackKind::ALL.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        "repair_levels": levels.iter().map(|l| l.name()).collect::<Vec<_>>(),
+    });
     let doc = json!({
         "schema": "khop-resilience/v1",
         "git": git_describe(),
+        "mode": run_mode(),
         "quick": quick_mode(),
+        "grid": grid_run,
+        "metrics": probe::reference_metrics_section(),
         "workers": Parallelism::default().workers(),
         "host_cores": Parallelism::available().workers(),
         "cells": cells,

@@ -42,7 +42,7 @@
 //! [`ClusterRouter`]: adhoc_cluster::routing::ClusterRouter
 //! [`QueryEngine`]: adhoc_cluster::routing::QueryEngine
 
-use adhoc_bench::{quick_mode, results_dir};
+use adhoc_bench::{probe, quick_mode, results_dir, run_mode};
 use adhoc_cluster::clustering::{self, MemberPolicy};
 use adhoc_cluster::pipeline::{self, Algorithm, EvalScratch};
 use adhoc_cluster::priority::LowestId;
@@ -742,10 +742,25 @@ fn main() {
             "repair": repair,
         }),
     });
+    let grid_run = json!({
+        "grid_n": grid_n,
+        "grid_ks": grid_ks,
+        "grid_queries": grid_q,
+        "largest_n": largest_n,
+        "largest_k": largest_k,
+        "largest_queries": largest_q,
+        "engine_cells": engine_cfg.iter().map(|&(n, q, dual)| {
+            json!({"n": n, "queries": q, "dual": dual})
+        }).collect::<Vec<_>>(),
+        "rounds": rounds,
+    });
     let doc = json!({
         "schema": "khop-routing/v1",
         "git": git_describe(),
+        "mode": run_mode(),
         "quick": quick,
+        "grid": grid_run,
+        "metrics": probe::reference_metrics_section(),
         "workers": workers,
         "available_parallelism": std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
         "unroutable_marker": UNROUTABLE,

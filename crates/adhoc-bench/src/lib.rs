@@ -39,6 +39,7 @@
 pub mod figures;
 pub mod harness;
 pub mod plot;
+pub mod probe;
 pub mod stats;
 pub mod svg;
 
@@ -58,6 +59,18 @@ pub fn results_dir() -> PathBuf {
 /// the published numbers use the full stopping rule).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// `"quick"` or `"full"` — stamped as `mode` into every bench record so
+/// a reduced-scope run can never masquerade as the committed full-grid
+/// measurement (`tests/bench_records.rs` fails CI if a quick record
+/// lands on a canonical `BENCH_*.json`).
+pub fn run_mode() -> &'static str {
+    if quick_mode() {
+        "quick"
+    } else {
+        "full"
+    }
 }
 
 /// Applies quick mode to a cell config.

@@ -1,0 +1,147 @@
+//! Shared observability probe embedded in every bench record.
+//!
+//! Each `BENCH_*.json` carries a `metrics` section so the perf
+//! trajectory gains phase breakdowns, not just end-to-end wall clock.
+//! Rather than having each bench instrument a different slice of its
+//! own workload (which would make the four records incomparable), this
+//! module runs **one standard metered reference workload** — a
+//! geometric cell through a full reconcile storm (attack + heal via
+//! the [`ChurnEngine`]) followed by a compiled-plan query batch — with
+//! an enabled [`Metrics`] registry threaded through every layer, and
+//! returns the [`adhoc_graph::obs::MetricsSnapshot`] as a JSON value. Every record
+//! therefore contains the same per-phase reconcile span timings
+//! (`reconcile.observe_ns` / `repair_ns` / `publish_ns`), plan
+//! compile/repair breakdowns, and query latency/hop percentiles, all
+//! from the binary that produced the record on the host that produced
+//! it.
+//!
+//! The workload is deterministic (fixed seeds, serial serving), so the
+//! count-type metrics — and the embedded `fingerprint` — are identical
+//! across hosts and regenerations; only the `_ns` timings vary, like
+//! every other measurement in the records.
+
+use adhoc_cluster::pipeline::Algorithm;
+use adhoc_cluster::routing::QueryEngine;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::graph::NodeId;
+use adhoc_graph::obs::Metrics;
+use adhoc_sim::adversary::{self, AttackKind};
+use adhoc_sim::churn::ChurnEngine;
+use adhoc_sim::movement::MovementConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+
+/// Node count of the probe cell: big enough that the reconcile loop
+/// exercises incremental repair, hub/dense inter tables, and a
+/// non-trivial query mix; small enough to add well under a second to
+/// any bench run.
+const PROBE_N: usize = 240;
+const PROBE_D: f64 = 6.0;
+const PROBE_K: u32 = 2;
+const PROBE_SEED: u64 = 0x0B5E_2026;
+const PROBE_QUERIES: usize = 2000;
+const ATTACK_FRACTION: f64 = 0.08;
+
+/// Runs the standard metered reference workload and returns the
+/// `metrics` section: the workload parameters, the deterministic
+/// fingerprint, and the full [`adhoc_graph::obs::MetricsSnapshot`]
+/// as JSON.
+pub fn reference_metrics_section() -> Value {
+    let mut rng = StdRng::seed_from_u64(PROBE_SEED);
+    let net = gen::geometric(
+        &GeometricConfig::at_scale(PROBE_N, 100.0, PROBE_D),
+        &mut rng,
+    );
+    let metrics = Metrics::enabled();
+
+    // Reconcile storm: a heads-targeted attack removes victims one
+    // reconcile at a time, then a flash-crowd heal returns them — the
+    // full observe/repair/publish loop, with plan recompiles and
+    // incremental patches mixed.
+    let mut engine = ChurnEngine::build(
+        &net.graph,
+        MovementConfig::strict(PROBE_K, Algorithm::AcLmst),
+    );
+    engine.set_metrics(metrics.clone());
+    engine.enable_routing();
+    let victims = adversary::select_victims(
+        &engine,
+        AttackKind::Heads,
+        ATTACK_FRACTION,
+        Some((&net.positions, net.range)),
+        PROBE_SEED ^ 0xBEEF,
+    );
+    adversary::execute(&mut engine, &victims);
+    adversary::heal(&mut engine, &net.graph, &victims);
+
+    // Query batch through the healed plan: per-query latency and
+    // hop-count histograms, serial so the latency samples are clean.
+    let plan = engine.route_plan().expect("probe routing enabled").clone();
+    let serve = QueryEngine::with_metrics(&plan, 1, &metrics);
+    let mut prng = StdRng::seed_from_u64(PROBE_SEED ^ 0x9A1C);
+    let pairs: Vec<(NodeId, NodeId)> = (0..PROBE_QUERIES)
+        .map(|_| loop {
+            let u = prng.gen_range(0..PROBE_N) as u32;
+            let v = prng.gen_range(0..PROBE_N) as u32;
+            if u != v {
+                break (NodeId(u), NodeId(v));
+            }
+        })
+        .collect();
+    let served = serve.route_many(&pairs);
+
+    let snap = metrics.snapshot();
+    let workload = json!({
+        "n": PROBE_N,
+        "d": PROBE_D,
+        "k": PROBE_K,
+        "seed": PROBE_SEED,
+        "victims": victims.len(),
+        "queries": pairs.len(),
+        "unreachable": served.unreachable,
+    });
+    json!({
+        "workload": workload,
+        "fingerprint": format!("{:016x}", snap.deterministic_fingerprint()),
+        "snapshot": serde_json::to_value(&snap),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_section_is_populated_and_deterministic() {
+        let a = reference_metrics_section();
+        let b = reference_metrics_section();
+        // Count-type metrics are deterministic: same fingerprint on
+        // every run of the same binary.
+        assert_eq!(a["fingerprint"], b["fingerprint"]);
+        let snap = &a["snapshot"];
+        let histograms = snap["histograms"].as_array().expect("histograms");
+        for required in [
+            "reconcile.observe_ns",
+            "reconcile.repair_ns",
+            "reconcile.publish_ns",
+            "query.latency_ns",
+            "query.hops",
+        ] {
+            let h = histograms
+                .iter()
+                .find(|h| h["name"].as_str() == Some(required))
+                .unwrap_or_else(|| panic!("probe must record {required}"));
+            assert!(h["count"].as_u64().expect("count") > 0, "{required} empty");
+        }
+        let counters = snap["counters"].as_array().expect("counters");
+        for required in ["reconcile.count", "plan.published", "query.count"] {
+            assert!(
+                counters
+                    .iter()
+                    .any(|c| c["name"].as_str() == Some(required)),
+                "probe must count {required}"
+            );
+        }
+    }
+}

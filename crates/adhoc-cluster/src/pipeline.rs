@@ -31,6 +31,7 @@ use crate::virtual_graph::VirtualGraph;
 use adhoc_graph::bfs::Adjacency;
 use adhoc_graph::delta::TopologyDelta;
 use adhoc_graph::graph::NodeId;
+use adhoc_graph::obs::Metrics;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -165,9 +166,16 @@ pub fn run_on_with<G: Adjacency + Sync>(
         _ => {
             let bound = 2 * clustering.k + 1;
             scratch.ensure_layout(g.node_count(), clustering.heads.len());
+            {
+                let _sweep = scratch.metrics.span("labels.sweep_ns");
+                scratch
+                    .labels
+                    .rebuild_with(g, &clustering.heads, bound, scratch.par);
+            }
+            scratch.metrics.inc("pipeline.run_on");
             scratch
-                .labels
-                .rebuild_with(g, &clustering.heads, bound, scratch.par);
+                .metrics
+                .add("labels.rows_swept", clustering.heads.len() as u64);
             let rule = algorithm.neighbor_rule().expect("localized algorithm");
             let sets = match rule {
                 NeighborRule::All2kPlus1 => adjacency::nc_from_labels(clustering, &scratch.labels),
@@ -212,6 +220,7 @@ pub struct EvalScratch {
     mode: LabelMode,
     par: Parallelism,
     lmstga: gateway::LmstgaScratch,
+    metrics: Metrics,
 }
 
 impl EvalScratch {
@@ -236,6 +245,7 @@ impl EvalScratch {
             mode,
             par,
             lmstga: gateway::LmstgaScratch::default(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -261,6 +271,20 @@ impl EvalScratch {
     /// (orphan and head-merge detection) instead of re-running BFS.
     pub fn labels(&self) -> &LabelStore {
         &self.labels
+    }
+
+    /// Attaches an observability handle: subsequent sweeps, advances,
+    /// and incremental updates report counters and span timings into
+    /// it. The default is [`Metrics::disabled`], where every report is
+    /// a single-branch no-op.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`set_metrics`](EvalScratch::set_metrics) installed a live one).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Heap bytes currently held by the label arena — `O(heads × n)`
@@ -368,13 +392,21 @@ pub fn run_all_with<G: Adjacency + Sync>(
     // unbounded traversal happens on the hot path at all.
     let bound = 2 * clustering.k + 1;
     scratch.ensure_layout(g.node_count(), clustering.heads.len());
+    {
+        let _sweep = scratch.metrics.span("labels.sweep_ns");
+        scratch
+            .labels
+            .rebuild_with(g, &clustering.heads, bound, scratch.par);
+    }
+    scratch.metrics.inc("pipeline.run_all");
     scratch
-        .labels
-        .rebuild_with(g, &clustering.heads, bound, scratch.par);
+        .metrics
+        .add("labels.rows_swept", clustering.heads.len() as u64);
     let labels = &scratch.labels;
 
     let nc_sets = adjacency::nc_from_labels(clustering, labels);
     let nc_graph = VirtualGraph::from_labels(g, clustering, nc_sets, labels);
+    let _tail = scratch.metrics.span("pipeline.eval_tail_ns");
     eval_from_nc(g, clustering, labels, nc_graph, &mut scratch.lmstga)
 }
 
@@ -533,6 +565,7 @@ pub fn advance_labels<G: Adjacency + Sync>(
     scratch: &mut EvalScratch,
 ) -> LabelAdvance {
     let bound = 2 * clustering.k + 1;
+    let _advance = scratch.metrics.span("labels.advance_ns");
     // A layout switch (auto heuristic crossing its threshold) empties
     // the store, which the compatibility test below turns into the
     // full rebuild such a switch requires anyway.
@@ -541,6 +574,7 @@ pub fn advance_labels<G: Adjacency + Sync>(
         && scratch.labels.bound() == bound
         && scratch.labels.node_count() == g.node_count();
     if !compatible {
+        scratch.metrics.inc("labels.rebuild_fallback");
         scratch
             .labels
             .rebuild_with(g, &clustering.heads, bound, scratch.par);
@@ -548,11 +582,13 @@ pub fn advance_labels<G: Adjacency + Sync>(
     }
     let dirty = scratch.labels.dirty_slots(delta);
     if dirty.len() as f64 > DIRTY_FRACTION_FALLBACK * clustering.heads.len() as f64 {
+        scratch.metrics.inc("labels.rebuild_fallback");
         scratch
             .labels
             .rebuild_with(g, &clustering.heads, bound, scratch.par);
         return LabelAdvance::Rebuilt;
     }
+    scratch.metrics.add("labels.rows_repaired", dirty.len() as u64);
     scratch.labels.apply_delta_with(g, &dirty, scratch.par);
     LabelAdvance::Incremental { dirty }
 }
@@ -577,6 +613,8 @@ pub fn update_all_after<G: Adjacency>(
         &clustering.heads[..],
         "labels were advanced for a different head set"
     );
+    scratch.metrics.inc("pipeline.update_all");
+    let _tail = scratch.metrics.span("pipeline.eval_tail_ns");
     let incremental = match advance {
         LabelAdvance::Incremental { dirty } if prev.clustering.heads == clustering.heads => {
             Some(dirty)
@@ -654,12 +692,14 @@ pub fn advance_labels_headset<G: Adjacency + Sync>(
     scratch: &mut EvalScratch,
 ) -> LabelAdvance {
     let bound = 2 * clustering.k + 1;
+    let _advance = scratch.metrics.span("labels.advance_ns");
     // A layout switch empties the store; the compatibility test below
     // turns that into the full rebuild the switch requires anyway.
     scratch.ensure_layout(g.node_count(), clustering.heads.len());
     let compatible =
         scratch.labels.bound() == bound && scratch.labels.node_count() == g.node_count();
     if !compatible {
+        scratch.metrics.inc("labels.rebuild_fallback");
         scratch
             .labels
             .rebuild_with(g, &clustering.heads, bound, scratch.par);
@@ -679,6 +719,7 @@ pub fn advance_labels_headset<G: Adjacency + Sync>(
         })
         .collect();
     if dirty_old.len() as f64 > DIRTY_FRACTION_FALLBACK * scratch.labels.heads().len() as f64 {
+        scratch.metrics.inc("labels.rebuild_fallback");
         scratch
             .labels
             .rebuild_with(g, &clustering.heads, bound, scratch.par);
@@ -688,6 +729,9 @@ pub fn advance_labels_headset<G: Adjacency + Sync>(
         .iter()
         .map(|&s| scratch.labels.heads()[s])
         .collect();
+    scratch
+        .metrics
+        .add("labels.rows_repaired", dirty_old.len() as u64);
     scratch.labels.apply_delta_with(g, &dirty_old, scratch.par);
     // 2. Row splices: drop departed heads' rows, sweep new heads'.
     let removed: Vec<NodeId> = scratch
@@ -697,6 +741,9 @@ pub fn advance_labels_headset<G: Adjacency + Sync>(
         .copied()
         .filter(|h| clustering.heads.binary_search(h).is_err())
         .collect();
+    scratch
+        .metrics
+        .add("labels.head_rows_removed", removed.len() as u64);
     for h in removed {
         scratch.labels.remove_head_row(h);
     }
@@ -706,6 +753,9 @@ pub fn advance_labels_headset<G: Adjacency + Sync>(
         .copied()
         .filter(|&h| scratch.labels.slot(h).is_none())
         .collect();
+    scratch
+        .metrics
+        .add("labels.head_rows_added", added.len() as u64);
     for &h in &added {
         scratch.labels.add_head_row(g, h);
     }
@@ -743,6 +793,8 @@ pub fn update_all_after_headset<G: Adjacency>(
         &clustering.heads[..],
         "labels were not advanced to the new head set"
     );
+    scratch.metrics.inc("pipeline.update_all");
+    let _tail = scratch.metrics.span("pipeline.eval_tail_ns");
     let labels = &scratch.labels;
     let nc_sets = adjacency::nc_from_labels(clustering, labels);
     let nc_graph = VirtualGraph::from_labels(g, clustering, nc_sets, labels);

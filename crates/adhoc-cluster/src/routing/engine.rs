@@ -11,7 +11,9 @@
 
 use crate::routing::plan::RoutePlan;
 use adhoc_graph::graph::NodeId;
+use adhoc_graph::obs::{Counter, Hist, Metrics};
 use adhoc_graph::par;
+use std::time::Instant;
 
 /// Hop marker for pairs the backbone cannot connect.
 pub const UNROUTABLE: u32 = u32::MAX;
@@ -65,24 +67,47 @@ pub fn fold_checksums(sums: &[u64]) -> u64 {
 }
 
 /// A batched query front end over a compiled plan.
-#[derive(Clone, Copy, Debug)]
+///
+/// With [`QueryEngine::with_metrics`] the engine reports per-batch
+/// serving metrics: the `query.count` / `query.unroutable` counters,
+/// the per-query `query.hops` histogram (all deterministic for any
+/// worker count — they are commutative sums over per-pair facts), and
+/// the per-batch `query.latency_ns` wall-clock histogram (timing, so
+/// exempt from the determinism contract). The metric handles are
+/// resolved once at construction, so the serve path never touches the
+/// registry lock; without metrics every report is a one-branch no-op.
+#[derive(Clone, Debug)]
 pub struct QueryEngine<'p> {
     plan: &'p RoutePlan,
     workers: usize,
+    queries: Counter,
+    unroutable: Counter,
+    hops: Hist,
+    latency_ns: Hist,
 }
 
 impl<'p> QueryEngine<'p> {
     /// Single-worker engine (queries run inline on the caller's
     /// thread).
     pub fn new(plan: &'p RoutePlan) -> Self {
-        QueryEngine { plan, workers: 1 }
+        QueryEngine::with_metrics(plan, 1, &Metrics::disabled())
     }
 
     /// Engine with `workers` scoped threads (clamped to at least 1).
     pub fn with_workers(plan: &'p RoutePlan, workers: usize) -> Self {
+        QueryEngine::with_metrics(plan, workers, &Metrics::disabled())
+    }
+
+    /// Engine reporting into an observability handle (see the type
+    /// docs for the metric family it emits).
+    pub fn with_metrics(plan: &'p RoutePlan, workers: usize, metrics: &Metrics) -> Self {
         QueryEngine {
             plan,
             workers: workers.max(1),
+            queries: metrics.counter("query.count"),
+            unroutable: metrics.counter("query.unroutable"),
+            hops: metrics.histogram("query.hops"),
+            latency_ns: metrics.histogram("query.latency_ns"),
         }
     }
 
@@ -101,12 +126,14 @@ impl<'p> QueryEngine<'p> {
         let mut hops = vec![0u32; pairs.len()];
         let mut checksums = vec![0u64; pairs.len()];
         let plan = self.plan;
+        let hop_hist = &self.hops;
+        let latency_ns = &self.latency_ns;
         par::scoped_chunks(
             self.workers,
             pairs.len(),
             (pairs, &mut hops[..], &mut checksums[..]),
             |_, _, (p, h, c): (&[(NodeId, NodeId)], &mut [u32], &mut [u64])| {
-                serve_chunk(plan, p, h, c)
+                serve_chunk(plan, p, h, c, hop_hist, latency_ns)
             },
         );
         let checksum = fold_checksums(&checksums);
@@ -119,6 +146,8 @@ impl<'p> QueryEngine<'p> {
                 total_hops += u64::from(h);
             }
         }
+        self.queries.add(pairs.len() as u64);
+        self.unroutable.add(unreachable as u64);
         BatchResult {
             hops,
             checksums,
@@ -129,19 +158,35 @@ impl<'p> QueryEngine<'p> {
     }
 }
 
-/// One worker's share: serve `pairs[i]` into `hops[i]` / `sums[i]`.
-fn serve_chunk(plan: &RoutePlan, pairs: &[(NodeId, NodeId)], hops: &mut [u32], sums: &mut [u64]) {
+/// One worker's share: serve `pairs[i]` into `hops[i]` / `sums[i]`,
+/// recording per-query hop counts (commutative, so deterministic
+/// across worker counts) and — only when the handle is live, so the
+/// metrics-off path never reads the clock — per-query latencies.
+fn serve_chunk(
+    plan: &RoutePlan,
+    pairs: &[(NodeId, NodeId)],
+    hops: &mut [u32],
+    sums: &mut [u64],
+    hop_hist: &Hist,
+    latency_ns: &Hist,
+) {
+    let timed = !latency_ns.is_noop();
     let mut walk = Vec::new();
     for (i, &(u, v)) in pairs.iter().enumerate() {
+        let start = timed.then(Instant::now);
         match plan.route_into(u, v, &mut walk) {
             Some(h) => {
                 hops[i] = h;
                 sums[i] = walk_checksum(&walk);
+                hop_hist.record(u64::from(h));
             }
             None => {
                 hops[i] = UNROUTABLE;
                 sums[i] = 0;
             }
+        }
+        if let Some(start) = start {
+            latency_ns.record(start.elapsed().as_nanos() as u64);
         }
     }
 }
@@ -221,6 +266,40 @@ mod tests {
         assert_eq!(none.checksum, 0);
         let single = QueryEngine::with_workers(&plan, 4).route_many(&[(NodeId(1), NodeId(2))]);
         assert_eq!(single.hops.len(), 1);
+    }
+
+    /// The metered engine's count metrics are exact batch facts — and
+    /// identical whatever the worker count.
+    #[test]
+    fn metered_engine_records_query_metrics() {
+        let plan = plan_for(60, 2, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let pairs: Vec<(NodeId, NodeId)> = (0..200)
+            .map(|_| {
+                (
+                    NodeId(rng.gen_range(0..60u32)),
+                    NodeId(rng.gen_range(0..60u32)),
+                )
+            })
+            .collect();
+        let mut fingerprints = Vec::new();
+        for w in [1usize, 2, 5] {
+            let m = Metrics::enabled();
+            let r = QueryEngine::with_metrics(&plan, w, &m).route_many(&pairs);
+            let snap = m.snapshot();
+            assert_eq!(snap.counter("query.count"), Some(pairs.len() as u64));
+            assert_eq!(snap.counter("query.unroutable"), Some(r.unreachable as u64));
+            let hops = snap.histogram("query.hops").expect("hops histogram");
+            assert_eq!(hops.count, (pairs.len() - r.unreachable) as u64);
+            assert_eq!(hops.sum, r.total_hops);
+            let lat = snap.histogram("query.latency_ns").expect("latency histogram");
+            assert_eq!(lat.count, pairs.len() as u64);
+            fingerprints.push(snap.deterministic_fingerprint());
+        }
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "count metrics must not depend on the worker count"
+        );
     }
 
     /// More workers than pairs: the chunking must clamp, serve every

@@ -58,6 +58,7 @@ use adhoc_graph::bfs::{self, Adjacency, DistLabels, UNREACHED};
 use adhoc_graph::delta::TopologyDelta;
 use adhoc_graph::graph::NodeId;
 use adhoc_graph::labels::LabelStore;
+use adhoc_graph::obs::Metrics;
 use adhoc_graph::par::{self, Parallelism};
 use adhoc_graph::paths;
 
@@ -147,6 +148,31 @@ pub struct PlanUpdate {
     /// What the inter-head repair actually did: a full recompute only
     /// for the dense layout; the hub layout re-sweeps dirty hubs.
     pub inter: InterRepair,
+}
+
+impl PlanUpdate {
+    /// Reports this update's repair scope into `metrics` — the
+    /// counters behind the serving layer's `plan.*` / `hub.*` metric
+    /// families. All values are exact update facts, so the counts are
+    /// deterministic for any worker count.
+    pub fn record_into(&self, metrics: &Metrics) {
+        if self.rebuilt {
+            metrics.inc("plan.rebuilt");
+        }
+        metrics.add("plan.resweeped_nodes", self.resweeped_nodes as u64);
+        if self.next_recomputed {
+            metrics.inc("plan.next_recomputed");
+        }
+        match self.inter {
+            InterRepair::Unchanged => metrics.inc("inter.unchanged"),
+            InterRepair::DenseRecomputed => metrics.inc("inter.dense_recomputed"),
+            InterRepair::HubRepaired { dirty_hubs } => {
+                metrics.inc("hub.repaired");
+                metrics.add("hub.dirty_hubs", dirty_hubs as u64);
+            }
+            InterRepair::HubRebuilt => metrics.inc("hub.rebuilt"),
+        }
+    }
 }
 
 /// The directed-CSR backbone arrays, grouped so compilation and delta
@@ -273,6 +299,27 @@ impl RoutePlan {
         mode: InterMode,
         par: Parallelism,
     ) -> RoutePlan {
+        RoutePlan::compile_metered(g, clustering, labels, links, mode, par, &Metrics::disabled())
+    }
+
+    /// [`Self::compile_tuned`] reporting into an observability handle:
+    /// an overall `plan.compile_ns` span, an ascent-walk span, and a
+    /// layout-specific inter-head build span (`hub.build_ns` /
+    /// `inter.dense_build_ns`). With [`Metrics::disabled`] every report
+    /// is a single-branch no-op — which is exactly what
+    /// [`Self::compile_tuned`] passes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compile_metered<'a, G: Adjacency + Sync>(
+        g: &G,
+        clustering: &Clustering,
+        labels: &LabelStore,
+        links: impl IntoIterator<Item = LinkRef<'a>>,
+        mode: InterMode,
+        par: Parallelism,
+        metrics: &Metrics,
+    ) -> RoutePlan {
+        let _compile = metrics.span("plan.compile_ns");
+        metrics.inc("plan.compiled");
         let n = g.node_count();
         assert_eq!(labels.heads(), &clustering.heads[..], "head set mismatch");
         assert_eq!(labels.node_count(), n, "labels describe a different graph");
@@ -298,10 +345,23 @@ impl RoutePlan {
             },
             inter_mode: mode,
         };
-        plan.build_ascents(g, clustering, labels, None, par);
+        {
+            let _ascents = metrics.span("plan.ascents_ns");
+            plan.build_ascents(g, clustering, labels, None, par);
+        }
         let bb = Backbone::build(&plan.heads, links);
         let mut scratch = InterScratch::new();
-        plan.inter = InterTable::build_with(mode, bb.csr(), &mut scratch, par.workers());
+        {
+            // Resolve the layout up front so the build lands in the
+            // span that names it.
+            let span = if mode.wants_hub(bb.csr().head_count()) {
+                "hub.build_ns"
+            } else {
+                "inter.dense_build_ns"
+            };
+            let _build = metrics.span(span);
+            plan.inter = InterTable::build_with(mode, bb.csr(), &mut scratch, par.workers());
+        }
         plan.adopt_backbone(bb);
         plan
     }
@@ -469,20 +529,53 @@ impl RoutePlan {
         links: impl IntoIterator<Item = LinkRef<'a>>,
         par: Parallelism,
     ) -> PlanUpdate {
+        self.apply_delta_metered(
+            g,
+            clustering,
+            labels,
+            delta,
+            dirty_slots,
+            links,
+            par,
+            &Metrics::disabled(),
+        )
+    }
+
+    /// [`Self::apply_delta_tuned`] reporting into an observability
+    /// handle: an overall `plan.apply_delta_ns` span, a
+    /// layout-specific inter-head repair span (`hub.repair_ns` /
+    /// `inter.dense_repair_ns`), and the repair-scope counters of
+    /// [`PlanUpdate::record_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_delta_metered<'a, G: Adjacency + Sync>(
+        &mut self,
+        g: &G,
+        clustering: &Clustering,
+        labels: &LabelStore,
+        delta: &TopologyDelta,
+        dirty_slots: &[usize],
+        links: impl IntoIterator<Item = LinkRef<'a>>,
+        par: Parallelism,
+        metrics: &Metrics,
+    ) -> PlanUpdate {
+        let _apply = metrics.span("plan.apply_delta_ns");
         if self.heads != clustering.heads || self.n != g.node_count() {
             let epoch = self.epoch;
-            *self = RoutePlan::compile_tuned(g, clustering, labels, links, self.inter_mode, par);
+            *self =
+                RoutePlan::compile_metered(g, clustering, labels, links, self.inter_mode, par, metrics);
             self.epoch = epoch;
             let inter = match self.inter {
                 InterTable::Dense { .. } => InterRepair::DenseRecomputed,
                 InterTable::Hub(_) => InterRepair::HubRebuilt,
             };
-            return PlanUpdate {
+            let update = PlanUpdate {
                 rebuilt: true,
                 resweeped_nodes: self.n,
                 next_recomputed: true,
                 inter,
             };
+            update.record_into(metrics);
+            return update;
         }
         let _ = delta; // the dirty-slot set already covers every effect
         let mut dirty = vec![false; self.heads.len()];
@@ -508,20 +601,31 @@ impl RoutePlan {
                 resweeped += 1;
             }
         }
-        self.build_ascents(g, clustering, labels, Some(&rewalk), par);
+        {
+            let _ascents = metrics.span("plan.ascents_ns");
+            self.build_ascents(g, clustering, labels, Some(&rewalk), par);
+        }
         let bb = Backbone::build(&self.heads, links);
         let changed = self.changed_backbone_slots(&bb);
         let mut scratch = InterScratch::new();
-        let inter = self
-            .inter
-            .repair_with(&changed, bb.csr(), &mut scratch, par.workers());
+        let inter = {
+            let span = match self.inter {
+                InterTable::Hub(_) => "hub.repair_ns",
+                InterTable::Dense { .. } => "inter.dense_repair_ns",
+            };
+            let _repair = metrics.span(span);
+            self.inter
+                .repair_with(&changed, bb.csr(), &mut scratch, par.workers())
+        };
         self.adopt_backbone(bb);
-        PlanUpdate {
+        let update = PlanUpdate {
             rebuilt: false,
             resweeped_nodes: resweeped,
             next_recomputed: inter != InterRepair::Unchanged,
             inter,
-        }
+        };
+        update.record_into(metrics);
+        update
     }
 
     /// Head slots (ascending) whose directed backbone rows — neighbor

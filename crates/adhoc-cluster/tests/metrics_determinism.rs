@@ -1,0 +1,149 @@
+//! The observability layer must not become a second source of
+//! nondeterminism: with metrics enabled, every count-type metric
+//! (counters, non-`_ns` histograms, events) produced by a build +
+//! repair chain has to be identical for any worker count, on both
+//! label layouts. Only the `_ns` span timings may differ — and those
+//! are excluded from [`MetricsSnapshot::deterministic_fingerprint`],
+//! which is exactly the surface these proptests pin.
+//!
+//! The contract matters because bench records and CI smoke runs embed
+//! the fingerprint: if a counter were incremented from a racy branch
+//! (e.g. once per worker instead of once per sweep), records produced
+//! on different machines would stop being comparable.
+
+use adhoc_cluster::clustering::{self, MemberPolicy};
+use adhoc_cluster::pipeline::{self, EvalScratch, LabelMode, Parallelism};
+use adhoc_cluster::priority::LowestId;
+use adhoc_cluster::routing::{InterMode, RoutePlan};
+use adhoc_graph::delta::TopologyDelta;
+use adhoc_graph::gen::{self, GeometricConfig};
+use adhoc_graph::graph::{Graph, NodeId};
+use adhoc_graph::obs::{Metrics, MetricsSnapshot};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const WORKER_GRID: [usize; 4] = [1, 2, 3, 8];
+
+/// Canonical comparison form: the deterministic fingerprint plus the
+/// count-type rows themselves, so a divergence names the metric in the
+/// assertion message instead of just flagging a hash mismatch.
+fn count_rows(snap: &MetricsSnapshot) -> (u64, Vec<String>) {
+    let mut rows: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|c| format!("counter {} = {}", c.name, c.value))
+        .collect();
+    rows.extend(
+        snap.histograms
+            .iter()
+            .filter(|h| !h.name.ends_with("_ns"))
+            .map(|h| format!("hist {} count={} sum={} max={}", h.name, h.count, h.sum, h.max)),
+    );
+    rows.extend(
+        snap.events
+            .iter()
+            .map(|e| format!("event {} = {}", e.name, e.value)),
+    );
+    rows.push(format!("events_dropped = {}", snap.events_dropped));
+    (snap.deterministic_fingerprint(), rows)
+}
+
+/// Shared delta trajectory: a few steps of random edge adds with an
+/// occasional removal batch, normalized like the production feed.
+fn trajectory(g0: &Graph, n: usize, seed: u64) -> Vec<(Graph, TopologyDelta)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = g0.clone();
+    let mut extras: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut steps = Vec::new();
+    for step in 0..5 {
+        let mut delta = TopologyDelta::new();
+        if step % 3 == 2 && !extras.is_empty() {
+            for _ in 0..rng.gen_range(1..=extras.len()) {
+                let (a, b) = extras.swap_remove(rng.gen_range(0..extras.len()));
+                g.remove_edge(a, b);
+                delta.push_removed(a, b);
+            }
+        } else {
+            for _ in 0..rng.gen_range(1..5) {
+                let a = NodeId(rng.gen_range(0..n as u32));
+                let b = NodeId(rng.gen_range(0..n as u32));
+                if a != b && !g.has_edge(a, b) {
+                    g.add_edge(a, b);
+                    delta.push_added(a, b);
+                    extras.push(if a < b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        delta.normalize();
+        steps.push((g.clone(), delta));
+    }
+    steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `run_all` → `update_all` → `apply_delta` chain: the metrics
+    /// fingerprint (counters, count histograms, events) is identical
+    /// at 1/2/3/8 workers on both label layouts.
+    #[test]
+    fn count_metrics_are_worker_count_invariant(
+        seed in 0u64..1_000_000,
+        k in 1u32..=3,
+        sparse in 0u32..2,
+    ) {
+        let mode = if sparse == 1 { LabelMode::Sparse } else { LabelMode::Dense };
+        let n = 60usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = gen::geometric(&GeometricConfig::new(n, 100.0, 6.0), &mut rng);
+        let steps = trajectory(&net.graph, n, seed ^ 0xD1FF);
+
+        let run_arm = |par: Parallelism| {
+            let metrics = Metrics::enabled();
+            let c0 = clustering::cluster(&net.graph, k, &LowestId, MemberPolicy::IdBased);
+            let mut scratch = EvalScratch::with_tuning(mode, par);
+            scratch.set_metrics(metrics.clone());
+            let mut prev = pipeline::run_all_with(&net.graph, &c0, &mut scratch);
+            let mut plan = RoutePlan::compile_metered(
+                &net.graph,
+                &c0,
+                scratch.labels(),
+                prev.ac_graph.links(),
+                InterMode::Auto,
+                par,
+                &metrics,
+            );
+            for (g, delta) in &steps {
+                let c = clustering::cluster(g, k, &LowestId, MemberPolicy::IdBased);
+                let dirty = scratch.labels().dirty_slots(delta);
+                let (next, _) = pipeline::update_all(g, &c, delta, &prev, &mut scratch);
+                plan.apply_delta_metered(
+                    g,
+                    &c,
+                    scratch.labels(),
+                    delta,
+                    &dirty,
+                    next.ac_graph.links(),
+                    par,
+                    &metrics,
+                );
+                prev = next;
+            }
+            count_rows(&metrics.snapshot())
+        };
+
+        let (base_fp, base_rows) = run_arm(Parallelism::serial());
+        for w in WORKER_GRID {
+            let (fp, rows) = run_arm(Parallelism::new(w));
+            prop_assert_eq!(
+                &rows, &base_rows,
+                "{} workers ({:?}): count metrics diverged from serial arm", w, mode
+            );
+            prop_assert_eq!(
+                fp, base_fp,
+                "{} workers ({:?}): fingerprint diverged with equal rows \
+                 (fingerprint covers something rows miss?)", w, mode
+            );
+        }
+    }
+}

@@ -30,6 +30,10 @@
 //!   abstract weighted neighborhoods (the form the paper's LMSTGA
 //!   gateway algorithm instantiates on "virtual links").
 //! * [`connectivity`] — components and connectivity predicates.
+//! * [`obs`] — the hand-rolled observability core (atomic counters,
+//!   power-of-two latency histograms, span timers, a bounded event
+//!   ring) behind the disabled-by-default [`Metrics`] handle every
+//!   layer of the stack reports into.
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@ pub mod labels;
 pub mod lmst;
 pub mod metrics;
 pub mod mst;
+pub mod obs;
 pub mod par;
 pub mod paths;
 pub mod subgraph;
@@ -70,4 +75,5 @@ pub use delta::TopologyDelta;
 pub use geom::Point;
 pub use graph::{Graph, NodeId};
 pub use labels::{HeadLabels, LabelMode, LabelStore, SparseHeadLabels};
+pub use obs::{Metrics, MetricsSnapshot};
 pub use par::Parallelism;

@@ -77,7 +77,10 @@
 //! primitives (`rejoin_one`, `elect_orphans`, `broken_mates`).
 
 use crate::invariants;
+use crate::message::MessageKind;
 use crate::movement::{MovementConfig, RepairLevel, StepReport};
+use crate::stats::Phase;
+use crate::trace::{Trace, TraceEvent};
 use adhoc_cluster::cds::Cds;
 use adhoc_cluster::clustering::{cluster, Clustering, MemberPolicy};
 use adhoc_cluster::pipeline::{self, EvalScratch, EvaluationOutput, LabelAdvance};
@@ -88,6 +91,7 @@ use adhoc_graph::connectivity;
 use adhoc_graph::delta::TopologyDelta;
 use adhoc_graph::graph::{Graph, NodeId};
 use adhoc_graph::labels::{LabelMode, LabelStore};
+use adhoc_graph::obs::Metrics;
 use adhoc_graph::par::Parallelism;
 
 /// Sentinel head for a node that is not in any cluster (departed).
@@ -295,6 +299,19 @@ pub struct ChurnEngine {
     /// Set while a reconcile has run observe (and possibly repair) but
     /// not publish. A crash leaves it set; [`Self::recover`] clears it.
     in_flight: Option<PhaseBoundary>,
+    /// Observability handle ([`Metrics::disabled`] by default): the
+    /// per-phase reconcile spans, damage counters, and publish events
+    /// report into it, and [`Self::set_metrics`] shares it with the
+    /// scratch so the pipeline's label/eval metrics land in the same
+    /// registry.
+    metrics: Metrics,
+    /// Attached trace, if any: reconcile phase transitions are
+    /// recorded into it as [`Phase::Reconcile`] events alongside
+    /// whatever protocol traffic the caller already logged.
+    trace: Option<Trace>,
+    /// Reconcile sequence number, the "time" stamped onto traced phase
+    /// transitions (the engine has no simulated clock).
+    trace_seq: u64,
 }
 
 impl ChurnEngine {
@@ -326,6 +343,9 @@ impl ChurnEngine {
             inter_mode: InterMode::Auto,
             plan_epoch: 0,
             in_flight: None,
+            metrics: Metrics::disabled(),
+            trace: None,
+            trace_seq: 0,
         };
         engine.refresh_validity();
         engine
@@ -358,13 +378,14 @@ impl ChurnEngine {
     /// Compiles a plan from the engine's current evaluation (does not
     /// install it — that is publish's atomic swap).
     fn compile_plan(&self) -> RoutePlan {
-        RoutePlan::compile_tuned(
+        RoutePlan::compile_metered(
             &self.graph,
             &self.clustering,
             self.scratch.labels(),
             self.eval.selected_links(self.cfg.algorithm),
             self.inter_mode,
             self.scratch.parallelism(),
+            &self.metrics,
         )
     }
 
@@ -383,11 +404,72 @@ impl ChurnEngine {
         self.scratch.set_workers(par);
     }
 
+    /// Attaches an observability handle: every subsequent reconcile
+    /// reports per-phase spans (`reconcile.observe_ns` /
+    /// `reconcile.repair_ns` / `reconcile.publish_ns`), damage counts
+    /// and histograms, escalation/publish events — and, because the
+    /// handle is shared with the engine's [`EvalScratch`], the
+    /// pipeline's label-sweep and eval metrics land in the same
+    /// registry. Pass [`Metrics::disabled`] to turn reporting back off
+    /// (the default; every report is then a one-branch no-op).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.scratch.set_metrics(metrics.clone());
+        self.metrics = metrics;
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`Self::set_metrics`] installed a live one).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Attaches a bounded [`Trace`]: each reconcile phase start is
+    /// recorded as a [`Phase::Reconcile`] event
+    /// ([`MessageKind::ReconcileObserve`] / `ReconcileRepair` /
+    /// `ReconcilePublish`), stamped with the reconcile sequence number
+    /// as its time and the `NodeId(u32::MAX)` sentinel as its origin
+    /// (a phase transition has no single transmitting node). Replaces
+    /// any prior trace.
+    pub fn attach_trace(&mut self, trace: Trace) {
+        self.trace = Some(trace);
+    }
+
+    /// The attached trace, if any.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Detaches and returns the trace (e.g. to serialize it after a
+    /// run).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Records a reconcile phase transition into the attached trace
+    /// (no-op without one). Observe transitions open a new reconcile,
+    /// advancing the sequence stamp.
+    fn trace_phase(&mut self, kind: MessageKind) {
+        if kind == MessageKind::ReconcileObserve {
+            self.trace_seq += 1;
+        }
+        let seq = self.trace_seq;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent {
+                time: seq,
+                phase: Phase::Reconcile,
+                kind,
+                from: GONE,
+            });
+        }
+    }
+
     /// Atomically publishes `plan`: bumps the epoch, stamps it, swaps
     /// it in. The single point where [`Self::route_plan`] changes.
     fn install_plan(&mut self, mut plan: RoutePlan) {
         self.plan_epoch += 1;
         plan.set_epoch(self.plan_epoch);
+        self.metrics.inc("plan.published");
+        self.metrics.event("plan.publish", self.plan_epoch);
         self.route_plan = Some(plan);
     }
 
@@ -741,6 +823,7 @@ impl ChurnEngine {
         if delta.is_empty() && newcomer.is_none() {
             // Nothing moved: the previous verdict stands verbatim — an
             // idle beacon costs O(1), no connectivity sweeps.
+            self.metrics.inc("reconcile.noop");
             return ReconcileState::Done(StepReport {
                 level: RepairLevel::None,
                 orphans: 0,
@@ -750,6 +833,9 @@ impl ChurnEngine {
                 dirty_heads: 0,
             });
         }
+        self.trace_phase(MessageKind::ReconcileObserve);
+        let _observe = self.metrics.span("reconcile.observe_ns");
+        self.metrics.inc("reconcile.count");
 
         let advance =
             pipeline::advance_labels(&self.graph, &self.clustering, &delta, &mut self.scratch);
@@ -847,6 +933,10 @@ impl ChurnEngine {
             orphans.push(u);
             orphans.sort_unstable();
         }
+        self.metrics.record("reconcile.dirty_heads", dirty_heads as u64);
+        self.metrics.add("reconcile.orphans", orphans.len() as u64);
+        self.metrics
+            .add("reconcile.merged_head_pairs", merged_head_pairs as u64);
         self.in_flight = Some(PhaseBoundary::Observed);
         ReconcileState::Observed(Box::new(Observation {
             delta,
@@ -866,6 +956,10 @@ impl ChurnEngine {
     /// plus the broken mates derived from the isolating delta — no
     /// pre-departure graph snapshot needed.
     fn observe_head_loss(&mut self, u: NodeId, delta: TopologyDelta) -> ReconcileState {
+        self.trace_phase(MessageKind::ReconcileObserve);
+        let _observe = self.metrics.span("reconcile.observe_ns");
+        self.metrics.inc("reconcile.count");
+        self.metrics.inc("reconcile.head_loss");
         let mut former: Vec<NodeId> = delta
             .removed
             .iter()
@@ -880,6 +974,7 @@ impl ChurnEngine {
         orphans.extend(broken_mates(&self.graph, &former, &self.clustering, u));
         orphans.sort_unstable();
         orphans.dedup();
+        self.metrics.add("reconcile.orphans", orphans.len() as u64);
         self.in_flight = Some(PhaseBoundary::Observed);
         ReconcileState::Observed(Box::new(Observation {
             delta,
@@ -898,6 +993,8 @@ impl ChurnEngine {
     /// ones, re-elect globally on merges, drop a departed head. The
     /// evaluation, CDS, verdicts, and route plan stay pre-step.
     fn repair(&mut self, obs: Observation) -> ReconcileState {
+        self.trace_phase(MessageKind::ReconcileRepair);
+        let _repair = self.metrics.span("reconcile.repair_ns");
         let Observation {
             delta,
             advance,
@@ -1051,6 +1148,8 @@ impl ChurnEngine {
     /// plan in atomically with an epoch bump. Until that swap, queries
     /// keep reading the pre-step plan.
     fn publish(&mut self, rep: Repaired) -> ReconcileState {
+        self.trace_phase(MessageKind::ReconcilePublish);
+        let _publish = self.metrics.span("reconcile.publish_ns");
         let Repaired { delta, outcome } = rep;
         let report = match outcome {
             RepairOutcome::Rebuilt { orphans, merged } => self.publish_rebuilt(orphans, merged),
@@ -1091,6 +1190,12 @@ impl ChurnEngine {
             }
             RepairOutcome::Patch(patch) => self.publish_patch(&delta, patch),
         };
+        self.metrics
+            .add("reconcile.cost_node_rounds", report.cost as u64);
+        self.metrics.record("reconcile.cost", report.cost as u64);
+        if report.level >= RepairLevel::Full {
+            self.metrics.inc("reconcile.level_full");
+        }
         self.in_flight = None;
         ReconcileState::Done(report)
     }
@@ -1152,7 +1257,7 @@ impl ChurnEngine {
                 match &advance {
                     LabelAdvance::Incremental { dirty } => {
                         let mut plan = current.clone();
-                        plan.apply_delta_tuned(
+                        plan.apply_delta_metered(
                             &self.graph,
                             &self.clustering,
                             self.scratch.labels(),
@@ -1160,6 +1265,7 @@ impl ChurnEngine {
                             dirty,
                             self.eval.selected_links(self.cfg.algorithm),
                             self.scratch.parallelism(),
+                            &self.metrics,
                         );
                         plan
                     }
@@ -1213,6 +1319,8 @@ impl ChurnEngine {
             // rebuild republishes a fresh one). A capped policy is not
             // entitled to the escalation: it keeps serving the
             // degraded plan and reports `valid: false`.
+            self.metrics.inc("reconcile.escalations");
+            self.metrics.event("reconcile.escalation", self.trace_seq);
             return self.full_rebuild(orphans, 0);
         }
         if let Some(plan) = pending {
@@ -1258,6 +1366,9 @@ impl ChurnEngine {
     /// Publish tail of a global rebuild: full evaluation, fresh CDS,
     /// full-price cost accounting, fresh verdicts, plan republication.
     fn publish_rebuilt(&mut self, orphans: usize, merged: usize) -> StepReport {
+        self.metrics.inc("reconcile.full_rebuild");
+        self.metrics
+            .event("reconcile.rebuild", self.clustering.heads.len() as u64);
         self.eval = pipeline::run_all_with(&self.graph, &self.clustering, &mut self.scratch);
         self.cds = self.eval.of(self.cfg.algorithm).cds.clone();
         let alive = self.departed.iter().filter(|&&d| !d).count();
@@ -1545,6 +1656,44 @@ mod tests {
         for alg in Algorithm::ALL {
             assert_eq!(a.of(alg).selection, fresh.of(alg).selection, "{ctx}: {alg}");
         }
+    }
+
+    /// A metered engine reports per-phase reconcile metrics and
+    /// records phase transitions into an attached trace; count-type
+    /// metrics are exact reconcile facts.
+    #[test]
+    fn metered_reconcile_reports_phases_and_traces() {
+        let net = geometric(91, 50, 8.0);
+        let mut e = ChurnEngine::build(&net.graph, MovementConfig::strict(2, Algorithm::AcLmst));
+        e.enable_routing();
+        let m = Metrics::enabled();
+        e.set_metrics(m.clone());
+        e.attach_trace(Trace::with_capacity(64));
+        let steps = [NodeId(7), NodeId(21), NodeId(33)];
+        for &u in &steps {
+            e.depart(u);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("reconcile.count"), Some(steps.len() as u64));
+        // Every depart publishes a plan (routing is on), and routing
+        // was enabled before metering, so plan publishes == departs.
+        assert_eq!(snap.counter("plan.published"), Some(steps.len() as u64));
+        for h in ["reconcile.observe_ns", "reconcile.repair_ns", "reconcile.publish_ns"] {
+            let hist = snap.histogram(h).unwrap_or_else(|| panic!("{h} missing"));
+            assert_eq!(hist.count, steps.len() as u64, "{h}");
+        }
+        assert!(snap.events.iter().any(|ev| ev.name == "plan.publish"));
+        let trace = e.take_trace().expect("trace attached");
+        assert_eq!(trace.len(), 3 * steps.len(), "3 phase marks per reconcile");
+        assert!(trace
+            .events()
+            .iter()
+            .all(|ev| ev.phase == Phase::Reconcile && ev.from == GONE));
+        assert_eq!(
+            trace.phase_span(Phase::Reconcile),
+            Some((1, steps.len() as u64))
+        );
+        assert_engine_consistent(&e, "metered departures");
     }
 
     #[test]

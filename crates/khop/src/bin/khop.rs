@@ -16,6 +16,12 @@
 //! khop resilience --n 300 --k 2 --attack heads --fraction 0.2   attack, repair, heal
 //! khop mac  [--n 120 --d 10] --k 1 --cw 8              broadcast under CSMA
 //! ```
+//!
+//! `run`, `churn`, `route`, and `resilience` also take
+//! `--metrics[=FILE]`: bare, the command ends with a human-readable
+//! metrics table; with `=FILE`, it writes the [`MetricsSnapshot`] as
+//! pretty JSON and re-parses the file to validate the command's
+//! required keys are present.
 
 use khop::prelude::*;
 use rand::rngs::StdRng;
@@ -37,7 +43,10 @@ impl Args {
         while i < raw.len() {
             let a = &raw[i];
             if let Some(name) = a.strip_prefix("--") {
-                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                if let Some((key, value)) = name.split_once('=') {
+                    flags.insert(key.to_string(), value.to_string());
+                    i += 1;
+                } else if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
                     flags.insert(name.to_string(), raw[i + 1].clone());
                     i += 2;
                 } else {
@@ -79,7 +88,7 @@ fn die(msg: &str) -> ! {
     eprintln!("            [--repair-level none|reaffiliate|gateways|full]");
     eprintln!("            [--alg nc-mesh|ac-mesh|nc-lmst|ac-lmst|g-mst|all]");
     eprintln!("            [--labels dense|sparse|auto] [--inter dense|hub|auto]");
-    eprintln!("            [--input FILE] [--out FILE] [--json]");
+    eprintln!("            [--input FILE] [--out FILE] [--json] [--metrics[=FILE]]");
     exit(2)
 }
 
@@ -141,6 +150,66 @@ fn parse_workers(args: &Args) -> Parallelism {
     }
 }
 
+/// The `--metrics[=FILE]` observability sink: an enabled [`Metrics`]
+/// registry the command threads through the stack, plus the requested
+/// output surface (bare flag → text table on stdout, `=FILE` → pretty
+/// JSON on disk).
+struct MetricsSink {
+    metrics: Metrics,
+    file: Option<PathBuf>,
+}
+
+/// Builds the sink when `--metrics` (bare or `=FILE`/` FILE`) was
+/// given; `None` keeps every hot path on the disabled one-branch
+/// handle.
+fn parse_metrics(args: &Args) -> Option<MetricsSink> {
+    let file = args.opt("metrics").map(PathBuf::from);
+    (file.is_some() || args.has("metrics")).then(|| MetricsSink {
+        metrics: Metrics::enabled(),
+        file,
+    })
+}
+
+impl MetricsSink {
+    /// Snapshots the registry and renders it. For `=FILE`, the written
+    /// JSON is read back, re-parsed, and checked for `required` metric
+    /// names (each must resolve to a counter or histogram) — the same
+    /// contract CI's smoke step relies on.
+    fn finish(self, required: &[&str]) {
+        let snap = self.metrics.snapshot();
+        let Some(path) = &self.file else {
+            print!("{}", snap.text_table());
+            return;
+        };
+        let json =
+            serde_json::to_string_pretty(&snap).expect("metrics snapshot serializes");
+        std::fs::write(path, &json)
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        let back: MetricsSnapshot = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| format!("{e:?}")))
+            .unwrap_or_else(|e| {
+                die(&format!("metrics file {} does not re-parse: {e}", path.display()))
+            });
+        if back != snap {
+            die("metrics JSON round-trip altered the snapshot");
+        }
+        for name in required {
+            if back.counter(name).is_none() && back.histogram(name).is_none() {
+                die(&format!("metrics file missing required key {name}"));
+            }
+        }
+        println!(
+            "metrics: wrote {} ({} counters, {} histograms, {} events; {} required keys present)",
+            path.display(),
+            back.counters.len(),
+            back.histograms.len(),
+            back.events.len(),
+            required.len()
+        );
+    }
+}
+
 /// Theorem 2's verifier assumes a connected network; on a
 /// disconnected instance (legal at large N and fixed density) the CDS
 /// is per-component and the global check would always reject. Returns
@@ -155,9 +224,19 @@ fn warn_if_unverifiable(g: &Graph) -> bool {
 
 /// `khop run --alg all`: evaluate all five algorithms through the
 /// single-sweep engine (`pipeline::run_all`) on one shared clustering.
-fn cmd_run_all(g: &Graph, k: u32, labels: LabelMode, par: Parallelism, json: bool) {
+fn cmd_run_all(
+    g: &Graph,
+    k: u32,
+    labels: LabelMode,
+    par: Parallelism,
+    json: bool,
+    sink: Option<MetricsSink>,
+) {
     let clustering = clustering::cluster(g, k, &LowestId, MemberPolicy::IdBased);
     let mut scratch = EvalScratch::with_tuning(labels, par);
+    if let Some(s) = &sink {
+        scratch.set_metrics(s.metrics.clone());
+    }
     let eval = pipeline::run_all_with(g, &clustering, &mut scratch);
     let verify = warn_if_unverifiable(g);
     let mut rows = Vec::new();
@@ -218,6 +297,9 @@ fn cmd_run_all(g: &Graph, k: u32, labels: LabelMode, par: Parallelism, json: boo
             scratch.labels_memory_bytes()
         );
     }
+    if let Some(s) = sink {
+        s.finish(&["pipeline.run_all", "labels.sweep_ns", "labels.rows_swept"]);
+    }
 }
 
 fn cmd_run(args: &Args) {
@@ -225,9 +307,10 @@ fn cmd_run(args: &Args) {
     let k: u32 = args.get("k", 2);
     let labels = parse_labels(args);
     let par = parse_workers(args);
+    let sink = parse_metrics(args);
     let alg_name = args.opt("alg").unwrap_or("ac-lmst");
     if alg_name.eq_ignore_ascii_case("all") {
-        cmd_run_all(&g, k, labels, par, args.has("json"));
+        cmd_run_all(&g, k, labels, par, args.has("json"), sink);
         return;
     }
     let alg = parse_alg(alg_name);
@@ -237,6 +320,9 @@ fn cmd_run(args: &Args) {
     // centralized baseline — ignores both.
     let clustering = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
     let mut scratch = EvalScratch::with_tuning(labels, par);
+    if let Some(s) = &sink {
+        scratch.set_metrics(s.metrics.clone());
+    }
     let out = pipeline::run_on_with(&g, alg, &clustering, &mut scratch);
     let labels_info = (alg != Algorithm::GMst)
         .then(|| (scratch.labels().layout_name(), scratch.labels_memory_bytes()));
@@ -274,6 +360,15 @@ fn cmd_run(args: &Args) {
         );
         if let Some((layout, bytes)) = labels_info {
             println!("labels: {layout} layout ({bytes} bytes)");
+        }
+    }
+    if let Some(s) = sink {
+        // G-MST bypasses the label sweep, so only the localized
+        // algorithms can promise sweep metrics in the file.
+        if alg == Algorithm::GMst {
+            s.finish(&[]);
+        } else {
+            s.finish(&["pipeline.run_on", "labels.sweep_ns"]);
         }
     }
 }
@@ -410,6 +505,7 @@ fn cmd_churn(args: &Args) {
     let speed: f64 = args.get("speed", 2.0);
     let labels = parse_labels(args);
     let par = parse_workers(args);
+    let sink = parse_metrics(args);
     if k == 0 {
         die("--k must be at least 1");
     }
@@ -454,6 +550,12 @@ fn cmd_churn(args: &Args) {
         let mut grid = SpatialGrid::build(&snapshots[0], base.range);
         let mut engine = ChurnEngine::build_with_labels(grid.graph(), policy, labels);
         engine.set_workers(par);
+        if let Some(s) = &sink {
+            // Metrics ride the recording pass — the bare timed replay
+            // below stays on the disabled handle so the observer never
+            // pollutes the ms/step comparison.
+            engine.set_metrics(s.metrics.clone());
+        }
         for snapshot in &snapshots[1..] {
             let delta = grid.update(snapshot);
             churn_edges += delta.churn();
@@ -516,6 +618,14 @@ fn cmd_churn(args: &Args) {
         reb / inc.max(1e-12)
     );
     println!("labels: {layout} layout ({labels_bytes} bytes)");
+    if let Some(s) = sink {
+        s.finish(&[
+            "reconcile.count",
+            "reconcile.observe_ns",
+            "reconcile.repair_ns",
+            "reconcile.publish_ns",
+        ]);
+    }
 }
 
 /// Routes `u -> v` through `plan` and validates the walk hop by hop
@@ -617,6 +727,7 @@ fn cmd_resilience(args: &Args) {
     let pair_count: usize = args.get("pairs", 800);
     let labels = parse_labels(args);
     let par = parse_workers(args);
+    let sink = parse_metrics(args);
     let json = args.has("json");
     let attack = match args.opt("attack") {
         None => AttackKind::Heads,
@@ -646,6 +757,9 @@ fn cmd_resilience(args: &Args) {
     let policy = MovementConfig::strict(k, Algorithm::AcLmst).capped(level);
     let mut engine = ChurnEngine::build_with_labels(&net.graph, policy, labels);
     engine.set_workers(par);
+    if let Some(s) = &sink {
+        engine.set_metrics(s.metrics.clone());
+    }
     engine.enable_routing();
     let stale = engine.route_plan().expect("routing enabled").clone();
     let stale_epoch = stale.epoch();
@@ -736,6 +850,9 @@ fn cmd_resilience(args: &Args) {
             "{}",
             serde_json::to_string_pretty(&doc).expect("resilience JSON serializes")
         );
+        if let Some(s) = sink {
+            s.finish(RESILIENCE_METRIC_KEYS);
+        }
         return;
     }
 
@@ -776,7 +893,15 @@ fn cmd_resilience(args: &Args) {
         "final: topology restored={restored}, clustering valid={}",
         engine.is_valid()
     );
+    if let Some(s) = sink {
+        s.finish(RESILIENCE_METRIC_KEYS);
+    }
 }
+
+/// Metrics every `khop resilience --metrics=FILE` file must carry: the
+/// attack drives reconciles and each reconcile republishes the plan.
+const RESILIENCE_METRIC_KEYS: &[&str] =
+    &["reconcile.count", "plan.published", "plan.compile_ns"];
 
 /// `khop route`: compile a [`RoutePlan`] over one algorithm's backbone
 /// and serve a query batch through it — compiled single-worker,
@@ -793,6 +918,7 @@ fn cmd_route(args: &Args) {
     let labels = parse_labels(args);
     let inter: InterMode = args.get("inter", InterMode::Auto);
     let mix: Mix = args.get("mix", Mix::Uniform);
+    let sink = parse_metrics(args);
     let alg_name = args.opt("alg").unwrap_or("ac-lmst");
     if alg_name.eq_ignore_ascii_case("all") {
         die("route serves one backbone; pick a single algorithm");
@@ -806,18 +932,21 @@ fn cmd_route(args: &Args) {
     }
 
     let par = Parallelism::new(workers);
+    let metrics = sink.as_ref().map_or(Metrics::disabled(), |s| s.metrics.clone());
     let clustering = clustering::cluster(&g, k, &LowestId, MemberPolicy::IdBased);
     let mut scratch = EvalScratch::with_tuning(labels, par);
+    scratch.set_metrics(metrics.clone());
     let eval = pipeline::run_all_with(&g, &clustering, &mut scratch);
     let links = eval.selected_links(alg);
     let t = Instant::now();
-    let plan = RoutePlan::compile_tuned(
+    let plan = RoutePlan::compile_metered(
         &g,
         &clustering,
         scratch.labels(),
         links.iter().copied(),
         inter,
         par,
+        &metrics,
     );
     let build_ms = 1e3 * t.elapsed().as_secs_f64();
     let baseline = ClusterRouter::with_graph(
@@ -829,11 +958,15 @@ fn cmd_route(args: &Args) {
     let mut rng = StdRng::seed_from_u64(seed);
     let pairs = workload.generate(&plan, mix, queries, &mut rng);
 
+    // Both compiled serving arms share the sink's registry, so
+    // `query.*` covers every served query (2x the batch when metrics
+    // are on — and the q/s numbers then include the per-query clock
+    // reads; run without `--metrics` for clean timings).
     let t = Instant::now();
-    let single = QueryEngine::new(&plan).route_many(&pairs);
+    let single = QueryEngine::with_metrics(&plan, 1, &metrics).route_many(&pairs);
     let single_secs = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let multi = QueryEngine::with_workers(&plan, workers).route_many(&pairs);
+    let multi = QueryEngine::with_metrics(&plan, workers, &metrics).route_many(&pairs);
     let multi_secs = t.elapsed().as_secs_f64();
     let t = Instant::now();
     let mut legacy_scratch = LegacyScratch::new();
@@ -922,6 +1055,14 @@ fn cmd_route(args: &Args) {
             tables.head_entries,
             tables.flat_entries
         );
+    }
+    if let Some(s) = sink {
+        s.finish(&[
+            "plan.compile_ns",
+            "query.count",
+            "query.hops",
+            "query.latency_ns",
+        ]);
     }
 }
 
